@@ -1,0 +1,140 @@
+// Shared helpers for the benchmark harnesses: measuring kernel
+// characteristics from the instrumented engines and assembling the paper's
+// problem-size sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engines/mr_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "perfmodel/efficiency.hpp"
+#include "perfmodel/opcount.hpp"
+#include "perfmodel/pattern.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm::bench {
+
+/// Default MR tile geometry per dimension (chosen so V100 and MI100 both fit
+/// at least two blocks per SM; see ablation_tile for the sweep).
+inline MrConfig default_mr_config(int dim) {
+  return dim == 2 ? MrConfig{32, 1, 4} : MrConfig{8, 8, 1};
+}
+
+inline Geometry periodic_geo(int nx, int ny, int nz) {
+  Geometry geo(Box{nx, ny, nz});
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return geo;
+}
+
+struct MeasuredTraffic {
+  double read_bytes_per_node = 0;
+  double write_bytes_per_node = 0;
+  double halo_read_fraction = 0;  ///< extra logical reads over the nominal M
+};
+
+/// Runs a few instrumented steps on a small periodic domain and returns the
+/// per-node traffic. The measurement is exact (the engines' access pattern
+/// is size-independent).
+template <class L, class E>
+MeasuredTraffic measure_traffic(E& eng, int steps = 3) {
+  eng.initialize(
+      [](int, int, int) { return equilibrium_moments<L>(1.0, {}); });
+  eng.step();  // exclude warm-up
+  const auto before = eng.profiler()->total_traffic();
+  eng.run(steps);
+  const auto t = eng.profiler()->total_traffic() - before;
+  const double nodes =
+      static_cast<double>(eng.geometry().box.cells()) * steps;
+  MeasuredTraffic m;
+  m.read_bytes_per_node = static_cast<double>(t.bytes_read) / nodes;
+  m.write_bytes_per_node = static_cast<double>(t.bytes_written) / nodes;
+  const double nominal = m.write_bytes_per_node;  // writes have no halo
+  m.halo_read_fraction =
+      nominal > 0 ? m.read_bytes_per_node / nominal - 1.0 : 0.0;
+  return m;
+}
+
+/// Distinct global elements read in one step, per node — the DRAM read
+/// traffic under an ideal cache (what nvvp/rocprof attribute to DRAM).
+template <class L, class E>
+double measure_unique_read_bytes_per_node(E& eng) {
+  eng.initialize(
+      [](int, int, int) { return equilibrium_moments<L>(1.0, {}); });
+  eng.set_unique_read_tracking(true);
+  eng.step();
+  eng.clear_unique_reads();
+  eng.step();
+  const double bytes = static_cast<double>(eng.unique_read_bytes());
+  eng.set_unique_read_tracking(false);
+  return bytes / static_cast<double>(eng.geometry().box.cells());
+}
+
+/// Kernel characteristics of the ST pattern (measured flops, standard 1D
+/// blocks).
+template <class L>
+perf::KernelCharacteristics st_characteristics() {
+  perf::KernelCharacteristics kc;
+  kc.threads_per_block = 256;
+  kc.shared_bytes_per_block = 0;
+  kc.flops_per_flup = perf::flops_per_flup<L>(perf::Pattern::kST);
+  return kc;
+}
+
+/// Kernel characteristics of an MR pattern: block geometry and shared bytes
+/// from the engine, flops from the op counter, halo fraction measured on a
+/// small instrumented run.
+template <class L>
+perf::KernelCharacteristics mr_characteristics(perf::Pattern p,
+                                               const MrConfig& cfg) {
+  const Regularization reg = p == perf::Pattern::kMRR
+                                 ? Regularization::kRecursive
+                                 : Regularization::kProjective;
+  const int n0 = cfg.tile_x * 2;
+  const int n1 = (L::D == 3) ? cfg.tile_y * 2 : cfg.tile_s * 4 + 4;
+  const int n2 = (L::D == 3) ? cfg.tile_s * 4 + 4 : 1;
+  Geometry geo = periodic_geo(n0, n1, n2);
+  MrEngine<L> eng(geo, 0.8, reg, cfg);
+  const MeasuredTraffic t = measure_traffic<L>(eng);
+
+  perf::KernelCharacteristics kc;
+  kc.threads_per_block = eng.threads_per_block();
+  kc.shared_bytes_per_block = eng.shared_bytes_per_block();
+  kc.flops_per_flup = perf::flops_per_flup<L>(p);
+  kc.halo_read_fraction = t.halo_read_fraction;
+  return kc;
+}
+
+template <class L>
+perf::KernelCharacteristics characteristics(perf::Pattern p) {
+  return p == perf::Pattern::kST
+             ? st_characteristics<L>()
+             : mr_characteristics<L>(p, default_mr_config(L::D));
+}
+
+/// Thread blocks launched per timestep at a given domain shape.
+inline long long blocks_for(perf::Pattern p, int dim, long long nx,
+                            long long ny, long long nz,
+                            const perf::KernelCharacteristics& kc) {
+  const long long cells = nx * ny * nz;
+  if (p == perf::Pattern::kST) {
+    return (cells + kc.threads_per_block - 1) / kc.threads_per_block;
+  }
+  const MrConfig cfg = default_mr_config(dim);
+  const long long c0 = (nx + cfg.tile_x - 1) / cfg.tile_x;
+  const long long c1 =
+      dim == 3 ? (ny + cfg.tile_y - 1) / cfg.tile_y : 1;
+  return c0 * c1;
+}
+
+/// The paper's problem-size sweeps (Figures 2 and 3).
+inline std::vector<long long> sweep_sizes_2d() {
+  return {256, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192};
+}
+inline std::vector<long long> sweep_sizes_3d() {
+  return {32, 48, 64, 96, 128, 160, 192, 256, 320, 384, 448};
+}
+
+}  // namespace mlbm::bench

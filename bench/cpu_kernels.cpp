@@ -1,0 +1,120 @@
+// Honest wall-clock microbenchmarks of the functional engines on this host
+// (google-benchmark). These measure the simulator's own throughput in
+// MLUPS — not the GPU numbers of the paper, which come from the performance
+// model — and are useful for tracking regressions in the engine code.
+#include <benchmark/benchmark.h>
+
+#include "engines/aa_engine.hpp"
+#include "engines/mr_engine.hpp"
+#include "engines/reference_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace {
+
+using namespace mlbm;
+
+Geometry periodic_geo(int nx, int ny, int nz) {
+  Geometry geo(Box{nx, ny, nz});
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return geo;
+}
+
+template <class L, class E>
+void run_engine_bench(benchmark::State& state, E& eng) {
+  eng.initialize(
+      [](int, int, int) { return equilibrium_moments<L>(1.0, {}); });
+  if (eng.profiler() != nullptr) {
+    eng.profiler()->counter().set_enabled(false);
+  }
+  for (auto _ : state) {
+    eng.step();
+  }
+  state.SetItemsProcessed(state.iterations() * eng.geometry().box.cells());
+  state.counters["MLUPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * eng.geometry().box.cells()) /
+          1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Ref_D2Q9(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ReferenceEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8, CollisionScheme::kBGK);
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_Ref_D2Q9)->Arg(64)->Arg(128);
+
+void BM_St_D2Q9(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8);
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_St_D2Q9)->Arg(64)->Arg(128);
+
+void BM_MrP_D2Q9(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MrEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8, Regularization::kProjective,
+                   {32, 1, 4});
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_MrP_D2Q9)->Arg(64)->Arg(128);
+
+void BM_MrR_D2Q9(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MrEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8, Regularization::kRecursive,
+                   {32, 1, 4});
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_MrR_D2Q9)->Arg(64);
+
+void BM_St_D3Q19(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StEngine<D3Q19> e(periodic_geo(n, n, n), 0.8);
+  run_engine_bench<D3Q19>(state, e);
+}
+BENCHMARK(BM_St_D3Q19)->Arg(16)->Arg(32);
+
+void BM_MrP_D3Q19(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MrEngine<D3Q19> e(periodic_geo(n, n, n), 0.8, Regularization::kProjective,
+                    {8, 8, 1});
+  run_engine_bench<D3Q19>(state, e);
+}
+BENCHMARK(BM_MrP_D3Q19)->Arg(16)->Arg(32);
+
+void BM_MrR_D3Q19(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MrEngine<D3Q19> e(periodic_geo(n, n, n), 0.8, Regularization::kRecursive,
+                    {8, 8, 1});
+  run_engine_bench<D3Q19>(state, e);
+}
+BENCHMARK(BM_MrR_D3Q19)->Arg(16);
+
+void BM_Aa_D2Q9(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  AaEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8);
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_Aa_D2Q9)->Arg(64)->Arg(128);
+
+void BM_StPush_D2Q9(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8, CollisionScheme::kBGK, 256,
+                   StreamMode::kPush);
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_StPush_D2Q9)->Arg(64);
+
+void BM_MrP_D2Q9_CircularShift(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MrEngine<D2Q9> e(periodic_geo(n, n, 1), 0.8, Regularization::kProjective,
+                   {32, 1, 4, MomentStorage::kCircularShift});
+  run_engine_bench<D2Q9>(state, e);
+}
+BENCHMARK(BM_MrP_D2Q9_CircularShift)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

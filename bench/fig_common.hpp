@@ -1,0 +1,92 @@
+// Shared driver for the Figure 2 / Figure 3 problem-size sweeps.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "gpusim/device.hpp"
+#include "perfmodel/mflups_model.hpp"
+#include "perfmodel/report.hpp"
+#include "perfmodel/roofline.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mlbm::bench {
+
+struct FigSpec {
+  const char* fig_id;
+  const char* title;
+  int dim;  // 2 -> NxN sweep, 3 -> NxNxN sweep
+};
+
+template <class L>
+void run_figure(const FigSpec& spec, const std::string& csv_name,
+                const std::vector<double>& paper_saturated_v100,
+                const std::vector<double>& paper_saturated_mi100) {
+  using perf::Pattern;
+  perf::print_banner(spec.fig_id, spec.title);
+
+  const std::vector<gpusim::DeviceSpec> devices = {
+      gpusim::DeviceSpec::v100(), gpusim::DeviceSpec::mi100()};
+  const std::vector<Pattern> patterns = {Pattern::kST, Pattern::kMRP,
+                                         Pattern::kMRR};
+  const auto lat = perf::lattice_info<L>();
+  const auto sizes = spec.dim == 2 ? sweep_sizes_2d() : sweep_sizes_3d();
+
+  CsvWriter csv(perf::results_dir() + "/" + csv_name,
+                {"device", "pattern", "n", "cells", "mflups",
+                 "roofline_mflups"});
+
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
+    std::printf("\n-- %s --\n", dev.name.c_str());
+    AsciiTable t({"N", "cells", "ST", "MR-P", "MR-R", "roof ST", "roof MR"});
+
+    std::vector<std::vector<double>> series(patterns.size());
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const auto kc = lat.dim == 2
+                          ? characteristics<D2Q9>(patterns[p])
+                          : characteristics<L>(patterns[p]);
+      for (long long n : sizes) {
+        const long long ny = n, nz = spec.dim == 3 ? n : 1;
+        const long long cells = n * ny * nz;
+        const long long blocks =
+            blocks_for(patterns[p], spec.dim, n, ny, nz, kc);
+        series[p].push_back(perf::mflups_at_size(dev, patterns[p], lat, kc,
+                                                 cells, blocks));
+      }
+    }
+    const double roof_st =
+        perf::roofline_mflups(dev, perf::bytes_per_flup(Pattern::kST, lat));
+    const double roof_mr =
+        perf::roofline_mflups(dev, perf::bytes_per_flup(Pattern::kMRP, lat));
+
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const long long n = sizes[s];
+      const long long cells = spec.dim == 2 ? n * n : n * n * n;
+      t.row({std::to_string(n), std::to_string(cells),
+             AsciiTable::num(series[0][s], 0), AsciiTable::num(series[1][s], 0),
+             AsciiTable::num(series[2][s], 0), AsciiTable::num(roof_st, 0),
+             AsciiTable::num(roof_mr, 0)});
+      for (std::size_t p = 0; p < patterns.size(); ++p) {
+        csv.row({dev.name, perf::to_string(patterns[p]), std::to_string(n),
+                 std::to_string(cells), CsvWriter::num(series[p][s]),
+                 CsvWriter::num(p == 0 ? roof_st : roof_mr)});
+      }
+    }
+    t.print();
+
+    const auto& paper =
+        d == 0 ? paper_saturated_v100 : paper_saturated_mi100;
+    std::printf("saturated (largest size): ST %.0f, MR-P %.0f, MR-R %.0f | "
+                "paper ~: ST %.0f, MR-P %.0f, MR-R %.0f\n",
+                series[0].back(), series[1].back(), series[2].back(),
+                paper[0], paper[1], paper[2]);
+    std::printf("speedup MR-P/ST = %.2fx (paper %.2fx)\n",
+                series[1].back() / series[0].back(), paper[1] / paper[0]);
+  }
+}
+
+}  // namespace mlbm::bench

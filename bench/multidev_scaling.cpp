@@ -1,0 +1,127 @@
+// Multi-GPU scaling projection (context: the paper's group runs LBM across
+// whole machines — refs [9], [11]).
+//
+// Combines the single-device performance model with the measured ghost-
+// exchange volume of the slab decomposition into a strong-scaling estimate:
+//
+//   T(K) = max_slab(compute) + comm,   comm = exchange_bytes / link_BW
+//
+// and reports parallel efficiency for the MR-P and ST patterns on V100s
+// joined by NVLink2 (~50 GB/s per direction) or PCIe3 (~12 GB/s effective).
+// The moment exchange moves M values per face node; a distribution-
+// representation code must move its boundary populations (Q values in the
+// general case) — another place the compressed representation pays off.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "engines/mr_engine.hpp"
+#include "multidev/multi_domain.hpp"
+#include "perfmodel/mflups_model.hpp"
+#include "perfmodel/report.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workloads/channel.hpp"
+
+using namespace mlbm;
+using perf::Pattern;
+
+namespace {
+
+struct Link {
+  const char* name;
+  double gbs;
+};
+
+double efficiency(const gpusim::DeviceSpec& dev, Pattern p,
+                  const perf::LatticeInfo& lat,
+                  const perf::KernelCharacteristics& kc, long long n, int k,
+                  double link_gbs, double values_per_face_node) {
+  const long long cells = n * n * n;
+  const long long cells_k = (cells + k - 1) / k;
+  const auto sat = perf::estimate_saturated(dev, p, lat, kc);
+  // Per-device compute time per step (utilization of the slab's blocks).
+  const long long blocks =
+      bench::blocks_for(p, 3, n, n, n, kc) / std::max(1, k);
+  const double util =
+      perf::size_utilization(dev, std::max<long long>(blocks, 1),
+                             sat.blocks_per_sm);
+  const double t_compute =
+      static_cast<double>(cells_k) / (sat.mflups * 1e6 * std::max(util, 1e-3));
+  // Ghost exchange: two faces per interior slab, n*n face nodes each.
+  const double bytes =
+      (k > 1 ? 2.0 : 0.0) * n * n * values_per_face_node * sizeof(real_t);
+  const double t_comm = bytes / (link_gbs * 1e9);
+  const double t1 = static_cast<double>(cells) / (sat.mflups * 1e6);
+  return t1 / (k * (t_compute + t_comm));
+}
+
+}  // namespace
+
+int main() {
+  perf::print_banner("Scaling", "Multi-device strong scaling (D3Q19, 256^3)");
+
+  // Functional sanity: a decomposed run reproduces the monolithic one.
+  {
+    const real_t tau = 0.8;
+    const auto ch = Channel<D3Q19>::create(16, 8, 6, tau, 0.04);
+    MrEngine<D3Q19> mono(ch.geo, tau, Regularization::kProjective, {4, 4, 1});
+    ch.attach(mono);
+    MultiDomainEngine<D3Q19> multi(
+        ch.geo, tau, 4, [&](Geometry g, int) -> std::unique_ptr<Engine<D3Q19>> {
+          return std::make_unique<MrEngine<D3Q19>>(
+              std::move(g), tau, Regularization::kProjective,
+              MrConfig{4, 4, 1});
+        });
+    ch.attach(multi);
+    mono.run(6);
+    multi.run(6);
+    double worst = 0;
+    for (int z = 0; z < 6; ++z) {
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 16; ++x) {
+          worst = std::max(worst, std::abs(static_cast<double>(
+                                      mono.moments_at(x, y, z).u[0] -
+                                      multi.moments_at(x, y, z).u[0])));
+        }
+      }
+    }
+    std::printf("functional check: |mono - 4-slab| = %.2e (exact to fp)\n",
+                worst);
+    std::printf("measured exchange: %llu values/step (= 2 ifaces x 2 dirs x "
+                "48 face nodes x M=10)\n\n",
+                static_cast<unsigned long long>(
+                    multi.exchanged_values_per_step()));
+  }
+
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto lat = perf::lattice_info<D3Q19>();
+  const long long n = 256;
+  const Link links[] = {{"NVLink2", 50.0}, {"PCIe3", 12.0}};
+
+  CsvWriter csv(perf::results_dir() + "/multidev_scaling.csv",
+                {"pattern", "link", "devices", "efficiency"});
+  for (const Link& link : links) {
+    std::printf("-- %s (%.0f GB/s per direction) --\n", link.name, link.gbs);
+    AsciiTable t({"devices", "MR-P eff. (M=10/face)", "ST eff. (Q=19/face)"});
+    for (int k = 1; k <= 16; k *= 2) {
+      const auto kc_mr = bench::characteristics<D3Q19>(Pattern::kMRP);
+      const auto kc_st = bench::characteristics<D3Q19>(Pattern::kST);
+      const double e_mr =
+          efficiency(v100, Pattern::kMRP, lat, kc_mr, n, k, link.gbs, 10);
+      const double e_st =
+          efficiency(v100, Pattern::kST, lat, kc_st, n, k, link.gbs, 19);
+      t.row({std::to_string(k), AsciiTable::num(100 * e_mr, 1) + "%",
+             AsciiTable::num(100 * e_st, 1) + "%"});
+      csv.row({"MR-P", link.name, std::to_string(k), CsvWriter::num(e_mr)});
+      csv.row({"ST", link.name, std::to_string(k), CsvWriter::num(e_st)});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nthe moment exchange ships M=10 doubles per face node vs the\n"
+      "distribution representation's Q=19, so MR loses less efficiency per\n"
+      "interface — and its exchange is exact for regularized collisions.\n");
+  return 0;
+}

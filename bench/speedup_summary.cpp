@@ -1,0 +1,76 @@
+// Section 5 headline numbers: saturated MFLUPS per device/pattern/lattice
+// and the MR-P vs ST speedups (paper: 1.32x / 1.38x for D2Q9 and
+// 1.46x / 1.14x for D3Q19 on V100 / MI100).
+#include <cstdio>
+
+#include "common.hpp"
+#include "perfmodel/mflups_model.hpp"
+#include "perfmodel/report.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace mlbm;
+using perf::Pattern;
+
+int main() {
+  perf::print_banner("Speedups", "Saturated MFLUPS and MR-P/ST speedups");
+
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto mi100 = gpusim::DeviceSpec::mi100();
+
+  struct Cell {
+    double st, mrp, mrr;
+  };
+  auto compute = [&](const gpusim::DeviceSpec& dev, auto lattice_tag) -> Cell {
+    using L = decltype(lattice_tag);
+    const auto lat = perf::lattice_info<L>();
+    Cell c{};
+    c.st = perf::estimate_saturated(dev, Pattern::kST, lat,
+                                    bench::characteristics<L>(Pattern::kST))
+               .mflups;
+    c.mrp = perf::estimate_saturated(dev, Pattern::kMRP, lat,
+                                     bench::characteristics<L>(Pattern::kMRP))
+                .mflups;
+    c.mrr = perf::estimate_saturated(dev, Pattern::kMRR, lat,
+                                     bench::characteristics<L>(Pattern::kMRR))
+                .mflups;
+    return c;
+  };
+
+  const Cell v2 = compute(v100, D2Q9{});
+  const Cell v3 = compute(v100, D3Q19{});
+  const Cell m2 = compute(mi100, D2Q9{});
+  const Cell m3 = compute(mi100, D3Q19{});
+
+  AsciiTable t({"Device", "Lattice", "ST", "MR-P", "MR-R", "MR-P/ST",
+                "paper speedup"});
+  CsvWriter csv(perf::results_dir() + "/speedup_summary.csv",
+                {"device", "lattice", "st_mflups", "mrp_mflups", "mrr_mflups",
+                 "speedup", "paper_speedup"});
+
+  struct Row {
+    const char* dev;
+    const char* lat;
+    Cell c;
+    double paper;
+  };
+  const Row rows[] = {{"V100", "D2Q9", v2, 1.32},
+                      {"MI100", "D2Q9", m2, 1.38},
+                      {"V100", "D3Q19", v3, 1.46},
+                      {"MI100", "D3Q19", m3, 1.14}};
+  for (const Row& r : rows) {
+    const double sp = r.c.mrp / r.c.st;
+    t.row({r.dev, r.lat, AsciiTable::num(r.c.st, 0),
+           AsciiTable::num(r.c.mrp, 0), AsciiTable::num(r.c.mrr, 0),
+           AsciiTable::num(sp, 2) + "x", AsciiTable::num(r.paper, 2) + "x"});
+    csv.row({r.dev, r.lat, CsvWriter::num(r.c.st), CsvWriter::num(r.c.mrp),
+             CsvWriter::num(r.c.mrr), CsvWriter::num(sp),
+             CsvWriter::num(r.paper)});
+  }
+  t.print();
+
+  std::printf("\nMR-R penalty vs MR-P: V100 D3Q19 %.0f MFLUPS (paper ~800), "
+              "MI100 D3Q19 %.0f (paper ~700)\n",
+              v3.mrp - v3.mrr, m3.mrp - m3.mrr);
+  return 0;
+}

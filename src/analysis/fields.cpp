@@ -1,0 +1,169 @@
+#include "analysis/fields.hpp"
+
+#include <cmath>
+
+namespace mlbm::analysis {
+
+namespace {
+
+/// Velocity component `comp` at a node, for stencil evaluation.
+template <class L>
+real_t u_at(const Engine<L>& eng, int x, int y, int z, int comp) {
+  return eng.moments_at(x, y, z).u[static_cast<std::size_t>(comp)];
+}
+
+/// Derivative of u_comp along `axis` with periodic wrap or one-sided edges.
+template <class L>
+real_t d_u(const Engine<L>& eng, int x, int y, int z, int comp, int axis) {
+  const Box& b = eng.geometry().box;
+  const int n = b.extent(axis);
+  if (n < 2) return 0;
+  int c[3] = {x, y, z};
+  const bool periodic = eng.geometry().bc.periodic(axis);
+
+  auto at = [&](int v) {
+    int p[3] = {c[0], c[1], c[2]};
+    p[axis] = v;
+    return u_at(eng, p[0], p[1], p[2], comp);
+  };
+
+  const int v = c[axis];
+  if (periodic) {
+    return real_t(0.5) * (at(Box::wrap(v + 1, n)) - at(Box::wrap(v - 1, n)));
+  }
+  if (v == 0) return at(1) - at(0);
+  if (v == n - 1) return at(n - 1) - at(n - 2);
+  return real_t(0.5) * (at(v + 1) - at(v - 1));
+}
+
+}  // namespace
+
+template <class L>
+std::array<std::array<real_t, 3>, 3> velocity_gradient(const Engine<L>& eng,
+                                                       int x, int y, int z) {
+  std::array<std::array<real_t, 3>, 3> du{};
+  for (int a = 0; a < L::D; ++a) {
+    for (int b = 0; b < L::D; ++b) {
+      du[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          d_u(eng, x, y, z, a, b);
+    }
+  }
+  return du;
+}
+
+template <class L>
+std::array<real_t, 3> vorticity(const Engine<L>& eng, int x, int y, int z) {
+  const auto du = velocity_gradient(eng, x, y, z);
+  // omega = curl u; in 2D only omega_z = dv/dx - du/dy survives.
+  std::array<real_t, 3> w{};
+  if constexpr (L::D == 3) {
+    w[0] = du[2][1] - du[1][2];
+    w[1] = du[0][2] - du[2][0];
+  }
+  w[2] = du[1][0] - du[0][1];
+  return w;
+}
+
+template <class L>
+std::array<std::array<real_t, 3>, 3> strain_rate_fd(const Engine<L>& eng,
+                                                    int x, int y, int z) {
+  const auto du = velocity_gradient(eng, x, y, z);
+  std::array<std::array<real_t, 3>, 3> s{};
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      s[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          real_t(0.5) *
+          (du[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +
+           du[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)]);
+    }
+  }
+  return s;
+}
+
+template <class L>
+std::array<std::array<real_t, 3>, 3> strain_rate_moment(const Engine<L>& eng,
+                                                        int x, int y, int z) {
+  // Chapman-Enskog: Pi^neq = -2 rho cs2 tau S.
+  const Moments<L> m = eng.moments_at(x, y, z);
+  const real_t denom = -real_t(2) * m.rho * L::cs2 * eng.tau();
+  std::array<std::array<real_t, 3>, 3> s{};
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    const auto [a, b] = Moments<L>::pair(p);
+    const real_t v = m.pi_neq(p) / denom;
+    s[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = v;
+    s[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = v;
+  }
+  return s;
+}
+
+template <class L>
+real_t enstrophy(const Engine<L>& eng) {
+  const Box& b = eng.geometry().box;
+  real_t total = 0;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const auto w = vorticity(eng, x, y, z);
+        total += real_t(0.5) * (w[0] * w[0] + w[1] * w[1] + w[2] * w[2]);
+      }
+    }
+  }
+  return total;
+}
+
+template <class L>
+real_t dissipation(const Engine<L>& eng) {
+  const Box& b = eng.geometry().box;
+  const real_t two_nu = 2 * eng.viscosity();
+  real_t total = 0;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const auto s = strain_rate_moment(eng, x, y, z);
+        real_t ss = 0;
+        for (int a = 0; a < L::D; ++a) {
+          for (int c = 0; c < L::D; ++c) {
+            ss += s[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] *
+                  s[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)];
+          }
+        }
+        total += two_nu * ss;
+      }
+    }
+  }
+  return total;
+}
+
+template <class L>
+real_t mass_flux_x(const Engine<L>& eng, int x) {
+  const Box& b = eng.geometry().box;
+  real_t flux = 0;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      const Moments<L> m = eng.moments_at(x, y, z);
+      flux += m.rho * m.u[0];
+    }
+  }
+  return flux;
+}
+
+#define MLBM_ANALYSIS_INST(L)                                               \
+  template std::array<std::array<real_t, 3>, 3> velocity_gradient<L>(      \
+      const Engine<L>&, int, int, int);                                    \
+  template std::array<real_t, 3> vorticity<L>(const Engine<L>&, int, int,  \
+                                              int);                        \
+  template std::array<std::array<real_t, 3>, 3> strain_rate_fd<L>(         \
+      const Engine<L>&, int, int, int);                                    \
+  template std::array<std::array<real_t, 3>, 3> strain_rate_moment<L>(     \
+      const Engine<L>&, int, int, int);                                    \
+  template real_t enstrophy<L>(const Engine<L>&);                          \
+  template real_t dissipation<L>(const Engine<L>&);                        \
+  template real_t mass_flux_x<L>(const Engine<L>&, int);
+
+MLBM_ANALYSIS_INST(mlbm::D2Q9)
+MLBM_ANALYSIS_INST(mlbm::D3Q19)
+MLBM_ANALYSIS_INST(mlbm::D3Q15)
+MLBM_ANALYSIS_INST(mlbm::D3Q27)
+#undef MLBM_ANALYSIS_INST
+
+}  // namespace mlbm::analysis

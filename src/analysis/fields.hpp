@@ -1,0 +1,73 @@
+// Derived-field analysis on engine states: velocity gradients, vorticity,
+// strain rate and dissipation, plus global flow diagnostics.
+//
+// Two routes to the velocity gradient are provided:
+//  * finite differences of the velocity field (works for any state), and
+//  * the non-equilibrium second moment: Chapman-Enskog gives
+//      S_ab ≈ -Pi^neq_ab / (2 rho cs2 tau),
+//    i.e. the moment representation carries the strain rate *locally*, with
+//    no neighbour access — a well-known analysis advantage of regularized
+//    LBM that the moment representation exposes directly.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "util/types.hpp"
+
+namespace mlbm::analysis {
+
+/// du[a][b] = d u_a / d x_b at a node, by central differences (one-sided at
+/// non-periodic domain edges).
+template <class L>
+std::array<std::array<real_t, 3>, 3> velocity_gradient(const Engine<L>& eng,
+                                                       int x, int y, int z);
+
+/// Vorticity vector (z-component only is meaningful in 2D).
+template <class L>
+std::array<real_t, 3> vorticity(const Engine<L>& eng, int x, int y, int z);
+
+/// Strain-rate tensor from finite differences.
+template <class L>
+std::array<std::array<real_t, 3>, 3> strain_rate_fd(const Engine<L>& eng,
+                                                    int x, int y, int z);
+
+/// Strain-rate tensor recovered locally from the stored non-equilibrium
+/// moment (no neighbour access).
+template <class L>
+std::array<std::array<real_t, 3>, 3> strain_rate_moment(const Engine<L>& eng,
+                                                        int x, int y, int z);
+
+/// Total enstrophy (0.5 sum |omega|^2) over the domain.
+template <class L>
+real_t enstrophy(const Engine<L>& eng);
+
+/// Viscous dissipation rate 2 nu sum S:S over the domain (from moments).
+template <class L>
+real_t dissipation(const Engine<L>& eng);
+
+/// Mass flux through the plane x = const (channel diagnostics).
+template <class L>
+real_t mass_flux_x(const Engine<L>& eng, int x);
+
+#define MLBM_ANALYSIS_EXTERN(L)                                             \
+  extern template std::array<std::array<real_t, 3>, 3>                     \
+  velocity_gradient<L>(const Engine<L>&, int, int, int);                   \
+  extern template std::array<real_t, 3> vorticity<L>(const Engine<L>&,     \
+                                                     int, int, int);       \
+  extern template std::array<std::array<real_t, 3>, 3> strain_rate_fd<L>(  \
+      const Engine<L>&, int, int, int);                                    \
+  extern template std::array<std::array<real_t, 3>, 3>                     \
+  strain_rate_moment<L>(const Engine<L>&, int, int, int);                  \
+  extern template real_t enstrophy<L>(const Engine<L>&);                   \
+  extern template real_t dissipation<L>(const Engine<L>&);                 \
+  extern template real_t mass_flux_x<L>(const Engine<L>&, int);
+
+MLBM_ANALYSIS_EXTERN(mlbm::D2Q9)
+MLBM_ANALYSIS_EXTERN(mlbm::D3Q19)
+MLBM_ANALYSIS_EXTERN(mlbm::D3Q15)
+MLBM_ANALYSIS_EXTERN(mlbm::D3Q27)
+#undef MLBM_ANALYSIS_EXTERN
+
+}  // namespace mlbm::analysis

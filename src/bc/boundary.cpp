@@ -1,0 +1,127 @@
+#include "bc/boundary.hpp"
+
+#include <stdexcept>
+
+namespace mlbm {
+
+namespace {
+
+/// du[a][b] = d u_a / d x_b -> Pi^neq = -2 rho cs2 tau S.
+template <class L>
+Moments<L> fd_state(real_t rho, const std::array<real_t, 3>& u,
+                    const real_t (&du)[3][3], real_t tau) {
+  Moments<L> m;
+  m.rho = rho;
+  for (int a = 0; a < L::D; ++a) {
+    m.u[static_cast<std::size_t>(a)] = u[static_cast<std::size_t>(a)];
+  }
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    const auto [a, b] = Moments<L>::pair(p);
+    const real_t s_ab = real_t(0.5) * (du[a][b] + du[b][a]);
+    const real_t pineq = -real_t(2) * rho * L::cs2 * tau * s_ab;
+    m.pi[static_cast<std::size_t>(p)] =
+        rho * m.u[static_cast<std::size_t>(a)] *
+            m.u[static_cast<std::size_t>(b)] +
+        pineq;
+  }
+  return m;
+}
+
+}  // namespace
+
+template <class L>
+InletOutletBC<L>::InletOutletBC(Box box,
+                                std::vector<std::array<real_t, 3>> inlet_u,
+                                real_t outlet_rho)
+    : box_(box), inlet_u_(std::move(inlet_u)), outlet_rho_(outlet_rho) {
+  if (inlet_u_.size() != static_cast<std::size_t>(box_.ny) *
+                             static_cast<std::size_t>(box_.nz)) {
+    throw std::invalid_argument("InletOutletBC: inlet profile size mismatch");
+  }
+  if (box_.nx < 4) {
+    throw std::invalid_argument(
+        "InletOutletBC: nx must be >= 4 for one-sided differences");
+  }
+}
+
+template <class L>
+void InletOutletBC<L>::apply(Engine<L>& eng) const {
+  const Box& b = eng.geometry().box;
+  const real_t tau = eng.tau();
+
+  // Tangential derivative of a plane of velocities, central where possible.
+  auto tang = [](const auto& get_u, int coord, int extent, int comp) -> real_t {
+    if (extent < 2) return 0;
+    if (coord == 0) return get_u(1)[comp] - get_u(0)[comp];
+    if (coord == extent - 1) {
+      return get_u(extent - 1)[comp] - get_u(extent - 2)[comp];
+    }
+    return real_t(0.5) * (get_u(coord + 1)[comp] - get_u(coord - 1)[comp]);
+  };
+
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      // ---- inlet plane (x = 0): velocity prescribed.
+      if (eng.geometry().at(0, y, z) == NodeKind::kInlet) {
+        const std::array<real_t, 3>& u0 = inlet_velocity(y, z);
+        const Moments<L> m1 = eng.moments_at(1, y, z);
+        const Moments<L> m2 = eng.moments_at(2, y, z);
+
+        real_t du[3][3] = {};
+        for (int a = 0; a < L::D; ++a) {
+          const auto sa = static_cast<std::size_t>(a);
+          // Second-order one-sided normal derivative into the flow.
+          du[a][0] = real_t(0.5) * (-real_t(3) * u0[sa] + real_t(4) * m1.u[sa] -
+                                    m2.u[sa]);
+          // Tangential derivatives of the prescribed profile.
+          du[a][1] = tang([&](int yy) { return inlet_velocity(yy, z); }, y,
+                          b.ny, a);
+          if (L::D == 3) {
+            du[a][2] = tang([&](int zz) { return inlet_velocity(y, zz); }, z,
+                            b.nz, a);
+          }
+        }
+        eng.impose(0, y, z, fd_state<L>(m1.rho, u0, du, tau));
+      }
+
+      // ---- outlet plane (x = nx-1): density prescribed, zero-gradient u.
+      if (eng.geometry().at(b.nx - 1, y, z) == NodeKind::kOutlet) {
+        const Moments<L> m1 = eng.moments_at(b.nx - 2, y, z);
+        const Moments<L> m2 = eng.moments_at(b.nx - 3, y, z);
+        std::array<real_t, 3> u0 = {0, 0, 0};
+        for (int a = 0; a < L::D; ++a) {
+          u0[static_cast<std::size_t>(a)] = m1.u[static_cast<std::size_t>(a)];
+        }
+
+        auto plane_u = [&](int yy, int zz) {
+          const Moments<L> m = eng.moments_at(b.nx - 2, yy, zz);
+          std::array<real_t, 3> u = {0, 0, 0};
+          for (int a = 0; a < L::D; ++a) {
+            u[static_cast<std::size_t>(a)] = m.u[static_cast<std::size_t>(a)];
+          }
+          return u;
+        };
+
+        real_t du[3][3] = {};
+        for (int a = 0; a < L::D; ++a) {
+          const auto sa = static_cast<std::size_t>(a);
+          // One-sided backward difference; with u(nx-1) extrapolated from
+          // u(nx-2) the leading term reduces to the interior difference.
+          du[a][0] = m1.u[sa] - m2.u[sa];
+          du[a][1] = tang([&](int yy) { return plane_u(yy, z); }, y, b.ny, a);
+          if (L::D == 3) {
+            du[a][2] = tang([&](int zz) { return plane_u(y, zz); }, z, b.nz, a);
+          }
+        }
+        eng.impose(b.nx - 1, y, z, fd_state<L>(outlet_rho_, u0, du, tau));
+      }
+    }
+  }
+}
+
+template class InletOutletBC<D2Q9>;
+template class InletOutletBC<D3Q19>;
+template class InletOutletBC<D3Q27>;
+template class InletOutletBC<D3Q15>;
+
+}  // namespace mlbm

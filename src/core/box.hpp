@@ -1,0 +1,105 @@
+// Cartesian lattice geometry: extents, linear indexing and node kinds.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mlbm {
+
+/// Kind of a lattice node. The engines use this to apply boundary conditions;
+/// the classification is produced by the workload setups (channel, cavity...).
+enum class NodeKind : std::uint8_t {
+  kFluid = 0,
+  kWall,    ///< fluid node adjacent to a half-way bounceback wall (handled via
+            ///< out-of-domain link reflection; kept for diagnostics)
+  kInlet,   ///< finite-difference velocity inlet (Latt et al. 2008)
+  kOutlet,  ///< finite-difference outlet (prescribed density, extrapolated u)
+};
+
+/// Axis-aligned box of lattice nodes. `nz == 1` for 2D domains; all indexing
+/// code is shared between 2D and 3D.
+struct Box {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+
+  [[nodiscard]] int extent(int axis) const {
+    return axis == 0 ? nx : (axis == 1 ? ny : nz);
+  }
+
+  [[nodiscard]] index_t cells() const {
+    return static_cast<index_t>(nx) * ny * nz;
+  }
+
+  [[nodiscard]] index_t idx(int x, int y, int z = 0) const {
+    assert(x >= 0 && x < nx && y >= 0 && y < ny && z >= 0 && z < nz);
+    return (static_cast<index_t>(z) * ny + y) * nx + x;
+  }
+
+  [[nodiscard]] bool inside(int x, int y, int z = 0) const {
+    return x >= 0 && x < nx && y >= 0 && y < ny && z >= 0 && z < nz;
+  }
+
+  /// Wraps `v` into [0, n) for periodic axes. Callers must check
+  /// `inside`/periodicity themselves for non-periodic axes.
+  static int wrap(int v, int n) {
+    if (v < 0) return v + n;
+    if (v >= n) return v - n;
+    return v;
+  }
+};
+
+/// Behaviour of one face of the domain box.
+enum class FaceBC : std::uint8_t {
+  kPeriodic,  ///< wraps to the opposite face
+  kWall,      ///< half-way bounceback, optionally moving (u_wall)
+  kOpen,      ///< inlet/outlet plane, state overwritten by a BC pass
+};
+
+struct FaceSpec {
+  FaceBC type = FaceBC::kPeriodic;
+  /// Wall velocity for moving-wall bounceback (lid-driven cavity).
+  std::array<real_t, 3> u_wall = {0, 0, 0};
+};
+
+/// Boundary behaviour of all six faces, indexed [axis][0=low, 1=high].
+struct DomainBC {
+  std::array<std::array<FaceSpec, 2>, 3> face{};
+
+  [[nodiscard]] bool periodic(int axis) const {
+    return face[static_cast<std::size_t>(axis)][0].type == FaceBC::kPeriodic;
+  }
+  void set_axis(int axis, FaceBC type) {
+    face[static_cast<std::size_t>(axis)][0].type = type;
+    face[static_cast<std::size_t>(axis)][1].type = type;
+  }
+};
+
+/// Per-node classification grid plus boundary data (inlet velocities etc.).
+struct Geometry {
+  Box box;
+  DomainBC bc;
+  std::vector<NodeKind> kind;  // size box.cells()
+
+  explicit Geometry(Box b)
+      : box(b), kind(static_cast<std::size_t>(b.cells()), NodeKind::kFluid) {}
+
+  [[nodiscard]] NodeKind at(int x, int y, int z = 0) const {
+    return kind[static_cast<std::size_t>(box.idx(x, y, z))];
+  }
+  void set(int x, int y, int z, NodeKind k) {
+    kind[static_cast<std::size_t>(box.idx(x, y, z))] = k;
+  }
+
+  [[nodiscard]] index_t count(NodeKind k) const {
+    index_t n = 0;
+    for (auto v : kind) n += (v == k);
+    return n;
+  }
+};
+
+}  // namespace mlbm

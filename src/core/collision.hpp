@@ -1,0 +1,90 @@
+// Distribution-space collision operators.
+//
+// These are used by the reference engine (ground truth for physics and for
+// the MR engines' equivalence tests) and by the ST engine's fused
+// stream-collide kernel. The regularized variants are the distribution-space
+// formulations of Sections 2.2 and 2.3; the MR engines perform the same
+// operations in moment space and must agree to round-off.
+#pragma once
+
+#include "core/equilibrium.hpp"
+#include "core/lattice.hpp"
+#include "core/moments.hpp"
+#include "core/regularization.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+enum class CollisionScheme {
+  kBGK,         ///< standard single-relaxation-time BGK (Eq. 6)
+  kProjective,  ///< projective regularization (Eq. 9)
+  kRecursive,   ///< recursive regularization (Eq. 14 applied in collision)
+};
+
+inline const char* to_string(CollisionScheme s) {
+  switch (s) {
+    case CollisionScheme::kBGK: return "bgk";
+    case CollisionScheme::kProjective: return "projective";
+    case CollisionScheme::kRecursive: return "recursive";
+  }
+  return "?";
+}
+
+/// In-place BGK relaxation: f <- f + (feq - f)/tau.
+template <class L>
+void collide_bgk(real_t (&f)[L::Q], real_t tau) {
+  const Moments<L> m = compute_moments<L>(f);
+  const real_t omega = real_t(1) / tau;
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] += omega * (equilibrium<L>(i, m.rho, m.u.data()) - f[i]);
+  }
+}
+
+/// In-place regularized relaxation in distribution space. The non-equilibrium
+/// second moment is projected out of f (Eq. 8), relaxed (Eq. 10), and the
+/// population rebuilt with the chosen reconstruction.
+template <class L>
+void collide_regularized(real_t (&f)[L::Q], real_t tau, Regularization scheme) {
+  const Moments<L> m = compute_moments<L>(f);
+  const real_t factor = real_t(1) - real_t(1) / tau;
+  real_t pineq_star[Moments<L>::NP];
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    pineq_star[p] = factor * m.pi_neq(p);
+  }
+  const Reconstructor<L> rec(scheme, m.rho, m.u.data(), pineq_star);
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] = rec(i);
+  }
+}
+
+/// Runtime-dispatched collision used by the reference engine.
+template <class L>
+void collide(CollisionScheme scheme, real_t (&f)[L::Q], real_t tau) {
+  switch (scheme) {
+    case CollisionScheme::kBGK:
+      collide_bgk<L>(f, tau);
+      break;
+    case CollisionScheme::kProjective:
+      collide_regularized<L>(f, tau, Regularization::kProjective);
+      break;
+    case CollisionScheme::kRecursive:
+      collide_regularized<L>(f, tau, Regularization::kRecursive);
+      break;
+  }
+}
+
+/// Moment-space collision (Eq. 10): relaxes the non-equilibrium part of Pi
+/// toward zero while conserving rho and u. Higher-order moments of the
+/// recursive scheme need no separate treatment here because their
+/// non-equilibrium parts are linear in Pi^neq (see regularization.hpp).
+template <class L>
+void collide_moments(Moments<L>& m, real_t tau) {
+  const real_t factor = real_t(1) - real_t(1) / tau;
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    const auto [a, b] = Moments<L>::pair(p);
+    const real_t eq = m.rho * m.u[static_cast<std::size_t>(a)] * m.u[static_cast<std::size_t>(b)];
+    m.pi[static_cast<std::size_t>(p)] = eq + factor * (m.pi[static_cast<std::size_t>(p)] - eq);
+  }
+}
+
+}  // namespace mlbm

@@ -1,0 +1,32 @@
+// Maxwell-Boltzmann equilibrium distribution, truncated at second order in
+// Hermite polynomials (Eq. 4 of the paper).
+#pragma once
+
+#include "core/lattice.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+/// Equilibrium population for direction `i` at density `rho` and velocity `u`
+/// (u has L::D components). Written in the standard polynomial form, which is
+/// algebraically identical to the Hermite form of Eq. 4:
+///   feq_i = w_i rho (1 + c.u/cs2 + (c.u)^2/(2 cs4) - u.u/(2 cs2)).
+///
+/// Templated on the scalar type so the performance model can replay the
+/// arithmetic with an operation-counting scalar (perfmodel/opcount.hpp).
+template <class L, class T = real_t>
+constexpr T equilibrium(int i, T rho, const T* u) {
+  T cu{};
+  T uu{};
+  for (int a = 0; a < L::D; ++a) {
+    cu += static_cast<real_t>(L::c[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)]) * u[a];
+    uu += u[a] * u[a];
+  }
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  return L::w[static_cast<std::size_t>(i)] * rho *
+         (real_t(1) + inv_cs2 * cu +
+          real_t(0.5) * inv_cs2 * inv_cs2 * cu * cu -
+          real_t(0.5) * inv_cs2 * uu);
+}
+
+}  // namespace mlbm

@@ -1,0 +1,62 @@
+// Discrete Hermite polynomial tensors on a lattice velocity set.
+//
+// The moment representation of the paper is built on the Hermite expansion of
+// the distribution function (Section 2 of the paper):
+//
+//   H^(0)          = 1
+//   H^(1)_a    (i) = c_ia
+//   H^(2)_ab   (i) = c_ia c_ib - cs2 d_ab
+//   H^(3)_abg  (i) = c_ia c_ib c_ig - cs2 (c_ia d_bg + c_ib d_ag + c_ig d_ab)
+//   H^(4)_abgd (i) = c_ia c_ib c_ig c_id
+//                    - cs2 (c_ia c_ib d_gd + c_ia c_ig d_bd + c_ia c_id d_bg
+//                         + c_ib c_ig d_ad + c_ib c_id d_ag + c_ig c_id d_ab)
+//                    + cs2^2 (d_ab d_gd + d_ag d_bd + d_ad d_bg)
+//
+// where d_ab is the Kronecker delta. All functions are constexpr and take the
+// lattice descriptor as a template parameter so kernels can bake the values
+// into compile-time tables.
+#pragma once
+
+#include "core/lattice.hpp"
+#include "util/types.hpp"
+
+namespace mlbm::hermite {
+
+constexpr real_t delta(int a, int b) { return a == b ? real_t(1) : real_t(0); }
+
+template <class L>
+constexpr real_t h0(int /*i*/) {
+  return real_t(1);
+}
+
+template <class L>
+constexpr real_t h1(int i, int a) {
+  return static_cast<real_t>(L::c[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)]);
+}
+
+template <class L>
+constexpr real_t h2(int i, int a, int b) {
+  return h1<L>(i, a) * h1<L>(i, b) - L::cs2 * delta(a, b);
+}
+
+template <class L>
+constexpr real_t h3(int i, int a, int b, int g) {
+  const real_t ca = h1<L>(i, a), cb = h1<L>(i, b), cg = h1<L>(i, g);
+  return ca * cb * cg -
+         L::cs2 * (ca * delta(b, g) + cb * delta(a, g) + cg * delta(a, b));
+}
+
+template <class L>
+constexpr real_t h4(int i, int a, int b, int g, int d) {
+  const real_t ca = h1<L>(i, a), cb = h1<L>(i, b), cg = h1<L>(i, g),
+               cd = h1<L>(i, d);
+  return ca * cb * cg * cd -
+         L::cs2 * (ca * cb * delta(g, d) + ca * cg * delta(b, d) +
+                   ca * cd * delta(b, g) + cb * cg * delta(a, d) +
+                   cb * cd * delta(a, g) + cg * cd * delta(a, b)) +
+         L::cs2 * L::cs2 *
+             (delta(a, b) * delta(g, d) + delta(a, g) * delta(b, d) +
+              delta(a, d) * delta(b, g));
+}
+
+}  // namespace mlbm::hermite

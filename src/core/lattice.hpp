@@ -1,0 +1,225 @@
+// Lattice descriptors: discrete velocity sets, quadrature weights, opposite
+// directions and moment-space sizes for the D2Q9, D3Q19 and D3Q27 lattices.
+//
+// All descriptors expose the same compile-time interface so that collision
+// operators, engines and kernels can be written once and instantiated per
+// lattice:
+//
+//   L::D     spatial dimension (2 or 3)
+//   L::Q     number of discrete velocities
+//   L::M     number of stored moments = 1 + D + D(D+1)/2  (rho, rho*u, Pi)
+//   L::c     velocity set, always 3 components (z = 0 in 2D)
+//   L::w     quadrature weights
+//   L::cs2   lattice speed of sound squared (1/3 for all single-speed sets)
+//   L::opposite(i)  index of -c_i
+//
+// Velocities are ordered rest-first; the exact ordering is part of the public
+// contract (tests pin it down) because streaming kernels index into it.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace mlbm {
+
+namespace detail {
+
+/// Finds the direction index whose velocity is the negation of `c[i]`.
+/// Used at compile time to build opposite-direction tables.
+template <std::size_t Q>
+constexpr std::array<int, Q> make_opposites(
+    const std::array<std::array<int, 3>, Q>& c) {
+  std::array<int, Q> opp{};
+  for (std::size_t i = 0; i < Q; ++i) {
+    opp[i] = -1;
+    for (std::size_t j = 0; j < Q; ++j) {
+      if (c[j][0] == -c[i][0] && c[j][1] == -c[i][1] && c[j][2] == -c[i][2]) {
+        opp[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  return opp;
+}
+
+}  // namespace detail
+
+/// Two-dimensional, nine-velocity lattice (the paper's 2D workhorse).
+struct D2Q9 {
+  static constexpr int D = 2;
+  static constexpr int Q = 9;
+  /// Moment-space degrees of freedom: rho (1) + rho*u (2) + Pi (3).
+  static constexpr int M = 6;
+  static constexpr real_t cs2 = real_t(1) / real_t(3);
+
+  static constexpr std::array<std::array<int, 3>, 9> c = {{
+      {0, 0, 0},
+      {1, 0, 0},
+      {0, 1, 0},
+      {-1, 0, 0},
+      {0, -1, 0},
+      {1, 1, 0},
+      {-1, 1, 0},
+      {-1, -1, 0},
+      {1, -1, 0},
+  }};
+
+  static constexpr std::array<real_t, 9> w = {
+      real_t(4) / 9,  real_t(1) / 9,  real_t(1) / 9,
+      real_t(1) / 9,  real_t(1) / 9,  real_t(1) / 36,
+      real_t(1) / 36, real_t(1) / 36, real_t(1) / 36,
+  };
+
+  static constexpr std::array<int, 9> opp = detail::make_opposites<9>(c);
+  static constexpr int opposite(int i) { return opp[static_cast<std::size_t>(i)]; }
+  static constexpr const char* name() { return "D2Q9"; }
+};
+
+/// Three-dimensional, nineteen-velocity lattice (the paper's 3D workhorse).
+struct D3Q19 {
+  static constexpr int D = 3;
+  static constexpr int Q = 19;
+  /// rho (1) + rho*u (3) + Pi (6).
+  static constexpr int M = 10;
+  static constexpr real_t cs2 = real_t(1) / real_t(3);
+
+  static constexpr std::array<std::array<int, 3>, 19> c = {{
+      {0, 0, 0},
+      // 6 axis-aligned velocities.
+      {1, 0, 0},
+      {-1, 0, 0},
+      {0, 1, 0},
+      {0, -1, 0},
+      {0, 0, 1},
+      {0, 0, -1},
+      // 12 edge velocities.
+      {1, 1, 0},
+      {-1, -1, 0},
+      {1, -1, 0},
+      {-1, 1, 0},
+      {1, 0, 1},
+      {-1, 0, -1},
+      {1, 0, -1},
+      {-1, 0, 1},
+      {0, 1, 1},
+      {0, -1, -1},
+      {0, 1, -1},
+      {0, -1, 1},
+  }};
+
+  static constexpr std::array<real_t, 19> w = {
+      real_t(1) / 3,
+      real_t(1) / 18, real_t(1) / 18, real_t(1) / 18,
+      real_t(1) / 18, real_t(1) / 18, real_t(1) / 18,
+      real_t(1) / 36, real_t(1) / 36, real_t(1) / 36, real_t(1) / 36,
+      real_t(1) / 36, real_t(1) / 36, real_t(1) / 36, real_t(1) / 36,
+      real_t(1) / 36, real_t(1) / 36, real_t(1) / 36, real_t(1) / 36,
+  };
+
+  static constexpr std::array<int, 19> opp = detail::make_opposites<19>(c);
+  static constexpr int opposite(int i) { return opp[static_cast<std::size_t>(i)]; }
+  static constexpr const char* name() { return "D3Q19"; }
+};
+
+/// Three-dimensional, fifteen-velocity lattice: rest + 6 axis + 8 corner
+/// velocities. The smallest common 3D set; included to exercise the
+/// lattice-generic code paths from below (Q < 19) as D3Q27 does from above.
+struct D3Q15 {
+  static constexpr int D = 3;
+  static constexpr int Q = 15;
+  static constexpr int M = 10;
+  static constexpr real_t cs2 = real_t(1) / real_t(3);
+
+  static constexpr std::array<std::array<int, 3>, 15> c = {{
+      {0, 0, 0},
+      // 6 axis-aligned velocities.
+      {1, 0, 0},
+      {-1, 0, 0},
+      {0, 1, 0},
+      {0, -1, 0},
+      {0, 0, 1},
+      {0, 0, -1},
+      // 8 corner velocities.
+      {1, 1, 1},
+      {-1, -1, -1},
+      {1, 1, -1},
+      {-1, -1, 1},
+      {1, -1, 1},
+      {-1, 1, -1},
+      {-1, 1, 1},
+      {1, -1, -1},
+  }};
+
+  static constexpr std::array<real_t, 15> w = {
+      real_t(2) / 9,
+      real_t(1) / 9,  real_t(1) / 9,  real_t(1) / 9,
+      real_t(1) / 9,  real_t(1) / 9,  real_t(1) / 9,
+      real_t(1) / 72, real_t(1) / 72, real_t(1) / 72, real_t(1) / 72,
+      real_t(1) / 72, real_t(1) / 72, real_t(1) / 72, real_t(1) / 72,
+  };
+
+  static constexpr std::array<int, 15> opp = detail::make_opposites<15>(c);
+  static constexpr int opposite(int i) { return opp[static_cast<std::size_t>(i)]; }
+  static constexpr const char* name() { return "D3Q15"; }
+};
+
+/// Three-dimensional, twenty-seven-velocity lattice. Not evaluated in the
+/// paper but called out in its future-work section; included here as the
+/// extension experiment (`bench/d3q27_extension`).
+struct D3Q27 {
+  static constexpr int D = 3;
+  static constexpr int Q = 27;
+  static constexpr int M = 10;
+  static constexpr real_t cs2 = real_t(1) / real_t(3);
+
+  static constexpr std::array<std::array<int, 3>, 27> c = {{
+      {0, 0, 0},
+      // 6 axis-aligned velocities.
+      {1, 0, 0},
+      {-1, 0, 0},
+      {0, 1, 0},
+      {0, -1, 0},
+      {0, 0, 1},
+      {0, 0, -1},
+      // 12 edge velocities.
+      {1, 1, 0},
+      {-1, -1, 0},
+      {1, -1, 0},
+      {-1, 1, 0},
+      {1, 0, 1},
+      {-1, 0, -1},
+      {1, 0, -1},
+      {-1, 0, 1},
+      {0, 1, 1},
+      {0, -1, -1},
+      {0, 1, -1},
+      {0, -1, 1},
+      // 8 corner velocities.
+      {1, 1, 1},
+      {-1, -1, -1},
+      {1, 1, -1},
+      {-1, -1, 1},
+      {1, -1, 1},
+      {-1, 1, -1},
+      {-1, 1, 1},
+      {1, -1, -1},
+  }};
+
+  static constexpr std::array<real_t, 27> w = {
+      real_t(8) / 27,
+      real_t(2) / 27,  real_t(2) / 27,  real_t(2) / 27,
+      real_t(2) / 27,  real_t(2) / 27,  real_t(2) / 27,
+      real_t(1) / 54,  real_t(1) / 54,  real_t(1) / 54,  real_t(1) / 54,
+      real_t(1) / 54,  real_t(1) / 54,  real_t(1) / 54,  real_t(1) / 54,
+      real_t(1) / 54,  real_t(1) / 54,  real_t(1) / 54,  real_t(1) / 54,
+      real_t(1) / 216, real_t(1) / 216, real_t(1) / 216, real_t(1) / 216,
+      real_t(1) / 216, real_t(1) / 216, real_t(1) / 216, real_t(1) / 216,
+  };
+
+  static constexpr std::array<int, 27> opp = detail::make_opposites<27>(c);
+  static constexpr int opposite(int i) { return opp[static_cast<std::size_t>(i)]; }
+  static constexpr const char* name() { return "D3Q27"; }
+};
+
+}  // namespace mlbm

@@ -1,0 +1,46 @@
+#include "core/collision.hpp"
+#include "core/equilibrium.hpp"
+#include "core/hermite.hpp"
+#include "core/lattice.hpp"
+#include "core/moments.hpp"
+#include "core/regularization.hpp"
+
+// The core headers are templates over lattice descriptors; this TU anchors
+// them in the library and provides compile-time sanity checks on the
+// descriptor tables.
+
+namespace mlbm {
+
+static_assert(D2Q9::opp[1] == 3 && D2Q9::opp[5] == 7,
+              "D2Q9 opposite table broken");
+static_assert(D3Q19::opp[1] == 2 && D3Q19::opp[7] == 8,
+              "D3Q19 opposite table broken");
+static_assert(D3Q27::opp[19] == 20, "D3Q27 opposite table broken");
+
+namespace {
+constexpr bool weights_sum_to_one(const auto& w) {
+  real_t s = 0;
+  for (auto v : w) s += v;
+  const real_t err = s - real_t(1);
+  return err < real_t(1e-14) && err > real_t(-1e-14);
+}
+static_assert(weights_sum_to_one(D2Q9::w), "D2Q9 weights must sum to 1");
+static_assert(weights_sum_to_one(D3Q19::w), "D3Q19 weights must sum to 1");
+static_assert(weights_sum_to_one(D3Q27::w), "D3Q27 weights must sum to 1");
+static_assert(weights_sum_to_one(D3Q15::w), "D3Q15 weights must sum to 1");
+static_assert(D3Q15::opp[7] == 8 && D3Q15::opp[1] == 2,
+              "D3Q15 opposite table broken");
+}  // namespace
+
+// Explicit instantiations of the hot-path templates for all three lattices.
+template Moments<D2Q9> compute_moments<D2Q9>(const real_t (&)[D2Q9::Q]);
+template Moments<D3Q19> compute_moments<D3Q19>(const real_t (&)[D3Q19::Q]);
+template Moments<D3Q27> compute_moments<D3Q27>(const real_t (&)[D3Q27::Q]);
+template Moments<D3Q15> compute_moments<D3Q15>(const real_t (&)[D3Q15::Q]);
+
+template void collide<D2Q9>(CollisionScheme, real_t (&)[D2Q9::Q], real_t);
+template void collide<D3Q19>(CollisionScheme, real_t (&)[D3Q19::Q], real_t);
+template void collide<D3Q27>(CollisionScheme, real_t (&)[D3Q27::Q], real_t);
+template void collide<D3Q15>(CollisionScheme, real_t (&)[D3Q15::Q], real_t);
+
+}  // namespace mlbm

@@ -1,0 +1,146 @@
+// Moment-space representation of the lattice Boltzmann state.
+//
+// The moment representation stores, per lattice node, the M = 1 + D + D(D+1)/2
+// values {rho, u, Pi} where Pi is the (symmetric) second-order Hermite moment
+// of the distribution (Eq. 3 of the paper). Symmetric tensors of ranks 2..4
+// are stored component-wise with an explicit index ordering plus multiplicity
+// tables so that full tensor contractions can be written as flat loops.
+#pragma once
+
+#include <array>
+
+#include "core/hermite.hpp"
+#include "core/lattice.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+/// Index ordering of the independent components of a symmetric rank-2 tensor.
+/// 2D: xx, xy, yy. 3D: xx, xy, xz, yy, yz, zz.
+template <int D>
+struct SymPairs;
+
+template <>
+struct SymPairs<2> {
+  static constexpr int N = 3;
+  static constexpr std::array<std::array<int, 2>, 3> idx = {{{0, 0}, {0, 1}, {1, 1}}};
+  /// Number of equivalent permutations of each component in a full contraction.
+  static constexpr std::array<int, 3> mult = {1, 2, 1};
+  static constexpr int index(int a, int b) {
+    // (0,0)->0, (0,1)/(1,0)->1, (1,1)->2
+    return a + b;
+  }
+};
+
+template <>
+struct SymPairs<3> {
+  static constexpr int N = 6;
+  static constexpr std::array<std::array<int, 2>, 6> idx = {
+      {{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}}};
+  static constexpr std::array<int, 6> mult = {1, 2, 2, 1, 2, 1};
+  static constexpr int index(int a, int b) {
+    constexpr int map[3][3] = {{0, 1, 2}, {1, 3, 4}, {2, 4, 5}};
+    return map[a][b];
+  }
+};
+
+/// Independent components of a symmetric rank-3 tensor, with multiplicities.
+template <int D>
+struct SymTriples;
+
+template <>
+struct SymTriples<2> {
+  static constexpr int N = 4;
+  static constexpr std::array<std::array<int, 3>, 4> idx = {
+      {{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {1, 1, 1}}};
+  static constexpr std::array<int, 4> mult = {1, 3, 3, 1};
+};
+
+template <>
+struct SymTriples<3> {
+  static constexpr int N = 10;
+  static constexpr std::array<std::array<int, 3>, 10> idx = {{{0, 0, 0},
+                                                              {0, 0, 1},
+                                                              {0, 0, 2},
+                                                              {0, 1, 1},
+                                                              {0, 1, 2},
+                                                              {0, 2, 2},
+                                                              {1, 1, 1},
+                                                              {1, 1, 2},
+                                                              {1, 2, 2},
+                                                              {2, 2, 2}}};
+  static constexpr std::array<int, 10> mult = {1, 3, 3, 3, 6, 3, 1, 3, 3, 1};
+};
+
+/// Independent components of a symmetric rank-4 tensor, with multiplicities.
+template <int D>
+struct SymQuads;
+
+template <>
+struct SymQuads<2> {
+  static constexpr int N = 5;
+  static constexpr std::array<std::array<int, 4>, 5> idx = {
+      {{0, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 1}, {0, 1, 1, 1}, {1, 1, 1, 1}}};
+  static constexpr std::array<int, 5> mult = {1, 4, 6, 4, 1};
+};
+
+template <>
+struct SymQuads<3> {
+  static constexpr int N = 15;
+  static constexpr std::array<std::array<int, 4>, 15> idx = {{
+      {0, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 0, 2}, {0, 0, 1, 1}, {0, 0, 1, 2},
+      {0, 0, 2, 2}, {0, 1, 1, 1}, {0, 1, 1, 2}, {0, 1, 2, 2}, {0, 2, 2, 2},
+      {1, 1, 1, 1}, {1, 1, 1, 2}, {1, 1, 2, 2}, {1, 2, 2, 2}, {2, 2, 2, 2},
+  }};
+  static constexpr std::array<int, 15> mult = {1, 4, 4, 6, 12, 6, 4, 12,
+                                               12, 4, 1, 4, 6, 4, 1};
+};
+
+/// Per-node moment state {rho, u, Pi}. `pi` holds the *full* second-order
+/// Hermite moment (equilibrium + non-equilibrium parts); the non-equilibrium
+/// part is recovered as Pi_ab - rho u_a u_b.
+template <class L>
+struct Moments {
+  static constexpr int D = L::D;
+  static constexpr int NP = SymPairs<D>::N;
+
+  real_t rho = 1;
+  std::array<real_t, D> u{};
+  std::array<real_t, NP> pi{};
+
+  [[nodiscard]] real_t pi_neq(int p) const {
+    const auto [a, b] = pair(p);
+    return pi[static_cast<std::size_t>(p)] - rho * u[static_cast<std::size_t>(a)] * u[static_cast<std::size_t>(b)];
+  }
+
+  static constexpr std::array<int, 2> pair(int p) {
+    return {SymPairs<D>::idx[static_cast<std::size_t>(p)][0],
+            SymPairs<D>::idx[static_cast<std::size_t>(p)][1]};
+  }
+};
+
+/// Projects a distribution onto its first three Hermite moments
+/// (Eqs. 1-3 of the paper).
+template <class L>
+Moments<L> compute_moments(const real_t (&f)[L::Q]) {
+  Moments<L> m;
+  m.rho = 0;
+  m.u.fill(0);
+  m.pi.fill(0);
+  for (int i = 0; i < L::Q; ++i) {
+    m.rho += f[i];
+    for (int a = 0; a < L::D; ++a) {
+      m.u[static_cast<std::size_t>(a)] += hermite::h1<L>(i, a) * f[i];
+    }
+    for (int p = 0; p < Moments<L>::NP; ++p) {
+      const auto [a, b] = Moments<L>::pair(p);
+      m.pi[static_cast<std::size_t>(p)] += hermite::h2<L>(i, a, b) * f[i];
+    }
+  }
+  for (int a = 0; a < L::D; ++a) {
+    m.u[static_cast<std::size_t>(a)] /= m.rho;
+  }
+  return m;
+}
+
+}  // namespace mlbm

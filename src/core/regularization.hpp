@@ -1,0 +1,282 @@
+// Regularized reconstruction of distributions from moments.
+//
+// This file implements the two regularization schemes of the paper:
+//
+//  * Projective regularization (Latt & Chopard 2006; Section 2.2): the
+//    non-equilibrium part of the distribution is replaced by its projection
+//    onto the second-order Hermite moment Pi^neq. The reconstructed
+//    population (Eq. 11) is
+//
+//      f_i = w_i ( rho + H1.(rho u)/cs2 + H2:Pi / (2 cs4) ),   Pi = rho u u + Pi^neq
+//
+//  * Recursive regularization (Malaspinas 2015; Section 2.3): non-equilibrium
+//    parts of the third- and fourth-order Hermite moments are reconstructed
+//    recursively from {u, Pi^neq}:
+//
+//      a3^neq_abg  = u_a Pn_bg + u_b Pn_ag + u_g Pn_ab
+//      a4^neq_abgd = u_a u_b Pn_gd + u_a u_g Pn_bd + u_a u_d Pn_bg
+//                  + u_b u_g Pn_ad + u_b u_d Pn_ag + u_g u_d Pn_ab
+//
+//    and the expansion (Eq. 14) is extended with the standard Hermite
+//    normalization 1/(n! cs^(2n)):
+//
+//      f_i = w_i ( rho + H1.(rho u)/cs2 + H2:a2/(2 cs4)
+//                + H3:a3/(6 cs6) + H4:a4/(24 cs8) ),
+//      a2 = rho u u + Pi^neq, a3 = rho uuu + a3^neq, a4 = rho uuuu + a4^neq.
+//
+// On standard lattices, Hermite tensors that are not representable by the
+// velocity set vanish identically (e.g. H3_xxx = c_x^3 - 3 cs2 c_x = 0 for
+// c_x in {-1,0,1} and H3_xyz = 0 on D3Q19), so the full symmetric sums below
+// automatically restrict to the representable basis.
+//
+// Both reconstructions take the *post-collision* non-equilibrium moment: the
+// BGK relaxation Pi^neq -> (1 - 1/tau) Pi^neq commutes with the recursions,
+// so MR kernels collide in moment space first (Eq. 10) and reconstruct after.
+#pragma once
+
+#include "core/hermite.hpp"
+#include "core/lattice.hpp"
+#include "core/moments.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+/// Which regularization scheme an engine or kernel applies.
+enum class Regularization {
+  kProjective,  ///< MR-P: second-order Hermite basis only (Eq. 11).
+  kRecursive,   ///< MR-R: recursive third/fourth-order reconstruction (Eq. 14).
+};
+
+inline const char* to_string(Regularization r) {
+  return r == Regularization::kProjective ? "projective" : "recursive";
+}
+
+/// Projectively regularized population (Eq. 11).
+/// `pineq` is the (post-collision) non-equilibrium second moment, indexed by
+/// SymPairs<L::D>.
+template <class L, class T = real_t>
+T reconstruct_projective(int i, T rho, const T* u, const T* pineq) {
+  using P = SymPairs<L::D>;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+
+  T first{};
+  for (int a = 0; a < L::D; ++a) {
+    first += hermite::h1<L>(i, a) * rho * u[a];
+  }
+  T second{};
+  for (int p = 0; p < P::N; ++p) {
+    const int a = P::idx[static_cast<std::size_t>(p)][0];
+    const int b = P::idx[static_cast<std::size_t>(p)][1];
+    const T pi_ab = rho * u[a] * u[b] + pineq[p];
+    second += static_cast<real_t>(P::mult[static_cast<std::size_t>(p)]) *
+              hermite::h2<L>(i, a, b) * pi_ab;
+  }
+  return L::w[static_cast<std::size_t>(i)] *
+         (rho + inv_cs2 * first + real_t(0.5) * inv_cs2 * inv_cs2 * second);
+}
+
+/// Recursive non-equilibrium third-order moment a3^neq_abg from {u, Pi^neq}.
+template <class L, class T = real_t>
+T a3_neq(const T* u, const T* pineq, int a, int b, int g) {
+  using P = SymPairs<L::D>;
+  return u[a] * pineq[P::index(b, g)] + u[b] * pineq[P::index(a, g)] +
+         u[g] * pineq[P::index(a, b)];
+}
+
+/// Recursive non-equilibrium fourth-order moment a4^neq_abgd from {u, Pi^neq}.
+template <class L, class T = real_t>
+T a4_neq(const T* u, const T* pineq, int a, int b, int g, int d) {
+  using P = SymPairs<L::D>;
+  return u[a] * u[b] * pineq[P::index(g, d)] +
+         u[a] * u[g] * pineq[P::index(b, d)] +
+         u[a] * u[d] * pineq[P::index(b, g)] +
+         u[b] * u[g] * pineq[P::index(a, d)] +
+         u[b] * u[d] * pineq[P::index(a, g)] +
+         u[g] * u[d] * pineq[P::index(a, b)];
+}
+
+/// Recursively regularized population (Eq. 14).
+template <class L, class T = real_t>
+T reconstruct_recursive(int i, T rho, const T* u, const T* pineq) {
+  using T3 = SymTriples<L::D>;
+  using T4 = SymQuads<L::D>;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+
+  T f = reconstruct_projective<L, T>(i, rho, u, pineq);
+
+  T third{};
+  for (int t = 0; t < T3::N; ++t) {
+    const int a = T3::idx[static_cast<std::size_t>(t)][0];
+    const int b = T3::idx[static_cast<std::size_t>(t)][1];
+    const int g = T3::idx[static_cast<std::size_t>(t)][2];
+    const real_t h3 = hermite::h3<L>(i, a, b, g);
+    if (h3 == real_t(0)) continue;  // unrepresentable on this lattice
+    const T a3 = rho * u[a] * u[b] * u[g] + a3_neq<L, T>(u, pineq, a, b, g);
+    third += static_cast<real_t>(T3::mult[static_cast<std::size_t>(t)]) * h3 * a3;
+  }
+
+  T fourth{};
+  for (int q = 0; q < T4::N; ++q) {
+    const int a = T4::idx[static_cast<std::size_t>(q)][0];
+    const int b = T4::idx[static_cast<std::size_t>(q)][1];
+    const int g = T4::idx[static_cast<std::size_t>(q)][2];
+    const int d = T4::idx[static_cast<std::size_t>(q)][3];
+    const real_t h4 = hermite::h4<L>(i, a, b, g, d);
+    if (h4 == real_t(0)) continue;
+    const T a4 =
+        rho * u[a] * u[b] * u[g] * u[d] + a4_neq<L, T>(u, pineq, a, b, g, d);
+    fourth += static_cast<real_t>(T4::mult[static_cast<std::size_t>(q)]) * h4 * a4;
+  }
+
+  const real_t inv_cs6 = inv_cs2 * inv_cs2 * inv_cs2;
+  const real_t inv_cs8 = inv_cs6 * inv_cs2;
+  f += L::w[static_cast<std::size_t>(i)] *
+       (third * (inv_cs6 / real_t(6)) + fourth * (inv_cs8 / real_t(24)));
+  return f;
+}
+
+/// Dispatches between the two reconstructions at runtime. Hot kernels use the
+/// compile-time variants directly; this overload serves engines configured by
+/// a runtime enum.
+template <class L, class T = real_t>
+T reconstruct(Regularization scheme, int i, T rho, const T* u,
+              const T* pineq) {
+  return scheme == Regularization::kProjective
+             ? reconstruct_projective<L, T>(i, rho, u, pineq)
+             : reconstruct_recursive<L, T>(i, rho, u, pineq);
+}
+
+/// Compile-time coefficient tables for the regularized reconstructions:
+/// all lattice constants (w_i, Hermite tensors, multiplicities, 1/(n! cs^2n))
+/// folded into one coefficient per (direction, moment component).
+template <class L>
+struct ReconstructTables {
+  static constexpr int NP = SymPairs<L::D>::N;
+  static constexpr int NT3 = SymTriples<L::D>::N;
+  static constexpr int NT4 = SymQuads<L::D>::N;
+
+  std::array<real_t, L::Q> k0{};
+  std::array<std::array<real_t, L::D>, L::Q> k1{};
+  std::array<std::array<real_t, NP>, L::Q> k2{};
+  std::array<std::array<real_t, NT3>, L::Q> k3{};
+  std::array<std::array<real_t, NT4>, L::Q> k4{};
+
+  static constexpr ReconstructTables make() {
+    ReconstructTables t{};
+    const real_t inv_cs2 = real_t(1) / L::cs2;
+    const real_t inv_cs4 = inv_cs2 * inv_cs2;
+    const real_t inv_cs6 = inv_cs4 * inv_cs2;
+    const real_t inv_cs8 = inv_cs6 * inv_cs2;
+    for (int i = 0; i < L::Q; ++i) {
+      const real_t w = L::w[static_cast<std::size_t>(i)];
+      const auto si = static_cast<std::size_t>(i);
+      t.k0[si] = w;
+      for (int a = 0; a < L::D; ++a) {
+        t.k1[si][static_cast<std::size_t>(a)] = w * inv_cs2 * hermite::h1<L>(i, a);
+      }
+      for (int p = 0; p < NP; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        t.k2[si][sp] = w * real_t(0.5) * inv_cs4 *
+                       static_cast<real_t>(SymPairs<L::D>::mult[sp]) *
+                       hermite::h2<L>(i, SymPairs<L::D>::idx[sp][0],
+                                      SymPairs<L::D>::idx[sp][1]);
+      }
+      for (int s = 0; s < NT3; ++s) {
+        const auto ss = static_cast<std::size_t>(s);
+        t.k3[si][ss] = w * inv_cs6 / real_t(6) *
+                       static_cast<real_t>(SymTriples<L::D>::mult[ss]) *
+                       hermite::h3<L>(i, SymTriples<L::D>::idx[ss][0],
+                                      SymTriples<L::D>::idx[ss][1],
+                                      SymTriples<L::D>::idx[ss][2]);
+      }
+      for (int q = 0; q < NT4; ++q) {
+        const auto sq = static_cast<std::size_t>(q);
+        t.k4[si][sq] = w * inv_cs8 / real_t(24) *
+                       static_cast<real_t>(SymQuads<L::D>::mult[sq]) *
+                       hermite::h4<L>(i, SymQuads<L::D>::idx[sq][0],
+                                      SymQuads<L::D>::idx[sq][1],
+                                      SymQuads<L::D>::idx[sq][2],
+                                      SymQuads<L::D>::idx[sq][3]);
+      }
+    }
+    return t;
+  }
+
+  static const ReconstructTables& get() {
+    static constexpr ReconstructTables t = make();
+    return t;
+  }
+};
+
+/// Per-node reconstruction kernel: builds the Hermite moments a2 (and a3/a4
+/// for the recursive scheme) once per node, then evaluates each population
+/// as a short dot product against the compile-time tables. This is what the
+/// hot engine loops use — on a GPU the per-node part lives in registers and
+/// the per-direction part is fully unrolled.
+template <class L>
+class Reconstructor {
+ public:
+  static constexpr int NP = SymPairs<L::D>::N;
+
+  Reconstructor(Regularization scheme, real_t rho, const real_t* u,
+                const real_t* pineq)
+      : recursive_(scheme == Regularization::kRecursive), rho_(rho) {
+    for (int a = 0; a < L::D; ++a) {
+      rho_u_[a] = rho * u[a];
+    }
+    for (int p = 0; p < NP; ++p) {
+      const int a = SymPairs<L::D>::idx[static_cast<std::size_t>(p)][0];
+      const int b = SymPairs<L::D>::idx[static_cast<std::size_t>(p)][1];
+      a2_[p] = rho * u[a] * u[b] + pineq[p];
+    }
+    if (recursive_) {
+      using T3 = SymTriples<L::D>;
+      using T4 = SymQuads<L::D>;
+      for (int t = 0; t < T3::N; ++t) {
+        const int a = T3::idx[static_cast<std::size_t>(t)][0];
+        const int b = T3::idx[static_cast<std::size_t>(t)][1];
+        const int g = T3::idx[static_cast<std::size_t>(t)][2];
+        a3_[t] = rho * u[a] * u[b] * u[g] + a3_neq<L>(u, pineq, a, b, g);
+      }
+      for (int q = 0; q < T4::N; ++q) {
+        const int a = T4::idx[static_cast<std::size_t>(q)][0];
+        const int b = T4::idx[static_cast<std::size_t>(q)][1];
+        const int g = T4::idx[static_cast<std::size_t>(q)][2];
+        const int d = T4::idx[static_cast<std::size_t>(q)][3];
+        a4_[q] =
+            rho * u[a] * u[b] * u[g] * u[d] + a4_neq<L>(u, pineq, a, b, g, d);
+      }
+    }
+  }
+
+  [[nodiscard]] real_t operator()(int i) const {
+    const auto& t = ReconstructTables<L>::get();
+    const auto si = static_cast<std::size_t>(i);
+    real_t acc = t.k0[si] * rho_;
+    for (int a = 0; a < L::D; ++a) {
+      acc += t.k1[si][static_cast<std::size_t>(a)] * rho_u_[a];
+    }
+    for (int p = 0; p < NP; ++p) {
+      acc += t.k2[si][static_cast<std::size_t>(p)] * a2_[p];
+    }
+    if (recursive_) {
+      for (int s = 0; s < ReconstructTables<L>::NT3; ++s) {
+        acc += t.k3[si][static_cast<std::size_t>(s)] * a3_[s];
+      }
+      for (int q = 0; q < ReconstructTables<L>::NT4; ++q) {
+        acc += t.k4[si][static_cast<std::size_t>(q)] * a4_[q];
+      }
+    }
+    return acc;
+  }
+
+ private:
+  bool recursive_;
+  real_t rho_;
+  real_t rho_u_[L::D] = {};
+  real_t a2_[NP] = {};
+  real_t a3_[SymTriples<L::D>::N] = {};
+  real_t a4_[SymQuads<L::D>::N] = {};
+};
+
+}  // namespace mlbm

@@ -1,0 +1,242 @@
+#include "engines/aa_engine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/regularization.hpp"
+#include "engines/streaming.hpp"
+#include "gpusim/launch.hpp"
+
+namespace mlbm {
+
+template <class L>
+AaEngine<L>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
+                      int threads_per_block)
+    : Engine<L>(std::move(geo), tau),
+      scheme_(scheme),
+      threads_per_block_(threads_per_block) {
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int side = 0; side < 2; ++side) {
+      if (this->geo_.bc.face[static_cast<std::size_t>(axis)][static_cast<std::size_t>(side)].type ==
+          FaceBC::kOpen) {
+        // Open faces need a post-step state rebuild, but mid-cycle the AA
+        // state is collided-not-yet-streamed; inlet/outlet handling would
+        // have to live inside the kernels. Out of scope for this baseline.
+        throw std::invalid_argument(
+            "AaEngine: open (inlet/outlet) faces are not supported; use "
+            "periodic or wall boundaries");
+      }
+    }
+  }
+  const auto n = static_cast<std::size_t>(this->geo_.box.cells()) *
+                 static_cast<std::size_t>(L::Q);
+  f_.allocate(n, &prof_.counter());
+}
+
+template <class L>
+void AaEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+  if (swapped_phase()) {
+    throw std::logic_error("AaEngine: initialize() only at even timesteps");
+  }
+  const Box& b = this->geo_.box;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        impose(x, y, z, init(x, y, z));
+      }
+    }
+  }
+}
+
+template <class L>
+Moments<L> AaEngine<L>::moments_at(int x, int y, int z) const {
+  const index_t cell = this->geo_.box.idx(x, y, z);
+  real_t f[L::Q];
+  if (!swapped_phase()) {
+    for (int i = 0; i < L::Q; ++i) {
+      f[i] = f_.raw(soa(i, cell));
+    }
+    return compute_moments<L>(f);
+  }
+  // Swapped phase: slot opposite(i) holds the post-collision f*_i of the
+  // previous (even) step; un-swap and un-relax. Note the reported state is
+  // the pre-collision state of one step ago — the AA cycle only has a
+  // spatially consistent snapshot after odd steps.
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] = f_.raw(soa(L::opposite(i), cell));
+  }
+  Moments<L> m = compute_moments<L>(f);
+  const real_t factor = real_t(1) - real_t(1) / this->tau_;
+  if (factor != real_t(0)) {
+    for (int p = 0; p < Moments<L>::NP; ++p) {
+      const auto [a, b] = Moments<L>::pair(p);
+      const real_t eq = m.rho * m.u[static_cast<std::size_t>(a)] *
+                        m.u[static_cast<std::size_t>(b)];
+      m.pi[static_cast<std::size_t>(p)] =
+          eq + (m.pi[static_cast<std::size_t>(p)] - eq) / factor;
+    }
+  }
+  return m;
+}
+
+template <class L>
+void AaEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+  const index_t cell = this->geo_.box.idx(x, y, z);
+  real_t pineq[Moments<L>::NP];
+  if (!swapped_phase()) {
+    for (int p = 0; p < Moments<L>::NP; ++p) pineq[p] = m.pi_neq(p);
+    for (int i = 0; i < L::Q; ++i) {
+      f_.raw(soa(i, cell)) =
+          reconstruct_projective<L>(i, m.rho, m.u.data(), pineq);
+    }
+    return;
+  }
+  // Swapped phase: store the post-collision image into the swapped slots.
+  const real_t factor = real_t(1) - real_t(1) / this->tau_;
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    pineq[p] = factor * m.pi_neq(p);
+  }
+  const Regularization reg = scheme_ == CollisionScheme::kRecursive
+                                 ? Regularization::kRecursive
+                                 : Regularization::kProjective;
+  for (int i = 0; i < L::Q; ++i) {
+    f_.raw(soa(L::opposite(i), cell)) =
+        reconstruct<L>(reg, i, m.rho, m.u.data(), pineq);
+  }
+}
+
+template <class L>
+std::size_t AaEngine<L>::state_bytes() const {
+  return f_.size_bytes();
+}
+
+template <class L>
+void AaEngine<L>::do_step() {
+  if (!swapped_phase()) {
+    step_even();
+  } else {
+    step_odd();
+  }
+}
+
+template <class L>
+void AaEngine<L>::step_even() {
+  // Node-local: read plainly, collide, write swapped. No neighbour traffic.
+  // Populations whose downwind link crosses a wall receive their moving-wall
+  // bounceback correction here, at write time, where the node's density is
+  // thread-local — the odd step's gather may then read wall slots without
+  // touching any memory another thread rewrites in place.
+  const Box& b = this->geo_.box;
+  const Geometry& geo = this->geo_;
+  const index_t cells = b.cells();
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+  gpusim::GlobalArray<real_t>& f = f_;
+
+  const int tpb = threads_per_block_;
+  const auto nblocks =
+      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+
+  gpusim::launch(
+      prof_, std::string("aa_even_") + L::name(), gpusim::Dim3{nblocks, 1, 1},
+      gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+        blk.for_each_thread([&](const gpusim::Dim3& tid) {
+          const index_t cell =
+              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+          if (cell >= cells) return;
+          const int x = static_cast<int>(cell % b.nx);
+          const int y = static_cast<int>((cell / b.nx) % b.ny);
+          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+          real_t fl[L::Q];
+          real_t rho_pre = 0;
+          for (int i = 0; i < L::Q; ++i) {
+            fl[i] = f.load(soa(i, cell));
+            rho_pre += fl[i];
+          }
+          collide<L>(scheme, fl, tau);
+          for (int i = 0; i < L::Q; ++i) {
+            real_t v = fl[i];
+            const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+            if (t.kind == StreamTarget::Kind::kBounce &&
+                t.cu_wall != real_t(0)) {
+              v -= real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
+                   t.cu_wall * inv_cs2;
+            }
+            f.store(soa(L::opposite(i), cell), v);
+          }
+        });
+      });
+}
+
+template <class L>
+void AaEngine<L>::step_odd() {
+  // Gather from the upwind neighbours' swapped slots (completing the
+  // previous stream), collide, scatter into the downwind neighbours' plain
+  // slots (pre-streaming the next step). Each slot has a unique
+  // reader == writer thread, so the update is race-free in place.
+  const Box& b = this->geo_.box;
+  const Geometry& geo = this->geo_;
+  const index_t cells = b.cells();
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+  gpusim::GlobalArray<real_t>& f = f_;
+
+  const int tpb = threads_per_block_;
+  const auto nblocks =
+      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+
+  gpusim::launch(
+      prof_, std::string("aa_odd_") + L::name(), gpusim::Dim3{nblocks, 1, 1},
+      gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+        blk.for_each_thread([&](const gpusim::Dim3& tid) {
+          const index_t cell =
+              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+          if (cell >= cells) return;
+          const int x = static_cast<int>(cell % b.nx);
+          const int y = static_cast<int>((cell / b.nx) % b.ny);
+          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+          // Gather f_i(x, t) = f*_i(x - c_i, t-1), stored swapped. Wall
+          // links read this node's own swapped slot i, whose moving-wall
+          // correction the even step already applied at write time.
+          real_t fl[L::Q];
+          for (int i = 0; i < L::Q; ++i) {
+            const StreamTarget t =
+                resolve_stream<L>(geo, x, y, z, L::opposite(i));
+            if (t.kind == StreamTarget::Kind::kInterior) {
+              fl[i] = f.load(soa(L::opposite(i), b.idx(t.x, t.y, t.z)));
+            } else {
+              fl[i] = f.load(soa(i, cell));
+            }
+          }
+
+          real_t rho_now = 0;
+          for (int i = 0; i < L::Q; ++i) rho_now += fl[i];
+          collide<L>(scheme, fl, tau);
+
+          // Scatter f*_i(x, t) into slot i of x + c_i.
+          for (int i = 0; i < L::Q; ++i) {
+            const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+            if (t.kind == StreamTarget::Kind::kInterior) {
+              f.store(soa(i, b.idx(t.x, t.y, t.z)), fl[i]);
+            } else {
+              // Wall: bounce back into this node's own plain slot
+              // opposite(i), where the next even step reads it directly.
+              f.store(soa(L::opposite(i), cell),
+                      fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                                  rho_now * t.cu_wall * inv_cs2);
+            }
+          }
+        });
+      });
+}
+
+template class AaEngine<D2Q9>;
+template class AaEngine<D3Q19>;
+template class AaEngine<D3Q27>;
+template class AaEngine<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,86 @@
+// AA-pattern single-lattice engine (Bailey et al. 2009).
+//
+// The paper's related work motivates reducing LBM's memory footprint on
+// GPUs; before the moment representation, the standard answer was in-place
+// streaming: the AA pattern keeps ONE distribution lattice (Q doubles per
+// node — half of ST) by alternating two kernel flavours:
+//
+//   even step   read slot i of x, collide, write f*_i into slot opposite(i)
+//               of x (pure node-local swap; no neighbour traffic);
+//   odd step    gather f_i(x,t+1) = f*_i(x - c_i, t) from slot opposite(i)
+//               of the upwind neighbour, collide, scatter f*_i(t+1) into
+//               slot i of the downwind neighbour x + c_i — performing two
+//               half-streams so that the next even step again reads plainly.
+//
+// Per-update global traffic is identical to ST (2Q doubles), so the AA
+// pattern is the paper's natural memory-footprint baseline: it matches MR's
+// *bandwidth* profile story but not its traffic reduction. Included for the
+// memory table and ablations.
+//
+// Storage parity: after an odd step (and at initialization) memory holds the
+// plain pre-collision state; after an even step it holds the node-local
+// swapped post-collision state. moments_at/impose translate both parities to
+// the shared pre-collision moment convention, so boundary passes and tests
+// work unchanged — including mid-cycle.
+#pragma once
+
+#include "core/collision.hpp"
+#include "engines/engine.hpp"
+#include "gpusim/global_array.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace mlbm {
+
+template <class L>
+class AaEngine final : public Engine<L> {
+ public:
+  AaEngine(Geometry geo, real_t tau,
+           CollisionScheme scheme = CollisionScheme::kBGK,
+           int threads_per_block = 256);
+
+  [[nodiscard]] const char* pattern_name() const override { return "ST-AA"; }
+  void initialize(const typename Engine<L>::InitFn& init) override;
+  [[nodiscard]] Moments<L> moments_at(int x, int y, int z) const override;
+  void impose(int x, int y, int z, const Moments<L>& m) override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+
+  [[nodiscard]] gpusim::Profiler* profiler() override { return &prof_; }
+  [[nodiscard]] const gpusim::Profiler* profiler() const override {
+    return &prof_;
+  }
+  [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
+
+  void set_unique_read_tracking(bool on) override {
+    f_.set_unique_read_tracking(on);
+  }
+  void clear_unique_reads() override { f_.clear_unique_reads(); }
+  [[nodiscard]] std::uint64_t unique_read_bytes() const override {
+    return f_.unique_read_bytes();
+  }
+
+ protected:
+  void do_step() override;
+
+ private:
+  [[nodiscard]] index_t soa(int i, index_t cell) const {
+    return static_cast<index_t>(i) * this->geo_.box.cells() + cell;
+  }
+  /// True when memory currently holds the even-step (swapped post-collision)
+  /// representation.
+  [[nodiscard]] bool swapped_phase() const { return this->t_ % 2 == 1; }
+
+  void step_even();
+  void step_odd();
+
+  CollisionScheme scheme_;
+  int threads_per_block_;
+  gpusim::Profiler prof_;
+  gpusim::GlobalArray<real_t> f_;
+};
+
+extern template class AaEngine<D2Q9>;
+extern template class AaEngine<D3Q19>;
+extern template class AaEngine<D3Q27>;
+extern template class AaEngine<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,124 @@
+// Common interface of all propagation-pattern engines.
+//
+// Engines own the simulation state of one lattice Boltzmann run and advance
+// it by whole timesteps. Three implementations exist, mirroring the paper's
+// propagation patterns:
+//
+//   ReferenceEngine — plain host two-lattice pull; ground truth for physics
+//                     and for the MR engines' equivalence tests.
+//   StEngine        — Algorithm 1 (standard distribution representation,
+//                     pull) on the gpusim execution model, with counted
+//                     global-memory traffic.
+//   MrEngine        — Algorithm 2 (moment representation with shared-memory
+//                     streaming and a sliding window), projective or
+//                     recursive regularization.
+//
+// The interface is deliberately moment-centric: `moments_at`/`impose`
+// exchange the *full* hydrodynamic state {rho, u, Pi}, which every
+// representation can produce and accept exactly. Boundary-condition passes
+// and tests are written once against this interface.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "core/box.hpp"
+#include "core/moments.hpp"
+#include "gpusim/profiler.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+template <class L>
+class Engine {
+ public:
+  using Lattice = L;
+  using InitFn = std::function<Moments<L>(int x, int y, int z)>;
+  using PostStepFn = std::function<void(Engine&)>;
+
+  Engine(Geometry geo, real_t tau) : geo_(std::move(geo)), tau_(tau) {
+    if (tau <= real_t(0.5)) {
+      throw std::invalid_argument("Engine: tau must exceed 1/2 for stability");
+    }
+  }
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] virtual const char* pattern_name() const = 0;
+
+  /// Sets the full state of every node; `pi` of the returned moments is the
+  /// complete second moment (use rho*u*u for an equilibrium start).
+  virtual void initialize(const InitFn& init) = 0;
+
+  /// Full hydrodynamic state of one node at the current time.
+  [[nodiscard]] virtual Moments<L> moments_at(int x, int y, int z) const = 0;
+
+  /// Overwrites the state of one node (used by inlet/outlet passes).
+  virtual void impose(int x, int y, int z, const Moments<L>& m) = 0;
+
+  /// Bytes of simulation state resident in (simulated) device memory; basis
+  /// of the paper's memory-footprint comparison.
+  [[nodiscard]] virtual std::size_t state_bytes() const = 0;
+
+  /// Advances one timestep, then applies the post-step boundary pass.
+  void step() {
+    do_step();
+    ++t_;
+    if (post_step_) post_step_(*this);
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  /// Registers the inlet/outlet (or other) pass executed after each step.
+  void set_post_step(PostStepFn fn) { post_step_ = std::move(fn); }
+
+  [[nodiscard]] const Geometry& geometry() const { return geo_; }
+  [[nodiscard]] real_t tau() const { return tau_; }
+  /// Kinematic viscosity implied by tau: nu = cs2 (tau - 1/2).
+  [[nodiscard]] real_t viscosity() const {
+    return L::cs2 * (tau_ - real_t(0.5));
+  }
+  [[nodiscard]] int time() const { return t_; }
+
+  /// Non-null for gpusim-backed engines (ST, MR): per-kernel traffic stats.
+  [[nodiscard]] virtual gpusim::Profiler* profiler() { return nullptr; }
+  [[nodiscard]] virtual const gpusim::Profiler* profiler() const {
+    return nullptr;
+  }
+
+  /// Unique-address DRAM read modelling (gpusim engines; no-ops otherwise):
+  /// with tracking enabled, `unique_read_bytes` counts distinct global
+  /// elements loaded since the last clear — what reaches DRAM when re-reads
+  /// (MR column halos) hit in L2.
+  virtual void set_unique_read_tracking(bool /*on*/) {}
+  virtual void clear_unique_reads() {}
+  [[nodiscard]] virtual std::uint64_t unique_read_bytes() const { return 0; }
+
+ protected:
+  virtual void do_step() = 0;
+
+  Geometry geo_;
+  real_t tau_;
+  int t_ = 0;
+  PostStepFn post_step_;
+};
+
+/// Equilibrium-state helper for initialize(): pi = rho u u.
+template <class L>
+Moments<L> equilibrium_moments(real_t rho, const std::array<real_t, L::D>& u) {
+  Moments<L> m;
+  m.rho = rho;
+  m.u = u;
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    const auto [a, b] = Moments<L>::pair(p);
+    m.pi[static_cast<std::size_t>(p)] =
+        rho * u[static_cast<std::size_t>(a)] * u[static_cast<std::size_t>(b)];
+  }
+  return m;
+}
+
+}  // namespace mlbm

@@ -1,0 +1,432 @@
+#include "engines/mr_engine.hpp"
+
+#include <cassert>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "core/collision.hpp"
+#include "gpusim/launch.hpp"
+
+namespace mlbm {
+
+namespace {
+
+/// Velocity component along the sweep axis (y in 2D, z in 3D).
+template <class L>
+constexpr int c_sweep(int i) {
+  return L::c[static_cast<std::size_t>(i)][L::D == 2 ? 1 : 2];
+}
+
+}  // namespace
+
+template <class L>
+MrEngine<L>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
+                      MrConfig config)
+    : Engine<L>(std::move(geo), tau), scheme_(scheme), config_(config) {
+  if (config_.tile_x < 1 || config_.tile_y < 1 || config_.tile_s < 1) {
+    throw std::invalid_argument("MrEngine: tile extents must be positive");
+  }
+  const Box& b = this->geo_.box;
+  if constexpr (L::D == 2) {
+    if (b.nz != 1) throw std::invalid_argument("MrEngine<2D>: nz must be 1");
+  }
+  const auto ncx0 = static_cast<std::size_t>(b.nx);
+  const auto ncx1 = static_cast<std::size_t>(L::D == 2 ? 1 : b.ny);
+  const auto s_layers =
+      static_cast<std::size_t>(config_.storage == MomentStorage::kPingPong
+                                   ? sweep_extent()
+                                   : sweep_extent() + 2);
+  const std::size_t n = static_cast<std::size_t>(M) * ncx0 * ncx1 * s_layers;
+  mom_[0].allocate(n, &prof_.counter());
+  if (config_.storage == MomentStorage::kPingPong) {
+    mom_[1].allocate(n, &prof_.counter());
+  }
+}
+
+template <class L>
+int MrEngine<L>::sweep_extent() const {
+  return L::D == 2 ? this->geo_.box.ny : this->geo_.box.nz;
+}
+
+template <class L>
+int MrEngine<L>::phys_layer(int s, long long t) const {
+  if (config_.storage == MomentStorage::kPingPong) return s;
+  const long long r = sweep_extent() + 2;
+  const long long p = (static_cast<long long>(s) - 2 * t) % r;
+  return static_cast<int>(p < 0 ? p + r : p);
+}
+
+template <class L>
+index_t MrEngine<L>::midx(int m, int cx0, int cx1, int sp) const {
+  const Box& b = this->geo_.box;
+  const index_t ncx0 = b.nx;
+  const index_t ncx1 = (L::D == 2) ? 1 : b.ny;
+  const index_t layers = config_.storage == MomentStorage::kPingPong
+                             ? sweep_extent()
+                             : sweep_extent() + 2;
+  return (static_cast<index_t>(m) * layers + sp) * ncx1 * ncx0 +
+         static_cast<index_t>(cx1) * ncx0 + cx0;
+}
+
+template <class L>
+Moments<L> MrEngine<L>::read_moments_raw(int cx0, int cx1, int s,
+                                         long long t) const {
+  const int sp = phys_layer(s, t);
+  const auto& buf = mom_[cur_];
+  Moments<L> m;
+  m.rho = buf.raw(midx(0, cx0, cx1, sp));
+  for (int a = 0; a < L::D; ++a) {
+    m.u[static_cast<std::size_t>(a)] = buf.raw(midx(1 + a, cx0, cx1, sp));
+  }
+  for (int p = 0; p < NP; ++p) {
+    m.pi[static_cast<std::size_t>(p)] = buf.raw(midx(1 + L::D + p, cx0, cx1, sp));
+  }
+  return m;
+}
+
+template <class L>
+void MrEngine<L>::write_moments_raw(int cx0, int cx1, int s, long long t,
+                                    const Moments<L>& m) {
+  const int sp = phys_layer(s, t);
+  auto& buf = mom_[cur_];
+  buf.raw(midx(0, cx0, cx1, sp)) = m.rho;
+  for (int a = 0; a < L::D; ++a) {
+    buf.raw(midx(1 + a, cx0, cx1, sp)) = m.u[static_cast<std::size_t>(a)];
+  }
+  for (int p = 0; p < NP; ++p) {
+    buf.raw(midx(1 + L::D + p, cx0, cx1, sp)) = m.pi[static_cast<std::size_t>(p)];
+  }
+}
+
+template <class L>
+void MrEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+  const Box& b = this->geo_.box;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        impose(x, y, z, init(x, y, z));
+      }
+    }
+  }
+}
+
+template <class L>
+Moments<L> MrEngine<L>::moments_at(int x, int y, int z) const {
+  if constexpr (L::D == 2) {
+    return read_moments_raw(x, 0, y, this->t_);
+  } else {
+    return read_moments_raw(x, y, z, this->t_);
+  }
+}
+
+template <class L>
+void MrEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+  if constexpr (L::D == 2) {
+    write_moments_raw(x, 0, y, this->t_, m);
+  } else {
+    write_moments_raw(x, y, z, this->t_, m);
+  }
+}
+
+template <class L>
+std::size_t MrEngine<L>::state_bytes() const {
+  return mom_[0].size_bytes() + mom_[1].size_bytes();
+}
+
+template <class L>
+int MrEngine<L>::threads_per_block() const {
+  if constexpr (L::D == 2) {
+    return (config_.tile_x + 2) * config_.tile_s;
+  } else {
+    return (config_.tile_x + 2) * (config_.tile_y + 2) * config_.tile_s;
+  }
+}
+
+template <class L>
+std::size_t MrEngine<L>::shared_bytes_per_block() const {
+  const std::size_t cross =
+      static_cast<std::size_t>(config_.tile_x) *
+      static_cast<std::size_t>(L::D == 2 ? 1 : config_.tile_y);
+  return cross * static_cast<std::size_t>(config_.tile_s + 2) *
+         static_cast<std::size_t>(L::Q) * sizeof(real_t);
+}
+
+template <class L>
+void MrEngine<L>::do_step() {
+  const Box& b = this->geo_.box;
+  const Geometry& geo = this->geo_;
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const real_t relax = real_t(1) - real_t(1) / tau;
+  const long long tt = this->t_;
+  const Regularization scheme = scheme_;
+  const bool ping_pong = config_.storage == MomentStorage::kPingPong;
+
+  const int ncx0 = b.nx;
+  const int ncx1 = (L::D == 2) ? 1 : b.ny;
+  const int S = sweep_extent();
+  const int tx = std::min(config_.tile_x, ncx0);
+  const int ty = (L::D == 2) ? 1 : std::min(config_.tile_y, ncx1);
+  const int ts = std::min(config_.tile_s, S);
+  const int nc0 = (ncx0 + tx - 1) / tx;
+  const int nc1 = (ncx1 + ty - 1) / ty;
+  const int ntiles = (S + ts - 1) / ts;
+  const int ring_w = ts + 2;
+
+  const bool sweep_periodic = geo.bc.periodic(kSweepAxis);
+  const bool cx0_periodic = geo.bc.periodic(0);
+  const bool cx1_periodic = (L::D == 3) && geo.bc.periodic(1);
+  if (sweep_periodic && S < ts + 3) {
+    throw std::invalid_argument(
+        "MrEngine: periodic sweep axis requires extent >= tile_s + 3");
+  }
+
+  const gpusim::GlobalArray<real_t>& rbuf = mom_[ping_pong ? cur_ : 0];
+  gpusim::GlobalArray<real_t>& wbuf = mom_[ping_pong ? 1 - cur_ : 0];
+
+  struct ColState {
+    int x0, x1, y0, y1;  // cross-section ranges of the column
+    std::span<real_t> ring;
+    std::span<real_t> stash_lo;  // populations streamed to layer -1 == S-1
+    std::span<real_t> stash_hi;  // populations streamed to layer S == 0
+    std::span<real_t> snap0;     // layer-0 ring snapshot (periodic sweep)
+    int next_write = 0;          // first layer not yet written back
+  };
+
+  auto make_state = [&](gpusim::BlockCtx& blk) {
+    ColState st;
+    st.x0 = blk.block_idx().x * tx;
+    st.x1 = std::min(ncx0, st.x0 + tx);
+    st.y0 = blk.block_idx().y * ty;
+    st.y1 = std::min(ncx1, st.y0 + ty);
+    const std::size_t cross = static_cast<std::size_t>(st.x1 - st.x0) *
+                              static_cast<std::size_t>(st.y1 - st.y0);
+    st.ring = blk.alloc_shared<real_t>(static_cast<std::size_t>(ring_w) *
+                                       cross * L::Q);
+    if (sweep_periodic) {
+      st.stash_lo = blk.alloc_shared<real_t>(cross * L::Q);
+      st.stash_hi = blk.alloc_shared<real_t>(cross * L::Q);
+      st.snap0 = blk.alloc_shared<real_t>(cross * L::Q);
+    }
+    return st;
+  };
+
+  // Ring addressing: slot (s+1) mod (tile_s + 2) holds layer s while the
+  // sliding window covers it.
+  auto ring_at = [&](ColState& st, int s, int cx0, int cx1,
+                     int i) -> real_t& {
+    const int cax = st.x1 - st.x0;
+    const int slot = (s + 1) % ring_w;
+    const std::size_t node = static_cast<std::size_t>(slot) *
+                                 static_cast<std::size_t>(st.y1 - st.y0) *
+                                 static_cast<std::size_t>(cax) +
+                             static_cast<std::size_t>(cx1 - st.y0) *
+                                 static_cast<std::size_t>(cax) +
+                             static_cast<std::size_t>(cx0 - st.x0);
+    return st.ring[node * L::Q + static_cast<std::size_t>(i)];
+  };
+  auto stash_at = [&](std::span<real_t> stash, ColState& st, int cx0, int cx1,
+                      int i) -> real_t& {
+    const int cax = st.x1 - st.x0;
+    const std::size_t node =
+        static_cast<std::size_t>(cx1 - st.y0) * static_cast<std::size_t>(cax) +
+        static_cast<std::size_t>(cx0 - st.x0);
+    return stash[node * L::Q + static_cast<std::size_t>(i)];
+  };
+
+  // ---- Phase A: read + collide + reconstruct + stream into shared memory.
+  auto phase_a = [&](ColState& st, int k) {
+    const int s_begin = k * ts;
+    const int s_end = std::min(S, s_begin + ts);
+    const int hy_lo = (L::D == 3) ? st.y0 - 1 : 0;
+    const int hy_hi = (L::D == 3) ? st.y1 : 0;
+
+    for (int s = s_begin; s < s_end; ++s) {
+      for (int hy = hy_lo; hy <= hy_hi; ++hy) {
+        int py = hy;
+        if (L::D == 3 && (hy < 0 || hy >= ncx1)) {
+          if (!cx1_periodic) continue;  // no node beyond a wall/open face
+          py = Box::wrap(hy, ncx1);
+        }
+        for (int hx = st.x0 - 1; hx <= st.x1; ++hx) {
+          int px = hx;
+          if (hx < 0 || hx >= ncx0) {
+            if (!cx0_periodic) continue;
+            px = Box::wrap(hx, ncx0);
+          }
+
+          // Read moments from global memory (Algorithm 2, lines 15-23) and
+          // collide in moment space (Eq. 10).
+          const int sp = phys_layer(s, tt);
+          const real_t rho = rbuf.load(midx(0, px, py, sp));
+          real_t u[L::D];
+          for (int a = 0; a < L::D; ++a) {
+            u[a] = rbuf.load(midx(1 + a, px, py, sp));
+          }
+          real_t pineq_star[NP];
+          for (int p = 0; p < NP; ++p) {
+            const auto [pa, pb] = Moments<L>::pair(p);
+            const real_t full = rbuf.load(midx(1 + L::D + p, px, py, sp));
+            pineq_star[p] = relax * (full - rho * u[pa] * u[pb]);
+          }
+          const Reconstructor<L> rec(scheme, rho, u, pineq_star);
+
+          // Map to distribution space (Eq. 11 / Eq. 14) and stream into the
+          // shared ring (Algorithm 2, lines 29-33).
+          for (int i = 0; i < L::Q; ++i) {
+            const real_t f = rec(i);
+            const auto& c = L::c[static_cast<std::size_t>(i)];
+            const int ld0 = hx + c[0];
+            const int ld1 = (L::D == 3) ? hy + c[1] : 0;
+            const int lds = s + c_sweep<L>(i);
+
+            bool bounce = false;
+            bool dropped = false;
+            real_t cu_wall = 0;
+            auto check_axis = [&](int axis, int coord, int extent,
+                                  bool periodic) {
+              if (periodic || (coord >= 0 && coord < extent)) return;
+              const FaceSpec& face =
+                  geo.bc.face[static_cast<std::size_t>(axis)][coord < 0 ? 0 : 1];
+              if (face.type == FaceBC::kWall) {
+                bounce = true;
+                for (int bb = 0; bb < 3; ++bb) {
+                  cu_wall += static_cast<real_t>(c[bb]) *
+                             face.u_wall[static_cast<std::size_t>(bb)];
+                }
+              } else if (face.type == FaceBC::kOpen) {
+                dropped = true;
+              }
+            };
+            check_axis(0, ld0, ncx0, cx0_periodic);
+            if (L::D == 3) check_axis(1, ld1, ncx1, cx1_periodic);
+            check_axis(kSweepAxis, lds, S, sweep_periodic);
+
+            if (dropped) continue;
+            if (bounce) {
+              // Half-way bounceback: the population returns to its source
+              // node; halo sources belong to the neighbouring column.
+              if (hx >= st.x0 && hx < st.x1 && hy >= st.y0 && hy < st.y1) {
+                ring_at(st, s, hx, hy, L::opposite(i)) =
+                    f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
+                            cu_wall * inv_cs2;
+              }
+              continue;
+            }
+            // Interior stream: only destinations inside this column are ours;
+            // populations crossing into other columns are produced by those
+            // columns' halo threads.
+            if (ld0 < st.x0 || ld0 >= st.x1 || ld1 < st.y0 || ld1 >= st.y1) {
+              continue;
+            }
+            if (lds >= 0 && lds < S) {
+              ring_at(st, lds, ld0, ld1, i) = f;
+            } else if (lds == -1) {
+              stash_at(st.stash_lo, st, ld0, ld1, i) = f;  // wraps to S-1
+            } else {
+              assert(lds == S);
+              stash_at(st.stash_hi, st, ld0, ld1, i) = f;  // wraps to 0
+            }
+          }
+        }
+      }
+    }
+  };
+
+  // ---- Phase B: project completed layers back to moments and write them.
+  auto write_layer_from = [&](ColState& st, int s,
+                              const std::function<real_t(int, int, int)>& get) {
+    for (int cy = st.y0; cy < st.y1; ++cy) {
+      for (int cx = st.x0; cx < st.x1; ++cx) {
+        real_t f[L::Q];
+        for (int i = 0; i < L::Q; ++i) f[i] = get(cx, cy, i);
+        const Moments<L> m = compute_moments<L>(f);
+        const int sp = phys_layer(s, tt + 1);
+        wbuf.store(midx(0, cx, cy, sp), m.rho);
+        for (int a = 0; a < L::D; ++a) {
+          wbuf.store(midx(1 + a, cx, cy, sp), m.u[static_cast<std::size_t>(a)]);
+        }
+        for (int p = 0; p < NP; ++p) {
+          wbuf.store(midx(1 + L::D + p, cx, cy, sp),
+                     m.pi[static_cast<std::size_t>(p)]);
+        }
+      }
+    }
+  };
+
+  auto phase_b = [&](ColState& st, int k) {
+    // Layers complete after phase A of level k: all s <= (k+1) ts - 2 (their
+    // last contribution streams down from source layer s+1). The final level
+    // (k == ntiles) flushes the remainder, for which the top layer's missing
+    // contribution came from bounceback (wall) or the level-0 stash
+    // (periodic).
+    const int limit =
+        (k < ntiles) ? std::min((k + 1) * ts - 2, S - 2) : S - 1;
+    for (; st.next_write <= limit; ++st.next_write) {
+      const int s = st.next_write;
+      if (sweep_periodic && s == 0) {
+        // Layer 0 still lacks the upward-streaming populations from layer
+        // S-1 (processed only at the last level); snapshot its ring slot
+        // before the window recycles it and write it at the end.
+        for (int cy = st.y0; cy < st.y1; ++cy) {
+          for (int cx = st.x0; cx < st.x1; ++cx) {
+            for (int i = 0; i < L::Q; ++i) {
+              stash_at(st.snap0, st, cx, cy, i) = ring_at(st, 0, cx, cy, i);
+            }
+          }
+        }
+        continue;
+      }
+      if (sweep_periodic && s == S - 1) {
+        write_layer_from(st, s, [&](int cx, int cy, int i) {
+          return c_sweep<L>(i) < 0 ? stash_at(st.stash_lo, st, cx, cy, i)
+                                   : ring_at(st, s, cx, cy, i);
+        });
+        continue;
+      }
+      write_layer_from(st, s, [&](int cx, int cy, int i) {
+        return ring_at(st, s, cx, cy, i);
+      });
+    }
+    if (k == ntiles && sweep_periodic) {
+      write_layer_from(st, 0, [&](int cx, int cy, int i) {
+        return c_sweep<L>(i) > 0 ? stash_at(st.stash_hi, st, cx, cy, i)
+                                 : stash_at(st.snap0, st, cx, cy, i);
+      });
+    }
+  };
+
+  // Levels alternate phase A and phase B with a global barrier in between,
+  // so a column's write-back can never overtake a neighbour's halo reads
+  // (the circular-shift slot reuse analysis in the header relies on this).
+  const gpusim::Dim3 grid{nc0, nc1, 1};
+  const gpusim::Dim3 block =
+      (L::D == 2) ? gpusim::Dim3{tx + 2, ts, 1}
+                  : gpusim::Dim3{tx + 2, ty + 2, ts};
+  const std::string kname = std::string(scheme == Regularization::kProjective
+                                            ? "mr_p_"
+                                            : "mr_r_") +
+                            L::name();
+
+  gpusim::launch_level_synced(
+      prof_, kname, grid, block, 2 * (ntiles + 1), make_state,
+      [&](gpusim::BlockCtx& blk, ColState& st, int level) {
+        const int k = level / 2;
+        if (level % 2 == 0) {
+          if (k < ntiles) phase_a(st, k);
+        } else {
+          blk.sync();
+          phase_b(st, k);
+        }
+      });
+
+  if (ping_pong) cur_ = 1 - cur_;
+}
+
+template class MrEngine<D2Q9>;
+template class MrEngine<D3Q19>;
+template class MrEngine<D3Q27>;
+template class MrEngine<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,137 @@
+// Moment-representation engine (Algorithm 2 of the paper).
+//
+// Global memory holds only the M = 1 + D + D(D+1)/2 moments {rho, u, Pi} per
+// node — the regularized schemes make this a lossless representation of the
+// simulation state. Each timestep, per column of the domain (one thread
+// block on a real GPU):
+//
+//   phase A  read the moments of the current tile plus a one-node-wide halo
+//            in the non-axial (cross) directions, collide in moment space
+//            (Eq. 10), map to distribution space with the projective (MR-P,
+//            Eq. 11) or recursive (MR-R, Eq. 14) reconstruction, and scatter
+//            the post-collision populations into a shared-memory ring that
+//            covers the tile plus two extra layers along the sweep axis;
+//
+//   phase B  once a tile's layers have received every streamed population
+//            (one level later), re-project them to moments (Eqs. 1-3) and
+//            write those M values back to global memory.
+//
+// The sweep walks the column bottom-to-top (sliding window). Columns run
+// concurrently; the simulator's level-synchronized launcher bounds the
+// inter-column skew that a real GPU bounds with the circular array shift
+// (see DESIGN.md §3).
+//
+// Two global storage policies are provided:
+//  * kPingPong      — two moment lattices, read t / write t+1 (2M per node;
+//                     matches the memory footprints the paper reports);
+//  * kCircularShift — a single moment lattice with S+2 layers along the
+//                     sweep axis; layer s of timestep t lives at physical
+//                     layer (s - 2t) mod (S+2), so the write of layer s at
+//                     t+1 lands exactly in the slot vacated by layer s+2 of
+//                     timestep t (Dethier-style constant-time shifting;
+//                     M per node plus two layers).
+// Both move 2M doubles of global traffic per fluid lattice update (Table 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/regularization.hpp"
+#include "engines/engine.hpp"
+#include "gpusim/global_array.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace mlbm {
+
+enum class MomentStorage {
+  kPingPong,
+  kCircularShift,
+};
+
+inline const char* to_string(MomentStorage s) {
+  return s == MomentStorage::kPingPong ? "ping-pong" : "circular-shift";
+}
+
+struct MrConfig {
+  int tile_x = 32;  ///< tile extent along x (cross axis 0)
+  int tile_y = 8;   ///< tile extent along y (cross axis 1; 3D only)
+  int tile_s = 1;   ///< tile thickness along the sweep axis (paper: 1 in 3D)
+  MomentStorage storage = MomentStorage::kPingPong;
+};
+
+template <class L>
+class MrEngine final : public Engine<L> {
+ public:
+  MrEngine(Geometry geo, real_t tau, Regularization scheme,
+           MrConfig config = {});
+
+  [[nodiscard]] const char* pattern_name() const override {
+    return scheme_ == Regularization::kProjective ? "MR-P" : "MR-R";
+  }
+  void initialize(const typename Engine<L>::InitFn& init) override;
+  [[nodiscard]] Moments<L> moments_at(int x, int y, int z) const override;
+  void impose(int x, int y, int z, const Moments<L>& m) override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+
+  [[nodiscard]] gpusim::Profiler* profiler() override { return &prof_; }
+  [[nodiscard]] const gpusim::Profiler* profiler() const override {
+    return &prof_;
+  }
+
+  [[nodiscard]] Regularization scheme() const { return scheme_; }
+  [[nodiscard]] const MrConfig& config() const { return config_; }
+
+  void set_unique_read_tracking(bool on) override {
+    mom_[0].set_unique_read_tracking(on);
+    if (mom_[1].allocated()) mom_[1].set_unique_read_tracking(on);
+  }
+  void clear_unique_reads() override {
+    mom_[0].clear_unique_reads();
+    if (mom_[1].allocated()) mom_[1].clear_unique_reads();
+  }
+  [[nodiscard]] std::uint64_t unique_read_bytes() const override {
+    return mom_[0].unique_read_bytes() +
+           (mom_[1].allocated() ? mom_[1].unique_read_bytes() : 0);
+  }
+
+  /// Thread-block geometry of the column kernel: (tile_x + 2) x tile_s in 2D,
+  /// (tile_x + 2) x (tile_y + 2) x tile_s in 3D (halo threads included).
+  [[nodiscard]] int threads_per_block() const;
+  /// Shared-memory ring size per block: cross-section x (tile_s + 2) x Q.
+  [[nodiscard]] std::size_t shared_bytes_per_block() const;
+
+ protected:
+  void do_step() override;
+
+ private:
+  static constexpr int kSweepAxis = (L::D == 2) ? 1 : 2;
+  static constexpr int NP = Moments<L>::NP;
+  static constexpr int M = L::M;
+
+  /// Sweep-axis extent and ring capacity (circular shift).
+  [[nodiscard]] int sweep_extent() const;
+  /// Physical sweep layer of logical layer `s` at timestep `t`.
+  [[nodiscard]] int phys_layer(int s, long long t) const;
+  /// Flat index of moment `m` of node (cx0, cx1, s) with physical layer `sp`.
+  [[nodiscard]] index_t midx(int m, int cx0, int cx1, int sp) const;
+
+  [[nodiscard]] Moments<L> read_moments_raw(int cx0, int cx1, int s,
+                                            long long t) const;
+  void write_moments_raw(int cx0, int cx1, int s, long long t,
+                         const Moments<L>& m);
+
+  Regularization scheme_;
+  MrConfig config_;
+  gpusim::Profiler prof_;
+  /// kPingPong: both allocated, cur_ is the read side. kCircularShift: only
+  /// mom_[0] is allocated (with S+2 sweep layers).
+  gpusim::GlobalArray<real_t> mom_[2];
+  int cur_ = 0;
+};
+
+extern template class MrEngine<D2Q9>;
+extern template class MrEngine<D3Q19>;
+extern template class MrEngine<D3Q27>;
+extern template class MrEngine<D3Q15>;
+
+}  // namespace mlbm

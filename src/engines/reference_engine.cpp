@@ -1,0 +1,125 @@
+#include "engines/reference_engine.hpp"
+
+#include "core/regularization.hpp"
+#include "engines/streaming.hpp"
+
+namespace mlbm {
+
+template <class L>
+ReferenceEngine<L>::ReferenceEngine(Geometry geo, real_t tau,
+                                    CollisionScheme scheme)
+    : Engine<L>(std::move(geo), tau), scheme_(scheme) {
+  const auto n = static_cast<std::size_t>(this->geo_.box.cells()) *
+                 static_cast<std::size_t>(L::Q);
+  f_[0].assign(n, real_t(0));
+  f_[1].assign(n, real_t(0));
+}
+
+template <class L>
+const char* ReferenceEngine<L>::pattern_name() const {
+  switch (scheme_) {
+    case CollisionScheme::kBGK: return "REF-BGK";
+    case CollisionScheme::kProjective: return "REF-P";
+    case CollisionScheme::kRecursive: return "REF-R";
+  }
+  return "REF";
+}
+
+template <class L>
+void ReferenceEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+  const Box& b = this->geo_.box;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        impose(x, y, z, init(x, y, z));
+      }
+    }
+  }
+}
+
+template <class L>
+Moments<L> ReferenceEngine<L>::moments_at(int x, int y, int z) const {
+  const index_t cell = this->geo_.box.idx(x, y, z);
+  real_t f[L::Q];
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] = f_[cur_][static_cast<std::size_t>(soa(i, cell))];
+  }
+  return compute_moments<L>(f);
+}
+
+template <class L>
+void ReferenceEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+  // The stored state is pre-collision; the projective reconstruction is the
+  // unique population whose first three Hermite moments equal `m` exactly
+  // and whose higher-order non-equilibrium content vanishes. All engines use
+  // this convention so imposed states produce identical trajectories.
+  const index_t cell = this->geo_.box.idx(x, y, z);
+  real_t pineq[Moments<L>::NP];
+  for (int p = 0; p < Moments<L>::NP; ++p) pineq[p] = m.pi_neq(p);
+  for (int i = 0; i < L::Q; ++i) {
+    f_[cur_][static_cast<std::size_t>(soa(i, cell))] =
+        reconstruct_projective<L>(i, m.rho, m.u.data(), pineq);
+  }
+}
+
+template <class L>
+std::size_t ReferenceEngine<L>::state_bytes() const {
+  return (f_[0].size() + f_[1].size()) * sizeof(real_t);
+}
+
+template <class L>
+real_t ReferenceEngine<L>::f_at(int i, int x, int y, int z) const {
+  return f_[cur_][static_cast<std::size_t>(soa(i, this->geo_.box.idx(x, y, z)))];
+}
+
+template <class L>
+void ReferenceEngine<L>::do_step() {
+  const Box& b = this->geo_.box;
+  const Geometry& geo = this->geo_;
+  const std::vector<real_t>& src = f_[cur_];
+  std::vector<real_t>& dst = f_[1 - cur_];
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const index_t cell = b.idx(x, y, z);
+        real_t f[L::Q];
+        for (int i = 0; i < L::Q; ++i) {
+          f[i] = src[static_cast<std::size_t>(soa(i, cell))];
+        }
+        // Collide on read: stored state is pre-collision.
+        const real_t rho_pre = [&] {
+          real_t r = 0;
+          for (int i = 0; i < L::Q; ++i) r += f[i];
+          return r;
+        }();
+        collide<L>(scheme_, f, this->tau_);
+
+        for (int i = 0; i < L::Q; ++i) {
+          const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+          switch (t.kind) {
+            case StreamTarget::Kind::kInterior:
+              dst[static_cast<std::size_t>(soa(i, b.idx(t.x, t.y, t.z)))] = f[i];
+              break;
+            case StreamTarget::Kind::kBounce:
+              dst[static_cast<std::size_t>(soa(L::opposite(i), cell))] =
+                  f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
+                             t.cu_wall * inv_cs2;
+              break;
+            case StreamTarget::Kind::kDropped:
+              break;
+          }
+        }
+      }
+    }
+  }
+  cur_ = 1 - cur_;
+}
+
+template class ReferenceEngine<D2Q9>;
+template class ReferenceEngine<D3Q19>;
+template class ReferenceEngine<D3Q27>;
+template class ReferenceEngine<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,59 @@
+// Reference two-lattice engine (host, un-instrumented).
+//
+// Ground truth for every other engine: a straightforward push-style
+// two-lattice update with pluggable collision (BGK, projective or recursive
+// regularization). Stored distributions are *pre-collision* — the engine
+// collides on read and scatters post-collision populations — which makes its
+// stored moments directly comparable with the MR engines' stored moment
+// fields (DESIGN.md §5, equivalence tests).
+//
+// Boundary handling:
+//  * periodic faces wrap during the scatter;
+//  * wall faces apply half-way bounceback, with the moving-wall momentum
+//    correction  f2[opp(i)](x) = f*_i(x) - 2 w_i rho (c_i . u_wall)/cs2;
+//  * open faces (inlet/outlet) drop leaving populations; the nodes on those
+//    faces are rebuilt by the post-step boundary pass.
+#pragma once
+
+#include <vector>
+
+#include "core/collision.hpp"
+#include "engines/engine.hpp"
+
+namespace mlbm {
+
+template <class L>
+class ReferenceEngine final : public Engine<L> {
+ public:
+  ReferenceEngine(Geometry geo, real_t tau, CollisionScheme scheme);
+
+  [[nodiscard]] const char* pattern_name() const override;
+  void initialize(const typename Engine<L>::InitFn& init) override;
+  [[nodiscard]] Moments<L> moments_at(int x, int y, int z) const override;
+  void impose(int x, int y, int z, const Moments<L>& m) override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+
+  [[nodiscard]] CollisionScheme scheme() const { return scheme_; }
+
+  /// Direct access to the stored (pre-collision) population of a node.
+  [[nodiscard]] real_t f_at(int i, int x, int y, int z) const;
+
+ protected:
+  void do_step() override;
+
+ private:
+  [[nodiscard]] index_t soa(int i, index_t cell) const {
+    return static_cast<index_t>(i) * this->geo_.box.cells() + cell;
+  }
+
+  CollisionScheme scheme_;
+  std::vector<real_t> f_[2];
+  int cur_ = 0;
+};
+
+extern template class ReferenceEngine<D2Q9>;
+extern template class ReferenceEngine<D3Q19>;
+extern template class ReferenceEngine<D3Q27>;
+extern template class ReferenceEngine<D3Q15>;
+
+}  // namespace mlbm

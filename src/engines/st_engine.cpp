@@ -1,0 +1,249 @@
+#include "engines/st_engine.hpp"
+
+#include "core/regularization.hpp"
+#include "engines/streaming.hpp"
+#include "gpusim/launch.hpp"
+
+namespace mlbm {
+
+template <class L>
+StEngine<L>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
+                      int threads_per_block, StreamMode mode)
+    : Engine<L>(std::move(geo), tau),
+      scheme_(scheme),
+      threads_per_block_(threads_per_block),
+      mode_(mode) {
+  const auto n = static_cast<std::size_t>(this->geo_.box.cells()) *
+                 static_cast<std::size_t>(L::Q);
+  f_[0].allocate(n, &prof_.counter());
+  f_[1].allocate(n, &prof_.counter());
+}
+
+template <class L>
+void StEngine<L>::impose_population(int x, int y, int z,
+                                    const real_t (&f)[L::Q]) {
+  const index_t cell = this->geo_.box.idx(x, y, z);
+  for (int i = 0; i < L::Q; ++i) {
+    f_[cur_].raw(soa(i, cell)) = f[i];
+  }
+}
+
+template <class L>
+void StEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+  const Box& b = this->geo_.box;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        impose(x, y, z, init(x, y, z));
+      }
+    }
+  }
+}
+
+template <class L>
+Moments<L> StEngine<L>::moments_at(int x, int y, int z) const {
+  const index_t cell = this->geo_.box.idx(x, y, z);
+  real_t f[L::Q];
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] = f_[cur_].raw(soa(i, cell));
+  }
+  Moments<L> m = compute_moments<L>(f);
+  if (mode_ == StreamMode::kPush) {
+    // Push stores the pre-collision state directly.
+    return m;
+  }
+  // Pull stores post-collision; translate back to the pre-collision moment
+  // convention shared by all engines. Collision conserves rho and u; the
+  // non-equilibrium second moment was scaled by (1 - 1/tau).
+  const real_t factor = real_t(1) - real_t(1) / this->tau_;
+  if (factor != real_t(0)) {
+    for (int p = 0; p < Moments<L>::NP; ++p) {
+      const auto [a, b] = Moments<L>::pair(p);
+      const real_t eq = m.rho * m.u[static_cast<std::size_t>(a)] *
+                        m.u[static_cast<std::size_t>(b)];
+      m.pi[static_cast<std::size_t>(p)] =
+          eq + (m.pi[static_cast<std::size_t>(p)] - eq) / factor;
+    }
+  }
+  return m;
+}
+
+template <class L>
+void StEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+  real_t pineq[Moments<L>::NP];
+  real_t f[L::Q];
+  if (mode_ == StreamMode::kPush) {
+    // Pre-collision storage: the exact population with these moments.
+    for (int p = 0; p < Moments<L>::NP; ++p) pineq[p] = m.pi_neq(p);
+    for (int i = 0; i < L::Q; ++i) {
+      f[i] = reconstruct_projective<L>(i, m.rho, m.u.data(), pineq);
+    }
+    impose_population(x, y, z, f);
+    return;
+  }
+  // Pull: store the post-collision image of the imposed pre-collision state
+  // so the next step streams exactly what the push-style engines stream.
+  const real_t factor = real_t(1) - real_t(1) / this->tau_;
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    pineq[p] = factor * m.pi_neq(p);
+  }
+  const Regularization reg = scheme_ == CollisionScheme::kRecursive
+                                 ? Regularization::kRecursive
+                                 : Regularization::kProjective;
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] = reconstruct<L>(reg, i, m.rho, m.u.data(), pineq);
+  }
+  impose_population(x, y, z, f);
+}
+
+template <class L>
+std::size_t StEngine<L>::state_bytes() const {
+  return f_[0].size_bytes() + f_[1].size_bytes();
+}
+
+template <class L>
+void StEngine<L>::do_step() {
+  if (mode_ == StreamMode::kPull) {
+    step_pull();
+  } else {
+    step_push();
+  }
+  cur_ = 1 - cur_;
+}
+
+template <class L>
+void StEngine<L>::step_pull() {
+  const Box& b = this->geo_.box;
+  const Geometry& geo = this->geo_;
+  const index_t cells = b.cells();
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+
+  const gpusim::GlobalArray<real_t>& src = f_[cur_];
+  gpusim::GlobalArray<real_t>& dst = f_[1 - cur_];
+
+  const int tpb = threads_per_block_;
+  const auto nblocks =
+      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+
+  gpusim::launch(
+      prof_, std::string("st_stream_collide_") + L::name(),
+      gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+      [&, cells](gpusim::BlockCtx& blk) {
+        blk.for_each_thread([&](const gpusim::Dim3& tid) {
+          const index_t cell =
+              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+          if (cell >= cells) return;
+          const int x = static_cast<int>(cell % b.nx);
+          const int y = static_cast<int>((cell / b.nx) % b.ny);
+          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+          // Streaming: pull each population from its upwind source
+          // (Algorithm 1, lines 4-10). Pulling direction i corresponds to a
+          // push along opposite(i) from this node, so the shared resolver is
+          // reused with the opposite velocity.
+          real_t f[L::Q];
+          real_t rho_self = real_t(-1);  // lazily computed for moving walls
+          for (int i = 0; i < L::Q; ++i) {
+            const StreamTarget t =
+                resolve_stream<L>(geo, x, y, z, L::opposite(i));
+            switch (t.kind) {
+              case StreamTarget::Kind::kInterior:
+                f[i] = src.load(soa(i, b.idx(t.x, t.y, t.z)));
+                break;
+              case StreamTarget::Kind::kBounce: {
+                real_t v = src.load(soa(L::opposite(i), cell));
+                if (t.cu_wall != real_t(0)) {
+                  if (rho_self < real_t(0)) {
+                    rho_self = 0;
+                    for (int j = 0; j < L::Q; ++j) {
+                      rho_self += src.load(soa(j, cell));
+                    }
+                  }
+                  v -= real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                       rho_self * t.cu_wall * inv_cs2;
+                }
+                f[i] = v;
+                break;
+              }
+              case StreamTarget::Kind::kDropped:
+                // This node sits on an open face and is rebuilt by the BC
+                // pass; any finite placeholder works.
+                f[i] = src.load(soa(L::opposite(i), cell));
+                break;
+            }
+          }
+
+          // Collision (Algorithm 1, lines 11-26).
+          collide<L>(scheme, f, tau);
+          for (int i = 0; i < L::Q; ++i) {
+            dst.store(soa(i, cell), f[i]);
+          }
+        });
+      });
+}
+
+template <class L>
+void StEngine<L>::step_push() {
+  const Box& b = this->geo_.box;
+  const Geometry& geo = this->geo_;
+  const index_t cells = b.cells();
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+
+  const gpusim::GlobalArray<real_t>& src = f_[cur_];
+  gpusim::GlobalArray<real_t>& dst = f_[1 - cur_];
+
+  const int tpb = threads_per_block_;
+  const auto nblocks =
+      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+
+  gpusim::launch(
+      prof_, std::string("st_push_collide_stream_") + L::name(),
+      gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+      [&, cells](gpusim::BlockCtx& blk) {
+        blk.for_each_thread([&](const gpusim::Dim3& tid) {
+          const index_t cell =
+              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+          if (cell >= cells) return;
+          const int x = static_cast<int>(cell % b.nx);
+          const int y = static_cast<int>((cell / b.nx) % b.ny);
+          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+          // Coalesced read of the node's own (pre-collision) populations.
+          real_t f[L::Q];
+          real_t rho_pre = 0;
+          for (int i = 0; i < L::Q; ++i) {
+            f[i] = src.load(soa(i, cell));
+            rho_pre += f[i];
+          }
+          collide<L>(scheme, f, tau);
+
+          // Scatter the post-collision populations (irregular stores).
+          for (int i = 0; i < L::Q; ++i) {
+            const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+            switch (t.kind) {
+              case StreamTarget::Kind::kInterior:
+                dst.store(soa(i, b.idx(t.x, t.y, t.z)), f[i]);
+                break;
+              case StreamTarget::Kind::kBounce:
+                dst.store(soa(L::opposite(i), cell),
+                          f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                                     rho_pre * t.cu_wall * inv_cs2);
+                break;
+              case StreamTarget::Kind::kDropped:
+                break;
+            }
+          }
+        });
+      });
+}
+
+template class StEngine<D2Q9>;
+template class StEngine<D3Q19>;
+template class StEngine<D3Q27>;
+template class StEngine<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,75 @@
+// Thread-block execution context.
+//
+// Kernels for the simulator are written in *block-synchronous phase* style:
+// instead of emulating SIMT threads with real barriers, a kernel body runs
+// per block and expresses each region between __syncthreads() calls as a
+// `for_each_thread` loop. This preserves GPU semantics exactly — every
+// thread completes phase N before any thread starts phase N+1 — while
+// executing efficiently on the host. `sync()` records the barrier for the
+// profiler (the paper attributes part of the MR pattern's bandwidth loss to
+// synchronization cost, so we count them).
+//
+// Shared memory is a per-block bump arena whose high-water mark feeds the
+// occupancy calculator; it persists for the lifetime of the kernel body, as
+// on a real GPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/dim3.hpp"
+
+namespace mlbm::gpusim {
+
+class BlockCtx {
+ public:
+  BlockCtx() = default;
+  BlockCtx(Dim3 block_idx, Dim3 block_dim)
+      : block_idx_(block_idx), block_dim_(block_dim) {}
+
+  [[nodiscard]] const Dim3& block_idx() const { return block_idx_; }
+  [[nodiscard]] const Dim3& block_dim() const { return block_dim_; }
+
+  /// Allocates `n` elements of block-shared memory, zero-initialized.
+  /// Allocations persist for the lifetime of the kernel body.
+  template <typename T>
+  std::span<T> alloc_shared(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    auto& chunk = shared_.emplace_back(bytes, std::byte{0});
+    shared_bytes_ += bytes;
+    return {reinterpret_cast<T*>(chunk.data()), n};
+  }
+
+  /// Executes `fn(tid)` for every thread id in the block (x fastest). The
+  /// loop completing is the simulator's barrier.
+  template <class Fn>
+  void for_each_thread(Fn&& fn) {
+    for (int z = 0; z < block_dim_.z; ++z) {
+      for (int y = 0; y < block_dim_.y; ++y) {
+        for (int x = 0; x < block_dim_.x; ++x) {
+          fn(Dim3{x, y, z});
+        }
+      }
+    }
+  }
+
+  /// Records a __syncthreads(); the barrier itself is implicit in
+  /// `for_each_thread` phase boundaries.
+  void sync() { ++sync_count_; }
+
+  [[nodiscard]] std::size_t shared_bytes() const { return shared_bytes_; }
+  [[nodiscard]] std::uint64_t sync_count() const { return sync_count_; }
+
+ private:
+  Dim3 block_idx_{};
+  Dim3 block_dim_{};
+  // Chunked so that spans handed to kernels stay valid across later
+  // allocations (a std::vector<std::byte> arena would reallocate).
+  std::vector<std::vector<std::byte>> shared_;
+  std::size_t shared_bytes_ = 0;
+  std::uint64_t sync_count_ = 0;
+};
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,61 @@
+// Device models for the two GPUs evaluated in the paper (Table 1).
+//
+// The simulator does not execute SASS/GCN code; the DeviceSpec captures the
+// architectural quantities that enter the paper's performance analysis:
+// memory bandwidth (roofline, Eq. 15), shared memory capacity and block
+// limits (occupancy of the MR kernels), and FP64 throughput (compute bound of
+// the recursive scheme). The two efficiency constants are the calibrated part
+// of the model and are documented in DESIGN.md.
+#pragma once
+
+#include <string>
+
+namespace mlbm::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+  std::string compiler;
+
+  double frequency_mhz = 0;
+  int cores = 0;      ///< CUDA cores / HIP stream processors
+  int sm_count = 0;   ///< SMs (NVIDIA) or CUs (AMD)
+
+  int shared_mem_per_sm_bytes = 0;
+  int shared_mem_per_block_bytes = 0;
+  int l1_kb_per_sm = 0;
+  int l2_kb = 0;
+
+  double memory_gb = 0;
+  double bandwidth_gbs = 0;  ///< peak DRAM bandwidth
+
+  int max_threads_per_block = 0;
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  int warp_size = 0;
+
+  double fp64_peak_gflops = 0;
+
+  /// Fraction of peak DRAM bandwidth achievable by a simple, fully coalesced
+  /// streaming kernel on this device (STREAM-like). Calibrated; see DESIGN.md.
+  double stream_efficiency = 0;
+
+  /// Additional multiplicative efficiency of kernels that pipeline global
+  /// loads through shared memory with block-wide synchronization (the MR
+  /// pattern). Captures shared-memory latency, __syncthreads cost, halo
+  /// pressure on L2 and the thread-block shape restrictions the paper
+  /// discusses. 3D columns have two halo'd axes and 3D thread blocks, hence
+  /// a separate (lower) value. Calibrated.
+  double mr_pipeline_efficiency_2d = 0;
+  double mr_pipeline_efficiency_3d = 0;
+
+  /// Fraction of FP64 peak sustainable by the MR-R reconstruction's
+  /// instruction mix (FMA density, transcendental-free). Calibrated.
+  double flop_efficiency = 0;
+
+  /// NVIDIA V100 (Volta), SXM2 16 GB — Table 1, left column.
+  static DeviceSpec v100();
+  /// AMD MI100 (CDNA1) 32 GB — Table 1, right column.
+  static DeviceSpec mi100();
+};
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,17 @@
+// CUDA/HIP-style 3-component launch dimensions.
+#pragma once
+
+namespace mlbm::gpusim {
+
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  [[nodiscard]] long long count() const {
+    return static_cast<long long>(x) * y * z;
+  }
+  [[nodiscard]] bool operator==(const Dim3&) const = default;
+};
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,110 @@
+// Instrumented device-global memory.
+//
+// GlobalArray<T> models a GPU global-memory allocation. Kernel code must use
+// `load`/`store`, which are counted by the attached TrafficCounter exactly as
+// a profiler reports DRAM traffic for a cache-unfriendly working set (LBM's
+// state does not fit in L2 at the paper's problem sizes, so every kernel
+// access is a DRAM access — the basis of Table 2's byte counts).
+//
+// Host-side (uncounted) access goes through `raw`/`host_data`, mirroring
+// cudaMemcpy-style initialization that the paper would not count either.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/traffic.hpp"
+#include "util/types.hpp"
+
+namespace mlbm::gpusim {
+
+template <typename T>
+class GlobalArray {
+ public:
+  GlobalArray() = default;
+
+  GlobalArray(std::size_t n, TrafficCounter* counter)
+      : data_(n), counter_(counter) {}
+
+  void allocate(std::size_t n, TrafficCounter* counter) {
+    data_.assign(n, T{});
+    counter_ = counter;
+    read_touched_.clear();
+  }
+
+  /// Device load: counted.
+  [[nodiscard]] T load(index_t i) const {
+    assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
+    counter_->add_read(sizeof(T));
+    if (!read_touched_.empty()) {
+      std::atomic_ref<std::uint8_t>(
+          read_touched_[static_cast<std::size_t>(i)])
+          .store(1, std::memory_order_relaxed);
+    }
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Device store: counted.
+  void store(index_t i, T v) {
+    assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
+    counter_->add_write(sizeof(T));
+    data_[static_cast<std::size_t>(i)] = v;
+  }
+
+  /// Host access: NOT counted (initialization, result inspection).
+  [[nodiscard]] T& raw(index_t i) {
+    assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const T& raw(index_t i) const {
+    assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const {
+    return data_.size() * sizeof(T);
+  }
+  [[nodiscard]] bool allocated() const { return !data_.empty(); }
+
+  void swap(GlobalArray& other) {
+    data_.swap(other.data_);
+    std::swap(counter_, other.counter_);
+    read_touched_.swap(other.read_touched_);
+  }
+
+  /// Unique-address read tracking: models an ideal cache in front of DRAM.
+  /// While enabled, `unique_read_count` reports how many *distinct* elements
+  /// were loaded since the last clear — the traffic a profiler attributes to
+  /// DRAM when re-reads (e.g. the MR column halos) hit in L2.
+  void set_unique_read_tracking(bool on) {
+    if (on) {
+      read_touched_.assign(data_.size(), 0);
+    } else {
+      read_touched_.clear();
+    }
+  }
+  void clear_unique_reads() {
+    if (!read_touched_.empty()) {
+      read_touched_.assign(read_touched_.size(), 0);
+    }
+  }
+  [[nodiscard]] std::uint64_t unique_read_count() const {
+    std::uint64_t n = 0;
+    for (auto b : read_touched_) n += b;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t unique_read_bytes() const {
+    return unique_read_count() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> data_;
+  TrafficCounter* counter_ = nullptr;
+  mutable std::vector<std::uint8_t> read_touched_;
+};
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,121 @@
+// Kernel launch facilities.
+//
+// Two launch shapes cover every kernel in this repository:
+//
+//  * `launch` — independent blocks, executed in parallel over host threads.
+//    Used by the ST stream-collide kernel (Algorithm 1) and the boundary
+//    condition kernels, whose blocks never communicate.
+//
+//  * `launch_level_synced` — blocks with per-block persistent state that
+//    advance through a sequence of *levels* (the MR sliding window's tiles,
+//    Algorithm 2), with a barrier between levels. On a real GPU all columns
+//    run concurrently inside one kernel launch and the circular array shift
+//    bounds the inter-column skew; the level barrier is the simulator's
+//    scheduler that enforces the same bounded-skew contract (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/block.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace mlbm::gpusim {
+
+namespace detail {
+
+inline Dim3 unflatten(long long b, const Dim3& grid) {
+  Dim3 idx;
+  idx.x = static_cast<int>(b % grid.x);
+  idx.y = static_cast<int>((b / grid.x) % grid.y);
+  idx.z = static_cast<int>(b / (static_cast<long long>(grid.x) * grid.y));
+  return idx;
+}
+
+void parallel_for_blocks(long long nblocks, const std::function<void(long long)>& fn);
+
+}  // namespace detail
+
+/// Launches `body(BlockCtx&)` once per block. Blocks are independent and may
+/// execute concurrently; aggregates traffic and barrier counts under `name`.
+template <class Body>
+void launch(Profiler& prof, const std::string& name, Dim3 grid, Dim3 block,
+            Body&& body) {
+  const TrafficSnapshot before = prof.counter().snapshot();
+  const long long nblocks = grid.count();
+
+  std::vector<std::uint64_t> syncs(static_cast<std::size_t>(nblocks), 0);
+  std::vector<std::size_t> shared(static_cast<std::size_t>(nblocks), 0);
+
+  detail::parallel_for_blocks(nblocks, [&](long long b) {
+    BlockCtx ctx(detail::unflatten(b, grid), block);
+    body(ctx);
+    syncs[static_cast<std::size_t>(b)] = ctx.sync_count();
+    shared[static_cast<std::size_t>(b)] = ctx.shared_bytes();
+  });
+
+  KernelRecord& rec = prof.record(name);
+  rec.name = name;
+  rec.grid = grid;
+  rec.block = block;
+  rec.launches += 1;
+  for (long long b = 0; b < nblocks; ++b) {
+    rec.syncs += syncs[static_cast<std::size_t>(b)];
+    if (shared[static_cast<std::size_t>(b)] > rec.shared_bytes_per_block) {
+      rec.shared_bytes_per_block = shared[static_cast<std::size_t>(b)];
+    }
+  }
+  rec.traffic += prof.counter().snapshot() - before;
+}
+
+/// Launches blocks that carry persistent per-block state through `levels`
+/// barrier-separated steps.
+///
+/// `make_state(BlockCtx&) -> State` runs once per block (allocating shared
+/// memory, initializing registers); `level_fn(BlockCtx&, State&, int level)`
+/// runs for every block at every level, with a global barrier between levels.
+template <class MakeState, class LevelFn>
+void launch_level_synced(Profiler& prof, const std::string& name, Dim3 grid,
+                         Dim3 block, int levels, MakeState&& make_state,
+                         LevelFn&& level_fn) {
+  using State = decltype(make_state(std::declval<BlockCtx&>()));
+  const TrafficSnapshot before = prof.counter().snapshot();
+  const long long nblocks = grid.count();
+
+  std::vector<BlockCtx> ctxs;
+  ctxs.reserve(static_cast<std::size_t>(nblocks));
+  std::vector<State> states;
+  states.reserve(static_cast<std::size_t>(nblocks));
+  for (long long b = 0; b < nblocks; ++b) {
+    ctxs.emplace_back(detail::unflatten(b, grid), block);
+    states.push_back(make_state(ctxs.back()));
+  }
+
+  for (int level = 0; level < levels; ++level) {
+    detail::parallel_for_blocks(nblocks, [&](long long b) {
+      level_fn(ctxs[static_cast<std::size_t>(b)],
+               states[static_cast<std::size_t>(b)], level);
+    });
+    // Implicit barrier: parallel_for_blocks returns only when every block has
+    // finished the level.
+  }
+
+  KernelRecord& rec = prof.record(name);
+  rec.name = name;
+  rec.grid = grid;
+  rec.block = block;
+  rec.launches += 1;
+  for (auto& ctx : ctxs) {
+    rec.syncs += ctx.sync_count();
+    if (ctx.shared_bytes() > rec.shared_bytes_per_block) {
+      rec.shared_bytes_per_block = ctx.shared_bytes();
+    }
+  }
+  rec.traffic += prof.counter().snapshot() - before;
+}
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,42 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace mlbm::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& dev, int threads_per_block,
+                            std::size_t shared_bytes_per_block) {
+  Occupancy occ;
+  if (threads_per_block <= 0 || threads_per_block > dev.max_threads_per_block ||
+      shared_bytes_per_block >
+          static_cast<std::size_t>(dev.shared_mem_per_block_bytes)) {
+    occ.valid = false;
+    return occ;
+  }
+
+  occ.limit_by_threads = dev.max_threads_per_sm / threads_per_block;
+  occ.limit_by_shared =
+      shared_bytes_per_block == 0
+          ? dev.max_blocks_per_sm
+          : static_cast<int>(
+                static_cast<std::size_t>(dev.shared_mem_per_sm_bytes) /
+                shared_bytes_per_block);
+  occ.limit_by_blocks = dev.max_blocks_per_sm;
+
+  occ.blocks_per_sm = std::min(
+      {occ.limit_by_threads, occ.limit_by_shared, occ.limit_by_blocks});
+  occ.valid = occ.blocks_per_sm >= 1;
+  occ.occupancy =
+      occ.valid ? static_cast<double>(occ.blocks_per_sm) * threads_per_block /
+                      dev.max_threads_per_sm
+                : 0.0;
+  return occ;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const Dim3& block,
+                            std::size_t shared_bytes_per_block) {
+  return compute_occupancy(dev, static_cast<int>(block.count()),
+                           shared_bytes_per_block);
+}
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,34 @@
+// Occupancy calculator.
+//
+// The paper's MR implementation notes that "optimal performance is achieved
+// with two or more thread blocks per SM, so the targeted tile size and shared
+// memory usage per column must be adjusted to account for this". This module
+// reproduces the standard CUDA/HIP occupancy computation from the DeviceSpec
+// limits so engines can validate their launch configuration and the
+// performance model can derive an occupancy factor.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace mlbm::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;       ///< concurrently resident blocks per SM/CU
+  int limit_by_shared = 0;     ///< block residency limit from shared memory
+  int limit_by_threads = 0;    ///< block residency limit from thread count
+  int limit_by_blocks = 0;     ///< hardware max resident blocks
+  double occupancy = 0;        ///< resident threads / max threads per SM
+  bool valid = false;          ///< launch fits hardware limits at all
+};
+
+/// Computes block residency and occupancy for a launch of `threads_per_block`
+/// threads using `shared_bytes_per_block` bytes of shared memory.
+Occupancy compute_occupancy(const DeviceSpec& dev, int threads_per_block,
+                            std::size_t shared_bytes_per_block);
+
+/// Convenience overload for a Dim3 block shape.
+Occupancy compute_occupancy(const DeviceSpec& dev, const Dim3& block,
+                            std::size_t shared_bytes_per_block);
+
+}  // namespace mlbm::gpusim

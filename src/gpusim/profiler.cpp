@@ -1,0 +1,3 @@
+#include "gpusim/profiler.hpp"
+
+// Profiler is header-only; this TU anchors it in the library.

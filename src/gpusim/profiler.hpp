@@ -1,0 +1,57 @@
+// Per-kernel statistics collection: the simulator's nvvp / rocprof.
+//
+// Each engine owns a Profiler; all its GlobalArrays share the profiler's
+// TrafficCounter. `launch` (see launch.hpp) records per-kernel aggregates:
+// number of launches, thread/block geometry, shared memory per block,
+// barrier counts and the DRAM traffic attributable to the kernel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/dim3.hpp"
+#include "gpusim/traffic.hpp"
+
+namespace mlbm::gpusim {
+
+struct KernelRecord {
+  std::string name;
+  Dim3 grid{};
+  Dim3 block{};
+  std::size_t shared_bytes_per_block = 0;
+  std::uint64_t launches = 0;
+  std::uint64_t syncs = 0;  ///< total barriers across all blocks and launches
+  TrafficSnapshot traffic;
+};
+
+class Profiler {
+ public:
+  TrafficCounter& counter() { return counter_; }
+  const TrafficCounter& counter() const { return counter_; }
+
+  KernelRecord& record(const std::string& name) { return records_[name]; }
+
+  [[nodiscard]] std::vector<KernelRecord> all_records() const {
+    std::vector<KernelRecord> out;
+    out.reserve(records_.size());
+    for (const auto& [_, r] : records_) out.push_back(r);
+    return out;
+  }
+
+  [[nodiscard]] TrafficSnapshot total_traffic() const {
+    return counter_.snapshot();
+  }
+
+  void reset() {
+    counter_.reset();
+    records_.clear();
+  }
+
+ private:
+  TrafficCounter counter_;
+  std::map<std::string, KernelRecord> records_;
+};
+
+}  // namespace mlbm::gpusim

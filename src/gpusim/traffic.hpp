@@ -1,0 +1,77 @@
+// DRAM traffic counters: the simulator's substitute for nvvp / rocprof.
+//
+// Every GlobalArray access funnels through a TrafficCounter. Counters are
+// cheap relaxed atomics so kernels may run blocks on multiple host threads.
+// Engines expose per-step deltas, from which bytes-per-fluid-lattice-update
+// (Table 2) and achieved-bandwidth style figures are derived.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mlbm::gpusim {
+
+struct TrafficSnapshot {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    return bytes_read + bytes_written;
+  }
+
+  TrafficSnapshot operator-(const TrafficSnapshot& o) const {
+    return {bytes_read - o.bytes_read, bytes_written - o.bytes_written,
+            reads - o.reads, writes - o.writes};
+  }
+  TrafficSnapshot& operator+=(const TrafficSnapshot& o) {
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+};
+
+class TrafficCounter {
+ public:
+  void add_read(std::uint64_t bytes) {
+    if (!enabled_) return;
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_write(std::uint64_t bytes) {
+    if (!enabled_) return;
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Disable to speed up long physics-validation runs where traffic is not
+  /// being measured.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] TrafficSnapshot snapshot() const {
+    return {bytes_read_.load(std::memory_order_relaxed),
+            bytes_written_.load(std::memory_order_relaxed),
+            reads_.load(std::memory_order_relaxed),
+            writes_.load(std::memory_order_relaxed)};
+  }
+
+  void reset() {
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  bool enabled_ = true;
+};
+
+}  // namespace mlbm::gpusim

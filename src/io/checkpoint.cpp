@@ -1,0 +1,78 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mlbm {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4d4c424d43503031ULL;  // "MLBMCP01"
+}
+
+template <class L>
+void save_checkpoint(const Engine<L>& eng, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+
+  const Box& b = eng.geometry().box;
+  const std::int32_t header[5] = {L::D, L::Q, b.nx, b.ny, b.nz};
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const Moments<L> m = eng.moments_at(x, y, z);
+        out.write(reinterpret_cast<const char*>(&m.rho), sizeof(real_t));
+        out.write(reinterpret_cast<const char*>(m.u.data()),
+                  sizeof(real_t) * L::D);
+        out.write(reinterpret_cast<const char*>(m.pi.data()),
+                  sizeof(real_t) * Moments<L>::NP);
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("save_checkpoint: write failed: " + path);
+}
+
+template <class L>
+void load_checkpoint(Engine<L>& eng, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+
+  std::uint64_t magic = 0;
+  std::int32_t header[5] = {};
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  const Box& b = eng.geometry().box;
+  if (magic != kMagic || header[0] != L::D || header[2] != b.nx ||
+      header[3] != b.ny || header[4] != b.nz) {
+    throw std::runtime_error("load_checkpoint: incompatible checkpoint " +
+                             path);
+  }
+
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        Moments<L> m;
+        in.read(reinterpret_cast<char*>(&m.rho), sizeof(real_t));
+        in.read(reinterpret_cast<char*>(m.u.data()), sizeof(real_t) * L::D);
+        in.read(reinterpret_cast<char*>(m.pi.data()),
+                sizeof(real_t) * Moments<L>::NP);
+        eng.impose(x, y, z, m);
+      }
+    }
+  }
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+}
+
+template void save_checkpoint<D2Q9>(const Engine<D2Q9>&, const std::string&);
+template void save_checkpoint<D3Q19>(const Engine<D3Q19>&, const std::string&);
+template void save_checkpoint<D3Q27>(const Engine<D3Q27>&, const std::string&);
+template void save_checkpoint<D3Q15>(const Engine<D3Q15>&, const std::string&);
+template void load_checkpoint<D2Q9>(Engine<D2Q9>&, const std::string&);
+template void load_checkpoint<D3Q19>(Engine<D3Q19>&, const std::string&);
+template void load_checkpoint<D3Q27>(Engine<D3Q27>&, const std::string&);
+template void load_checkpoint<D3Q15>(Engine<D3Q15>&, const std::string&);
+
+}  // namespace mlbm

@@ -1,0 +1,37 @@
+// Binary checkpointing of the moment state. Because every engine exposes its
+// full state through the moment interface, checkpoints are portable across
+// propagation patterns: a run saved from an ST engine restores into an MR
+// engine and vice versa.
+#pragma once
+
+#include <string>
+
+#include "engines/engine.hpp"
+
+namespace mlbm {
+
+template <class L>
+void save_checkpoint(const Engine<L>& eng, const std::string& path);
+
+/// Restores node states via impose(); the target engine must have matching
+/// box extents. The engine's step counter is not part of the state.
+template <class L>
+void load_checkpoint(Engine<L>& eng, const std::string& path);
+
+extern template void save_checkpoint<D2Q9>(const Engine<D2Q9>&,
+                                           const std::string&);
+extern template void save_checkpoint<D3Q19>(const Engine<D3Q19>&,
+                                            const std::string&);
+extern template void save_checkpoint<D3Q27>(const Engine<D3Q27>&,
+                                            const std::string&);
+extern template void save_checkpoint<D3Q15>(const Engine<D3Q15>&,
+                                            const std::string&);
+extern template void load_checkpoint<D2Q9>(Engine<D2Q9>&, const std::string&);
+extern template void load_checkpoint<D3Q19>(Engine<D3Q19>&,
+                                            const std::string&);
+extern template void load_checkpoint<D3Q27>(Engine<D3Q27>&,
+                                            const std::string&);
+extern template void load_checkpoint<D3Q15>(Engine<D3Q15>&,
+                                            const std::string&);
+
+}  // namespace mlbm

@@ -1,0 +1,49 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace mlbm {
+
+template <class L>
+void write_vtk(const Engine<L>& eng, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_vtk: cannot open " + path);
+
+  const Box& b = eng.geometry().box;
+  out << "# vtk DataFile Version 3.0\n"
+      << "mlbm " << eng.pattern_name() << " t=" << eng.time() << "\n"
+      << "ASCII\nDATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << b.nx << " " << b.ny << " " << b.nz << "\n"
+      << "ORIGIN 0 0 0\nSPACING 1 1 1\n"
+      << "POINT_DATA " << b.cells() << "\n";
+
+  out << "SCALARS density double 1\nLOOKUP_TABLE default\n";
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        out << eng.moments_at(x, y, z).rho << "\n";
+      }
+    }
+  }
+
+  out << "VECTORS velocity double\n";
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const Moments<L> m = eng.moments_at(x, y, z);
+        real_t uz = 0;
+        if constexpr (L::D == 3) uz = m.u[2];
+        out << m.u[0] << " " << m.u[1] << " " << uz << "\n";
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("write_vtk: write failed for " + path);
+}
+
+template void write_vtk<D2Q9>(const Engine<D2Q9>&, const std::string&);
+template void write_vtk<D3Q19>(const Engine<D3Q19>&, const std::string&);
+template void write_vtk<D3Q27>(const Engine<D3Q27>&, const std::string&);
+template void write_vtk<D3Q15>(const Engine<D3Q15>&, const std::string&);
+
+}  // namespace mlbm

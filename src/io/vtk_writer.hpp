@@ -1,0 +1,20 @@
+// Legacy-VTK structured-points writer for flow fields (ParaView-compatible).
+#pragma once
+
+#include <string>
+
+#include "engines/engine.hpp"
+
+namespace mlbm {
+
+/// Writes density and velocity of the engine's current state as an ASCII
+/// legacy VTK file. Throws on I/O failure.
+template <class L>
+void write_vtk(const Engine<L>& eng, const std::string& path);
+
+extern template void write_vtk<D2Q9>(const Engine<D2Q9>&, const std::string&);
+extern template void write_vtk<D3Q19>(const Engine<D3Q19>&, const std::string&);
+extern template void write_vtk<D3Q27>(const Engine<D3Q27>&, const std::string&);
+extern template void write_vtk<D3Q15>(const Engine<D3Q15>&, const std::string&);
+
+}  // namespace mlbm

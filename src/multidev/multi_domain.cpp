@@ -1,0 +1,173 @@
+#include "multidev/multi_domain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlbm {
+
+std::vector<SlabInfo> make_slabs(int nx, int ndev) {
+  if (ndev < 1 || ndev > nx) {
+    throw std::invalid_argument("make_slabs: need 1 <= ndev <= nx");
+  }
+  std::vector<SlabInfo> slabs(static_cast<std::size_t>(ndev));
+  const int base = nx / ndev;
+  const int rem = nx % ndev;
+  int x = 0;
+  for (int d = 0; d < ndev; ++d) {
+    SlabInfo& s = slabs[static_cast<std::size_t>(d)];
+    s.x_begin = x;
+    s.x_end = x + base + (d < rem ? 1 : 0);
+    s.has_left = d > 0;
+    s.has_right = d < ndev - 1;
+    x = s.x_end;
+  }
+  return slabs;
+}
+
+Geometry slab_geometry(const Geometry& global, const SlabInfo& slab) {
+  Box local = global.box;
+  local.nx = slab.local_nx();
+  Geometry geo(local);
+  geo.bc = global.bc;
+  // Interior interfaces drop outgoing populations; their planes are ghost
+  // nodes rebuilt by the exchange after every step.
+  if (slab.has_left) geo.bc.face[0][0].type = FaceBC::kOpen;
+  if (slab.has_right) geo.bc.face[0][1].type = FaceBC::kOpen;
+
+  // Copy node kinds for the owned range plus ghost planes (ghost kinds are
+  // irrelevant to the update but keep diagnostics meaningful).
+  const int g0 = slab.x_begin - (slab.has_left ? 1 : 0);
+  for (int z = 0; z < local.nz; ++z) {
+    for (int y = 0; y < local.ny; ++y) {
+      for (int lx = 0; lx < local.nx; ++lx) {
+        const int gx = g0 + lx;
+        geo.set(lx, y, z, global.at(gx, y, z));
+      }
+    }
+  }
+  return geo;
+}
+
+template <class L>
+MultiDomainEngine<L>::MultiDomainEngine(Geometry global, real_t tau, int ndev,
+                                        const EngineFactory& factory)
+    : Engine<L>(std::move(global), tau), slabs_(make_slabs(this->geo_.box.nx, ndev)) {
+  if (ndev > 1 && this->geo_.bc.periodic(0)) {
+    throw std::invalid_argument(
+        "MultiDomainEngine: a periodic decomposition axis is not supported; "
+        "decompose channel-type (open/wall x) domains");
+  }
+  engines_.reserve(slabs_.size());
+  for (int d = 0; d < static_cast<int>(slabs_.size()); ++d) {
+    engines_.push_back(
+        factory(slab_geometry(this->geo_, slabs_[static_cast<std::size_t>(d)]), d));
+    if (engines_.back() == nullptr) {
+      throw std::invalid_argument("MultiDomainEngine: factory returned null");
+    }
+    if (std::abs(engines_.back()->tau() - tau) > real_t(1e-12)) {
+      throw std::invalid_argument(
+          "MultiDomainEngine: slab engine tau differs from global tau");
+    }
+  }
+}
+
+template <class L>
+int MultiDomainEngine<L>::owner_of(int gx) const {
+  for (int d = 0; d < devices(); ++d) {
+    const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
+    if (gx >= s.x_begin && gx < s.x_end) return d;
+  }
+  throw std::out_of_range("MultiDomainEngine: x out of range");
+}
+
+template <class L>
+void MultiDomainEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+  // Each slab initializes its whole local domain, ghosts included, mapping
+  // local to global coordinates.
+  for (int d = 0; d < devices(); ++d) {
+    const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
+    const int g0 = s.x_begin - (s.has_left ? 1 : 0);
+    engines_[static_cast<std::size_t>(d)]->initialize(
+        [&init, g0](int lx, int y, int z) { return init(g0 + lx, y, z); });
+  }
+}
+
+template <class L>
+Moments<L> MultiDomainEngine<L>::moments_at(int gx, int y, int z) const {
+  const int d = owner_of(gx);
+  const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
+  return engines_[static_cast<std::size_t>(d)]->moments_at(s.local_x(gx), y, z);
+}
+
+template <class L>
+void MultiDomainEngine<L>::impose(int gx, int y, int z, const Moments<L>& m) {
+  const int d = owner_of(gx);
+  const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
+  engines_[static_cast<std::size_t>(d)]->impose(s.local_x(gx), y, z, m);
+  // Mirror into neighbour ghost copies of this plane, if any.
+  if (d > 0) {
+    const SlabInfo& left = slabs_[static_cast<std::size_t>(d - 1)];
+    if (gx == s.x_begin && left.has_right) {
+      engines_[static_cast<std::size_t>(d - 1)]->impose(left.local_nx() - 1, y,
+                                                        z, m);
+    }
+  }
+  if (d + 1 < devices()) {
+    const SlabInfo& right = slabs_[static_cast<std::size_t>(d + 1)];
+    if (gx == s.x_end - 1 && right.has_left) {
+      engines_[static_cast<std::size_t>(d + 1)]->impose(0, y, z, m);
+    }
+  }
+}
+
+template <class L>
+std::size_t MultiDomainEngine<L>::state_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : engines_) total += e->state_bytes();
+  return total;
+}
+
+template <class L>
+std::uint64_t MultiDomainEngine<L>::exchanged_values_per_step() const {
+  const Box& b = this->geo_.box;
+  const auto interfaces = static_cast<std::uint64_t>(devices() - 1);
+  return interfaces * 2ull * static_cast<std::uint64_t>(b.ny) *
+         static_cast<std::uint64_t>(b.nz) * static_cast<std::uint64_t>(L::M);
+}
+
+template <class L>
+void MultiDomainEngine<L>::exchange() {
+  const Box& b = this->geo_.box;
+  for (int d = 0; d + 1 < devices(); ++d) {
+    Engine<L>& left = *engines_[static_cast<std::size_t>(d)];
+    Engine<L>& right = *engines_[static_cast<std::size_t>(d + 1)];
+    const SlabInfo& ls = slabs_[static_cast<std::size_t>(d)];
+    const SlabInfo& rs = slabs_[static_cast<std::size_t>(d + 1)];
+    // Left's right ghost <- right's first owned plane; right's left ghost
+    // <- left's last owned plane.
+    const int l_last_owned = ls.local_x(ls.x_end - 1);
+    const int r_first_owned = rs.local_x(rs.x_begin);
+    for (int z = 0; z < b.nz; ++z) {
+      for (int y = 0; y < b.ny; ++y) {
+        left.impose(l_last_owned + 1, y, z, right.moments_at(r_first_owned, y, z));
+        right.impose(r_first_owned - 1, y, z, left.moments_at(l_last_owned, y, z));
+      }
+    }
+  }
+  exchanged_total_ += exchanged_values_per_step();
+}
+
+template <class L>
+void MultiDomainEngine<L>::do_step() {
+  for (auto& e : engines_) {
+    e->step();
+  }
+  exchange();
+}
+
+template class MultiDomainEngine<D2Q9>;
+template class MultiDomainEngine<D3Q19>;
+template class MultiDomainEngine<D3Q27>;
+template class MultiDomainEngine<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,26 @@
+#include "perfmodel/efficiency.hpp"
+
+namespace mlbm::perf {
+
+Efficiency bandwidth_efficiency(const gpusim::DeviceSpec& dev, Pattern p,
+                                const LatticeInfo& lat,
+                                const KernelCharacteristics& kc) {
+  Efficiency e;
+  const gpusim::Occupancy occ = gpusim::compute_occupancy(
+      dev, kc.threads_per_block, kc.shared_bytes_per_block);
+  e.blocks_per_sm = occ.blocks_per_sm;
+  e.occupancy = occ.occupancy;
+
+  double eta = dev.stream_efficiency;
+  if (p != Pattern::kST) {
+    eta *= (lat.dim == 2) ? dev.mr_pipeline_efficiency_2d
+                          : dev.mr_pipeline_efficiency_3d;
+    if (occ.blocks_per_sm < 2) {
+      eta *= kLowResidencyPenalty;
+    }
+  }
+  e.bandwidth_fraction = eta;
+  return e;
+}
+
+}  // namespace mlbm::perf

@@ -1,0 +1,51 @@
+// Bandwidth-efficiency model: how much of the roofline each pattern attains.
+//
+// The paper measures that neither pattern reaches its roofline: the fused ST
+// kernel sustains the device's streaming efficiency, while the MR pattern
+// additionally pays for shared-memory pipelining, block-wide synchronization,
+// halo pressure and thread-block shape restrictions (Section 4.2/4.3). The
+// model composes:
+//
+//   eta(ST) = stream_efficiency
+//   eta(MR) = stream_efficiency * mr_pipeline_efficiency_{2d|3d} * occ_factor
+//
+// where occ_factor applies the paper's observation that "optimal performance
+// is achieved with two or more thread blocks per SM": launches whose shared
+// memory footprint allows fewer than two resident blocks are penalized.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+#include "perfmodel/pattern.hpp"
+
+namespace mlbm::perf {
+
+/// Measured characteristics of a kernel configuration, obtained from the
+/// instrumented engines (traffic counters, occupancy inputs) and the
+/// op-counting scalar (flops).
+struct KernelCharacteristics {
+  double flops_per_flup = 0;
+  int threads_per_block = 0;
+  std::size_t shared_bytes_per_block = 0;
+  /// Extra logical global reads per nominal read caused by column halos
+  /// (measured). Served by L2 on real hardware; folded into the pipeline
+  /// efficiency calibration, reported for the analysis tables.
+  double halo_read_fraction = 0;
+};
+
+struct Efficiency {
+  double bandwidth_fraction = 0;  ///< of peak DRAM bandwidth
+  int blocks_per_sm = 0;
+  double occupancy = 0;
+};
+
+/// Penalty applied when fewer than two blocks fit per SM.
+inline constexpr double kLowResidencyPenalty = 0.85;
+
+Efficiency bandwidth_efficiency(const gpusim::DeviceSpec& dev, Pattern p,
+                                const LatticeInfo& lat,
+                                const KernelCharacteristics& kc);
+
+}  // namespace mlbm::perf

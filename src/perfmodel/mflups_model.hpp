@@ -1,0 +1,56 @@
+// End-to-end MFLUPS prediction: roofline x efficiency x compute bound x
+// problem-size utilization. Regenerates the series of Figures 2 and 3 and
+// the saturated numbers behind the paper's speedup claims.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "perfmodel/efficiency.hpp"
+#include "perfmodel/pattern.hpp"
+
+namespace mlbm::perf {
+
+struct PerfEstimate {
+  double mflups = 0;             ///< min(bandwidth, compute) bound
+  double bw_bound_mflups = 0;    ///< bandwidth roofline x efficiency
+  double comp_bound_mflups = 0;  ///< FP64 throughput / flops-per-update
+  double roofline_mflups = 0;    ///< Eq. 15, ideal
+  double achieved_bw_gbs = 0;    ///< mflups x bytes-per-flup
+  double occupancy = 0;
+  int blocks_per_sm = 0;
+};
+
+/// Saturated (large-problem) performance of a pattern on a device.
+PerfEstimate estimate_saturated(const gpusim::DeviceSpec& dev, Pattern p,
+                                const LatticeInfo& lat,
+                                const KernelCharacteristics& kc);
+
+/// Fraction of the device kept busy by `blocks` thread blocks when
+/// `blocks_per_sm` fit concurrently per SM (wave quantization / tail effect).
+double size_utilization(const gpusim::DeviceSpec& dev, long long blocks,
+                        int blocks_per_sm);
+
+/// Kernel-launch latency charged once per timestep; shapes the small-problem
+/// ramp of Figures 2-3.
+inline constexpr double kLaunchOverheadSeconds = 6e-6;
+
+/// Performance at a finite problem size of `cells` nodes executed as
+/// `blocks` thread blocks.
+double mflups_at_size(const gpusim::DeviceSpec& dev, Pattern p,
+                      const LatticeInfo& lat, const KernelCharacteristics& kc,
+                      long long cells, long long blocks);
+
+struct SeriesPoint {
+  long long cells = 0;
+  double mflups = 0;
+};
+
+/// Sweeps problem sizes, computing blocks via the provided callable
+/// (pattern-dependent: nodes/threads for ST, columns for MR).
+std::vector<SeriesPoint> size_series(
+    const gpusim::DeviceSpec& dev, Pattern p, const LatticeInfo& lat,
+    const KernelCharacteristics& kc, const std::vector<long long>& cells,
+    const std::vector<long long>& blocks);
+
+}  // namespace mlbm::perf

@@ -1,0 +1,172 @@
+#include "perfmodel/opcount.hpp"
+
+#include "core/equilibrium.hpp"
+#include "core/hermite.hpp"
+#include "core/moments.hpp"
+#include "core/regularization.hpp"
+
+namespace mlbm::perf {
+
+thread_local std::uint64_t Counted::ops = 0;
+
+namespace {
+
+using mlbm::hermite::h1;
+using mlbm::hermite::h2;
+
+/// One ST node update (Algorithm 1): macroscopic moments + BGK collision.
+template <class L>
+std::uint64_t count_st_node() {
+  Counted f[L::Q];
+  for (int i = 0; i < L::Q; ++i) f[i] = 0.01 * (i + 1);
+  const Counted inv_tau = 1.0 / 0.8;
+
+  Counted::reset();
+  Counted rho{};
+  Counted u[L::D] = {};
+  for (int i = 0; i < L::Q; ++i) {
+    rho += f[i];
+    for (int a = 0; a < L::D; ++a) {
+      const real_t c = h1<L>(i, a);
+      if (c != real_t(0)) u[a] += Counted(c) * f[i];
+    }
+  }
+  for (int a = 0; a < L::D; ++a) u[a] /= rho;
+  for (int i = 0; i < L::Q; ++i) {
+    const Counted feq = mlbm::equilibrium<L, Counted>(i, rho, u);
+    f[i] += inv_tau * (feq - f[i]);
+  }
+  return Counted::ops;
+}
+
+/// One MR node update (Algorithm 2): moment-space collision, regularized
+/// reconstruction of all Q populations, and the phase-B re-projection of the
+/// streamed populations back to M moments.
+///
+/// The replay mirrors an *optimized* kernel, not the generic library loops:
+/// the Hermite moments a2/a3/a4 are hoisted out of the per-direction loop
+/// (they do not depend on i), the per-direction sums skip terms whose
+/// compile-time Hermite coefficient is zero, and the w_i / cs^2n constants
+/// fold into one multiplier — exactly what an unrolled GPU kernel does.
+template <class L>
+std::uint64_t count_mr_node(Regularization reg) {
+  constexpr int NP = mlbm::Moments<L>::NP;
+  using T3 = mlbm::SymTriples<L::D>;
+  using T4 = mlbm::SymQuads<L::D>;
+
+  Counted rho = 1.01;
+  Counted u[L::D];
+  for (int a = 0; a < L::D; ++a) u[a] = 0.01 * (a + 1);
+  Counted pi[NP];
+  for (int p = 0; p < NP; ++p) pi[p] = 0.001 * (p + 1);
+  const Counted relax = 1.0 - 1.0 / 0.8;
+
+  Counted::reset();
+  // Collision in moment space (Eq. 10) and full second moment a2.
+  Counted a2[NP];
+  for (int p = 0; p < NP; ++p) {
+    const auto [a, b] = mlbm::Moments<L>::pair(p);
+    const Counted eq = rho * u[a] * u[b];
+    a2[p] = eq + relax * (pi[p] - eq);
+  }
+  // Higher-order moments for the recursive scheme, hoisted per node.
+  Counted a3[T3::N];
+  Counted a4[T4::N];
+  if (reg == Regularization::kRecursive) {
+    Counted pineq[NP];
+    for (int p = 0; p < NP; ++p) {
+      const auto [a, b] = mlbm::Moments<L>::pair(p);
+      pineq[p] = a2[p] - rho * u[a] * u[b];
+    }
+    for (int t = 0; t < T3::N; ++t) {
+      const int a = T3::idx[static_cast<std::size_t>(t)][0];
+      const int b = T3::idx[static_cast<std::size_t>(t)][1];
+      const int g = T3::idx[static_cast<std::size_t>(t)][2];
+      a3[t] = rho * u[a] * u[b] * u[g] +
+              mlbm::a3_neq<L, Counted>(u, pineq, a, b, g);
+    }
+    for (int q = 0; q < T4::N; ++q) {
+      const int a = T4::idx[static_cast<std::size_t>(q)][0];
+      const int b = T4::idx[static_cast<std::size_t>(q)][1];
+      const int g = T4::idx[static_cast<std::size_t>(q)][2];
+      const int d = T4::idx[static_cast<std::size_t>(q)][3];
+      a4[q] = rho * u[a] * u[b] * u[g] * u[d] +
+              mlbm::a4_neq<L, Counted>(u, pineq, a, b, g, d);
+    }
+  }
+
+  // Per-direction reconstruction: dot products against compile-time Hermite
+  // coefficients; zero coefficients disappear from an unrolled kernel.
+  Counted f[L::Q];
+  for (int i = 0; i < L::Q; ++i) {
+    Counted acc = rho;
+    for (int a = 0; a < L::D; ++a) {
+      if (h1<L>(i, a) != real_t(0)) acc += Counted(3.0 * h1<L>(i, a)) * (rho * u[a]);
+    }
+    for (int p = 0; p < NP; ++p) {
+      const auto [pa, pb] = mlbm::Moments<L>::pair(p);
+      const real_t c = h2<L>(i, pa, pb) *
+                       static_cast<real_t>(mlbm::SymPairs<L::D>::mult[static_cast<std::size_t>(p)]);
+      if (c != real_t(0)) acc += Counted(c) * a2[p];
+    }
+    if (reg == Regularization::kRecursive) {
+      for (int t = 0; t < T3::N; ++t) {
+        const real_t c = mlbm::hermite::h3<L>(i, T3::idx[static_cast<std::size_t>(t)][0],
+                                              T3::idx[static_cast<std::size_t>(t)][1],
+                                              T3::idx[static_cast<std::size_t>(t)][2]) *
+                         static_cast<real_t>(T3::mult[static_cast<std::size_t>(t)]);
+        if (c != real_t(0)) acc += Counted(c) * a3[t];
+      }
+      for (int q = 0; q < T4::N; ++q) {
+        const real_t c = mlbm::hermite::h4<L>(i, T4::idx[static_cast<std::size_t>(q)][0],
+                                              T4::idx[static_cast<std::size_t>(q)][1],
+                                              T4::idx[static_cast<std::size_t>(q)][2],
+                                              T4::idx[static_cast<std::size_t>(q)][3]) *
+                         static_cast<real_t>(T4::mult[static_cast<std::size_t>(q)]);
+        if (c != real_t(0)) acc += Counted(c) * a4[q];
+      }
+    }
+    f[i] = Counted(L::w[static_cast<std::size_t>(i)]) * acc;
+  }
+
+  // Phase B: re-projection to moments (Eqs. 1-3).
+  Counted orho{};
+  Counted ou[L::D] = {};
+  Counted opi[NP] = {};
+  for (int i = 0; i < L::Q; ++i) {
+    orho += f[i];
+    for (int a = 0; a < L::D; ++a) {
+      const real_t c = h1<L>(i, a);
+      if (c != real_t(0)) ou[a] += Counted(c) * f[i];
+    }
+    for (int p = 0; p < NP; ++p) {
+      const auto [a, b] = mlbm::Moments<L>::pair(p);
+      const real_t c = h2<L>(i, a, b);
+      if (c != real_t(0)) opi[p] += Counted(c) * f[i];
+    }
+  }
+  for (int a = 0; a < L::D; ++a) ou[a] /= orho;
+  return Counted::ops;
+}
+
+}  // namespace
+
+template <class L>
+double flops_per_flup(Pattern p) {
+  switch (p) {
+    case Pattern::kST:
+      return static_cast<double>(count_st_node<L>());
+    case Pattern::kMRP:
+      return static_cast<double>(count_mr_node<L>(Regularization::kProjective));
+    case Pattern::kMRR:
+      return static_cast<double>(count_mr_node<L>(Regularization::kRecursive));
+  }
+  return 0;
+}
+
+template double flops_per_flup<mlbm::D2Q9>(Pattern);
+template double flops_per_flup<mlbm::D3Q19>(Pattern);
+template double flops_per_flup<mlbm::D3Q27>(Pattern);
+template double flops_per_flup<mlbm::D3Q15>(Pattern);
+
+}  // namespace mlbm::perf

@@ -1,0 +1,51 @@
+// Operation-counting scalar and per-pattern FLOP measurement.
+//
+// The recursive regularization's extra arithmetic is what separates MR-R
+// from MR-P in the paper's 3D results (Section 4.3). Rather than hand-count
+// FLOPs, the performance model replays each pattern's per-node arithmetic
+// with `Counted`, a double wrapper whose operators increment a counter. The
+// core math (equilibrium, reconstructions) is templated on the scalar type,
+// so the counted replay executes the very same expressions as the engines.
+#pragma once
+
+#include <cstdint>
+
+#include "core/lattice.hpp"
+#include "perfmodel/pattern.hpp"
+#include "util/types.hpp"
+
+namespace mlbm::perf {
+
+struct Counted {
+  double v = 0;
+  static thread_local std::uint64_t ops;
+
+  Counted() = default;
+  Counted(double x) : v(x) {}  // NOLINT: implicit by design (mixed arithmetic)
+
+  friend Counted operator+(Counted a, Counted b) { ++ops; return {a.v + b.v}; }
+  friend Counted operator-(Counted a, Counted b) { ++ops; return {a.v - b.v}; }
+  friend Counted operator*(Counted a, Counted b) { ++ops; return {a.v * b.v}; }
+  friend Counted operator/(Counted a, Counted b) { ++ops; return {a.v / b.v}; }
+  Counted operator-() const { return {-v}; }
+  Counted& operator+=(Counted o) { ++ops; v += o.v; return *this; }
+  Counted& operator-=(Counted o) { ++ops; v -= o.v; return *this; }
+  Counted& operator*=(Counted o) { ++ops; v *= o.v; return *this; }
+  Counted& operator/=(Counted o) { ++ops; v /= o.v; return *this; }
+
+  static void reset() { ops = 0; }
+};
+
+/// FLOPs per fluid lattice update of one full timestep of the given pattern
+/// (collision + streaming bookkeeping; loads/stores excluded). For the MR
+/// patterns this includes both the reconstruct-and-stream phase and the
+/// moment re-projection phase of Algorithm 2.
+template <class L>
+double flops_per_flup(Pattern p);
+
+extern template double flops_per_flup<mlbm::D2Q9>(Pattern);
+extern template double flops_per_flup<mlbm::D3Q19>(Pattern);
+extern template double flops_per_flup<mlbm::D3Q27>(Pattern);
+extern template double flops_per_flup<mlbm::D3Q15>(Pattern);
+
+}  // namespace mlbm::perf

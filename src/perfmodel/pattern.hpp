@@ -1,0 +1,36 @@
+// Propagation-pattern and lattice descriptors used by the performance model.
+#pragma once
+
+namespace mlbm::perf {
+
+/// The three propagation patterns evaluated in the paper.
+enum class Pattern {
+  kST,   ///< standard distribution representation, BGK, pull
+  kMRP,  ///< moment representation, projective regularization
+  kMRR,  ///< moment representation, recursive regularization
+};
+
+inline const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kST: return "ST";
+    case Pattern::kMRP: return "MR-P";
+    case Pattern::kMRR: return "MR-R";
+  }
+  return "?";
+}
+
+/// Runtime mirror of the compile-time lattice descriptor, so the performance
+/// model does not need to be templated.
+struct LatticeInfo {
+  int dim = 0;
+  int q = 0;
+  int m = 0;
+  const char* name = "";
+};
+
+template <class L>
+LatticeInfo lattice_info() {
+  return {L::D, L::Q, L::M, L::name()};
+}
+
+}  // namespace mlbm::perf

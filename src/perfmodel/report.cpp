@@ -1,0 +1,26 @@
+#include "perfmodel/report.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+namespace mlbm::perf {
+
+std::string results_dir() {
+  const char* env = std::getenv("MLBM_RESULTS_DIR");
+  const std::string dir = env != nullptr ? env : "results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void print_banner(const std::string& experiment_id, const std::string& title) {
+  std::cout << "\n=== " << experiment_id << " — " << title << " ===\n";
+}
+
+double deviation_pct(double ours, double paper) {
+  if (paper == 0) return 0;
+  return 100.0 * (ours - paper) / std::fabs(paper);
+}
+
+}  // namespace mlbm::perf

@@ -1,0 +1,20 @@
+// Reporting helpers shared by all benchmark harnesses: a results directory,
+// banners, and paper-vs-reproduction comparison rows.
+#pragma once
+
+#include <string>
+
+namespace mlbm::perf {
+
+/// Creates (if needed) and returns the directory where benchmark harnesses
+/// drop their CSV outputs. Defaults to "results" under the current working
+/// directory; override with the MLBM_RESULTS_DIR environment variable.
+std::string results_dir();
+
+/// Prints a uniform experiment banner to stdout.
+void print_banner(const std::string& experiment_id, const std::string& title);
+
+/// Relative deviation in percent (guarded against zero reference).
+double deviation_pct(double ours, double paper);
+
+}  // namespace mlbm::perf

@@ -1,0 +1,27 @@
+// Roofline performance model (Section 4.1 of the paper).
+//
+// LBM propagation patterns are bandwidth bound, so the roofline reduces to
+// Eq. 15:  MFLUPS_max = B_BW / (1e6 * B/F), with the bytes per fluid lattice
+// update B/F of Table 2: 2 Q doubles for the distribution representation
+// (read Q + write Q) and 2 M doubles for the moment representation
+// (read M + write M; halo re-reads are served by L2, see DESIGN.md).
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "perfmodel/pattern.hpp"
+
+namespace mlbm::perf {
+
+/// Bytes of DRAM traffic per fluid lattice update (Table 2).
+double bytes_per_flup(Pattern p, const LatticeInfo& lat);
+
+/// Eq. 15: ideal MFLUPS at full peak bandwidth.
+double roofline_mflups(const gpusim::DeviceSpec& dev, double bytes_per_flup);
+
+/// Simulation-state footprint in bytes for `cells` fluid nodes (the paper's
+/// 15M-node memory comparison). `single_buffer_mr` selects the
+/// circular-shift storage policy for the MR patterns.
+double state_bytes(Pattern p, const LatticeInfo& lat, long long cells,
+                   bool single_buffer_mr = false);
+
+}  // namespace mlbm::perf

@@ -1,0 +1,41 @@
+// Minimal command line parser for examples and benchmark harnesses.
+//
+// Supports `--key value` and `--key=value` forms plus boolean flags
+// (`--flag`). Unknown keys are collected so callers can reject typos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mlbm {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--key` was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non `--`) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// All `--key`s seen, for usage validation.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mlbm

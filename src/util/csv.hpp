@@ -1,0 +1,31 @@
+// CSV series writer used by the benchmark harnesses to persist every table
+// and figure of the paper as machine-readable data next to the ASCII output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mlbm {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with enough digits for round-tripping.
+  static std::string num(double v);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace mlbm

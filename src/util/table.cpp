@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlbm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  auto line = [&](char fill, char join) {
+    std::string s = "+";
+    for (auto w : widths) {
+      s += std::string(w + 2, fill);
+      s += join;
+    }
+    s.back() = '+';
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      s += " " + r[c] + std::string(widths[c] - r[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = line('-', '+');
+  out += render_row(header_);
+  out += line('=', '+');
+  for (const auto& r : rows_) out += render_row(r);
+  out += line('-', '+');
+  return out;
+}
+
+void AsciiTable::print() const { std::cout << render(); }
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace mlbm

@@ -1,0 +1,30 @@
+// ASCII table printer. Benchmark harnesses use it to render each paper table
+// and figure series in the terminal, alongside CSV output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlbm {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table with box-drawing separators; every column is padded to
+  /// its widest cell.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  static std::string num(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlbm

@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Timer is header-only; this translation unit only anchors the header in the
+// library so missing-include errors surface at library build time.

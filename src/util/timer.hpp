@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace mlbm {
+
+/// Simple RAII-free stopwatch. `elapsed_s()` may be called repeatedly; the
+/// timer keeps running. `reset()` restarts the epoch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mlbm

@@ -1,0 +1,20 @@
+// Fundamental scalar and index types used across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mlbm {
+
+/// Floating point type used for the simulation state. The paper uses double
+/// precision throughout (shared memory sizes, bytes-per-update counts and the
+/// roofline model all assume 8-byte values).
+using real_t = double;
+
+/// Linear index into a lattice array. 64-bit so that paper-scale domains
+/// (e.g. 8192^2 or 448^3 nodes times Q components) never overflow.
+using index_t = std::int64_t;
+
+inline constexpr std::size_t kBytesPerReal = sizeof(real_t);
+
+}  // namespace mlbm

@@ -1,0 +1,53 @@
+#include "workloads/analytic.hpp"
+
+#include <cmath>
+
+namespace mlbm::analytic {
+
+namespace {
+constexpr real_t kPi = 3.14159265358979323846;
+}
+
+real_t poiseuille(int n, int y) {
+  // Walls at -1/2 and n-1/2, width H = n. Normalized coordinate in (0,1).
+  const real_t yt = (static_cast<real_t>(y) + real_t(0.5)) / n;
+  return real_t(4) * yt * (real_t(1) - yt);
+}
+
+real_t couette(int n, int y) {
+  return (static_cast<real_t>(y) + real_t(0.5)) / n;
+}
+
+real_t duct(int ny, int nz, int y, int z, int terms) {
+  // Laminar flow in a rectangular duct [-a,a] x [-b,b]:
+  //   u(y,z) ~ sum_{n odd} (-1)^((n-1)/2) / n^3
+  //            [1 - cosh(n pi z / 2a) / cosh(n pi b / 2a)] cos(n pi y / 2a).
+  // Half-way walls: a = ny/2, b = nz/2, node centres offset by 1/2.
+  const real_t a = static_cast<real_t>(ny) / 2;
+  const real_t b = static_cast<real_t>(nz) / 2;
+  const real_t yy = static_cast<real_t>(y) + real_t(0.5) - a;
+  const real_t zz = static_cast<real_t>(z) + real_t(0.5) - b;
+
+  auto series = [&](real_t ycoord, real_t zcoord) {
+    real_t s = 0;
+    real_t sign = 1;
+    for (int k = 1; k <= terms; k += 2) {
+      const real_t kpa = static_cast<real_t>(k) * kPi / (real_t(2) * a);
+      s += sign / (static_cast<real_t>(k) * k * k) *
+           (real_t(1) - std::cosh(kpa * zcoord) / std::cosh(kpa * b)) *
+           std::cos(kpa * ycoord);
+      sign = -sign;
+    }
+    return s;
+  };
+
+  const real_t centre = series(0, 0);
+  return centre != 0 ? series(yy, zz) / centre : real_t(0);
+}
+
+real_t taylor_green_decay(int n, real_t nu, real_t t) {
+  const real_t k = real_t(2) * kPi / n;
+  return std::exp(-real_t(2) * nu * k * k * t);
+}
+
+}  // namespace mlbm::analytic

@@ -1,0 +1,26 @@
+// Analytic reference solutions used by validation tests and examples.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace mlbm::analytic {
+
+/// Normalized plane-Poiseuille profile on a channel of `n` nodes whose
+/// half-way bounceback walls sit at y = -1/2 and y = n - 1/2: peak value 1 at
+/// the channel centre.
+real_t poiseuille(int n, int y);
+
+/// Normalized plane-Couette profile: 0 at the stationary wall (y = -1/2),
+/// 1 at the moving wall (y = n - 1/2).
+real_t couette(int n, int y);
+
+/// Normalized laminar profile of a rectangular duct of ny x nz nodes with
+/// half-way walls (series solution, truncated at `terms` odd modes), value 1
+/// at the duct centre.
+real_t duct(int ny, int nz, int y, int z, int terms = 31);
+
+/// Decay factor exp(-2 nu k^2 t) of a square Taylor-Green vortex with
+/// wavenumber k = 2 pi / n.
+real_t taylor_green_decay(int n, real_t nu, real_t t);
+
+}  // namespace mlbm::analytic

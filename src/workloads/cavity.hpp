@@ -1,0 +1,30 @@
+// Lid-driven cavity: closed box with one moving wall, exercising the
+// moving-wall bounceback path of every engine.
+#pragma once
+
+#include "engines/engine.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+template <class L>
+struct LidDrivenCavity {
+  Geometry geo;
+  real_t u_lid;
+
+  /// 2D: n x n box, lid = high-y face moving in +x.
+  /// 3D: n x n x n box, lid = high-z face moving in +x.
+  static LidDrivenCavity create(int n, real_t u_lid);
+
+  void attach(Engine<L>& eng) const;
+
+  /// Total mass (sum of rho); conserved exactly by bounceback walls.
+  static real_t total_mass(const Engine<L>& eng);
+};
+
+extern template struct LidDrivenCavity<D2Q9>;
+extern template struct LidDrivenCavity<D3Q19>;
+extern template struct LidDrivenCavity<D3Q27>;
+extern template struct LidDrivenCavity<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,77 @@
+#include "workloads/channel.hpp"
+
+#include <stdexcept>
+
+namespace mlbm {
+
+template <class L>
+real_t Channel<L>::inlet_ux(int y, int z) const {
+  return bc->inlet_velocity(y, z)[0];
+}
+
+template <class L>
+Channel<L> Channel<L>::create(int nx, int ny, int nz, real_t tau, real_t u_max,
+                              InletProfile profile) {
+  if constexpr (L::D == 2) {
+    if (nz != 1) throw std::invalid_argument("2D channel requires nz == 1");
+  } else {
+    if (nz < 2) throw std::invalid_argument("3D channel requires nz >= 2");
+  }
+
+  Box box{nx, ny, nz};
+  Geometry geo(box);
+  geo.bc.set_axis(0, FaceBC::kOpen);
+  geo.bc.set_axis(1, FaceBC::kWall);
+  geo.bc.set_axis(2, L::D == 3 ? FaceBC::kWall : FaceBC::kPeriodic);
+
+  std::vector<std::array<real_t, 3>> inlet(
+      static_cast<std::size_t>(ny) * static_cast<std::size_t>(nz),
+      {0, 0, 0});
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      real_t shape = 1;
+      if (profile == InletProfile::kLaminar) {
+        shape = (L::D == 2) ? analytic::poiseuille(ny, y)
+                            : analytic::duct(ny, nz, y, z);
+      }
+      inlet[static_cast<std::size_t>(y) +
+            static_cast<std::size_t>(ny) * static_cast<std::size_t>(z)] = {
+          u_max * shape, 0, 0};
+      geo.set(0, y, z, NodeKind::kInlet);
+      geo.set(nx - 1, y, z, NodeKind::kOutlet);
+    }
+  }
+  // Tag wall-adjacent fluid nodes for diagnostics.
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      const bool wall = y == 0 || y == ny - 1 ||
+                        (L::D == 3 && (z == 0 || z == nz - 1));
+      if (!wall) continue;
+      for (int x = 1; x < nx - 1; ++x) {
+        geo.set(x, y, z, NodeKind::kWall);
+      }
+    }
+  }
+
+  Channel ch{std::move(geo), tau, u_max,
+             std::make_shared<InletOutletBC<L>>(box, std::move(inlet))};
+  return ch;
+}
+
+template <class L>
+void Channel<L>::attach(Engine<L>& eng) const {
+  const auto bc_ptr = bc;
+  eng.initialize([this](int /*x*/, int y, int z) {
+    std::array<real_t, L::D> u{};
+    u[0] = inlet_ux(y, z);
+    return equilibrium_moments<L>(real_t(1), u);
+  });
+  eng.set_post_step([bc_ptr](Engine<L>& e) { bc_ptr->apply(e); });
+}
+
+template struct Channel<D2Q9>;
+template struct Channel<D3Q19>;
+template struct Channel<D3Q27>;
+template struct Channel<D3Q15>;
+
+}  // namespace mlbm

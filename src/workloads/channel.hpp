@@ -1,0 +1,43 @@
+// Channel-flow workload: the proxy application of the paper's evaluation.
+//
+// A rectangular 2D or 3D channel with bounceback walls, a finite-difference
+// velocity inlet at x = 0 and a finite-difference outlet at x = nx-1
+// (Section 4). The inlet profile is the analytic laminar profile (parabolic
+// in 2D, duct series in 3D) scaled to `u_max`, or a uniform plug.
+#pragma once
+
+#include <memory>
+
+#include "bc/boundary.hpp"
+#include "engines/engine.hpp"
+#include "workloads/analytic.hpp"
+
+namespace mlbm {
+
+enum class InletProfile { kLaminar, kUniform };
+
+template <class L>
+struct Channel {
+  Geometry geo;
+  real_t tau;
+  real_t u_max;
+  std::shared_ptr<InletOutletBC<L>> bc;
+
+  /// Builds geometry, node kinds and the inlet/outlet BC. 2D when nz == 1.
+  static Channel create(int nx, int ny, int nz, real_t tau, real_t u_max,
+                        InletProfile profile = InletProfile::kLaminar);
+
+  /// Initializes the engine with the developed laminar field and registers
+  /// the inlet/outlet pass.
+  void attach(Engine<L>& eng) const;
+
+  /// The prescribed inlet velocity at (y, z).
+  [[nodiscard]] real_t inlet_ux(int y, int z) const;
+};
+
+extern template struct Channel<D2Q9>;
+extern template struct Channel<D3Q19>;
+extern template struct Channel<D3Q27>;
+extern template struct Channel<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,60 @@
+#include "workloads/shear_layer.hpp"
+
+#include <cmath>
+
+namespace mlbm {
+
+namespace {
+constexpr real_t kPi = 3.14159265358979323846;
+}
+
+template <class L>
+DoubleShearLayer<L> DoubleShearLayer<L>::create(int n, real_t u0, real_t width,
+                                                real_t delta) {
+  Box box{n, n, L::D == 2 ? 1 : 4};
+  Geometry geo(box);
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return {n, u0, width, delta, std::move(geo)};
+}
+
+template <class L>
+void DoubleShearLayer<L>::attach(Engine<L>& eng) const {
+  const int nn = n;
+  const real_t u = u0, k = width, d = delta;
+  eng.initialize([nn, u, k, d](int x, int y, int /*z*/) {
+    const real_t xt = (static_cast<real_t>(x) + real_t(0.5)) / nn;
+    const real_t yt = (static_cast<real_t>(y) + real_t(0.5)) / nn;
+    std::array<real_t, L::D> vel{};
+    vel[0] = yt <= real_t(0.5)
+                 ? u * std::tanh(k * (yt - real_t(0.25)))
+                 : u * std::tanh(k * (real_t(0.75) - yt));
+    vel[1] = d * u * std::sin(real_t(2) * kPi * (xt + real_t(0.25)));
+    return equilibrium_moments<L>(real_t(1), vel);
+  });
+}
+
+template <class L>
+bool DoubleShearLayer<L>::healthy(const Engine<L>& eng) {
+  const Box& b = eng.geometry().box;
+  const int stride = std::max(1, b.nx / 16);
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; y += stride) {
+      for (int x = 0; x < b.nx; x += stride) {
+        const Moments<L> m = eng.moments_at(x, y, z);
+        if (!std::isfinite(m.rho) || m.rho <= 0) return false;
+        for (int a = 0; a < L::D; ++a) {
+          const real_t ua = m.u[static_cast<std::size_t>(a)];
+          if (!std::isfinite(ua) || std::abs(ua) > real_t(0.8)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+template struct DoubleShearLayer<D2Q9>;
+template struct DoubleShearLayer<D3Q19>;
+
+}  // namespace mlbm

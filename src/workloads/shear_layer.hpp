@@ -1,0 +1,37 @@
+// Doubly periodic double shear layer (Minion & Brown 1997).
+//
+// Two thin tanh shear layers with a sinusoidal cross perturbation roll up
+// into vortices; when the layer thickness is under-resolved, spurious
+// secondary vortices and eventually blow-up appear. This is the standard
+// workload for demonstrating the stability gain of regularized collision
+// operators (cf. Coreixas et al., Latt et al.), i.e. the property the paper
+// leverages to compress the LBM state.
+#pragma once
+
+#include "engines/engine.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+template <class L>
+struct DoubleShearLayer {
+  int n;            ///< nodes per axis (periodic square / cube-slab)
+  real_t u0;        ///< shear velocity
+  real_t width;     ///< dimensionless layer steepness (Minion-Brown k ~ 80)
+  real_t delta;     ///< perturbation amplitude (fraction of u0)
+  Geometry geo;
+
+  static DoubleShearLayer create(int n, real_t u0, real_t width = 80,
+                                 real_t delta = 0.05);
+
+  void attach(Engine<L>& eng) const;
+
+  /// True while every sampled node is finite and subsonic — the blow-up
+  /// detector used by the stability studies.
+  static bool healthy(const Engine<L>& eng);
+};
+
+extern template struct DoubleShearLayer<D2Q9>;
+extern template struct DoubleShearLayer<D3Q19>;
+
+}  // namespace mlbm

@@ -1,0 +1,40 @@
+// Taylor-Green vortex: the library's periodic validation workload.
+//
+// The 2D Taylor-Green vortex is an exact solution of the incompressible
+// Navier-Stokes equations; its kinetic energy decays as exp(-4 nu k^2 t).
+// In 3D the same field, uniform along z, remains exact and exercises the
+// D3Q19/D3Q27 engines (including the MR engines' periodic sweep handling).
+#pragma once
+
+#include "engines/engine.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+template <class L>
+struct TaylorGreen {
+  int n;        ///< nodes per (periodic) axis
+  real_t u0;    ///< initial velocity amplitude
+  Geometry geo;
+
+  static TaylorGreen create(int n, real_t u0, int nz = 1);
+
+  /// Initializes velocity, the consistent pressure field and the
+  /// non-equilibrium moments from the analytic strain rate (so the decay is
+  /// clean from step 0).
+  void attach(Engine<L>& eng) const;
+
+  /// Analytic velocity at a node and time (in lattice units).
+  [[nodiscard]] std::array<real_t, 2> velocity(int x, int y, real_t nu,
+                                               real_t t) const;
+
+  /// Total kinetic energy of the engine's current state.
+  static real_t kinetic_energy(const Engine<L>& eng);
+};
+
+extern template struct TaylorGreen<D2Q9>;
+extern template struct TaylorGreen<D3Q19>;
+extern template struct TaylorGreen<D3Q27>;
+extern template struct TaylorGreen<D3Q15>;
+
+}  // namespace mlbm

@@ -1,0 +1,161 @@
+// AA-pattern single-lattice engine: in-place streaming correctness,
+// equivalence with the reference trajectory, footprint and traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/aa_engine.hpp"
+#include "engines/reference_engine.hpp"
+#include "workloads/cavity.hpp"
+#include "workloads/channel.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+Geometry periodic_geo(int nx, int ny, int nz) {
+  Geometry geo(Box{nx, ny, nz});
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return geo;
+}
+
+template <class L>
+double max_u_diff(const Engine<L>& a, const Engine<L>& b) {
+  const Box& box = a.geometry().box;
+  double worst = 0;
+  for (int z = 0; z < box.nz; ++z) {
+    for (int y = 0; y < box.ny; ++y) {
+      for (int x = 0; x < box.nx; ++x) {
+        const auto ma = a.moments_at(x, y, z);
+        const auto mb = b.moments_at(x, y, z);
+        worst = std::max(worst, std::abs(static_cast<double>(ma.rho - mb.rho)));
+        for (int c = 0; c < L::D; ++c) {
+          worst = std::max(worst, std::abs(static_cast<double>(
+                                      ma.u[static_cast<std::size_t>(c)] -
+                                      mb.u[static_cast<std::size_t>(c)])));
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+TEST(AaEngine2D, MatchesReferenceOnPeriodicFlowAtEvenSteps) {
+  const real_t tau = 0.8;
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  ReferenceEngine<D2Q9> ref(tg.geo, tau, CollisionScheme::kBGK);
+  AaEngine<D2Q9> aa(tg.geo, tau);
+  tg.attach(ref);
+  tg.attach(aa);
+  for (int pair = 0; pair < 10; ++pair) {
+    ref.step();
+    ref.step();
+    aa.step();
+    aa.step();
+    ASSERT_LT(max_u_diff(ref, aa), 1e-12) << "after " << aa.time();
+  }
+}
+
+TEST(AaEngine2D, MatchesReferenceOnCavityMovingWall) {
+  const real_t tau = 0.7;
+  const auto cav = LidDrivenCavity<D2Q9>::create(14, 0.06);
+  ReferenceEngine<D2Q9> ref(cav.geo, tau, CollisionScheme::kBGK);
+  AaEngine<D2Q9> aa(cav.geo, tau);
+  cav.attach(ref);
+  cav.attach(aa);
+  for (int pair = 0; pair < 12; ++pair) {
+    ref.run(2);
+    aa.run(2);
+  }
+  EXPECT_LT(max_u_diff(ref, aa), 1e-12);
+}
+
+TEST(AaEngine3D, MatchesReferenceD3Q19) {
+  const real_t tau = 0.9;
+  const auto cav = LidDrivenCavity<D3Q19>::create(8, 0.05);
+  ReferenceEngine<D3Q19> ref(cav.geo, tau, CollisionScheme::kBGK);
+  AaEngine<D3Q19> aa(cav.geo, tau);
+  cav.attach(ref);
+  cav.attach(aa);
+  ref.run(10);
+  aa.run(10);
+  EXPECT_LT(max_u_diff(ref, aa), 1e-12);
+}
+
+TEST(AaEngine2D, RegularizedCollisionAlsoMatches) {
+  const real_t tau = 0.8;
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  ReferenceEngine<D2Q9> ref(tg.geo, tau, CollisionScheme::kProjective);
+  AaEngine<D2Q9> aa(tg.geo, tau, CollisionScheme::kProjective);
+  tg.attach(ref);
+  tg.attach(aa);
+  ref.run(8);
+  aa.run(8);
+  EXPECT_LT(max_u_diff(ref, aa), 1e-12);
+}
+
+TEST(AaEngine, HalvesTheStFootprint) {
+  const auto geo = periodic_geo(12, 10, 1);
+  AaEngine<D2Q9> aa(geo, 0.8);
+  EXPECT_EQ(aa.state_bytes(),
+            static_cast<std::size_t>(12 * 10) * 9 * sizeof(real_t));
+}
+
+TEST(AaEngine, TrafficPerUpdateMatchesSt) {
+  // Table 2 story: the AA pattern halves memory but NOT traffic — the MR
+  // pattern's 2M B/F remains the only traffic reduction.
+  AaEngine<D2Q9> aa(periodic_geo(16, 12, 1), 0.8);
+  aa.initialize(
+      [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+  aa.run(2);  // one full even+odd cycle, warm
+  const auto before = aa.profiler()->total_traffic();
+  aa.run(2);
+  const auto t = aa.profiler()->total_traffic() - before;
+  const auto nodes = static_cast<std::uint64_t>(16 * 12) * 2;
+  EXPECT_EQ(t.bytes_read, nodes * 9 * sizeof(real_t));
+  EXPECT_EQ(t.bytes_written, nodes * 9 * sizeof(real_t));
+}
+
+TEST(AaEngine, StateRoundTripInBothPhases) {
+  const auto geo = periodic_geo(8, 8, 1);
+  AaEngine<D2Q9> aa(geo, 0.8);
+  aa.initialize([](int x, int y, int) {
+    return equilibrium_moments<D2Q9>(1.0 + 0.01 * x,
+                                     {0.01 * y, -0.005 * x});
+  });
+  // Plain phase round trip.
+  Moments<D2Q9> m = equilibrium_moments<D2Q9>(1.02, {0.03, -0.01});
+  m.pi[1] += 1e-4;
+  aa.impose(3, 4, 0, m);
+  auto got = aa.moments_at(3, 4, 0);
+  EXPECT_NEAR(got.rho, m.rho, 1e-14);
+  EXPECT_NEAR(got.u[0], m.u[0], 1e-14);
+  EXPECT_NEAR(got.pi[1], m.pi[1], 1e-13);
+
+  // Swapped phase (after an odd number of steps) round trip.
+  aa.step();
+  aa.impose(3, 4, 0, m);
+  got = aa.moments_at(3, 4, 0);
+  EXPECT_NEAR(got.rho, m.rho, 1e-14);
+  EXPECT_NEAR(got.u[0], m.u[0], 1e-13);
+  EXPECT_NEAR(got.pi[1], m.pi[1], 1e-13);
+}
+
+TEST(AaEngine, RejectsOpenFaces) {
+  const auto ch = Channel<D2Q9>::create(16, 8, 1, 0.8, 0.05);
+  EXPECT_THROW(AaEngine<D2Q9>(ch.geo, 0.8), std::invalid_argument);
+}
+
+TEST(AaEngine, MassConservedOverManySteps) {
+  const auto cav = LidDrivenCavity<D2Q9>::create(12, 0.08);
+  AaEngine<D2Q9> aa(cav.geo, 0.7);
+  cav.attach(aa);
+  const real_t m0 = LidDrivenCavity<D2Q9>::total_mass(aa);
+  aa.run(100);
+  EXPECT_NEAR(LidDrivenCavity<D2Q9>::total_mass(aa), m0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mlbm

@@ -1,0 +1,151 @@
+// Derived-field analysis: gradients, vorticity, strain rate (FD vs moment
+// route), dissipation, flux — plus the second-order grid-convergence study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fields.hpp"
+#include "engines/mr_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "workloads/analytic.hpp"
+#include "workloads/channel.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Analysis, VorticityOfTaylorGreenMatchesAnalytic) {
+  const int n = 32;
+  const real_t u0 = 0.02;
+  const auto tg = TaylorGreen<D2Q9>::create(n, u0);
+  StEngine<D2Q9> e(tg.geo, 0.8);
+  tg.attach(e);
+  // omega_z = 2 u0 k cos(kx) cos(ky) at t = 0.
+  const real_t k = 2 * kPi / n;
+  for (int y = 2; y < n; y += 7) {
+    for (int x = 3; x < n; x += 7) {
+      const auto w = analysis::vorticity(e, x, y, 0);
+      const real_t ref = 2 * u0 * k * std::cos(k * x) * std::cos(k * y);
+      EXPECT_NEAR(w[2], ref, 0.01 * 2 * u0 * k);  // central FD ~ O(k^2)
+      EXPECT_EQ(w[0], 0.0);
+      EXPECT_EQ(w[1], 0.0);
+    }
+  }
+}
+
+TEST(Analysis, MomentStrainRateMatchesFdStrainRate) {
+  // After a few steps of developed flow, the locally recovered strain rate
+  // (from Pi^neq) must agree with the finite-difference one.
+  const auto tg = TaylorGreen<D2Q9>::create(32, 0.02);
+  MrEngine<D2Q9> e(tg.geo, 0.8, Regularization::kProjective, {8, 1, 2});
+  tg.attach(e);
+  e.run(30);
+  for (int y = 1; y < 32; y += 9) {
+    for (int x = 2; x < 32; x += 9) {
+      const auto sm = analysis::strain_rate_moment(e, x, y, 0);
+      const auto sf = analysis::strain_rate_fd(e, x, y, 0);
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          const real_t fd =
+              sf[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+          // Both routes carry their own O(dx^2)/O(Ma^2) truncation; they
+          // agree to a few percent, not to round-off.
+          EXPECT_NEAR(sm[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)],
+                      fd, 0.03 * std::abs(fd) + 5e-6)
+              << "at " << x << "," << y << " comp " << a << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(Analysis, DissipationBalancesEnergyDecayOnTaylorGreen) {
+  // dE/dt = -epsilon: compare the measured kinetic-energy drop over a short
+  // window against the integrated dissipation rate.
+  const auto tg = TaylorGreen<D2Q9>::create(32, 0.02);
+  StEngine<D2Q9> e(tg.geo, 0.8);
+  tg.attach(e);
+  e.run(20);  // settle
+  const real_t e0 = TaylorGreen<D2Q9>::kinetic_energy(e);
+  const real_t eps0 = analysis::dissipation(e);
+  const int dt = 10;
+  e.run(dt);
+  const real_t e1 = TaylorGreen<D2Q9>::kinetic_energy(e);
+  const real_t eps1 = analysis::dissipation(e);
+  // Energy decays over the window, so compare against the trapezoidal mean
+  // dissipation rate.
+  const real_t eps_mean = (eps0 + eps1) / 2;
+  EXPECT_NEAR((e0 - e1) / dt, eps_mean, 0.05 * eps_mean);
+}
+
+TEST(Analysis, ChannelMassFluxIsUniformAlongX) {
+  // In the developed steady state, the flux through every cross-section is
+  // the same (mass conservation of the bulk update).
+  const auto ch = Channel<D2Q9>::create(48, 16, 1, 0.8, 0.05);
+  MrEngine<D2Q9> e(ch.geo, 0.8, Regularization::kProjective, {16, 1, 2});
+  ch.attach(e);
+  e.run(2500);
+  const real_t f_mid = analysis::mass_flux_x(e, 24);
+  for (int x = 4; x < 44; x += 8) {
+    EXPECT_NEAR(analysis::mass_flux_x(e, x), f_mid, 0.01 * std::abs(f_mid));
+  }
+}
+
+TEST(Analysis, CouetteShearIsUniform) {
+  Geometry geo(Box{8, 16, 1});
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kWall);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  geo.bc.face[1][1].u_wall = {0.04, 0, 0};
+  StEngine<D2Q9> e(geo, 0.8);
+  e.initialize([](int, int, int) { return equilibrium_moments<D2Q9>(1, {}); });
+  e.run(2500);
+  // S_xy = (du/dy)/2 = u_wall / (2 ny) everywhere in the bulk.
+  const real_t expect = 0.04 / 16 / 2;
+  for (int y = 3; y < 13; y += 3) {
+    const auto s = analysis::strain_rate_moment(e, 4, y, 0);
+    EXPECT_NEAR(s[0][1], expect, 0.05 * expect);
+  }
+}
+
+// ------------------------------------------------------- convergence order
+
+TEST(Convergence, TaylorGreenVelocityErrorIsSecondOrder) {
+  // Diffusive scaling: fix nu and the physical decay time; the velocity
+  // error of the LBM solution must drop ~4x when the resolution doubles.
+  auto error_at = [](int n) {
+    const real_t u0 = 0.04 / (n / 16.0);  // keep Ma ~ dx (diffusive scaling)
+    const real_t tau = 0.6;
+    const auto tg = TaylorGreen<D2Q9>::create(n, u0);
+    StEngine<D2Q9> e(tg.geo, tau);
+    tg.attach(e);
+    const real_t nu = e.viscosity();
+    // Run to the same physical time t* = 0.05 n^2 / nu... use decay to 90%:
+    const real_t k = 2 * kPi / n;
+    const int steps = static_cast<int>(0.1 / (2 * nu * k * k)) + 1;
+    e.run(steps);
+    double err = 0, scale = 0;
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const auto m = e.moments_at(x, y, 0);
+        const auto ref = tg.velocity(x, y, nu, e.time());
+        err += std::pow(m.u[0] - ref[0], 2) + std::pow(m.u[1] - ref[1], 2);
+        scale += ref[0] * ref[0] + ref[1] * ref[1];
+      }
+    }
+    return std::sqrt(err / scale);
+  };
+
+  // Single refinement steps oscillate (error-term cancellation); fit the
+  // order across two refinements, 16 -> 64.
+  const double e16 = error_at(16);
+  const double e64 = error_at(64);
+  const double order = std::log2(e16 / e64) / 2;
+  EXPECT_GT(order, 1.6) << "e16=" << e16 << " e64=" << e64;
+  EXPECT_LT(order, 2.8);
+}
+
+}  // namespace
+}  // namespace mlbm

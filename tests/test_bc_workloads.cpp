@@ -1,0 +1,218 @@
+// Boundary conditions and workload builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bc/boundary.hpp"
+#include "engines/reference_engine.hpp"
+#include "workloads/analytic.hpp"
+#include "workloads/cavity.hpp"
+#include "workloads/channel.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+// ------------------------------------------------------------ analytic refs
+
+TEST(Analytic, PoiseuilleIsSymmetricWithUnitPeak) {
+  const int n = 17;  // odd: the centre node sits exactly at the peak
+  EXPECT_NEAR(analytic::poiseuille(n, n / 2), 1.0, 1e-12);
+  for (int y = 0; y < n; ++y) {
+    EXPECT_NEAR(analytic::poiseuille(n, y), analytic::poiseuille(n, n - 1 - y),
+                1e-14);
+    EXPECT_GT(analytic::poiseuille(n, y), 0.0);
+    EXPECT_LE(analytic::poiseuille(n, y), 1.0);
+  }
+  // Half-way wall: extrapolating half a node outward hits zero.
+  EXPECT_NEAR(analytic::poiseuille(10, 0), 4 * 0.05 * 0.95, 1e-12);
+}
+
+TEST(Analytic, CouetteIsLinear) {
+  EXPECT_NEAR(analytic::couette(10, 0), 0.05, 1e-14);
+  EXPECT_NEAR(analytic::couette(10, 9), 0.95, 1e-14);
+  const real_t d1 = analytic::couette(10, 5) - analytic::couette(10, 4);
+  const real_t d2 = analytic::couette(10, 8) - analytic::couette(10, 7);
+  EXPECT_NEAR(d1, d2, 1e-14);
+}
+
+TEST(Analytic, DuctProfilePeaksAtCentre) {
+  const int ny = 15, nz = 15;
+  const real_t centre = analytic::duct(ny, nz, ny / 2, nz / 2);
+  EXPECT_NEAR(centre, 1.0, 1e-6);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      const real_t v = analytic::duct(ny, nz, y, z);
+      EXPECT_LE(v, 1.0 + 1e-9);
+      EXPECT_GE(v, -1e-6);
+      // Four-fold symmetry.
+      EXPECT_NEAR(v, analytic::duct(ny, nz, ny - 1 - y, z), 1e-9);
+      EXPECT_NEAR(v, analytic::duct(ny, nz, y, nz - 1 - z), 1e-9);
+    }
+  }
+  // Corners are the slowest region.
+  EXPECT_LT(analytic::duct(ny, nz, 0, 0), 0.2);
+}
+
+TEST(Analytic, WideDuctApproachesPoiseuille) {
+  // As the aspect ratio grows, the mid-plane duct profile tends to the
+  // plane-Poiseuille parabola.
+  const int ny = 11, nz = 121;
+  for (int y = 0; y < ny; ++y) {
+    EXPECT_NEAR(analytic::duct(ny, nz, y, nz / 2),
+                analytic::poiseuille(ny, y), 0.02);
+  }
+}
+
+TEST(Analytic, TaylorGreenDecayIsExponential) {
+  const real_t f1 = analytic::taylor_green_decay(32, 0.1, 10);
+  const real_t f2 = analytic::taylor_green_decay(32, 0.1, 20);
+  EXPECT_NEAR(f2, f1 * f1, 1e-12);
+  EXPECT_NEAR(analytic::taylor_green_decay(32, 0.1, 0), 1.0, 1e-15);
+}
+
+// ----------------------------------------------------------------- channel
+
+TEST(ChannelSetup, GeometryAndNodeKinds) {
+  const auto ch = Channel<D2Q9>::create(16, 8, 1, 0.8, 0.05);
+  EXPECT_EQ(ch.geo.bc.face[0][0].type, FaceBC::kOpen);
+  EXPECT_EQ(ch.geo.bc.face[1][0].type, FaceBC::kWall);
+  EXPECT_EQ(ch.geo.count(NodeKind::kInlet), 8);
+  EXPECT_EQ(ch.geo.count(NodeKind::kOutlet), 8);
+  EXPECT_EQ(ch.geo.at(0, 3, 0), NodeKind::kInlet);
+  EXPECT_EQ(ch.geo.at(15, 3, 0), NodeKind::kOutlet);
+  EXPECT_EQ(ch.geo.at(5, 0, 0), NodeKind::kWall);
+  EXPECT_EQ(ch.geo.at(5, 3, 0), NodeKind::kFluid);
+}
+
+TEST(ChannelSetup, LaminarInletProfileIsParabolic) {
+  const auto ch = Channel<D2Q9>::create(16, 10, 1, 0.8, 0.06);
+  for (int y = 0; y < 10; ++y) {
+    EXPECT_NEAR(ch.inlet_ux(y, 0), 0.06 * analytic::poiseuille(10, y), 1e-14);
+  }
+}
+
+TEST(ChannelSetup, UniformProfileIsPlug) {
+  const auto ch =
+      Channel<D2Q9>::create(16, 10, 1, 0.8, 0.06, InletProfile::kUniform);
+  for (int y = 0; y < 10; ++y) {
+    EXPECT_NEAR(ch.inlet_ux(y, 0), 0.06, 1e-14);
+  }
+}
+
+TEST(ChannelSetup, Validation) {
+  EXPECT_THROW(Channel<D2Q9>::create(16, 8, 4, 0.8, 0.05),
+               std::invalid_argument);
+  EXPECT_THROW(Channel<D3Q19>::create(16, 8, 1, 0.8, 0.05),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ BC pass
+
+TEST(InletOutletBC, Validation) {
+  Box box{16, 8, 1};
+  EXPECT_THROW(InletOutletBC<D2Q9>(box, {}), std::invalid_argument);
+  Box tiny{3, 8, 1};
+  std::vector<std::array<real_t, 3>> prof(8, {0.01, 0, 0});
+  EXPECT_THROW(InletOutletBC<D2Q9>(tiny, prof), std::invalid_argument);
+}
+
+TEST(InletOutletBC, ImposesPrescribedVelocityAndExtrapolatedDensity) {
+  const auto ch = Channel<D2Q9>::create(16, 8, 1, 0.8, 0.05);
+  ReferenceEngine<D2Q9> e(ch.geo, 0.8, CollisionScheme::kBGK);
+  ch.attach(e);
+  e.run(5);
+  for (int y = 0; y < 8; ++y) {
+    const auto m = e.moments_at(0, y, 0);
+    EXPECT_NEAR(m.u[0], ch.inlet_ux(y, 0), 1e-12);
+    EXPECT_NEAR(m.u[1], 0.0, 1e-12);
+    EXPECT_NEAR(m.rho, e.moments_at(1, y, 0).rho, 1e-12);
+  }
+}
+
+TEST(InletOutletBC, OutletDensityIsPrescribed) {
+  const auto ch = Channel<D2Q9>::create(16, 8, 1, 0.8, 0.05);
+  ReferenceEngine<D2Q9> e(ch.geo, 0.8, CollisionScheme::kBGK);
+  ch.attach(e);
+  e.run(5);
+  for (int y = 0; y < 8; ++y) {
+    EXPECT_NEAR(e.moments_at(15, y, 0).rho, 1.0, 1e-12);
+    // Zero-gradient velocity.
+    EXPECT_NEAR(e.moments_at(15, y, 0).u[0], e.moments_at(14, y, 0).u[0],
+                1e-12);
+  }
+}
+
+TEST(InletOutletBC, FdStrainRateReconstructsShearPineq) {
+  // Impose a pure shear u_x = a * y everywhere; the inlet pass must rebuild
+  // Pi^neq_xy = -2 rho cs2 tau S_xy with S_xy = a/2.
+  const real_t a = 1e-3, tau = 0.8;
+  Geometry geo(Box{8, 8, 1});
+  geo.bc.set_axis(0, FaceBC::kOpen);
+  geo.bc.set_axis(1, FaceBC::kWall);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  std::vector<std::array<real_t, 3>> prof(8);
+  for (int y = 0; y < 8; ++y) prof[static_cast<std::size_t>(y)] = {a * y, 0, 0};
+  for (int y = 0; y < 8; ++y) geo.set(0, y, 0, NodeKind::kInlet);
+
+  ReferenceEngine<D2Q9> e(geo, tau, CollisionScheme::kBGK);
+  e.initialize([a](int, int y, int) {
+    return equilibrium_moments<D2Q9>(1.0, {a * y, 0});
+  });
+  InletOutletBC<D2Q9> bc(geo.box, prof);
+  bc.apply(e);
+
+  const int y = 4;
+  const auto m = e.moments_at(0, y, 0);
+  const real_t pineq_xy = m.pi[1] - m.rho * m.u[0] * m.u[1];
+  EXPECT_NEAR(pineq_xy, -2 * m.rho * D2Q9::cs2 * tau * (a / 2), 1e-9);
+}
+
+// --------------------------------------------------------------- workloads
+
+TEST(TaylorGreenSetup, InitialStateIsConsistent) {
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  ReferenceEngine<D2Q9> e(tg.geo, 0.8, CollisionScheme::kBGK);
+  tg.attach(e);
+  real_t rho_sum = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      rho_sum += e.moments_at(x, y, 0).rho;
+    }
+  }
+  EXPECT_NEAR(rho_sum / (16 * 16), 1.0, 1e-10);  // mean density 1
+  EXPECT_GT(TaylorGreen<D2Q9>::kinetic_energy(e), 0.0);
+  const auto v = tg.velocity(3, 5, 0.1, 0.0);
+  const auto m = e.moments_at(3, 5, 0);
+  EXPECT_NEAR(m.u[0], v[0], 1e-12);
+  EXPECT_NEAR(m.u[1], v[1], 1e-12);
+}
+
+TEST(CavitySetup, LidFaceCarriesWallVelocity) {
+  const auto cav2 = LidDrivenCavity<D2Q9>::create(8, 0.1);
+  EXPECT_EQ(cav2.geo.bc.face[1][1].u_wall[0], 0.1);
+  EXPECT_EQ(cav2.geo.bc.face[1][0].u_wall[0], 0.0);
+  EXPECT_EQ(cav2.geo.bc.face[0][0].type, FaceBC::kWall);
+
+  const auto cav3 = LidDrivenCavity<D3Q19>::create(8, 0.1);
+  EXPECT_EQ(cav3.geo.bc.face[2][1].u_wall[0], 0.1);
+  EXPECT_EQ(cav3.geo.bc.face[2][0].u_wall[0], 0.0);
+}
+
+TEST(GeometryBasics, BoxIndexingAndCounts) {
+  Box b{4, 3, 2};
+  EXPECT_EQ(b.cells(), 24);
+  EXPECT_EQ(b.idx(0, 0, 0), 0);
+  EXPECT_EQ(b.idx(3, 2, 1), 23);
+  EXPECT_EQ(b.idx(1, 2, 0), 9);
+  EXPECT_TRUE(b.inside(3, 2, 1));
+  EXPECT_FALSE(b.inside(4, 0, 0));
+  EXPECT_EQ(Box::wrap(-1, 5), 4);
+  EXPECT_EQ(Box::wrap(5, 5), 0);
+  EXPECT_EQ(Box::wrap(3, 5), 3);
+  EXPECT_EQ(b.extent(0), 4);
+  EXPECT_EQ(b.extent(2), 2);
+}
+
+}  // namespace
+}  // namespace mlbm

@@ -1,0 +1,210 @@
+// Engine interface contracts: state round trips, footprints, invariant
+// preservation of trivial states.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/mr_engine.hpp"
+#include "engines/reference_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+Geometry periodic_geo(int nx, int ny, int nz) {
+  Geometry geo(Box{nx, ny, nz});
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return geo;
+}
+
+template <class L>
+Moments<L> wavy_state(int x, int y, int z) {
+  Moments<L> m;
+  m.rho = 1.0 + 0.01 * std::sin(0.3 * x + 0.5 * y + 0.7 * z);
+  m.u.fill(0);
+  m.u[0] = 0.02 * std::cos(0.4 * x);
+  m.u[1] = -0.01 * std::sin(0.2 * y);
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    const auto [a, b] = Moments<L>::pair(p);
+    m.pi[static_cast<std::size_t>(p)] =
+        m.rho * m.u[static_cast<std::size_t>(a)] *
+            m.u[static_cast<std::size_t>(b)] +
+        1e-4 * std::sin(0.1 * (x + y + z) + p);
+  }
+  return m;
+}
+
+template <class L, class E>
+void check_roundtrip(E& eng) {
+  const Box& b = eng.geometry().box;
+  eng.initialize([](int x, int y, int z) { return wavy_state<L>(x, y, z); });
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const Moments<L> want = wavy_state<L>(x, y, z);
+        const Moments<L> got = eng.moments_at(x, y, z);
+        EXPECT_NEAR(got.rho, want.rho, 1e-13);
+        for (int a = 0; a < L::D; ++a) {
+          EXPECT_NEAR(got.u[static_cast<std::size_t>(a)],
+                      want.u[static_cast<std::size_t>(a)], 1e-13);
+        }
+        for (int p = 0; p < Moments<L>::NP; ++p) {
+          EXPECT_NEAR(got.pi[static_cast<std::size_t>(p)],
+                      want.pi[static_cast<std::size_t>(p)], 1e-13);
+        }
+      }
+    }
+  }
+}
+
+TEST(StateRoundTrip, Reference2D) {
+  ReferenceEngine<D2Q9> e(periodic_geo(6, 5, 1), 0.8,
+                          CollisionScheme::kProjective);
+  check_roundtrip<D2Q9>(e);
+}
+
+TEST(StateRoundTrip, St2D) {
+  StEngine<D2Q9> e(periodic_geo(6, 5, 1), 0.8);
+  check_roundtrip<D2Q9>(e);
+}
+
+TEST(StateRoundTrip, StProjective3D) {
+  StEngine<D3Q19> e(periodic_geo(4, 5, 6), 0.7, CollisionScheme::kProjective);
+  check_roundtrip<D3Q19>(e);
+}
+
+TEST(StateRoundTrip, MrPingPong3D) {
+  MrEngine<D3Q19> e(periodic_geo(6, 5, 7), 0.8, Regularization::kProjective);
+  check_roundtrip<D3Q19>(e);
+}
+
+TEST(StateRoundTrip, MrCircularShift2D) {
+  MrEngine<D2Q9> e(periodic_geo(6, 8, 1), 0.8, Regularization::kProjective,
+                   {4, 1, 1, MomentStorage::kCircularShift});
+  check_roundtrip<D2Q9>(e);
+}
+
+TEST(StateBytes, MatchesStorageScheme) {
+  const int nx = 10, ny = 8, nz = 6;
+  const auto cells = static_cast<std::size_t>(nx) * ny * nz;
+
+  StEngine<D3Q19> st(periodic_geo(nx, ny, nz), 0.8);
+  EXPECT_EQ(st.state_bytes(), 2 * 19 * sizeof(real_t) * cells);
+
+  MrEngine<D3Q19> mr_pp(periodic_geo(nx, ny, nz), 0.8,
+                        Regularization::kProjective);
+  EXPECT_EQ(mr_pp.state_bytes(), 2 * 10 * sizeof(real_t) * cells);
+
+  MrEngine<D3Q19> mr_cs(periodic_geo(nx, ny, nz), 0.8,
+                        Regularization::kProjective,
+                        {8, 8, 1, MomentStorage::kCircularShift});
+  EXPECT_EQ(mr_cs.state_bytes(),
+            10 * sizeof(real_t) * static_cast<std::size_t>(nx) * ny * (nz + 2));
+}
+
+TEST(EngineContract, PatternNames) {
+  const auto geo = periodic_geo(6, 6, 1);
+  EXPECT_STREQ(StEngine<D2Q9>(geo, 0.8).pattern_name(), "ST");
+  EXPECT_STREQ(
+      MrEngine<D2Q9>(geo, 0.8, Regularization::kProjective).pattern_name(),
+      "MR-P");
+  EXPECT_STREQ(
+      MrEngine<D2Q9>(geo, 0.8, Regularization::kRecursive).pattern_name(),
+      "MR-R");
+  EXPECT_STREQ(
+      ReferenceEngine<D2Q9>(geo, 0.8, CollisionScheme::kBGK).pattern_name(),
+      "REF-BGK");
+}
+
+TEST(EngineContract, RejectsUnstableTau) {
+  const auto geo = periodic_geo(4, 4, 1);
+  EXPECT_THROW(StEngine<D2Q9>(geo, 0.5), std::invalid_argument);
+  EXPECT_THROW(StEngine<D2Q9>(geo, 0.2), std::invalid_argument);
+  EXPECT_THROW(MrEngine<D2Q9>(geo, 0.45, Regularization::kProjective),
+               std::invalid_argument);
+}
+
+TEST(EngineContract, ViscosityFormula) {
+  StEngine<D2Q9> e(periodic_geo(4, 4, 1), 0.8);
+  EXPECT_NEAR(e.viscosity(), (0.8 - 0.5) / 3.0, 1e-15);
+}
+
+TEST(EngineContract, MrRejectsBadTiles) {
+  const auto geo = periodic_geo(8, 8, 1);
+  EXPECT_THROW(MrEngine<D2Q9>(geo, 0.8, Regularization::kProjective,
+                              {0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(MrEngine<D2Q9>(geo, 0.8, Regularization::kProjective,
+                              {4, 1, 0}),
+               std::invalid_argument);
+}
+
+TEST(EngineContract, MrBlockGeometryReporting) {
+  const auto geo = periodic_geo(64, 64, 1);
+  MrEngine<D2Q9> e(geo, 0.8, Regularization::kProjective, {32, 1, 4});
+  EXPECT_EQ(e.threads_per_block(), (32 + 2) * 4);
+  EXPECT_EQ(e.shared_bytes_per_block(), 32u * (4 + 2) * 9 * sizeof(real_t));
+
+  Geometry g3 = periodic_geo(32, 32, 32);
+  MrEngine<D3Q19> e3(g3, 0.8, Regularization::kProjective, {8, 8, 1});
+  EXPECT_EQ(e3.threads_per_block(), 10 * 10 * 1);
+  EXPECT_EQ(e3.shared_bytes_per_block(), 8u * 8 * 3 * 19 * sizeof(real_t));
+}
+
+// Fixed-point preservation: a uniform equilibrium state must be exactly
+// stationary under every engine (periodic domain).
+template <class L, class E>
+void check_uniform_fixed_point(E& eng, real_t ux) {
+  std::array<real_t, L::D> u{};
+  u[0] = ux;
+  eng.initialize(
+      [&](int, int, int) { return equilibrium_moments<L>(1.0, u); });
+  eng.run(5);
+  const Box& b = eng.geometry().box;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        const Moments<L> m = eng.moments_at(x, y, z);
+        EXPECT_NEAR(m.rho, 1.0, 1e-13);
+        EXPECT_NEAR(m.u[0], ux, 1e-13);
+      }
+    }
+  }
+}
+
+TEST(UniformFlow, StationaryUnderSt) {
+  StEngine<D2Q9> e(periodic_geo(8, 8, 1), 0.6);
+  check_uniform_fixed_point<D2Q9>(e, 0.05);
+}
+
+TEST(UniformFlow, StationaryUnderMrProjective) {
+  MrEngine<D2Q9> e(periodic_geo(8, 12, 1), 0.6, Regularization::kProjective,
+                   {4, 1, 2});
+  check_uniform_fixed_point<D2Q9>(e, 0.05);
+}
+
+TEST(UniformFlow, StationaryUnderMrRecursive3D) {
+  MrEngine<D3Q19> e(periodic_geo(6, 6, 8), 0.9, Regularization::kRecursive,
+                    {3, 3, 1});
+  check_uniform_fixed_point<D3Q19>(e, 0.04);
+}
+
+TEST(UniformFlow, StationaryUnderMrCircularShift) {
+  MrEngine<D2Q9> e(periodic_geo(8, 10, 1), 0.7, Regularization::kProjective,
+                   {4, 1, 1, MomentStorage::kCircularShift});
+  check_uniform_fixed_point<D2Q9>(e, -0.03);
+}
+
+TEST(MrValidation, PeriodicSweepRequiresMinimumExtent) {
+  // ny = 4 with tile_s = 2 violates the S >= tile_s + 3 requirement.
+  auto geo = periodic_geo(8, 4, 1);
+  MrEngine<D2Q9> e(geo, 0.8, Regularization::kProjective, {4, 1, 2});
+  e.initialize([](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+  EXPECT_THROW(e.step(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlbm

@@ -1,0 +1,373 @@
+// Cross-engine equivalence: the moment-representation engines must reproduce
+// the distribution-representation reference trajectories to round-off. This
+// is the paper's central claim — the moment representation is a *lossless*
+// compression of the regularized simulation state — turned into a test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "engines/mr_engine.hpp"
+#include "engines/reference_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "workloads/cavity.hpp"
+#include "workloads/channel.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+template <class L>
+double max_moment_diff(const Engine<L>& a, const Engine<L>& b) {
+  const Box& box = a.geometry().box;
+  double worst = 0;
+  for (int z = 0; z < box.nz; ++z) {
+    for (int y = 0; y < box.ny; ++y) {
+      for (int x = 0; x < box.nx; ++x) {
+        const Moments<L> ma = a.moments_at(x, y, z);
+        const Moments<L> mb = b.moments_at(x, y, z);
+        worst = std::max(worst, std::abs(ma.rho - mb.rho));
+        for (int c = 0; c < L::D; ++c) {
+          worst = std::max(worst, std::abs(ma.u[static_cast<std::size_t>(c)] -
+                                           mb.u[static_cast<std::size_t>(c)]));
+        }
+        for (int p = 0; p < Moments<L>::NP; ++p) {
+          worst = std::max(worst,
+                           std::abs(ma.pi[static_cast<std::size_t>(p)] -
+                                    mb.pi[static_cast<std::size_t>(p)]));
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------- channel 2D
+
+struct Channel2DParam {
+  Regularization reg;
+  MomentStorage storage;
+  MrConfig cfg;
+  const char* label;
+};
+
+class Channel2DEquivalence
+    : public ::testing::TestWithParam<Channel2DParam> {};
+
+TEST_P(Channel2DEquivalence, MrMatchesReference) {
+  const auto& param = GetParam();
+  const real_t tau = 0.8;
+  const auto ch = Channel<D2Q9>::create(24, 18, 1, tau, 0.05);
+
+  ReferenceEngine<D2Q9> ref(ch.geo, tau,
+                            param.reg == Regularization::kProjective
+                                ? CollisionScheme::kProjective
+                                : CollisionScheme::kRecursive);
+  MrConfig cfg = param.cfg;
+  cfg.storage = param.storage;
+  MrEngine<D2Q9> mr(ch.geo, tau, param.reg, cfg);
+
+  ch.attach(ref);
+  ch.attach(mr);
+  for (int s = 0; s < 25; ++s) {
+    ref.step();
+    mr.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, mr), 1e-12) << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, Channel2DEquivalence,
+    ::testing::Values(
+        Channel2DParam{Regularization::kProjective, MomentStorage::kPingPong,
+                       {8, 1, 1}, "P/pingpong/8x1"},
+        Channel2DParam{Regularization::kProjective, MomentStorage::kPingPong,
+                       {32, 1, 4}, "P/pingpong/32x4"},
+        Channel2DParam{Regularization::kProjective, MomentStorage::kPingPong,
+                       {5, 1, 3}, "P/pingpong/ragged"},
+        Channel2DParam{Regularization::kProjective,
+                       MomentStorage::kCircularShift,
+                       {8, 1, 1}, "P/circshift/8x1"},
+        Channel2DParam{Regularization::kProjective,
+                       MomentStorage::kCircularShift,
+                       {16, 1, 2}, "P/circshift/16x2"},
+        Channel2DParam{Regularization::kRecursive, MomentStorage::kPingPong,
+                       {8, 1, 2}, "R/pingpong/8x2"},
+        Channel2DParam{Regularization::kRecursive,
+                       MomentStorage::kCircularShift,
+                       {8, 1, 1}, "R/circshift/8x1"}),
+    [](const auto& info) {
+      std::string s = info.param.label;
+      for (auto& c : s) {
+        if (c == '/' || c == 'x') c = '_';
+      }
+      return s;
+    });
+
+TEST(Equivalence2D, StMatchesReferenceBgkOnChannel) {
+  const real_t tau = 0.9;
+  const auto ch = Channel<D2Q9>::create(24, 16, 1, tau, 0.04);
+  ReferenceEngine<D2Q9> ref(ch.geo, tau, CollisionScheme::kBGK);
+  StEngine<D2Q9> st(ch.geo, tau, CollisionScheme::kBGK, 64);
+  ch.attach(ref);
+  ch.attach(st);
+  for (int s = 0; s < 25; ++s) {
+    ref.step();
+    st.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, st), 1e-12);
+}
+
+TEST(Equivalence2D, StMatchesReferenceProjective) {
+  const real_t tau = 0.7;
+  const auto ch = Channel<D2Q9>::create(20, 12, 1, tau, 0.03);
+  ReferenceEngine<D2Q9> ref(ch.geo, tau, CollisionScheme::kProjective);
+  StEngine<D2Q9> st(ch.geo, tau, CollisionScheme::kProjective, 32);
+  ch.attach(ref);
+  ch.attach(st);
+  for (int s = 0; s < 20; ++s) {
+    ref.step();
+    st.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, st), 1e-12);
+}
+
+// ---------------------------------------------------------------- channel 3D
+
+struct Channel3DParam {
+  Regularization reg;
+  MomentStorage storage;
+  MrConfig cfg;
+};
+
+class Channel3DEquivalence
+    : public ::testing::TestWithParam<Channel3DParam> {};
+
+TEST_P(Channel3DEquivalence, MrMatchesReferenceD3Q19) {
+  const auto& param = GetParam();
+  const real_t tau = 0.85;
+  const auto ch = Channel<D3Q19>::create(14, 10, 8, tau, 0.04);
+
+  ReferenceEngine<D3Q19> ref(ch.geo, tau,
+                             param.reg == Regularization::kProjective
+                                 ? CollisionScheme::kProjective
+                                 : CollisionScheme::kRecursive);
+  MrConfig cfg = param.cfg;
+  cfg.storage = param.storage;
+  MrEngine<D3Q19> mr(ch.geo, tau, param.reg, cfg);
+
+  ch.attach(ref);
+  ch.attach(mr);
+  for (int s = 0; s < 12; ++s) {
+    ref.step();
+    mr.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, mr), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, Channel3DEquivalence,
+    ::testing::Values(
+        Channel3DParam{Regularization::kProjective, MomentStorage::kPingPong,
+                       {8, 4, 1}},
+        Channel3DParam{Regularization::kProjective, MomentStorage::kPingPong,
+                       {5, 3, 2}},
+        Channel3DParam{Regularization::kProjective,
+                       MomentStorage::kCircularShift, {8, 4, 1}},
+        Channel3DParam{Regularization::kRecursive, MomentStorage::kPingPong,
+                       {8, 4, 1}},
+        Channel3DParam{Regularization::kRecursive,
+                       MomentStorage::kCircularShift, {4, 4, 2}}));
+
+TEST(Equivalence3D, StMatchesReferenceBgkOnChannel) {
+  const real_t tau = 0.8;
+  const auto ch = Channel<D3Q19>::create(12, 8, 6, tau, 0.03);
+  ReferenceEngine<D3Q19> ref(ch.geo, tau, CollisionScheme::kBGK);
+  StEngine<D3Q19> st(ch.geo, tau, CollisionScheme::kBGK, 128);
+  ch.attach(ref);
+  ch.attach(st);
+  for (int s = 0; s < 12; ++s) {
+    ref.step();
+    st.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, st), 1e-12);
+}
+
+// --------------------------------------------------- periodic (Taylor-Green)
+
+template <class L>
+void run_tg_equivalence(Regularization reg, MomentStorage storage,
+                        MrConfig cfg, int steps) {
+  const real_t tau = 0.8;
+  const auto tg = TaylorGreen<L>::create(16, 0.03, L::D == 2 ? 1 : 8);
+  ReferenceEngine<L> ref(tg.geo, tau,
+                         reg == Regularization::kProjective
+                             ? CollisionScheme::kProjective
+                             : CollisionScheme::kRecursive);
+  cfg.storage = storage;
+  MrEngine<L> mr(tg.geo, tau, reg, cfg);
+  tg.attach(ref);
+  tg.attach(mr);
+  for (int s = 0; s < steps; ++s) {
+    ref.step();
+    mr.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, mr), 1e-12);
+}
+
+TEST(EquivalencePeriodic, TaylorGreen2DPingPong) {
+  run_tg_equivalence<D2Q9>(Regularization::kProjective,
+                           MomentStorage::kPingPong, {8, 1, 1}, 20);
+}
+
+TEST(EquivalencePeriodic, TaylorGreen2DCircularShift) {
+  run_tg_equivalence<D2Q9>(Regularization::kProjective,
+                           MomentStorage::kCircularShift, {8, 1, 2}, 20);
+}
+
+TEST(EquivalencePeriodic, TaylorGreen2DRecursive) {
+  run_tg_equivalence<D2Q9>(Regularization::kRecursive,
+                           MomentStorage::kPingPong, {4, 1, 3}, 15);
+}
+
+TEST(EquivalencePeriodic, TaylorGreen3DD3Q19) {
+  run_tg_equivalence<D3Q19>(Regularization::kProjective,
+                            MomentStorage::kPingPong, {8, 8, 1}, 8);
+}
+
+TEST(EquivalencePeriodic, TaylorGreen3DD3Q19CircularShift) {
+  run_tg_equivalence<D3Q19>(Regularization::kProjective,
+                            MomentStorage::kCircularShift, {8, 4, 1}, 8);
+}
+
+TEST(EquivalencePeriodic, TaylorGreen3DD3Q27Recursive) {
+  run_tg_equivalence<D3Q27>(Regularization::kRecursive,
+                            MomentStorage::kPingPong, {8, 8, 1}, 5);
+}
+
+// ----------------------------------------------------------- moving-wall BB
+
+TEST(EquivalenceCavity, MrMatchesReference2D) {
+  const real_t tau = 0.9;
+  const auto cav = LidDrivenCavity<D2Q9>::create(16, 0.05);
+  ReferenceEngine<D2Q9> ref(cav.geo, tau, CollisionScheme::kProjective);
+  MrEngine<D2Q9> mr(cav.geo, tau, Regularization::kProjective, {8, 1, 2});
+  cav.attach(ref);
+  cav.attach(mr);
+  for (int s = 0; s < 20; ++s) {
+    ref.step();
+    mr.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, mr), 1e-12);
+}
+
+TEST(EquivalenceCavity, StMatchesReference2D) {
+  const real_t tau = 0.9;
+  const auto cav = LidDrivenCavity<D2Q9>::create(16, 0.05);
+  ReferenceEngine<D2Q9> ref(cav.geo, tau, CollisionScheme::kBGK);
+  StEngine<D2Q9> st(cav.geo, tau, CollisionScheme::kBGK);
+  cav.attach(ref);
+  cav.attach(st);
+  for (int s = 0; s < 20; ++s) {
+    ref.step();
+    st.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, st), 1e-12);
+}
+
+TEST(EquivalenceCavity, MrMatchesReference3D) {
+  const real_t tau = 0.9;
+  const auto cav = LidDrivenCavity<D3Q19>::create(10, 0.05);
+  ReferenceEngine<D3Q19> ref(cav.geo, tau, CollisionScheme::kProjective);
+  MrEngine<D3Q19> mr(cav.geo, tau, Regularization::kProjective, {4, 4, 1});
+  cav.attach(ref);
+  cav.attach(mr);
+  for (int s = 0; s < 10; ++s) {
+    ref.step();
+    mr.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, mr), 1e-12);
+}
+
+// ----------------------------------------------------------- push vs pull
+
+TEST(PushPull, StPushMatchesReferenceOnChannel) {
+  const real_t tau = 0.8;
+  const auto ch = Channel<D2Q9>::create(20, 14, 1, tau, 0.04);
+  ReferenceEngine<D2Q9> ref(ch.geo, tau, CollisionScheme::kBGK);
+  StEngine<D2Q9> push(ch.geo, tau, CollisionScheme::kBGK, 64,
+                      StreamMode::kPush);
+  ch.attach(ref);
+  ch.attach(push);
+  for (int s = 0; s < 20; ++s) {
+    ref.step();
+    push.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, push), 1e-12);
+}
+
+TEST(PushPull, PushAndPullProduceTheSameTrajectory) {
+  const real_t tau = 0.7;
+  const auto cav = LidDrivenCavity<D2Q9>::create(14, 0.06);
+  StEngine<D2Q9> pull(cav.geo, tau, CollisionScheme::kBGK, 64,
+                      StreamMode::kPull);
+  StEngine<D2Q9> push(cav.geo, tau, CollisionScheme::kBGK, 64,
+                      StreamMode::kPush);
+  cav.attach(pull);
+  cav.attach(push);
+  for (int s = 0; s < 20; ++s) {
+    pull.step();
+    push.step();
+  }
+  EXPECT_LT(max_moment_diff(pull, push), 1e-12);
+}
+
+TEST(PushPull, PushMatchesReference3D) {
+  const real_t tau = 0.9;
+  const auto ch = Channel<D3Q19>::create(12, 8, 6, tau, 0.03);
+  ReferenceEngine<D3Q19> ref(ch.geo, tau, CollisionScheme::kBGK);
+  StEngine<D3Q19> push(ch.geo, tau, CollisionScheme::kBGK, 128,
+                       StreamMode::kPush);
+  ch.attach(ref);
+  ch.attach(push);
+  for (int s = 0; s < 10; ++s) {
+    ref.step();
+    push.step();
+  }
+  EXPECT_LT(max_moment_diff(ref, push), 1e-12);
+}
+
+// ------------------------------------------------ storage-policy equivalence
+
+TEST(StoragePolicies, PingPongAndCircularShiftAgreeBitwiseOnChannel) {
+  const real_t tau = 0.75;
+  const auto ch = Channel<D2Q9>::create(20, 14, 1, tau, 0.05);
+  MrEngine<D2Q9> a(ch.geo, tau, Regularization::kProjective,
+                   {8, 1, 2, MomentStorage::kPingPong});
+  MrEngine<D2Q9> b(ch.geo, tau, Regularization::kProjective,
+                   {8, 1, 2, MomentStorage::kCircularShift});
+  ch.attach(a);
+  ch.attach(b);
+  for (int s = 0; s < 30; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(max_moment_diff(a, b), 0.0);  // identical arithmetic order
+}
+
+TEST(TileConfigs, ResultsIndependentOfTileGeometry3D) {
+  const real_t tau = 0.8;
+  const auto ch = Channel<D3Q19>::create(12, 9, 7, tau, 0.03);
+  MrEngine<D3Q19> a(ch.geo, tau, Regularization::kProjective, {4, 3, 1});
+  MrEngine<D3Q19> b(ch.geo, tau, Regularization::kProjective, {9, 9, 3});
+  ch.attach(a);
+  ch.attach(b);
+  for (int s = 0; s < 10; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_LT(max_moment_diff(a, b), 1e-12);
+}
+
+}  // namespace
+}  // namespace mlbm

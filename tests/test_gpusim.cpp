@@ -1,0 +1,234 @@
+// The GPU execution-model substrate: traffic counters, instrumented arrays,
+// launch semantics, level synchronization and the occupancy calculator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/global_array.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace mlbm::gpusim {
+namespace {
+
+TEST(Traffic, CountsReadsAndWrites) {
+  TrafficCounter c;
+  c.add_read(8);
+  c.add_read(8);
+  c.add_write(16);
+  const TrafficSnapshot s = c.snapshot();
+  EXPECT_EQ(s.bytes_read, 16u);
+  EXPECT_EQ(s.bytes_written, 16u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.bytes_total(), 32u);
+}
+
+TEST(Traffic, SnapshotDifferenceAndAccumulate) {
+  TrafficCounter c;
+  c.add_read(8);
+  const TrafficSnapshot a = c.snapshot();
+  c.add_write(24);
+  const TrafficSnapshot d = c.snapshot() - a;
+  EXPECT_EQ(d.bytes_read, 0u);
+  EXPECT_EQ(d.bytes_written, 24u);
+
+  TrafficSnapshot acc;
+  acc += d;
+  acc += d;
+  EXPECT_EQ(acc.bytes_written, 48u);
+}
+
+TEST(Traffic, DisableStopsCounting) {
+  TrafficCounter c;
+  c.set_enabled(false);
+  c.add_read(8);
+  c.add_write(8);
+  EXPECT_EQ(c.snapshot().bytes_total(), 0u);
+  c.set_enabled(true);
+  c.add_read(8);
+  EXPECT_EQ(c.snapshot().bytes_read, 8u);
+}
+
+TEST(GlobalArray, DeviceAccessIsCountedHostAccessIsNot) {
+  TrafficCounter c;
+  GlobalArray<double> a(10, &c);
+  a.raw(3) = 42.0;  // host write: uncounted
+  EXPECT_EQ(c.snapshot().bytes_total(), 0u);
+
+  EXPECT_EQ(a.load(3), 42.0);
+  a.store(4, 7.0);
+  const TrafficSnapshot s = c.snapshot();
+  EXPECT_EQ(s.bytes_read, sizeof(double));
+  EXPECT_EQ(s.bytes_written, sizeof(double));
+  EXPECT_EQ(a.raw(4), 7.0);
+  EXPECT_EQ(a.size_bytes(), 10 * sizeof(double));
+}
+
+TEST(Launch, EveryThreadOfEveryBlockRunsExactlyOnce) {
+  Profiler prof;
+  const Dim3 grid{3, 2, 2};
+  const Dim3 block{4, 2, 1};
+  std::vector<std::atomic<int>> hits(
+      static_cast<std::size_t>(grid.count() * block.count()));
+
+  launch(prof, "coverage", grid, block, [&](BlockCtx& blk) {
+    const long long b =
+        (static_cast<long long>(blk.block_idx().z) * 2 + blk.block_idx().y) *
+            3 +
+        blk.block_idx().x;
+    blk.for_each_thread([&](const Dim3& t) {
+      const long long tid = (static_cast<long long>(t.z) * 2 + t.y) * 4 + t.x;
+      hits[static_cast<std::size_t>(b * block.count() + tid)]++;
+    });
+  });
+
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Launch, RecordsKernelStats) {
+  Profiler prof;
+  TrafficCounter& c = prof.counter();
+  GlobalArray<double> arr(64, &c);
+  for (int i = 0; i < 64; ++i) arr.raw(i) = i;
+
+  launch(prof, "stats_kernel", Dim3{4, 1, 1}, Dim3{16, 1, 1},
+         [&](BlockCtx& blk) {
+           auto sm = blk.alloc_shared<double>(32);
+           blk.for_each_thread([&](const Dim3& t) {
+             sm[static_cast<std::size_t>(t.x)] =
+                 arr.load(blk.block_idx().x * 16 + t.x);
+           });
+           blk.sync();
+           blk.for_each_thread([&](const Dim3& t) {
+             arr.store(blk.block_idx().x * 16 + t.x,
+                       sm[static_cast<std::size_t>(t.x)] * 2);
+           });
+           blk.sync();
+         });
+
+  const auto records = prof.all_records();
+  ASSERT_EQ(records.size(), 1u);
+  const KernelRecord& r = records[0];
+  EXPECT_EQ(r.name, "stats_kernel");
+  EXPECT_EQ(r.launches, 1u);
+  EXPECT_EQ(r.syncs, 8u);  // 2 per block x 4 blocks
+  EXPECT_EQ(r.shared_bytes_per_block, 32 * sizeof(double));
+  EXPECT_EQ(r.traffic.bytes_read, 64 * sizeof(double));
+  EXPECT_EQ(r.traffic.bytes_written, 64 * sizeof(double));
+  // Result correctness: doubled in place via shared memory.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(arr.raw(i), 2.0 * i);
+}
+
+TEST(Launch, SharedMemoryIsZeroInitializedAndPerBlock) {
+  Profiler prof;
+  std::mutex mu;
+  std::vector<double> firsts;
+  launch(prof, "shared_iso", Dim3{4, 1, 1}, Dim3{1, 1, 1}, [&](BlockCtx& blk) {
+    auto sm = blk.alloc_shared<double>(8);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      firsts.push_back(sm[0]);
+    }
+    sm[0] = 99.0;  // must not leak into other blocks
+  });
+  for (double v : firsts) EXPECT_EQ(v, 0.0);
+}
+
+TEST(LaunchLevelSynced, LevelsFormGlobalBarriers) {
+  Profiler prof;
+  std::mutex mu;
+  std::vector<int> order;  // level of each completed (block, level) pair
+  struct State {
+    int dummy = 0;
+  };
+  launch_level_synced(
+      prof, "levels", Dim3{5, 1, 1}, Dim3{1, 1, 1}, 4,
+      [&](BlockCtx&) { return State{}; },
+      [&](BlockCtx&, State&, int level) {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(level);
+      });
+  ASSERT_EQ(order.size(), 20u);
+  // With barriers, the recorded levels must be non-decreasing.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1], order[i]);
+  }
+}
+
+TEST(LaunchLevelSynced, PerBlockStatePersistsAcrossLevels) {
+  Profiler prof;
+  std::vector<int> totals(3, 0);
+  struct State {
+    int acc = 0;
+    int block = 0;
+  };
+  launch_level_synced(
+      prof, "persist", Dim3{3, 1, 1}, Dim3{1, 1, 1}, 5,
+      [&](BlockCtx& blk) { return State{0, blk.block_idx().x}; },
+      [&](BlockCtx&, State& st, int level) {
+        st.acc += level + 1;
+        if (level == 4) totals[static_cast<std::size_t>(st.block)] = st.acc;
+      });
+  for (int t : totals) EXPECT_EQ(t, 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Occupancy, MatchesHandComputedCases) {
+  const DeviceSpec v100 = DeviceSpec::v100();
+  // 256 threads, no shared memory: limited by threads (2048/256 = 8).
+  Occupancy o = compute_occupancy(v100, 256, 0);
+  EXPECT_TRUE(o.valid);
+  EXPECT_EQ(o.blocks_per_sm, 8);
+  EXPECT_DOUBLE_EQ(o.occupancy, 1.0);
+
+  // 40 KB shared per block: 96/40 -> 2 blocks per SM.
+  o = compute_occupancy(v100, 128, 40 * 1024);
+  EXPECT_EQ(o.blocks_per_sm, 2);
+
+  // 60 KB shared: only one block fits.
+  o = compute_occupancy(v100, 128, 60 * 1024);
+  EXPECT_EQ(o.blocks_per_sm, 1);
+}
+
+TEST(Occupancy, RejectsImpossibleLaunches) {
+  const DeviceSpec v100 = DeviceSpec::v100();
+  EXPECT_FALSE(compute_occupancy(v100, 2048, 0).valid);   // > 1024 threads
+  EXPECT_FALSE(compute_occupancy(v100, 0, 0).valid);      // no threads
+  EXPECT_FALSE(compute_occupancy(v100, 128, 97 * 1024).valid);  // > 96 KB
+}
+
+TEST(Occupancy, Mi100WavefrontLimits) {
+  const DeviceSpec mi100 = DeviceSpec::mi100();
+  const Occupancy o = compute_occupancy(mi100, 256, 0);
+  EXPECT_TRUE(o.valid);
+  EXPECT_EQ(o.blocks_per_sm, 10);  // 2560 / 256
+  // 64 KB LDS per CU; a 30 KB block fits twice.
+  EXPECT_EQ(compute_occupancy(mi100, 256, 30 * 1024).blocks_per_sm, 2);
+}
+
+TEST(DeviceSpec, PresetsMatchTable1) {
+  const DeviceSpec v100 = DeviceSpec::v100();
+  EXPECT_EQ(v100.sm_count, 80);
+  EXPECT_EQ(v100.cores, 5120);
+  EXPECT_DOUBLE_EQ(v100.bandwidth_gbs, 900);
+  EXPECT_EQ(v100.shared_mem_per_sm_bytes, 96 * 1024);
+
+  const DeviceSpec mi100 = DeviceSpec::mi100();
+  EXPECT_EQ(mi100.sm_count, 120);
+  EXPECT_EQ(mi100.cores, 7680);
+  EXPECT_NEAR(mi100.bandwidth_gbs, 1228.86, 1e-9);
+  EXPECT_EQ(mi100.shared_mem_per_sm_bytes, 64 * 1024);
+  EXPECT_EQ(mi100.warp_size, 64);
+}
+
+TEST(Dim3Test, CountMultipliesExtents) {
+  EXPECT_EQ((Dim3{4, 3, 2}.count()), 24);
+  EXPECT_EQ((Dim3{}.count()), 1);
+}
+
+}  // namespace
+}  // namespace mlbm::gpusim

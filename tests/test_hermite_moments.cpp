@@ -1,0 +1,167 @@
+// Hermite tensor identities and moment projection round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/equilibrium.hpp"
+#include "core/hermite.hpp"
+#include "core/lattice.hpp"
+#include "core/moments.hpp"
+
+namespace mlbm {
+namespace {
+
+template <class L>
+class HermiteTest : public ::testing::Test {};
+
+using Lattices = ::testing::Types<D2Q9, D3Q19, D3Q15, D3Q27>;
+TYPED_TEST_SUITE(HermiteTest, Lattices);
+
+TYPED_TEST(HermiteTest, H0IsOne) {
+  using L = TypeParam;
+  for (int i = 0; i < L::Q; ++i) {
+    EXPECT_EQ(hermite::h0<L>(i), 1.0);
+  }
+}
+
+TYPED_TEST(HermiteTest, H2IsTraceCorrected) {
+  using L = TypeParam;
+  // sum_i w_i H2_ab = 0 (orthogonality of H2 against H0).
+  for (int a = 0; a < L::D; ++a) {
+    for (int b = 0; b < L::D; ++b) {
+      real_t s = 0;
+      for (int i = 0; i < L::Q; ++i) {
+        s += L::w[static_cast<std::size_t>(i)] * hermite::h2<L>(i, a, b);
+      }
+      EXPECT_NEAR(s, 0.0, 1e-15);
+    }
+  }
+}
+
+TYPED_TEST(HermiteTest, H2OrthogonalityAgainstItself) {
+  using L = TypeParam;
+  // sum_i w_i H2_ab H2_gd = cs4 (d_ag d_bd + d_ad d_bg): the identity that
+  // makes the projective reconstruction lossless.
+  const real_t cs4 = L::cs2 * L::cs2;
+  for (int a = 0; a < L::D; ++a) {
+    for (int b = 0; b < L::D; ++b) {
+      for (int g = 0; g < L::D; ++g) {
+        for (int d = 0; d < L::D; ++d) {
+          real_t s = 0;
+          for (int i = 0; i < L::Q; ++i) {
+            s += L::w[static_cast<std::size_t>(i)] * hermite::h2<L>(i, a, b) *
+                 hermite::h2<L>(i, g, d);
+          }
+          const real_t expect =
+              cs4 * (hermite::delta(a, g) * hermite::delta(b, d) +
+                     hermite::delta(a, d) * hermite::delta(b, g));
+          EXPECT_NEAR(s, expect, 1e-14);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(HermiteTest, H3AxisComponentsVanishOnSingleSpeedLattices) {
+  using L = TypeParam;
+  // c^3 = c for c in {-1,0,1}, so H3_aaa = c(1 - 3 cs2) = 0 at cs2 = 1/3.
+  for (int i = 0; i < L::Q; ++i) {
+    for (int a = 0; a < L::D; ++a) {
+      EXPECT_NEAR(hermite::h3<L>(i, a, a, a), 0.0, 1e-15);
+    }
+  }
+}
+
+TEST(HermiteSpecial, H3xyzVanishesOnD3Q19ButNotD3Q27) {
+  real_t max19 = 0, max27 = 0;
+  for (int i = 0; i < D3Q19::Q; ++i) {
+    max19 = std::max(max19, std::abs(hermite::h3<D3Q19>(i, 0, 1, 2)));
+  }
+  for (int i = 0; i < D3Q27::Q; ++i) {
+    max27 = std::max(max27, std::abs(hermite::h3<D3Q27>(i, 0, 1, 2)));
+  }
+  EXPECT_EQ(max19, 0.0);  // no corner velocities on D3Q19
+  EXPECT_GT(max27, 0.5);  // corners make it representable on D3Q27
+}
+
+TYPED_TEST(HermiteTest, SymmetricIndexTablesCoverFullTensors) {
+  using L = TypeParam;
+  constexpr int D = L::D;
+  // Multiplicities must sum to the full tensor sizes D^2, D^3, D^4.
+  int s2 = 0, s3 = 0, s4 = 0;
+  for (int p = 0; p < SymPairs<D>::N; ++p) s2 += SymPairs<D>::mult[static_cast<std::size_t>(p)];
+  for (int t = 0; t < SymTriples<D>::N; ++t) s3 += SymTriples<D>::mult[static_cast<std::size_t>(t)];
+  for (int q = 0; q < SymQuads<D>::N; ++q) s4 += SymQuads<D>::mult[static_cast<std::size_t>(q)];
+  EXPECT_EQ(s2, D * D);
+  EXPECT_EQ(s3, D * D * D);
+  EXPECT_EQ(s4, D * D * D * D);
+}
+
+TYPED_TEST(HermiteTest, PairIndexIsSymmetricAndConsistent) {
+  using L = TypeParam;
+  using P = SymPairs<L::D>;
+  for (int p = 0; p < P::N; ++p) {
+    const int a = P::idx[static_cast<std::size_t>(p)][0];
+    const int b = P::idx[static_cast<std::size_t>(p)][1];
+    EXPECT_EQ(P::index(a, b), p);
+    EXPECT_EQ(P::index(b, a), p);
+  }
+}
+
+TYPED_TEST(HermiteTest, EquilibriumMomentsAreExact) {
+  using L = TypeParam;
+  real_t u[3] = {0.04, -0.02, 0.03};
+  const real_t rho = 1.05;
+  real_t f[L::Q];
+  for (int i = 0; i < L::Q; ++i) {
+    f[i] = equilibrium<L>(i, rho, u);
+  }
+  const Moments<L> m = compute_moments<L>(f);
+  EXPECT_NEAR(m.rho, rho, 1e-14);
+  for (int a = 0; a < L::D; ++a) {
+    EXPECT_NEAR(m.u[static_cast<std::size_t>(a)], u[a], 1e-14);
+  }
+  // Pi moment of the 2nd-order equilibrium is exactly rho u u (4th-order
+  // quadrature exactness).
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    const auto [a, b] = Moments<L>::pair(p);
+    EXPECT_NEAR(m.pi[static_cast<std::size_t>(p)], rho * u[a] * u[b], 1e-14);
+  }
+}
+
+TYPED_TEST(HermiteTest, EquilibriumSumsToRho) {
+  using L = TypeParam;
+  real_t u[3] = {-0.03, 0.05, 0.01};
+  real_t sum = 0;
+  for (int i = 0; i < L::Q; ++i) sum += equilibrium<L>(i, 1.2, u);
+  EXPECT_NEAR(sum, 1.2, 1e-14);
+}
+
+TYPED_TEST(HermiteTest, ComputeMomentsOfRandomPopulations) {
+  using L = TypeParam;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<real_t> dist(0.01, 0.1);
+  for (int trial = 0; trial < 10; ++trial) {
+    real_t f[L::Q];
+    real_t rho = 0;
+    for (int i = 0; i < L::Q; ++i) {
+      f[i] = dist(rng);
+      rho += f[i];
+    }
+    const Moments<L> m = compute_moments<L>(f);
+    EXPECT_NEAR(m.rho, rho, 1e-14);
+    // Direct second moment check against the definition.
+    for (int p = 0; p < Moments<L>::NP; ++p) {
+      const auto [a, b] = Moments<L>::pair(p);
+      real_t pi = 0;
+      for (int i = 0; i < L::Q; ++i) {
+        pi += hermite::h2<L>(i, a, b) * f[i];
+      }
+      EXPECT_NEAR(m.pi[static_cast<std::size_t>(p)], pi, 1e-14);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlbm

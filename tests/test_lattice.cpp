@@ -1,0 +1,131 @@
+// Lattice descriptor invariants: weights, symmetry, opposites, and the
+// quadrature identities the regularized moment machinery relies on.
+#include <gtest/gtest.h>
+
+#include "core/hermite.hpp"
+#include "core/lattice.hpp"
+
+namespace mlbm {
+namespace {
+
+template <class L>
+class LatticeTest : public ::testing::Test {};
+
+using Lattices = ::testing::Types<D2Q9, D3Q19, D3Q15, D3Q27>;
+TYPED_TEST_SUITE(LatticeTest, Lattices);
+
+TYPED_TEST(LatticeTest, WeightsArePositiveAndSumToOne) {
+  using L = TypeParam;
+  real_t sum = 0;
+  for (int i = 0; i < L::Q; ++i) {
+    EXPECT_GT(L::w[static_cast<std::size_t>(i)], 0);
+    sum += L::w[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TYPED_TEST(LatticeTest, RestVelocityFirst) {
+  using L = TypeParam;
+  EXPECT_EQ(L::c[0][0], 0);
+  EXPECT_EQ(L::c[0][1], 0);
+  EXPECT_EQ(L::c[0][2], 0);
+}
+
+TYPED_TEST(LatticeTest, OppositesAreInvolutiveAndNegate) {
+  using L = TypeParam;
+  for (int i = 0; i < L::Q; ++i) {
+    const int o = L::opposite(i);
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, L::Q);
+    EXPECT_EQ(L::opposite(o), i);
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_EQ(L::c[static_cast<std::size_t>(o)][static_cast<std::size_t>(a)],
+                -L::c[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)]);
+    }
+  }
+}
+
+TYPED_TEST(LatticeTest, VelocitiesAreDistinct) {
+  using L = TypeParam;
+  for (int i = 0; i < L::Q; ++i) {
+    for (int j = i + 1; j < L::Q; ++j) {
+      const bool same = L::c[static_cast<std::size_t>(i)][0] == L::c[static_cast<std::size_t>(j)][0] &&
+                        L::c[static_cast<std::size_t>(i)][1] == L::c[static_cast<std::size_t>(j)][1] &&
+                        L::c[static_cast<std::size_t>(i)][2] == L::c[static_cast<std::size_t>(j)][2];
+      EXPECT_FALSE(same) << "duplicate velocity " << i << "," << j;
+    }
+  }
+}
+
+TYPED_TEST(LatticeTest, ZComponentZeroIn2D) {
+  using L = TypeParam;
+  if (L::D == 3) GTEST_SKIP();
+  for (int i = 0; i < L::Q; ++i) {
+    EXPECT_EQ(L::c[static_cast<std::size_t>(i)][2], 0);
+  }
+}
+
+// Quadrature identities: sum_i w_i c_ia c_ib = cs2 d_ab and the fourth-order
+// Gaussian moments, which make the H2 projection exact.
+TYPED_TEST(LatticeTest, SecondOrderQuadrature) {
+  using L = TypeParam;
+  for (int a = 0; a < L::D; ++a) {
+    for (int b = 0; b < L::D; ++b) {
+      real_t s = 0;
+      for (int i = 0; i < L::Q; ++i) {
+        s += L::w[static_cast<std::size_t>(i)] * hermite::h1<L>(i, a) *
+             hermite::h1<L>(i, b);
+      }
+      EXPECT_NEAR(s, a == b ? L::cs2 : 0.0, 1e-14) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TYPED_TEST(LatticeTest, FourthOrderQuadrature) {
+  using L = TypeParam;
+  for (int a = 0; a < L::D; ++a) {
+    for (int b = 0; b < L::D; ++b) {
+      for (int g = 0; g < L::D; ++g) {
+        for (int d = 0; d < L::D; ++d) {
+          real_t s = 0;
+          for (int i = 0; i < L::Q; ++i) {
+            s += L::w[static_cast<std::size_t>(i)] * hermite::h1<L>(i, a) *
+                 hermite::h1<L>(i, b) * hermite::h1<L>(i, g) *
+                 hermite::h1<L>(i, d);
+          }
+          const real_t expect =
+              L::cs2 * L::cs2 *
+              (hermite::delta(a, b) * hermite::delta(g, d) +
+               hermite::delta(a, g) * hermite::delta(b, d) +
+               hermite::delta(a, d) * hermite::delta(b, g));
+          EXPECT_NEAR(s, expect, 1e-14)
+              << "abgd=" << a << b << g << d;
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(LatticeTest, OddMomentsVanish) {
+  using L = TypeParam;
+  for (int a = 0; a < L::D; ++a) {
+    real_t s1 = 0;
+    for (int i = 0; i < L::Q; ++i) {
+      s1 += L::w[static_cast<std::size_t>(i)] * hermite::h1<L>(i, a);
+    }
+    EXPECT_NEAR(s1, 0.0, 1e-15);
+    for (int b = 0; b < L::D; ++b) {
+      for (int g = 0; g < L::D; ++g) {
+        real_t s3 = 0;
+        for (int i = 0; i < L::Q; ++i) {
+          s3 += L::w[static_cast<std::size_t>(i)] * hermite::h1<L>(i, a) *
+                hermite::h1<L>(i, b) * hermite::h1<L>(i, g);
+        }
+        EXPECT_NEAR(s3, 0.0, 1e-15);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlbm

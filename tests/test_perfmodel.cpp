@@ -1,0 +1,245 @@
+// Performance model: Table 2 byte counts, Table 3 rooflines, the efficiency
+// and size models behind Figures 2-3, and the op-counting scalar.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/efficiency.hpp"
+#include "perfmodel/mflups_model.hpp"
+#include "perfmodel/opcount.hpp"
+#include "perfmodel/pattern.hpp"
+#include "perfmodel/roofline.hpp"
+
+namespace mlbm::perf {
+namespace {
+
+const LatticeInfo kD2Q9 = lattice_info<mlbm::D2Q9>();
+const LatticeInfo kD3Q19 = lattice_info<mlbm::D3Q19>();
+
+TEST(Table2, BytesPerFlupMatchPaper) {
+  EXPECT_DOUBLE_EQ(bytes_per_flup(Pattern::kST, kD2Q9), 144);
+  EXPECT_DOUBLE_EQ(bytes_per_flup(Pattern::kMRP, kD2Q9), 96);
+  EXPECT_DOUBLE_EQ(bytes_per_flup(Pattern::kMRR, kD2Q9), 96);
+  EXPECT_DOUBLE_EQ(bytes_per_flup(Pattern::kST, kD3Q19), 304);
+  EXPECT_DOUBLE_EQ(bytes_per_flup(Pattern::kMRP, kD3Q19), 160);
+  EXPECT_DOUBLE_EQ(bytes_per_flup(Pattern::kMRR, kD3Q19), 160);
+}
+
+TEST(Table3, RooflineMflupsMatchPaper) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto mi100 = gpusim::DeviceSpec::mi100();
+  EXPECT_NEAR(roofline_mflups(v100, 144), 6250, 1);
+  EXPECT_NEAR(roofline_mflups(v100, 96), 9375, 1);
+  EXPECT_NEAR(roofline_mflups(v100, 304), 2960, 1);
+  EXPECT_NEAR(roofline_mflups(v100, 160), 5625, 1);
+  EXPECT_NEAR(roofline_mflups(mi100, 144), 8534, 1);
+  EXPECT_NEAR(roofline_mflups(mi100, 96), 12800, 1);
+  EXPECT_NEAR(roofline_mflups(mi100, 304), 4043, 1);
+  EXPECT_NEAR(roofline_mflups(mi100, 160), 7680, 1);
+}
+
+TEST(MemoryFootprint, Matches15MNodeNumbersFromSection41) {
+  const long long n = 15'000'000;
+  // "about 2GB for D2Q9 ... 4.2GB for D3Q19" for ST.
+  EXPECT_NEAR(state_bytes(Pattern::kST, kD2Q9, n) / 1e9, 2.16, 0.01);
+  EXPECT_NEAR(state_bytes(Pattern::kST, kD3Q19, n) / 1e9, 4.56, 0.01);
+  // "1.3GB and 2.23GB required by the MR models".
+  EXPECT_NEAR(state_bytes(Pattern::kMRP, kD2Q9, n) / 1e9, 1.44, 0.01);
+  EXPECT_NEAR(state_bytes(Pattern::kMRP, kD3Q19, n) / 1e9, 2.40, 0.01);
+  // Reductions: "about a 35% and 47% respectively".
+  const double red2d = 1 - state_bytes(Pattern::kMRP, kD2Q9, n) /
+                               state_bytes(Pattern::kST, kD2Q9, n);
+  const double red3d = 1 - state_bytes(Pattern::kMRP, kD3Q19, n) /
+                               state_bytes(Pattern::kST, kD3Q19, n);
+  EXPECT_NEAR(red2d, 0.33, 0.03);
+  EXPECT_NEAR(red3d, 0.47, 0.01);
+  // Circular-shift storage halves the MR footprint again.
+  EXPECT_NEAR(state_bytes(Pattern::kMRP, kD3Q19, n, true) /
+                  state_bytes(Pattern::kMRP, kD3Q19, n),
+              0.5, 1e-12);
+}
+
+TEST(OpCount, CountedScalarCountsArithmetic) {
+  Counted::reset();
+  Counted a = 2.0, b = 3.0;
+  Counted c = a * b + a;  // 2 ops
+  c -= b;                 // 1 op
+  c /= a;                 // 1 op
+  EXPECT_EQ(Counted::ops, 4u);
+  EXPECT_DOUBLE_EQ(c.v, (2.0 * 3.0 + 2.0 - 3.0) / 2.0);
+}
+
+TEST(OpCount, FlopOrderingAcrossPatterns) {
+  for (const auto& lat : {kD2Q9, kD3Q19}) {
+    const bool is2d = lat.dim == 2;
+    const double st = is2d ? flops_per_flup<mlbm::D2Q9>(Pattern::kST)
+                           : flops_per_flup<mlbm::D3Q19>(Pattern::kST);
+    const double mrp = is2d ? flops_per_flup<mlbm::D2Q9>(Pattern::kMRP)
+                            : flops_per_flup<mlbm::D3Q19>(Pattern::kMRP);
+    const double mrr = is2d ? flops_per_flup<mlbm::D2Q9>(Pattern::kMRR)
+                            : flops_per_flup<mlbm::D3Q19>(Pattern::kMRR);
+    EXPECT_GT(st, 50);
+    EXPECT_GT(mrp, st * 0.5);
+    // "the computational complexity of recursive regularization is somewhat
+    // higher" — and substantially so in 3D.
+    EXPECT_GT(mrr, 1.5 * mrp) << lat.name;
+  }
+}
+
+TEST(Efficiency, StUsesStreamEfficiency) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  KernelCharacteristics kc{};
+  kc.threads_per_block = 256;
+  const auto e = bandwidth_efficiency(v100, Pattern::kST, kD2Q9, kc);
+  EXPECT_DOUBLE_EQ(e.bandwidth_fraction, v100.stream_efficiency);
+}
+
+TEST(Efficiency, MrPaysPipelinePenaltyAndLowResidencyPenalty) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  KernelCharacteristics kc{};
+  kc.threads_per_block = 128;
+  kc.shared_bytes_per_block = 30 * 1024;  // 3 blocks/SM on V100
+  const auto good = bandwidth_efficiency(v100, Pattern::kMRP, kD3Q19, kc);
+  EXPECT_NEAR(good.bandwidth_fraction,
+              v100.stream_efficiency * v100.mr_pipeline_efficiency_3d, 1e-12);
+  EXPECT_GE(good.blocks_per_sm, 2);
+
+  kc.shared_bytes_per_block = 70 * 1024;  // only 1 block/SM
+  const auto bad = bandwidth_efficiency(v100, Pattern::kMRP, kD3Q19, kc);
+  EXPECT_EQ(bad.blocks_per_sm, 1);
+  EXPECT_NEAR(bad.bandwidth_fraction,
+              good.bandwidth_fraction * kLowResidencyPenalty, 1e-12);
+}
+
+KernelCharacteristics typical_kc(Pattern p, const LatticeInfo& lat) {
+  KernelCharacteristics kc;
+  if (p == Pattern::kST) {
+    kc.threads_per_block = 256;
+    kc.flops_per_flup = lat.dim == 2 ? flops_per_flup<mlbm::D2Q9>(p)
+                                     : flops_per_flup<mlbm::D3Q19>(p);
+  } else {
+    kc.threads_per_block = lat.dim == 2 ? 34 * 4 : 10 * 10;
+    kc.shared_bytes_per_block =
+        lat.dim == 2 ? 32u * 6 * 9 * 8 : 8u * 8 * 3 * 19 * 8;
+    kc.flops_per_flup = lat.dim == 2 ? flops_per_flup<mlbm::D2Q9>(p)
+                                     : flops_per_flup<mlbm::D3Q19>(p);
+    kc.halo_read_fraction = lat.dim == 2 ? 2.0 / 32 : 36.0 / 16 - 1;
+  }
+  return kc;
+}
+
+// The headline reproduction: saturated MFLUPS and speedups, compared with
+// the paper's Section 4/5 numbers.
+TEST(Headline, SpeedupsMatchPaperConclusions) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto mi100 = gpusim::DeviceSpec::mi100();
+
+  auto mflups = [&](const gpusim::DeviceSpec& dev, Pattern p,
+                    const LatticeInfo& lat) {
+    return estimate_saturated(dev, p, lat, typical_kc(p, lat)).mflups;
+  };
+
+  // Paper: MR-P vs ST speedups 1.32x / 1.38x (D2Q9) and 1.46x / 1.14x
+  // (D3Q19) on V100 / MI100.
+  EXPECT_NEAR(mflups(v100, Pattern::kMRP, kD2Q9) /
+                  mflups(v100, Pattern::kST, kD2Q9),
+              1.32, 0.12);
+  EXPECT_NEAR(mflups(mi100, Pattern::kMRP, kD2Q9) /
+                  mflups(mi100, Pattern::kST, kD2Q9),
+              1.38, 0.12);
+  EXPECT_NEAR(mflups(v100, Pattern::kMRP, kD3Q19) /
+                  mflups(v100, Pattern::kST, kD3Q19),
+              1.46, 0.12);
+  EXPECT_NEAR(mflups(mi100, Pattern::kMRP, kD3Q19) /
+                  mflups(mi100, Pattern::kST, kD3Q19),
+              1.14, 0.12);
+}
+
+TEST(Headline, SaturatedMflupsInPaperRange) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto mi100 = gpusim::DeviceSpec::mi100();
+  auto mflups = [&](const gpusim::DeviceSpec& dev, Pattern p,
+                    const LatticeInfo& lat) {
+    return estimate_saturated(dev, p, lat, typical_kc(p, lat)).mflups;
+  };
+  EXPECT_NEAR(mflups(v100, Pattern::kST, kD2Q9), 5300, 400);
+  EXPECT_NEAR(mflups(v100, Pattern::kMRP, kD2Q9), 7000, 500);
+  EXPECT_NEAR(mflups(mi100, Pattern::kST, kD2Q9), 6200, 450);
+  EXPECT_NEAR(mflups(mi100, Pattern::kMRP, kD2Q9), 8600, 600);
+  EXPECT_NEAR(mflups(v100, Pattern::kST, kD3Q19), 2600, 200);
+  EXPECT_NEAR(mflups(v100, Pattern::kMRP, kD3Q19), 3800, 300);
+  EXPECT_NEAR(mflups(mi100, Pattern::kST, kD3Q19), 2800, 250);
+  EXPECT_NEAR(mflups(mi100, Pattern::kMRP, kD3Q19), 3200, 300);
+}
+
+TEST(Headline, RecursivePenaltyAppearsIn3DNotIn2D) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  auto mflups = [&](Pattern p, const LatticeInfo& lat) {
+    return estimate_saturated(v100, p, lat, typical_kc(p, lat)).mflups;
+  };
+  // 2D: "MR-R is only marginally slower than MR-P".
+  const double drop2d = mflups(Pattern::kMRP, kD2Q9) -
+                        mflups(Pattern::kMRR, kD2Q9);
+  EXPECT_GE(drop2d, 0);
+  EXPECT_LT(drop2d, 0.1 * mflups(Pattern::kMRP, kD2Q9));
+  // 3D: "MFLUPS drop by about 800 for the V100".
+  const double drop3d = mflups(Pattern::kMRP, kD3Q19) -
+                        mflups(Pattern::kMRR, kD3Q19);
+  EXPECT_NEAR(drop3d, 800, 400);
+}
+
+TEST(SizeModel, UtilizationSaturatesAtTwoBlocksPerSm) {
+  const auto v100 = gpusim::DeviceSpec::v100();  // 80 SMs
+  // Bandwidth saturates at ~2 resident blocks per SM; beyond that, greedy
+  // block scheduling keeps DRAM busy (no wave quantization).
+  EXPECT_DOUBLE_EQ(size_utilization(v100, 80, 4), 0.5);
+  EXPECT_DOUBLE_EQ(size_utilization(v100, 2 * 80, 4), 1.0);
+  EXPECT_DOUBLE_EQ(size_utilization(v100, 80 * 4 + 1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(size_utilization(v100, 1 << 20, 4), 1.0);
+  EXPECT_DOUBLE_EQ(size_utilization(v100, 40, 4), 0.25);
+  EXPECT_EQ(size_utilization(v100, 0, 4), 0.0);
+}
+
+TEST(SizeModel, MflupsRampsUpAndSaturates) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto kc = typical_kc(Pattern::kST, kD2Q9);
+  const auto sat = estimate_saturated(v100, Pattern::kST, kD2Q9, kc);
+
+  auto at = [&](long long n) {
+    return mflups_at_size(v100, Pattern::kST, kD2Q9, kc, n * n,
+                          (n * n + 255) / 256);
+  };
+  EXPECT_LT(at(128), 0.5 * sat.mflups);           // launch-latency bound
+  EXPECT_GT(at(4096), 0.95 * sat.mflups);         // saturated
+  EXPECT_LE(at(4096), sat.mflups + 1);
+  EXPECT_GT(at(4096), at(256));
+}
+
+TEST(SizeModel, SeriesMatchesPointEvaluations) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto kc = typical_kc(Pattern::kMRP, kD2Q9);
+  const std::vector<long long> cells = {1024, 65536, 1 << 22};
+  const std::vector<long long> blocks = {32, 2048, 1 << 17};
+  const auto series =
+      size_series(v100, Pattern::kMRP, kD2Q9, kc, cells, blocks);
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(series[i].mflups,
+                     mflups_at_size(v100, Pattern::kMRP, kD2Q9, kc, cells[i],
+                                    blocks[i]));
+  }
+  EXPECT_THROW(size_series(v100, Pattern::kMRP, kD2Q9, kc, cells, {1}),
+               std::invalid_argument);
+}
+
+TEST(Estimate, AchievedBandwidthConsistentWithMflups) {
+  const auto v100 = gpusim::DeviceSpec::v100();
+  const auto kc = typical_kc(Pattern::kMRP, kD3Q19);
+  const auto e = estimate_saturated(v100, Pattern::kMRP, kD3Q19, kc);
+  EXPECT_NEAR(e.achieved_bw_gbs, e.mflups * 160 / 1e3, 1e-9);
+  EXPECT_LT(e.achieved_bw_gbs, v100.bandwidth_gbs);
+  EXPECT_GT(e.roofline_mflups, e.mflups);
+}
+
+}  // namespace
+}  // namespace mlbm::perf

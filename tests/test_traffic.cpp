@@ -1,0 +1,179 @@
+// Global-memory traffic accounting: verifies the bytes-per-fluid-lattice-
+// update numbers of Table 2 against the instrumented engines, including the
+// MR pattern's halo overhead.
+#include <gtest/gtest.h>
+
+#include "engines/mr_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+Geometry periodic_geo(int nx, int ny, int nz) {
+  Geometry geo(Box{nx, ny, nz});
+  geo.bc.set_axis(0, FaceBC::kPeriodic);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return geo;
+}
+
+template <class L, class E>
+gpusim::TrafficSnapshot traffic_of_steps(E& eng, int steps) {
+  eng.initialize(
+      [](int, int, int) { return equilibrium_moments<L>(1.0, {}); });
+  eng.step();  // warm-up excluded from measurement
+  const auto before = eng.profiler()->total_traffic();
+  eng.run(steps);
+  return eng.profiler()->total_traffic() - before;
+}
+
+TEST(Table2Traffic, StD2Q9Is2QDoublesPerNode) {
+  StEngine<D2Q9> e(periodic_geo(16, 12, 1), 0.8);
+  const int steps = 3;
+  const auto t = traffic_of_steps<D2Q9>(e, steps);
+  const auto nodes = static_cast<std::uint64_t>(16 * 12) * steps;
+  EXPECT_EQ(t.bytes_read, nodes * 9 * sizeof(real_t));
+  EXPECT_EQ(t.bytes_written, nodes * 9 * sizeof(real_t));
+}
+
+TEST(Table2Traffic, StD3Q19Is2QDoublesPerNode) {
+  StEngine<D3Q19> e(periodic_geo(8, 6, 5), 0.8);
+  const int steps = 2;
+  const auto t = traffic_of_steps<D3Q19>(e, steps);
+  const auto nodes = static_cast<std::uint64_t>(8 * 6 * 5) * steps;
+  EXPECT_EQ(t.bytes_read, nodes * 19 * sizeof(real_t));
+  EXPECT_EQ(t.bytes_written, nodes * 19 * sizeof(real_t));
+}
+
+TEST(Table2Traffic, MrD2Q9WritesAreExactlyMDoublesPerNode) {
+  MrEngine<D2Q9> e(periodic_geo(16, 12, 1), 0.8, Regularization::kProjective,
+                   {8, 1, 2});
+  const int steps = 3;
+  const auto t = traffic_of_steps<D2Q9>(e, steps);
+  const auto nodes = static_cast<std::uint64_t>(16 * 12) * steps;
+  EXPECT_EQ(t.bytes_written, nodes * 6 * sizeof(real_t));
+  // Reads: M per node plus the x-halo (2 extra columns per 8-wide tile).
+  const double halo = (8.0 + 2.0) / 8.0;
+  EXPECT_EQ(t.bytes_read,
+            static_cast<std::uint64_t>(nodes * 6 * sizeof(real_t) * halo));
+}
+
+TEST(Table2Traffic, MrD3Q19HaloFactorMatchesTileGeometry) {
+  MrEngine<D3Q19> e(periodic_geo(8, 8, 5), 0.8, Regularization::kProjective,
+                    {4, 4, 1});
+  const int steps = 2;
+  const auto t = traffic_of_steps<D3Q19>(e, steps);
+  const auto nodes = static_cast<std::uint64_t>(8 * 8 * 5) * steps;
+  EXPECT_EQ(t.bytes_written, nodes * 10 * sizeof(real_t));
+  const double halo = (6.0 * 6.0) / (4.0 * 4.0);  // (tx+2)(ty+2)/(tx ty)
+  EXPECT_EQ(t.bytes_read,
+            static_cast<std::uint64_t>(nodes * 10 * sizeof(real_t) * halo));
+}
+
+TEST(Table2Traffic, MrRecursiveHasSameTrafficAsProjective) {
+  // "Because the differences between MR-P and MR-R are limited to in-cache
+  // behaviour, their B/F requirements are identical" (Section 4.1).
+  MrEngine<D2Q9> p(periodic_geo(16, 12, 1), 0.8, Regularization::kProjective,
+                   {8, 1, 2});
+  MrEngine<D2Q9> r(periodic_geo(16, 12, 1), 0.8, Regularization::kRecursive,
+                   {8, 1, 2});
+  const auto tp = traffic_of_steps<D2Q9>(p, 2);
+  const auto tr = traffic_of_steps<D2Q9>(r, 2);
+  EXPECT_EQ(tp.bytes_read, tr.bytes_read);
+  EXPECT_EQ(tp.bytes_written, tr.bytes_written);
+}
+
+TEST(Table2Traffic, CircularShiftMovesSameBytesAsPingPong) {
+  MrEngine<D2Q9> a(periodic_geo(16, 12, 1), 0.8, Regularization::kProjective,
+                   {8, 1, 1, MomentStorage::kPingPong});
+  MrEngine<D2Q9> b(periodic_geo(16, 12, 1), 0.8, Regularization::kProjective,
+                   {8, 1, 1, MomentStorage::kCircularShift});
+  const auto ta = traffic_of_steps<D2Q9>(a, 2);
+  const auto tb = traffic_of_steps<D2Q9>(b, 2);
+  EXPECT_EQ(ta.bytes_read, tb.bytes_read);
+  EXPECT_EQ(ta.bytes_written, tb.bytes_written);
+}
+
+TEST(Table2Traffic, RatioMatchesPaper) {
+  // D2Q9: 144 vs 96 B/F -> ST/MR = 1.5; D3Q19: 304 vs 160 -> 1.9.
+  EXPECT_DOUBLE_EQ(2.0 * 9 * 8 / (2.0 * 6 * 8), 1.5);
+  EXPECT_DOUBLE_EQ(2.0 * 19 * 8 / (2.0 * 10 * 8), 1.9);
+}
+
+TEST(DramModel, UniqueReadsEqualNominalBpfForMr) {
+  // The halo overhead is purely re-reads: with an ideal cache in front of
+  // DRAM, each node's M moments are fetched exactly once per step.
+  MrEngine<D3Q19> e(periodic_geo(8, 8, 5), 0.8, Regularization::kProjective,
+                    {4, 4, 1});
+  e.initialize(
+      [](int, int, int) { return equilibrium_moments<D3Q19>(1.0, {}); });
+  e.set_unique_read_tracking(true);
+  e.step();
+  e.clear_unique_reads();
+  e.step();
+  const auto cells = static_cast<std::uint64_t>(8 * 8 * 5);
+  EXPECT_EQ(e.unique_read_bytes(), cells * 10 * sizeof(real_t));
+}
+
+TEST(DramModel, UniqueReadsEqualNominalBpfForSt) {
+  StEngine<D2Q9> e(periodic_geo(16, 12, 1), 0.8);
+  e.initialize(
+      [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+  e.set_unique_read_tracking(true);
+  e.step();
+  e.clear_unique_reads();
+  e.step();
+  const auto cells = static_cast<std::uint64_t>(16 * 12);
+  EXPECT_EQ(e.unique_read_bytes(), cells * 9 * sizeof(real_t));
+}
+
+TEST(DramModel, TrackingCanBeClearedAndDisabled) {
+  gpusim::TrafficCounter c;
+  gpusim::GlobalArray<double> a(16, &c);
+  EXPECT_EQ(a.unique_read_bytes(), 0u);  // disabled by default
+  a.set_unique_read_tracking(true);
+  (void)a.load(3);
+  (void)a.load(3);
+  (void)a.load(5);
+  EXPECT_EQ(a.unique_read_count(), 2u);
+  EXPECT_EQ(a.unique_read_bytes(), 2 * sizeof(double));
+  a.clear_unique_reads();
+  EXPECT_EQ(a.unique_read_count(), 0u);
+  (void)a.load(1);
+  EXPECT_EQ(a.unique_read_count(), 1u);
+  a.set_unique_read_tracking(false);
+  (void)a.load(2);
+  EXPECT_EQ(a.unique_read_count(), 0u);
+}
+
+TEST(Profiler, MrKernelRecordsGeometryAndSyncs) {
+  MrEngine<D2Q9> e(periodic_geo(16, 12, 1), 0.8, Regularization::kProjective,
+                   {8, 1, 2});
+  e.initialize(
+      [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+  e.step();
+  const auto records = e.profiler()->all_records();
+  ASSERT_EQ(records.size(), 1u);
+  const auto& r = records[0];
+  EXPECT_EQ(r.name, "mr_p_D2Q9");
+  EXPECT_EQ(r.grid.x, 2);  // 16 / tile_x(8)
+  EXPECT_EQ(r.block.x, 10);  // tile_x + 2 halo threads
+  // Ring of (tile_s + 2) layers plus, on a periodic sweep axis, the three
+  // wrap stash buffers of one layer each.
+  EXPECT_EQ(r.shared_bytes_per_block,
+            (8u * (2 + 2) * 9 + 3u * 8 * 9) * sizeof(real_t));
+  EXPECT_GT(r.syncs, 0u);
+}
+
+TEST(Profiler, TrafficCanBeDisabledForLongRuns) {
+  MrEngine<D2Q9> e(periodic_geo(16, 12, 1), 0.8, Regularization::kProjective);
+  e.initialize(
+      [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+  e.profiler()->counter().set_enabled(false);
+  e.run(2);
+  EXPECT_EQ(e.profiler()->total_traffic().bytes_total(), 0u);
+}
+
+}  // namespace
+}  // namespace mlbm
