@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_push_pull"
+  "../bench/ablation_push_pull.pdb"
+  "CMakeFiles/ablation_push_pull.dir/ablation_push_pull.cpp.o"
+  "CMakeFiles/ablation_push_pull.dir/ablation_push_pull.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_push_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

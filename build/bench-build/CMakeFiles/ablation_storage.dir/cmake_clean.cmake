@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_storage"
+  "../bench/ablation_storage.pdb"
+  "CMakeFiles/ablation_storage.dir/ablation_storage.cpp.o"
+  "CMakeFiles/ablation_storage.dir/ablation_storage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tile"
+  "../bench/ablation_tile.pdb"
+  "CMakeFiles/ablation_tile.dir/ablation_tile.cpp.o"
+  "CMakeFiles/ablation_tile.dir/ablation_tile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/arithmetic_intensity"
+  "../bench/arithmetic_intensity.pdb"
+  "CMakeFiles/arithmetic_intensity.dir/arithmetic_intensity.cpp.o"
+  "CMakeFiles/arithmetic_intensity.dir/arithmetic_intensity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arithmetic_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

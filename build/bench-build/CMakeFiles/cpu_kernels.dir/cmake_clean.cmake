@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cpu_kernels"
+  "../bench/cpu_kernels.pdb"
+  "CMakeFiles/cpu_kernels.dir/cpu_kernels.cpp.o"
+  "CMakeFiles/cpu_kernels.dir/cpu_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/d3q27_extension"
+  "../bench/d3q27_extension.pdb"
+  "CMakeFiles/d3q27_extension.dir/d3q27_extension.cpp.o"
+  "CMakeFiles/d3q27_extension.dir/d3q27_extension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d3q27_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for d3q27_extension.
+# This may be replaced when dependencies are built.

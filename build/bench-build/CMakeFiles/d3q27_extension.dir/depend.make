@@ -1,0 +1,2 @@
+# Empty dependencies file for d3q27_extension.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_d2q9"
+  "../bench/fig2_d2q9.pdb"
+  "CMakeFiles/fig2_d2q9.dir/fig2_d2q9.cpp.o"
+  "CMakeFiles/fig2_d2q9.dir/fig2_d2q9.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_d2q9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

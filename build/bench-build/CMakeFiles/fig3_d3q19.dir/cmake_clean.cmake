@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_d3q19"
+  "../bench/fig3_d3q19.pdb"
+  "CMakeFiles/fig3_d3q19.dir/fig3_d3q19.cpp.o"
+  "CMakeFiles/fig3_d3q19.dir/fig3_d3q19.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_d3q19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

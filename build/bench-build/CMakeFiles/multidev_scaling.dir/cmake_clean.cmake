@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multidev_scaling"
+  "../bench/multidev_scaling.pdb"
+  "CMakeFiles/multidev_scaling.dir/multidev_scaling.cpp.o"
+  "CMakeFiles/multidev_scaling.dir/multidev_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidev_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

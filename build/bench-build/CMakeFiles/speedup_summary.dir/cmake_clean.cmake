@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/speedup_summary"
+  "../bench/speedup_summary.pdb"
+  "CMakeFiles/speedup_summary.dir/speedup_summary.cpp.o"
+  "CMakeFiles/speedup_summary.dir/speedup_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_bytes_per_flup"
+  "../bench/table2_bytes_per_flup.pdb"
+  "CMakeFiles/table2_bytes_per_flup.dir/table2_bytes_per_flup.cpp.o"
+  "CMakeFiles/table2_bytes_per_flup.dir/table2_bytes_per_flup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bytes_per_flup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

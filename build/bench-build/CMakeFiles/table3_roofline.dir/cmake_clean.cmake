@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_roofline"
+  "../bench/table3_roofline.pdb"
+  "CMakeFiles/table3_roofline.dir/table3_roofline.cpp.o"
+  "CMakeFiles/table3_roofline.dir/table3_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_memory_footprint"
+  "../bench/table_memory_footprint.pdb"
+  "CMakeFiles/table_memory_footprint.dir/table_memory_footprint.cpp.o"
+  "CMakeFiles/table_memory_footprint.dir/table_memory_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

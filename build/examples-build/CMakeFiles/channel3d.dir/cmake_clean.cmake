@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/channel3d"
+  "../examples/channel3d.pdb"
+  "CMakeFiles/channel3d.dir/channel3d.cpp.o"
+  "CMakeFiles/channel3d.dir/channel3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

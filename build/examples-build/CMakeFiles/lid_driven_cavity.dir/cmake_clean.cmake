@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lid_driven_cavity"
+  "../examples/lid_driven_cavity.pdb"
+  "CMakeFiles/lid_driven_cavity.dir/lid_driven_cavity.cpp.o"
+  "CMakeFiles/lid_driven_cavity.dir/lid_driven_cavity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lid_driven_cavity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

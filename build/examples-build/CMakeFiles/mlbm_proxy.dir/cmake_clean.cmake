@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mlbm_proxy"
+  "../examples/mlbm_proxy.pdb"
+  "CMakeFiles/mlbm_proxy.dir/mlbm_proxy.cpp.o"
+  "CMakeFiles/mlbm_proxy.dir/mlbm_proxy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbm_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pattern_comparison"
+  "../examples/pattern_comparison.pdb"
+  "CMakeFiles/pattern_comparison.dir/pattern_comparison.cpp.o"
+  "CMakeFiles/pattern_comparison.dir/pattern_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stability_map"
+  "../examples/stability_map.pdb"
+  "CMakeFiles/stability_map.dir/stability_map.cpp.o"
+  "CMakeFiles/stability_map.dir/stability_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

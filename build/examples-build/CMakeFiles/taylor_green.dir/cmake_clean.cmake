@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/taylor_green"
+  "../examples/taylor_green.pdb"
+  "CMakeFiles/taylor_green.dir/taylor_green.cpp.o"
+  "CMakeFiles/taylor_green.dir/taylor_green.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taylor_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

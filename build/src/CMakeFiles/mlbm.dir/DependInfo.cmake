@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/fields.cpp" "src/CMakeFiles/mlbm.dir/analysis/fields.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/analysis/fields.cpp.o.d"
+  "/root/repo/src/bc/boundary.cpp" "src/CMakeFiles/mlbm.dir/bc/boundary.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/bc/boundary.cpp.o.d"
+  "/root/repo/src/core/lattice_instances.cpp" "src/CMakeFiles/mlbm.dir/core/lattice_instances.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/core/lattice_instances.cpp.o.d"
+  "/root/repo/src/engines/aa_engine.cpp" "src/CMakeFiles/mlbm.dir/engines/aa_engine.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/engines/aa_engine.cpp.o.d"
+  "/root/repo/src/engines/mr_engine.cpp" "src/CMakeFiles/mlbm.dir/engines/mr_engine.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/engines/mr_engine.cpp.o.d"
+  "/root/repo/src/engines/reference_engine.cpp" "src/CMakeFiles/mlbm.dir/engines/reference_engine.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/engines/reference_engine.cpp.o.d"
+  "/root/repo/src/engines/st_engine.cpp" "src/CMakeFiles/mlbm.dir/engines/st_engine.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/engines/st_engine.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/mlbm.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/launch.cpp" "src/CMakeFiles/mlbm.dir/gpusim/launch.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/gpusim/launch.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/CMakeFiles/mlbm.dir/gpusim/occupancy.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/gpusim/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/profiler.cpp" "src/CMakeFiles/mlbm.dir/gpusim/profiler.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/gpusim/profiler.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/mlbm.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/vtk_writer.cpp" "src/CMakeFiles/mlbm.dir/io/vtk_writer.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/io/vtk_writer.cpp.o.d"
+  "/root/repo/src/multidev/multi_domain.cpp" "src/CMakeFiles/mlbm.dir/multidev/multi_domain.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/multidev/multi_domain.cpp.o.d"
+  "/root/repo/src/perfmodel/efficiency.cpp" "src/CMakeFiles/mlbm.dir/perfmodel/efficiency.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/perfmodel/efficiency.cpp.o.d"
+  "/root/repo/src/perfmodel/mflups_model.cpp" "src/CMakeFiles/mlbm.dir/perfmodel/mflups_model.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/perfmodel/mflups_model.cpp.o.d"
+  "/root/repo/src/perfmodel/opcount.cpp" "src/CMakeFiles/mlbm.dir/perfmodel/opcount.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/perfmodel/opcount.cpp.o.d"
+  "/root/repo/src/perfmodel/report.cpp" "src/CMakeFiles/mlbm.dir/perfmodel/report.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/perfmodel/report.cpp.o.d"
+  "/root/repo/src/perfmodel/roofline.cpp" "src/CMakeFiles/mlbm.dir/perfmodel/roofline.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/perfmodel/roofline.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/mlbm.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/mlbm.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mlbm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/mlbm.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/util/timer.cpp.o.d"
+  "/root/repo/src/workloads/analytic.cpp" "src/CMakeFiles/mlbm.dir/workloads/analytic.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/workloads/analytic.cpp.o.d"
+  "/root/repo/src/workloads/cavity.cpp" "src/CMakeFiles/mlbm.dir/workloads/cavity.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/workloads/cavity.cpp.o.d"
+  "/root/repo/src/workloads/channel.cpp" "src/CMakeFiles/mlbm.dir/workloads/channel.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/workloads/channel.cpp.o.d"
+  "/root/repo/src/workloads/shear_layer.cpp" "src/CMakeFiles/mlbm.dir/workloads/shear_layer.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/workloads/shear_layer.cpp.o.d"
+  "/root/repo/src/workloads/taylor_green.cpp" "src/CMakeFiles/mlbm.dir/workloads/taylor_green.cpp.o" "gcc" "src/CMakeFiles/mlbm.dir/workloads/taylor_green.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

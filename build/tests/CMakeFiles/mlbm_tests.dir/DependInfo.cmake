@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aa_engine.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_aa_engine.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_aa_engine.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_bc_workloads.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_bc_workloads.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_bc_workloads.cpp.o.d"
+  "/root/repo/tests/test_engines_basic.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_engines_basic.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_engines_basic.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_hermite_moments.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_hermite_moments.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_hermite_moments.cpp.o.d"
+  "/root/repo/tests/test_io_util.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_io_util.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_io_util.cpp.o.d"
+  "/root/repo/tests/test_lattice.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_lattice.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_lattice.cpp.o.d"
+  "/root/repo/tests/test_multidev.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_multidev.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_multidev.cpp.o.d"
+  "/root/repo/tests/test_perfmodel.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_perfmodel.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_perfmodel.cpp.o.d"
+  "/root/repo/tests/test_physics.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_physics.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_physics.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regularization.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_regularization.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_regularization.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlbm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
