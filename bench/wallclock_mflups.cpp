@@ -1,0 +1,144 @@
+// Host wall-clock MFLUPS of the gpusim execution layer.
+//
+// Unlike the paper-facing harnesses (which model *GPU* performance from
+// counted traffic), this benchmark measures how fast the simulator itself
+// steps ST / MR-P / MR-R on the host — the number that bounds every
+// experiment sweep and physics-validation run in this repository.
+//
+// Each pattern x lattice configuration is timed twice: once with the
+// traffic counters enabled (the instrumented default) and once disabled.
+// The ratio isolates the instrumentation overhead, which must stay small
+// and flat for the ST vs MR wall-clock comparisons to mean anything
+// (Habich et al.'s measurement-perturbs-the-measured caveat).
+//
+// Results go to stdout and to a JSON trajectory file (default
+// BENCH_wallclock.json in the current directory — run from the repo root
+// to refresh the committed perf history).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "perfmodel/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace mlbm;
+
+namespace {
+
+struct Result {
+  std::string pattern;
+  std::string lattice;
+  int nx, ny, nz;
+  int steps;
+  bool counters;
+  double seconds;
+  double mflups;
+};
+
+template <class L>
+double time_steps(Engine<L>& eng, int steps, bool counters) {
+  eng.initialize(
+      [](int, int, int) { return equilibrium_moments<L>(1.0, {}); });
+  eng.profiler()->counter().set_enabled(counters);
+  eng.step();  // warm-up excluded
+  Timer t;
+  eng.run(steps);
+  return t.elapsed_s();
+}
+
+template <class L, class MakeEngine>
+void measure(std::vector<Result>& out, const char* pattern, Geometry geo,
+             int steps, const MakeEngine& make) {
+  const Box& b = geo.box;
+  for (const bool counters : {true, false}) {
+    auto eng = make();
+    const double s = time_steps<L>(*eng, steps, counters);
+    const double nodes =
+        static_cast<double>(b.cells()) * static_cast<double>(steps);
+    out.push_back({pattern, L::name(), b.nx, b.ny, b.nz, steps, counters, s,
+                   nodes / 1e6 / s});
+  }
+}
+
+template <class L>
+void measure_lattice(std::vector<Result>& out, int n0, int n1, int n2,
+                     int steps) {
+  const Geometry geo = bench::periodic_geo(n0, n1, n2);
+  const MrConfig cfg = bench::default_mr_config(L::D);
+  measure<L>(out, "ST", geo, steps,
+             [&] { return std::make_unique<StEngine<L>>(geo, 0.8); });
+  measure<L>(out, "MR-P", geo, steps, [&] {
+    return std::make_unique<MrEngine<L>>(geo, 0.8,
+                                         Regularization::kProjective, cfg);
+  });
+  measure<L>(out, "MR-R", geo, steps, [&] {
+    return std::make_unique<MrEngine<L>>(geo, 0.8, Regularization::kRecursive,
+                                         cfg);
+  });
+}
+
+bool write_json(const std::string& path, const std::vector<Result>& rows) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\n  \"benchmark\": \"wallclock_mflups\",\n  \"unit\": \"MFLUPS "
+       "(host)\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Result& r = rows[i];
+    f << "    {\"pattern\": \"" << r.pattern << "\", \"lattice\": \""
+      << r.lattice << "\", \"nx\": " << r.nx << ", \"ny\": " << r.ny
+      << ", \"nz\": " << r.nz << ", \"steps\": " << r.steps
+      << ", \"counters\": " << (r.counters ? "true" : "false")
+      << ", \"seconds\": " << r.seconds << ", \"mflups\": " << r.mflups
+      << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  return f.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int n2d = cli.get_int("n2d", 256);
+  const int steps2d = cli.get_int("steps2d", 48);
+  const int n3d = cli.get_int("n3d", 48);
+  const int steps3d = cli.get_int("steps3d", 12);
+  const std::string out = cli.get("out", "BENCH_wallclock.json");
+
+  perf::print_banner("Wall-clock", "Host MFLUPS of the simulator hot path");
+
+  std::vector<Result> rows;
+  measure_lattice<D2Q9>(rows, n2d, n2d, 1, steps2d);
+  measure_lattice<D3Q19>(rows, n3d, n3d, n3d, steps3d);
+
+  AsciiTable t({"Pattern", "Lattice", "Grid", "Counters", "Seconds",
+                "MFLUPS"});
+  for (const Result& r : rows) {
+    t.row({r.pattern, r.lattice,
+           std::to_string(r.nx) + "x" + std::to_string(r.ny) + "x" +
+               std::to_string(r.nz),
+           r.counters ? "on" : "off", AsciiTable::num(r.seconds, 3),
+           AsciiTable::num(r.mflups, 2)});
+  }
+  t.print();
+
+  // Instrumentation overhead per configuration: time(on) / time(off).
+  std::printf("\ncounter overhead (time on / time off):\n");
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    std::printf("  %-5s %-6s %.3f\n", rows[i].pattern.c_str(),
+                rows[i].lattice.c_str(),
+                rows[i].seconds / rows[i + 1].seconds);
+  }
+
+  if (!write_json(out, rows)) {
+    std::fprintf(stderr, "\nerror: could not write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

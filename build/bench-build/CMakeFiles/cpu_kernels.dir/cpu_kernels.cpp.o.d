@@ -194,7 +194,9 @@ bench-build/CMakeFiles/cpu_kernels.dir/cpu_kernels.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/box.hpp \
  /root/repo/src/gpusim/profiler.hpp /root/repo/src/gpusim/dim3.hpp \
- /root/repo/src/gpusim/traffic.hpp /root/repo/src/gpusim/global_array.hpp \
+ /root/repo/src/gpusim/traffic.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
+ /root/repo/src/gpusim/global_array.hpp \
  /root/repo/src/engines/mr_engine.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/wallclock_mflups"
+  "../bench/wallclock_mflups.pdb"
+  "CMakeFiles/wallclock_mflups.dir/wallclock_mflups.cpp.o"
+  "CMakeFiles/wallclock_mflups.dir/wallclock_mflups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_mflups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

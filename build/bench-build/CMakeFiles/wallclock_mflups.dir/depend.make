@@ -1,0 +1,2 @@
+# Empty dependencies file for wallclock_mflups.
+# This may be replaced when dependencies are built.

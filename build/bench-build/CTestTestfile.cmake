@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_wallclock_smoke "/root/repo/build/bench/wallclock_mflups" "--n2d" "32" "--steps2d" "2" "--n3d" "12" "--steps3d" "2" "--out" "/root/repo/build/bench-build/BENCH_wallclock_smoke.json")
+set_tests_properties(bench_wallclock_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

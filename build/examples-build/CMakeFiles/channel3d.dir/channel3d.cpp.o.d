@@ -240,6 +240,7 @@ examples-build/CMakeFiles/channel3d.dir/channel3d.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/gpusim/dim3.hpp \
  /root/repo/src/gpusim/traffic.hpp /usr/include/c++/12/atomic \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/gpusim/global_array.hpp \
  /root/repo/src/engines/st_engine.hpp /root/repo/src/core/collision.hpp \
  /root/repo/src/core/equilibrium.hpp /root/repo/src/io/vtk_writer.hpp \

@@ -241,6 +241,7 @@ examples-build/CMakeFiles/lid_driven_cavity.dir/lid_driven_cavity.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/gpusim/dim3.hpp \
  /root/repo/src/gpusim/traffic.hpp /usr/include/c++/12/atomic \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/gpusim/global_array.hpp /root/repo/src/io/vtk_writer.hpp \
  /root/repo/src/util/cli.hpp /usr/include/c++/12/optional \
  /root/repo/src/workloads/cavity.hpp

@@ -189,4 +189,5 @@ src/CMakeFiles/mlbm.dir/engines/reference_engine.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/engines/streaming.hpp

@@ -187,6 +187,7 @@ src/CMakeFiles/mlbm.dir/engines/st_engine.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/gpusim/global_array.hpp \
  /root/repo/src/engines/streaming.hpp /root/repo/src/gpusim/launch.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \

@@ -171,4 +171,5 @@ src/CMakeFiles/mlbm.dir/gpusim/profiler.cpp.o: \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h

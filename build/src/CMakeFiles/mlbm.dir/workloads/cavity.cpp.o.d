@@ -186,4 +186,5 @@ src/CMakeFiles/mlbm.dir/workloads/cavity.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/system_error \
- /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h
+ /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h

@@ -217,4 +217,5 @@ src/CMakeFiles/mlbm.dir/workloads/channel.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/gpusim/dim3.hpp \
  /root/repo/src/gpusim/traffic.hpp /usr/include/c++/12/atomic \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/workloads/analytic.hpp

@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_properties.cpp.o.d"
   "/root/repo/tests/test_regularization.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_regularization.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_regularization.cpp.o.d"
   "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_traffic_invariance.cpp" "tests/CMakeFiles/mlbm_tests.dir/test_traffic_invariance.cpp.o" "gcc" "tests/CMakeFiles/mlbm_tests.dir/test_traffic_invariance.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -321,7 +321,9 @@ tests/CMakeFiles/mlbm_tests.dir/test_aa_engine.cpp.o: \
  /root/repo/src/core/hermite.hpp /root/repo/src/core/regularization.hpp \
  /root/repo/src/engines/engine.hpp /root/repo/src/core/box.hpp \
  /root/repo/src/gpusim/profiler.hpp /root/repo/src/gpusim/dim3.hpp \
- /root/repo/src/gpusim/traffic.hpp /root/repo/src/gpusim/global_array.hpp \
+ /root/repo/src/gpusim/traffic.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
+ /root/repo/src/gpusim/global_array.hpp \
  /root/repo/src/engines/reference_engine.hpp \
  /root/repo/src/workloads/cavity.hpp /root/repo/src/workloads/channel.hpp \
  /root/repo/src/bc/boundary.hpp /root/repo/src/workloads/analytic.hpp \

@@ -320,6 +320,7 @@ tests/CMakeFiles/mlbm_tests.dir/test_analysis.cpp.o: \
  /root/repo/src/core/moments.hpp /root/repo/src/core/hermite.hpp \
  /root/repo/src/core/lattice.hpp /root/repo/src/gpusim/profiler.hpp \
  /root/repo/src/gpusim/dim3.hpp /root/repo/src/gpusim/traffic.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/engines/mr_engine.hpp \
  /root/repo/src/core/regularization.hpp \
  /root/repo/src/gpusim/global_array.hpp \

@@ -320,6 +320,7 @@ tests/CMakeFiles/mlbm_tests.dir/test_bc_workloads.cpp.o: \
  /root/repo/src/core/hermite.hpp /root/repo/src/core/lattice.hpp \
  /root/repo/src/gpusim/profiler.hpp /root/repo/src/gpusim/dim3.hpp \
  /root/repo/src/gpusim/traffic.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/engines/reference_engine.hpp \
  /root/repo/src/core/collision.hpp /root/repo/src/core/equilibrium.hpp \
  /root/repo/src/core/regularization.hpp \

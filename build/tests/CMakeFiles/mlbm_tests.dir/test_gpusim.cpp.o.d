@@ -296,7 +296,9 @@ tests/CMakeFiles/mlbm_tests.dir/test_gpusim.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/gpusim/device.hpp /root/repo/src/gpusim/global_array.hpp \
- /root/repo/src/gpusim/traffic.hpp /root/repo/src/util/types.hpp \
- /root/repo/src/gpusim/launch.hpp /root/repo/src/gpusim/block.hpp \
- /usr/include/c++/12/span /root/repo/src/gpusim/dim3.hpp \
- /root/repo/src/gpusim/profiler.hpp /root/repo/src/gpusim/occupancy.hpp
+ /root/repo/src/gpusim/traffic.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
+ /root/repo/src/util/types.hpp /root/repo/src/gpusim/launch.hpp \
+ /root/repo/src/gpusim/block.hpp /usr/include/c++/12/span \
+ /root/repo/src/gpusim/dim3.hpp /root/repo/src/gpusim/profiler.hpp \
+ /root/repo/src/gpusim/occupancy.hpp

@@ -307,6 +307,7 @@ tests/CMakeFiles/mlbm_tests.dir/test_io_util.cpp.o: \
  /root/repo/src/core/moments.hpp /root/repo/src/engines/engine.hpp \
  /root/repo/src/core/box.hpp /root/repo/src/gpusim/profiler.hpp \
  /root/repo/src/gpusim/dim3.hpp /root/repo/src/gpusim/traffic.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/gpusim/global_array.hpp \
  /root/repo/src/engines/st_engine.hpp /root/repo/src/core/collision.hpp \
  /root/repo/src/core/equilibrium.hpp /root/repo/src/io/checkpoint.hpp \

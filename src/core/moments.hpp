@@ -119,26 +119,64 @@ struct Moments {
   }
 };
 
+namespace detail {
+
+/// Projection coefficients of the first three Hermite moments, baked into
+/// compile-time tables transposed per component so the projection is a
+/// handful of contiguous dot products (the compiler unrolls/vectorizes
+/// them). This sits on the hot write-back path of every engine.
+template <class L>
+struct MomentProjection {
+  static constexpr int NP = SymPairs<L::D>::N;
+  real_t c[L::D][L::Q];    ///< H^(1): c_ia
+  real_t h2[NP][L::Q];     ///< H^(2): c_ia c_ib - cs2 d_ab
+
+  static constexpr MomentProjection make() {
+    MomentProjection t{};
+    for (int i = 0; i < L::Q; ++i) {
+      for (int a = 0; a < L::D; ++a) {
+        t.c[a][i] = hermite::h1<L>(i, a);
+      }
+      for (int p = 0; p < NP; ++p) {
+        const int a = SymPairs<L::D>::idx[static_cast<std::size_t>(p)][0];
+        const int b = SymPairs<L::D>::idx[static_cast<std::size_t>(p)][1];
+        t.h2[p][i] = hermite::h2<L>(i, a, b);
+      }
+    }
+    return t;
+  }
+};
+
+template <class L>
+inline constexpr MomentProjection<L> kMomentProjection =
+    MomentProjection<L>::make();
+
+}  // namespace detail
+
 /// Projects a distribution onto its first three Hermite moments
-/// (Eqs. 1-3 of the paper).
+/// (Eqs. 1-3 of the paper). Each component is the ascending-i sum of
+/// coefficient x f_i, exactly as the naive nested loop computes it — the
+/// table form only removes the per-call coefficient recomputation.
 template <class L>
 Moments<L> compute_moments(const real_t (&f)[L::Q]) {
+  const auto& t = detail::kMomentProjection<L>;
   Moments<L> m;
-  m.rho = 0;
-  m.u.fill(0);
-  m.pi.fill(0);
-  for (int i = 0; i < L::Q; ++i) {
-    m.rho += f[i];
-    for (int a = 0; a < L::D; ++a) {
-      m.u[static_cast<std::size_t>(a)] += hermite::h1<L>(i, a) * f[i];
-    }
-    for (int p = 0; p < Moments<L>::NP; ++p) {
-      const auto [a, b] = Moments<L>::pair(p);
-      m.pi[static_cast<std::size_t>(p)] += hermite::h2<L>(i, a, b) * f[i];
-    }
-  }
+  real_t rho = 0;
+  for (int i = 0; i < L::Q; ++i) rho += f[i];
+  m.rho = rho;
   for (int a = 0; a < L::D; ++a) {
-    m.u[static_cast<std::size_t>(a)] /= m.rho;
+    real_t acc = 0;
+    for (int i = 0; i < L::Q; ++i) {
+      acc += t.c[a][i] * f[i];
+    }
+    m.u[static_cast<std::size_t>(a)] = acc / rho;
+  }
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    real_t acc = 0;
+    for (int i = 0; i < L::Q; ++i) {
+      acc += t.h2[p][i] * f[i];
+    }
+    m.pi[static_cast<std::size_t>(p)] = acc;
   }
   return m;
 }

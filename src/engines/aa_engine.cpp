@@ -133,13 +133,17 @@ void AaEngine<L>::step_even() {
   const real_t inv_cs2 = real_t(1) / L::cs2;
   const CollisionScheme scheme = scheme_;
   gpusim::GlobalArray<real_t>& f = f_;
+  const bool batched = batched_io_;
 
   const int tpb = threads_per_block_;
   const auto nblocks =
       static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
 
+  if (krec_even_ == nullptr) {
+    krec_even_ = &prof_.record(std::string("aa_even_") + L::name());
+  }
   gpusim::launch(
-      prof_, std::string("aa_even_") + L::name(), gpusim::Dim3{nblocks, 1, 1},
+      prof_, *krec_even_, gpusim::Dim3{nblocks, 1, 1},
       gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
         blk.for_each_thread([&](const gpusim::Dim3& tid) {
           const index_t cell =
@@ -149,13 +153,21 @@ void AaEngine<L>::step_even() {
           const int y = static_cast<int>((cell / b.nx) % b.ny);
           const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
 
+          // Node-local step: both the read and the (slot-swapped) write
+          // touch all Q slots of this cell, so each moves as one batched
+          // span transaction.
           real_t fl[L::Q];
-          real_t rho_pre = 0;
-          for (int i = 0; i < L::Q; ++i) {
-            fl[i] = f.load(soa(i, cell));
-            rho_pre += fl[i];
+          if (batched) {
+            f.load_span(cell, cells, L::Q, fl);
+          } else {
+            for (int i = 0; i < L::Q; ++i) {
+              fl[i] = f.load(soa(i, cell));
+            }
           }
+          real_t rho_pre = 0;
+          for (int i = 0; i < L::Q; ++i) rho_pre += fl[i];
           collide<L>(scheme, fl, tau);
+          real_t out[L::Q];
           for (int i = 0; i < L::Q; ++i) {
             real_t v = fl[i];
             const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
@@ -164,7 +176,14 @@ void AaEngine<L>::step_even() {
               v -= real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
                    t.cu_wall * inv_cs2;
             }
-            f.store(soa(L::opposite(i), cell), v);
+            out[static_cast<std::size_t>(L::opposite(i))] = v;
+          }
+          if (batched) {
+            f.store_span(cell, cells, L::Q, out);
+          } else {
+            for (int i = 0; i < L::Q; ++i) {
+              f.store(soa(i, cell), out[static_cast<std::size_t>(i)]);
+            }
           }
         });
       });
@@ -188,8 +207,13 @@ void AaEngine<L>::step_odd() {
   const auto nblocks =
       static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
 
+  if (krec_odd_ == nullptr) {
+    krec_odd_ = &prof_.record(std::string("aa_odd_") + L::name());
+  }
+  // Gathers and scatters touch Q different cells per node, so the odd step
+  // stays on scalar load/store (no uniform stride to batch).
   gpusim::launch(
-      prof_, std::string("aa_odd_") + L::name(), gpusim::Dim3{nblocks, 1, 1},
+      prof_, *krec_odd_, gpusim::Dim3{nblocks, 1, 1},
       gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
         blk.for_each_thread([&](const gpusim::Dim3& tid) {
           const index_t cell =

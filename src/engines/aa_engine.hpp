@@ -50,6 +50,11 @@ class AaEngine final : public Engine<L> {
   }
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
 
+  /// Validation hook: scalar per-population I/O instead of batched spans on
+  /// the even (node-local) step. Bytes identical; transactions differ by Q.
+  void set_batched_io(bool on) { batched_io_ = on; }
+  [[nodiscard]] bool batched_io() const { return batched_io_; }
+
   void set_unique_read_tracking(bool on) override {
     f_.set_unique_read_tracking(on);
   }
@@ -76,6 +81,10 @@ class AaEngine final : public Engine<L> {
   int threads_per_block_;
   gpusim::Profiler prof_;
   gpusim::GlobalArray<real_t> f_;
+  bool batched_io_ = true;
+  /// Cached kernel records (even/odd flavours) — no string lookup per step.
+  gpusim::KernelRecord* krec_even_ = nullptr;
+  gpusim::KernelRecord* krec_odd_ = nullptr;
 };
 
 extern template class AaEngine<D2Q9>;

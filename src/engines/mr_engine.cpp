@@ -131,7 +131,12 @@ void MrEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
 
 template <class L>
 std::size_t MrEngine<L>::state_bytes() const {
-  return mom_[0].size_bytes() + mom_[1].size_bytes();
+  // kPingPong: two full moment lattices. kCircularShift: only mom_[0]
+  // exists, sized S+2 sweep layers (M per node plus two layers — the
+  // paper's footprint claim); the never-allocated mom_[1] is not touched.
+  std::size_t n = mom_[0].size_bytes();
+  if (mom_[1].allocated()) n += mom_[1].size_bytes();
+  return n;
 }
 
 template <class L>
@@ -184,6 +189,13 @@ void MrEngine<L>::do_step() {
 
   const gpusim::GlobalArray<real_t>& rbuf = mom_[ping_pong ? cur_ : 0];
   gpusim::GlobalArray<real_t>& wbuf = mom_[ping_pong ? 1 - cur_ : 0];
+  // Element stride between consecutive moment components of one node
+  // (midx(m+1,...) - midx(m,...)); the per-node moment vector is one
+  // batched span of M elements at this stride.
+  const index_t mstride = static_cast<index_t>(ping_pong ? S : S + 2) *
+                          static_cast<index_t>(ncx1) *
+                          static_cast<index_t>(ncx0);
+  const bool batched = batched_io_;
 
   struct ColState {
     int x0, x1, y0, y1;  // cross-section ranges of the column
@@ -213,26 +225,29 @@ void MrEngine<L>::do_step() {
   };
 
   // Ring addressing: slot (s+1) mod (tile_s + 2) holds layer s while the
-  // sliding window covers it.
+  // sliding window covers it. The hot phase-A/phase-B loops below hoist the
+  // modulo and the node arithmetic out of the per-population loop; these
+  // helpers serve the cold (periodic-edge) paths.
+  auto slot_base = [&](ColState& st, int s) -> std::size_t {
+    const std::size_t slot_stride = static_cast<std::size_t>(st.y1 - st.y0) *
+                                    static_cast<std::size_t>(st.x1 - st.x0) *
+                                    static_cast<std::size_t>(L::Q);
+    return static_cast<std::size_t>((s + 1) % ring_w) * slot_stride;
+  };
+  // Cross-section node index of (cx0, cx1) inside the column.
+  auto cross_of = [&](ColState& st, int cx0, int cx1) -> std::size_t {
+    return static_cast<std::size_t>(cx1 - st.y0) *
+               static_cast<std::size_t>(st.x1 - st.x0) +
+           static_cast<std::size_t>(cx0 - st.x0);
+  };
   auto ring_at = [&](ColState& st, int s, int cx0, int cx1,
                      int i) -> real_t& {
-    const int cax = st.x1 - st.x0;
-    const int slot = (s + 1) % ring_w;
-    const std::size_t node = static_cast<std::size_t>(slot) *
-                                 static_cast<std::size_t>(st.y1 - st.y0) *
-                                 static_cast<std::size_t>(cax) +
-                             static_cast<std::size_t>(cx1 - st.y0) *
-                                 static_cast<std::size_t>(cax) +
-                             static_cast<std::size_t>(cx0 - st.x0);
-    return st.ring[node * L::Q + static_cast<std::size_t>(i)];
+    return st.ring[slot_base(st, s) + cross_of(st, cx0, cx1) * L::Q +
+                   static_cast<std::size_t>(i)];
   };
   auto stash_at = [&](std::span<real_t> stash, ColState& st, int cx0, int cx1,
                       int i) -> real_t& {
-    const int cax = st.x1 - st.x0;
-    const std::size_t node =
-        static_cast<std::size_t>(cx1 - st.y0) * static_cast<std::size_t>(cax) +
-        static_cast<std::size_t>(cx0 - st.x0);
-    return stash[node * L::Q + static_cast<std::size_t>(i)];
+    return stash[cross_of(st, cx0, cx1) * L::Q + static_cast<std::size_t>(i)];
   };
 
   // ---- Phase A: read + collide + reconstruct + stream into shared memory.
@@ -241,8 +256,15 @@ void MrEngine<L>::do_step() {
     const int s_end = std::min(S, s_begin + ts);
     const int hy_lo = (L::D == 3) ? st.y0 - 1 : 0;
     const int hy_hi = (L::D == 3) ? st.y1 : 0;
+    const int cax = st.x1 - st.x0;
 
     for (int s = s_begin; s < s_end; ++s) {
+      const int sp = phys_layer(s, tt);
+      // Ring bases of the three possible destination layers s-1, s, s+1
+      // (indexed by c_sweep + 1) — one modulo per layer instead of one per
+      // population.
+      const std::size_t dst_base[3] = {slot_base(st, s - 1), slot_base(st, s),
+                                       slot_base(st, s + 1)};
       for (int hy = hy_lo; hy <= hy_hi; ++hy) {
         int py = hy;
         if (L::D == 3 && (hy < 0 || hy >= ncx1)) {
@@ -255,19 +277,32 @@ void MrEngine<L>::do_step() {
             if (!cx0_periodic) continue;
             px = Box::wrap(hx, ncx0);
           }
+          // Signed cross-section index of the source node; halo sources sit
+          // outside [0, cross), but every use below is offset to an
+          // in-column destination first.
+          const long long cross_src =
+              static_cast<long long>(hy - st.y0) * cax + (hx - st.x0);
 
-          // Read moments from global memory (Algorithm 2, lines 15-23) and
-          // collide in moment space (Eq. 10).
-          const int sp = phys_layer(s, tt);
-          const real_t rho = rbuf.load(midx(0, px, py, sp));
+          // Read the node's M moments from global memory (Algorithm 2,
+          // lines 15-23) — one batched span transaction — and collide in
+          // moment space (Eq. 10).
+          real_t mom[M];
+          if (batched) {
+            rbuf.load_span(midx(0, px, py, sp), mstride, M, mom);
+          } else {
+            for (int m = 0; m < M; ++m) {
+              mom[m] = rbuf.load(midx(m, px, py, sp));
+            }
+          }
+          const real_t rho = mom[0];
           real_t u[L::D];
           for (int a = 0; a < L::D; ++a) {
-            u[a] = rbuf.load(midx(1 + a, px, py, sp));
+            u[a] = mom[1 + a];
           }
           real_t pineq_star[NP];
           for (int p = 0; p < NP; ++p) {
             const auto [pa, pb] = Moments<L>::pair(p);
-            const real_t full = rbuf.load(midx(1 + L::D + p, px, py, sp));
+            const real_t full = mom[1 + L::D + p];
             pineq_star[p] = relax * (full - rho * u[pa] * u[pb]);
           }
           const Reconstructor<L> rec(scheme, rho, u, pineq_star);
@@ -308,7 +343,9 @@ void MrEngine<L>::do_step() {
               // Half-way bounceback: the population returns to its source
               // node; halo sources belong to the neighbouring column.
               if (hx >= st.x0 && hx < st.x1 && hy >= st.y0 && hy < st.y1) {
-                ring_at(st, s, hx, hy, L::opposite(i)) =
+                st.ring[dst_base[1] +
+                        static_cast<std::size_t>(cross_src) * L::Q +
+                        static_cast<std::size_t>(L::opposite(i))] =
                     f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
                             cu_wall * inv_cs2;
               }
@@ -320,13 +357,17 @@ void MrEngine<L>::do_step() {
             if (ld0 < st.x0 || ld0 >= st.x1 || ld1 < st.y0 || ld1 >= st.y1) {
               continue;
             }
+            const std::size_t cross_dst = static_cast<std::size_t>(
+                cross_src + ((L::D == 3) ? c[1] * cax : 0) + c[0]);
+            const std::size_t elem =
+                cross_dst * L::Q + static_cast<std::size_t>(i);
             if (lds >= 0 && lds < S) {
-              ring_at(st, lds, ld0, ld1, i) = f;
+              st.ring[dst_base[c_sweep<L>(i) + 1] + elem] = f;
             } else if (lds == -1) {
-              stash_at(st.stash_lo, st, ld0, ld1, i) = f;  // wraps to S-1
+              st.stash_lo[elem] = f;  // wraps to S-1
             } else {
               assert(lds == S);
-              stash_at(st.stash_hi, st, ld0, ld1, i) = f;  // wraps to 0
+              st.stash_hi[elem] = f;  // wraps to 0
             }
           }
         }
@@ -335,21 +376,33 @@ void MrEngine<L>::do_step() {
   };
 
   // ---- Phase B: project completed layers back to moments and write them.
-  auto write_layer_from = [&](ColState& st, int s,
-                              const std::function<real_t(int, int, int)>& get) {
+  // `get` is a template parameter of the generic lambda: each per-direction
+  // getter instantiates its own write-back loop (no std::function on the
+  // per-node path), and the node's M moments leave as one batched span.
+  // Getters receive the flat cross-section node index (base of the node's Q
+  // populations is node * Q) so the hot plain-ring case is a contiguous copy.
+  auto write_layer_from = [&](ColState& st, int s, auto&& get) {
+    const int sp = phys_layer(s, tt + 1);
+    std::size_t node = 0;
     for (int cy = st.y0; cy < st.y1; ++cy) {
-      for (int cx = st.x0; cx < st.x1; ++cx) {
+      for (int cx = st.x0; cx < st.x1; ++cx, ++node) {
         real_t f[L::Q];
-        for (int i = 0; i < L::Q; ++i) f[i] = get(cx, cy, i);
+        for (int i = 0; i < L::Q; ++i) f[i] = get(node, i);
         const Moments<L> m = compute_moments<L>(f);
-        const int sp = phys_layer(s, tt + 1);
-        wbuf.store(midx(0, cx, cy, sp), m.rho);
+        real_t vals[M];
+        vals[0] = m.rho;
         for (int a = 0; a < L::D; ++a) {
-          wbuf.store(midx(1 + a, cx, cy, sp), m.u[static_cast<std::size_t>(a)]);
+          vals[1 + a] = m.u[static_cast<std::size_t>(a)];
         }
         for (int p = 0; p < NP; ++p) {
-          wbuf.store(midx(1 + L::D + p, cx, cy, sp),
-                     m.pi[static_cast<std::size_t>(p)]);
+          vals[1 + L::D + p] = m.pi[static_cast<std::size_t>(p)];
+        }
+        if (batched) {
+          wbuf.store_span(midx(0, cx, cy, sp), mstride, M, vals);
+        } else {
+          for (int mm = 0; mm < M; ++mm) {
+            wbuf.store(midx(mm, cx, cy, sp), vals[mm]);
+          }
         }
       }
     }
@@ -379,20 +432,22 @@ void MrEngine<L>::do_step() {
         continue;
       }
       if (sweep_periodic && s == S - 1) {
-        write_layer_from(st, s, [&](int cx, int cy, int i) {
-          return c_sweep<L>(i) < 0 ? stash_at(st.stash_lo, st, cx, cy, i)
-                                   : ring_at(st, s, cx, cy, i);
+        const std::size_t base = slot_base(st, s);
+        write_layer_from(st, s, [&](std::size_t node, int i) {
+          const std::size_t e = node * L::Q + static_cast<std::size_t>(i);
+          return c_sweep<L>(i) < 0 ? st.stash_lo[e] : st.ring[base + e];
         });
         continue;
       }
-      write_layer_from(st, s, [&](int cx, int cy, int i) {
-        return ring_at(st, s, cx, cy, i);
+      const std::size_t base = slot_base(st, s);
+      write_layer_from(st, s, [&](std::size_t node, int i) {
+        return st.ring[base + node * L::Q + static_cast<std::size_t>(i)];
       });
     }
     if (k == ntiles && sweep_periodic) {
-      write_layer_from(st, 0, [&](int cx, int cy, int i) {
-        return c_sweep<L>(i) > 0 ? stash_at(st.stash_hi, st, cx, cy, i)
-                                 : stash_at(st.snap0, st, cx, cy, i);
+      write_layer_from(st, 0, [&](std::size_t node, int i) {
+        const std::size_t e = node * L::Q + static_cast<std::size_t>(i);
+        return c_sweep<L>(i) > 0 ? st.stash_hi[e] : st.snap0[e];
       });
     }
   };
@@ -404,13 +459,15 @@ void MrEngine<L>::do_step() {
   const gpusim::Dim3 block =
       (L::D == 2) ? gpusim::Dim3{tx + 2, ts, 1}
                   : gpusim::Dim3{tx + 2, ty + 2, ts};
-  const std::string kname = std::string(scheme == Regularization::kProjective
-                                            ? "mr_p_"
-                                            : "mr_r_") +
-                            L::name();
+  if (krec_ == nullptr) {
+    krec_ = &prof_.record(std::string(scheme == Regularization::kProjective
+                                          ? "mr_p_"
+                                          : "mr_r_") +
+                          L::name());
+  }
 
   gpusim::launch_level_synced(
-      prof_, kname, grid, block, 2 * (ntiles + 1), make_state,
+      prof_, *krec_, grid, block, 2 * (ntiles + 1), make_state,
       [&](gpusim::BlockCtx& blk, ColState& st, int level) {
         const int k = level / 2;
         if (level % 2 == 0) {

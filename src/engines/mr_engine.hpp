@@ -94,6 +94,11 @@ class MrEngine final : public Engine<L> {
            (mom_[1].allocated() ? mom_[1].unique_read_bytes() : 0);
   }
 
+  /// Validation hook: scalar per-component moment I/O instead of batched
+  /// spans. Bytes identical; transactions differ by the batch width M.
+  void set_batched_io(bool on) { batched_io_ = on; }
+  [[nodiscard]] bool batched_io() const { return batched_io_; }
+
   /// Thread-block geometry of the column kernel: (tile_x + 2) x tile_s in 2D,
   /// (tile_x + 2) x (tile_y + 2) x tile_s in 3D (halo threads included).
   [[nodiscard]] int threads_per_block() const;
@@ -127,6 +132,10 @@ class MrEngine final : public Engine<L> {
   /// mom_[0] is allocated (with S+2 sweep layers).
   gpusim::GlobalArray<real_t> mom_[2];
   int cur_ = 0;
+  bool batched_io_ = true;
+  /// Cached kernel record (scheme and lattice are fixed per engine) — no
+  /// string lookup per step.
+  gpusim::KernelRecord* krec_ = nullptr;
 };
 
 extern template class MrEngine<D2Q9>;

@@ -80,13 +80,18 @@ void ReferenceEngine<L>::do_step() {
   std::vector<real_t>& dst = f_[1 - cur_];
   const real_t inv_cs2 = real_t(1) / L::cs2;
 
+  const index_t cells = b.cells();
+
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
         const index_t cell = b.idx(x, y, z);
+        // Strided gather of the node's Q populations (soa slot i is
+        // i*cells + cell): one base pointer, Q constant-stride reads.
         real_t f[L::Q];
-        for (int i = 0; i < L::Q; ++i) {
-          f[i] = src[static_cast<std::size_t>(soa(i, cell))];
+        const real_t* fp = src.data() + cell;
+        for (int i = 0; i < L::Q; ++i, fp += cells) {
+          f[i] = *fp;
         }
         // Collide on read: stored state is pre-collision.
         const real_t rho_pre = [&] {

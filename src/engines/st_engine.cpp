@@ -122,13 +122,17 @@ void StEngine<L>::step_pull() {
 
   const gpusim::GlobalArray<real_t>& src = f_[cur_];
   gpusim::GlobalArray<real_t>& dst = f_[1 - cur_];
+  const bool batched = batched_io_;
 
   const int tpb = threads_per_block_;
   const auto nblocks =
       static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
 
+  if (krec_ == nullptr) {
+    krec_ = &prof_.record(std::string("st_stream_collide_") + L::name());
+  }
   gpusim::launch(
-      prof_, std::string("st_stream_collide_") + L::name(),
+      prof_, *krec_,
       gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
       [&, cells](gpusim::BlockCtx& blk) {
         blk.for_each_thread([&](const gpusim::Dim3& tid) {
@@ -177,8 +181,15 @@ void StEngine<L>::step_pull() {
 
           // Collision (Algorithm 1, lines 11-26).
           collide<L>(scheme, f, tau);
-          for (int i = 0; i < L::Q; ++i) {
-            dst.store(soa(i, cell), f[i]);
+          // Coalesced write-back of all Q populations of this node (one
+          // counted transaction; scalar fallback kept for the traffic
+          // invariance tests).
+          if (batched) {
+            dst.store_span(cell, cells, L::Q, f);
+          } else {
+            for (int i = 0; i < L::Q; ++i) {
+              dst.store(soa(i, cell), f[i]);
+            }
           }
         });
       });
@@ -195,13 +206,17 @@ void StEngine<L>::step_push() {
 
   const gpusim::GlobalArray<real_t>& src = f_[cur_];
   gpusim::GlobalArray<real_t>& dst = f_[1 - cur_];
+  const bool batched = batched_io_;
 
   const int tpb = threads_per_block_;
   const auto nblocks =
       static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
 
+  if (krec_ == nullptr) {
+    krec_ = &prof_.record(std::string("st_push_collide_stream_") + L::name());
+  }
   gpusim::launch(
-      prof_, std::string("st_push_collide_stream_") + L::name(),
+      prof_, *krec_,
       gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
       [&, cells](gpusim::BlockCtx& blk) {
         blk.for_each_thread([&](const gpusim::Dim3& tid) {
@@ -212,13 +227,18 @@ void StEngine<L>::step_push() {
           const int y = static_cast<int>((cell / b.nx) % b.ny);
           const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
 
-          // Coalesced read of the node's own (pre-collision) populations.
+          // Coalesced read of the node's own (pre-collision) populations —
+          // one counted transaction when batched.
           real_t f[L::Q];
-          real_t rho_pre = 0;
-          for (int i = 0; i < L::Q; ++i) {
-            f[i] = src.load(soa(i, cell));
-            rho_pre += f[i];
+          if (batched) {
+            src.load_span(cell, cells, L::Q, f);
+          } else {
+            for (int i = 0; i < L::Q; ++i) {
+              f[i] = src.load(soa(i, cell));
+            }
           }
+          real_t rho_pre = 0;
+          for (int i = 0; i < L::Q; ++i) rho_pre += f[i];
           collide<L>(scheme, f, tau);
 
           // Scatter the post-collision populations (irregular stores).

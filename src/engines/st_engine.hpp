@@ -53,6 +53,13 @@ class StEngine final : public Engine<L> {
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
   [[nodiscard]] StreamMode stream_mode() const { return mode_; }
 
+  /// Validation hook: route per-node population I/O through scalar
+  /// load/store instead of batched spans. Byte counts are identical either
+  /// way; transaction counts differ by the batch width Q (see the traffic
+  /// invariance tests).
+  void set_batched_io(bool on) { batched_io_ = on; }
+  [[nodiscard]] bool batched_io() const { return batched_io_; }
+
   void set_unique_read_tracking(bool on) override {
     f_[0].set_unique_read_tracking(on);
     f_[1].set_unique_read_tracking(on);
@@ -84,6 +91,10 @@ class StEngine final : public Engine<L> {
   gpusim::Profiler prof_;
   gpusim::GlobalArray<real_t> f_[2];
   int cur_ = 0;
+  bool batched_io_ = true;
+  /// Cached kernel record (one kernel per engine: mode is fixed), so
+  /// steady-state stepping does no string lookup.
+  gpusim::KernelRecord* krec_ = nullptr;
 };
 
 extern template class StEngine<D2Q9>;

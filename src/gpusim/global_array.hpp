@@ -1,10 +1,17 @@
 // Instrumented device-global memory.
 //
 // GlobalArray<T> models a GPU global-memory allocation. Kernel code must use
-// `load`/`store`, which are counted by the attached TrafficCounter exactly as
-// a profiler reports DRAM traffic for a cache-unfriendly working set (LBM's
-// state does not fit in L2 at the paper's problem sizes, so every kernel
-// access is a DRAM access — the basis of Table 2's byte counts).
+// `load`/`store` (scalar) or `load_span`/`store_span` (batched), which are
+// counted by the attached TrafficCounter exactly as a profiler reports DRAM
+// traffic for a cache-unfriendly working set (LBM's state does not fit in L2
+// at the paper's problem sizes, so every kernel access is a DRAM access —
+// the basis of Table 2's byte counts).
+//
+// The span forms move `n` elements with a fixed element stride in one
+// bounds check and one counter update of n*sizeof(T) bytes; byte counts are
+// bit-identical to n scalar accesses while the transaction count collapses
+// to 1 (a coalesced vector transaction). Engines use them for the per-node
+// moment/population vectors, which dominate the hot path.
 //
 // Host-side (uncounted) access goes through `raw`/`host_data`, mirroring
 // cudaMemcpy-style initialization that the paper would not count either.
@@ -33,17 +40,14 @@ class GlobalArray {
     data_.assign(n, T{});
     counter_ = counter;
     read_touched_.clear();
+    unique_reads_.store(0, std::memory_order_relaxed);
   }
 
   /// Device load: counted.
   [[nodiscard]] T load(index_t i) const {
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
     counter_->add_read(sizeof(T));
-    if (!read_touched_.empty()) {
-      std::atomic_ref<std::uint8_t>(
-          read_touched_[static_cast<std::size_t>(i)])
-          .store(1, std::memory_order_relaxed);
-    }
+    touch_read(static_cast<std::size_t>(i));
     return data_[static_cast<std::size_t>(i)];
   }
 
@@ -52,6 +56,34 @@ class GlobalArray {
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
     counter_->add_write(sizeof(T));
     data_[static_cast<std::size_t>(i)] = v;
+  }
+
+  /// Batched device load of `n` elements at base, base + stride, ...:
+  /// one bounds check, one counter update of n*sizeof(T) bytes in a single
+  /// transaction. Byte-identical to n scalar `load`s.
+  void load_span(index_t base, index_t stride, int n, T* dst) const {
+    assert(n > 0 && base >= 0 &&
+           static_cast<std::size_t>(base + static_cast<index_t>(n - 1) *
+                                               stride) < data_.size());
+    counter_->add_read(static_cast<std::uint64_t>(n) * sizeof(T), 1);
+    const T* p = data_.data() + base;
+    for (int k = 0; k < n; ++k, p += stride) dst[k] = *p;
+    if (!read_touched_.empty()) {
+      for (int k = 0; k < n; ++k) {
+        touch_read(static_cast<std::size_t>(base +
+                                            static_cast<index_t>(k) * stride));
+      }
+    }
+  }
+
+  /// Batched device store; counterpart of `load_span`.
+  void store_span(index_t base, index_t stride, int n, const T* src) {
+    assert(n > 0 && base >= 0 &&
+           static_cast<std::size_t>(base + static_cast<index_t>(n - 1) *
+                                               stride) < data_.size());
+    counter_->add_write(static_cast<std::uint64_t>(n) * sizeof(T), 1);
+    T* p = data_.data() + base;
+    for (int k = 0; k < n; ++k, p += stride) *p = src[k];
   }
 
   /// Host access: NOT counted (initialization, result inspection).
@@ -74,37 +106,56 @@ class GlobalArray {
     data_.swap(other.data_);
     std::swap(counter_, other.counter_);
     read_touched_.swap(other.read_touched_);
+    const auto mine = unique_reads_.load(std::memory_order_relaxed);
+    unique_reads_.store(other.unique_reads_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    other.unique_reads_.store(mine, std::memory_order_relaxed);
   }
 
   /// Unique-address read tracking: models an ideal cache in front of DRAM.
   /// While enabled, `unique_read_count` reports how many *distinct* elements
   /// were loaded since the last clear — the traffic a profiler attributes to
-  /// DRAM when re-reads (e.g. the MR column halos) hit in L2.
+  /// DRAM when re-reads (e.g. the MR column halos) hit in L2. The count is
+  /// maintained on first touch, so querying it is O(1), not a full-array
+  /// scan.
   void set_unique_read_tracking(bool on) {
     if (on) {
       read_touched_.assign(data_.size(), 0);
     } else {
       read_touched_.clear();
     }
+    unique_reads_.store(0, std::memory_order_relaxed);
   }
   void clear_unique_reads() {
     if (!read_touched_.empty()) {
       read_touched_.assign(read_touched_.size(), 0);
     }
+    unique_reads_.store(0, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t unique_read_count() const {
-    std::uint64_t n = 0;
-    for (auto b : read_touched_) n += b;
-    return n;
+    return unique_reads_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t unique_read_bytes() const {
     return unique_read_count() * sizeof(T);
   }
 
  private:
+  /// First-touch accounting for the ideal-cache model. Only the first toucher
+  /// of an element pays the atomic increment; steady-state re-reads see the
+  /// byte already set.
+  void touch_read(std::size_t i) const {
+    if (read_touched_.empty()) return;
+    std::atomic_ref<std::uint8_t> flag(read_touched_[i]);
+    if (flag.load(std::memory_order_relaxed) == 0 &&
+        flag.exchange(1, std::memory_order_relaxed) == 0) {
+      unique_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   std::vector<T> data_;
   TrafficCounter* counter_ = nullptr;
   mutable std::vector<std::uint8_t> read_touched_;
+  mutable std::atomic<std::uint64_t> unique_reads_{0};
 };
 
 }  // namespace mlbm::gpusim

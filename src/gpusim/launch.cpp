@@ -1,23 +1,5 @@
 #include "gpusim/launch.hpp"
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
-namespace mlbm::gpusim::detail {
-
-void parallel_for_blocks(long long nblocks,
-                         const std::function<void(long long)>& fn) {
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-  for (long long b = 0; b < nblocks; ++b) {
-    fn(b);
-  }
-#else
-  for (long long b = 0; b < nblocks; ++b) {
-    fn(b);
-  }
-#endif
-}
-
-}  // namespace mlbm::gpusim::detail
+// The launchers are header-only templates (block dispatch must inline into
+// the engines' kernel bodies — no std::function on the per-block path); this
+// TU anchors the header in the library.

@@ -12,10 +12,19 @@
 //    run concurrently inside one kernel launch and the circular array shift
 //    bounds the inter-column skew; the level barrier is the simulator's
 //    scheduler that enforces the same bounded-skew contract (DESIGN.md §3).
+//    All levels execute inside ONE persistent parallel region — mirroring
+//    the single persistent kernel launch on hardware — with an OpenMP
+//    barrier between levels instead of a fork/join per level.
+//
+// Both launchers dispatch the block body as a template parameter (no
+// std::function anywhere on the per-block path), and both exist in two
+// overloads: a by-name form that looks the KernelRecord up in the profiler,
+// and a by-record form taking a cached `KernelRecord&` so steady-state
+// stepping does no string hashing (records have stable addresses; see
+// profiler.hpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,14 +45,28 @@ inline Dim3 unflatten(long long b, const Dim3& grid) {
   return idx;
 }
 
-void parallel_for_blocks(long long nblocks, const std::function<void(long long)>& fn);
+/// Runs `fn(b)` for b in [0, nblocks) across the host threads. `fn` is a
+/// template parameter: the inner loop is a direct (inlinable) call.
+template <class Fn>
+void parallel_for_blocks(long long nblocks, Fn&& fn) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (long long b = 0; b < nblocks; ++b) {
+    fn(b);
+  }
+#else
+  for (long long b = 0; b < nblocks; ++b) {
+    fn(b);
+  }
+#endif
+}
 
 }  // namespace detail
 
 /// Launches `body(BlockCtx&)` once per block. Blocks are independent and may
-/// execute concurrently; aggregates traffic and barrier counts under `name`.
+/// execute concurrently; aggregates traffic and barrier counts into `rec`.
 template <class Body>
-void launch(Profiler& prof, const std::string& name, Dim3 grid, Dim3 block,
+void launch(Profiler& prof, KernelRecord& rec, Dim3 grid, Dim3 block,
             Body&& body) {
   const TrafficSnapshot before = prof.counter().snapshot();
   const long long nblocks = grid.count();
@@ -58,8 +81,6 @@ void launch(Profiler& prof, const std::string& name, Dim3 grid, Dim3 block,
     shared[static_cast<std::size_t>(b)] = ctx.shared_bytes();
   });
 
-  KernelRecord& rec = prof.record(name);
-  rec.name = name;
   rec.grid = grid;
   rec.block = block;
   rec.launches += 1;
@@ -72,14 +93,27 @@ void launch(Profiler& prof, const std::string& name, Dim3 grid, Dim3 block,
   rec.traffic += prof.counter().snapshot() - before;
 }
 
+/// By-name convenience form: looks up (creating if needed) the kernel record.
+/// Steady-state callers should cache `prof.record(name)` and use the
+/// by-record overload instead.
+template <class Body>
+void launch(Profiler& prof, const std::string& name, Dim3 grid, Dim3 block,
+            Body&& body) {
+  launch(prof, prof.record(name), grid, block, std::forward<Body>(body));
+}
+
 /// Launches blocks that carry persistent per-block state through `levels`
 /// barrier-separated steps.
 ///
 /// `make_state(BlockCtx&) -> State` runs once per block (allocating shared
 /// memory, initializing registers); `level_fn(BlockCtx&, State&, int level)`
-/// runs for every block at every level, with a global barrier between levels.
+/// runs for every block at every level, with a global barrier between
+/// levels. The whole level sequence runs inside a single persistent parallel
+/// region: one fork at entry, one join at exit, and a barrier (the implicit
+/// one at the end of each worksharing loop) between levels — the same
+/// execution shape as one persistent GPU kernel.
 template <class MakeState, class LevelFn>
-void launch_level_synced(Profiler& prof, const std::string& name, Dim3 grid,
+void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
                          Dim3 block, int levels, MakeState&& make_state,
                          LevelFn&& level_fn) {
   using State = decltype(make_state(std::declval<BlockCtx&>()));
@@ -95,17 +129,28 @@ void launch_level_synced(Profiler& prof, const std::string& name, Dim3 grid,
     states.push_back(make_state(ctxs.back()));
   }
 
+#ifdef _OPENMP
+#pragma omp parallel default(shared)
+  {
+    for (int level = 0; level < levels; ++level) {
+#pragma omp for schedule(static)
+      for (long long b = 0; b < nblocks; ++b) {
+        level_fn(ctxs[static_cast<std::size_t>(b)],
+                 states[static_cast<std::size_t>(b)], level);
+      }
+      // The worksharing loop's implicit barrier is the level barrier: every
+      // block finishes the level before any block starts the next.
+    }
+  }
+#else
   for (int level = 0; level < levels; ++level) {
-    detail::parallel_for_blocks(nblocks, [&](long long b) {
+    for (long long b = 0; b < nblocks; ++b) {
       level_fn(ctxs[static_cast<std::size_t>(b)],
                states[static_cast<std::size_t>(b)], level);
-    });
-    // Implicit barrier: parallel_for_blocks returns only when every block has
-    // finished the level.
+    }
   }
+#endif
 
-  KernelRecord& rec = prof.record(name);
-  rec.name = name;
   rec.grid = grid;
   rec.block = block;
   rec.launches += 1;
@@ -116,6 +161,16 @@ void launch_level_synced(Profiler& prof, const std::string& name, Dim3 grid,
     }
   }
   rec.traffic += prof.counter().snapshot() - before;
+}
+
+/// By-name convenience form of `launch_level_synced` (see `launch`).
+template <class MakeState, class LevelFn>
+void launch_level_synced(Profiler& prof, const std::string& name, Dim3 grid,
+                         Dim3 block, int levels, MakeState&& make_state,
+                         LevelFn&& level_fn) {
+  launch_level_synced(prof, prof.record(name), grid, block, levels,
+                      std::forward<MakeState>(make_state),
+                      std::forward<LevelFn>(level_fn));
 }
 
 }  // namespace mlbm::gpusim

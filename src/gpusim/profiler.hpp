@@ -31,7 +31,14 @@ class Profiler {
   TrafficCounter& counter() { return counter_; }
   const TrafficCounter& counter() const { return counter_; }
 
-  KernelRecord& record(const std::string& name) { return records_[name]; }
+  /// Finds or creates the record for `name`. References are stable for the
+  /// profiler's lifetime (node-based map), so engines cache the returned
+  /// reference once and skip the string lookup on every subsequent launch.
+  KernelRecord& record(const std::string& name) {
+    KernelRecord& r = records_[name];
+    if (r.name.empty()) r.name = name;
+    return r;
+  }
 
   [[nodiscard]] std::vector<KernelRecord> all_records() const {
     std::vector<KernelRecord> out;
@@ -46,7 +53,7 @@ class Profiler {
 
   void reset() {
     counter_.reset();
-    records_.clear();
+    records_.clear();  // invalidates references cached via record()
   }
 
  private:

@@ -1,0 +1,167 @@
+// Batched-span I/O must be observationally equivalent to scalar I/O.
+//
+// The engines move whole per-node vectors (Q populations, M moments) through
+// GlobalArray::load_span/store_span — one counted transaction per node
+// instead of one per component. This file pins down the contract:
+//
+//   * byte counts are IDENTICAL: a span of n elements counts n * sizeof(T)
+//     bytes, exactly like n scalar accesses (Table 2 stays byte-exact);
+//   * transaction counts scale by the batch width: n scalar accesses become
+//     one span transaction (the coalesced-transaction model of DESIGN.md);
+//   * the physics is BIT-IDENTICAL: both paths read and write the same
+//     values at the same addresses, so trajectories match exactly — not
+//     merely to round-off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "engines/aa_engine.hpp"
+#include "engines/mr_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "workloads/taylor_green.hpp"
+
+namespace mlbm {
+namespace {
+
+/// Steps the engine and returns the traffic it generated while stepping
+/// (initialization goes through uncounted raw access, but be explicit).
+template <class L>
+gpusim::TrafficSnapshot traffic_of_run(Engine<L>& eng, int steps) {
+  const auto before = eng.profiler()->total_traffic();
+  eng.run(steps);
+  return eng.profiler()->total_traffic() - before;
+}
+
+/// Exact (not tolerance-based) comparison of every stored moment.
+template <class L>
+void expect_fields_identical(const Engine<L>& a, const Engine<L>& b) {
+  const Box& box = a.geometry().box;
+  for (int z = 0; z < box.nz; ++z) {
+    for (int y = 0; y < box.ny; ++y) {
+      for (int x = 0; x < box.nx; ++x) {
+        const Moments<L> ma = a.moments_at(x, y, z);
+        const Moments<L> mb = b.moments_at(x, y, z);
+        ASSERT_EQ(ma.rho, mb.rho) << "rho at " << x << "," << y << "," << z;
+        for (int c = 0; c < L::D; ++c) {
+          ASSERT_EQ(ma.u[static_cast<std::size_t>(c)],
+                    mb.u[static_cast<std::size_t>(c)])
+              << "u[" << c << "] at " << x << "," << y << "," << z;
+        }
+        for (int p = 0; p < Moments<L>::NP; ++p) {
+          ASSERT_EQ(ma.pi[static_cast<std::size_t>(p)],
+                    mb.pi[static_cast<std::size_t>(p)])
+              << "pi[" << p << "] at " << x << "," << y << "," << z;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ ST pull
+// Pull gathers from neighbour-dependent addresses (inherently scalar) and
+// writes the node's Q populations as one span: writes collapse by Q, reads
+// are untouched.
+TEST(TrafficInvariance, StPullWritesCollapseByQ) {
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  StEngine<D2Q9> batched(tg.geo, 0.8);
+  StEngine<D2Q9> scalar(tg.geo, 0.8);
+  scalar.set_batched_io(false);
+  tg.attach(batched);
+  tg.attach(scalar);
+
+  const auto tb = traffic_of_run<D2Q9>(batched, 5);
+  const auto ts = traffic_of_run<D2Q9>(scalar, 5);
+
+  EXPECT_EQ(tb.bytes_read, ts.bytes_read);
+  EXPECT_EQ(tb.bytes_written, ts.bytes_written);
+  EXPECT_EQ(tb.reads, ts.reads);                // gather stays scalar
+  EXPECT_EQ(tb.writes * D2Q9::Q, ts.writes);    // write-back batches by Q
+  expect_fields_identical<D2Q9>(batched, scalar);
+}
+
+// ------------------------------------------------------------------ ST push
+// Push reads the node's Q populations as one span and scatters to
+// neighbour-dependent addresses: reads collapse by Q, writes are untouched.
+TEST(TrafficInvariance, StPushReadsCollapseByQ) {
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  StEngine<D2Q9> batched(tg.geo, 0.8, CollisionScheme::kBGK, 256,
+                         StreamMode::kPush);
+  StEngine<D2Q9> scalar(tg.geo, 0.8, CollisionScheme::kBGK, 256,
+                        StreamMode::kPush);
+  scalar.set_batched_io(false);
+  tg.attach(batched);
+  tg.attach(scalar);
+
+  const auto tb = traffic_of_run<D2Q9>(batched, 5);
+  const auto ts = traffic_of_run<D2Q9>(scalar, 5);
+
+  EXPECT_EQ(tb.bytes_read, ts.bytes_read);
+  EXPECT_EQ(tb.bytes_written, ts.bytes_written);
+  EXPECT_EQ(tb.reads * D2Q9::Q, ts.reads);      // node read batches by Q
+  EXPECT_EQ(tb.writes, ts.writes);              // scatter stays scalar
+  expect_fields_identical<D2Q9>(batched, scalar);
+}
+
+// ------------------------------------------------------------------ AA even
+// The even step is purely node-local: both the read and the (opposite-slot)
+// write move the node's full Q vector, so both collapse by Q.
+TEST(TrafficInvariance, AaEvenStepBatchesBothSidesByQ) {
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  AaEngine<D2Q9> batched(tg.geo, 0.8);
+  AaEngine<D2Q9> scalar(tg.geo, 0.8);
+  scalar.set_batched_io(false);
+  tg.attach(batched);
+  tg.attach(scalar);
+
+  const auto tb = traffic_of_run<D2Q9>(batched, 1);  // step 0 is even
+  const auto ts = traffic_of_run<D2Q9>(scalar, 1);
+
+  EXPECT_EQ(tb.bytes_read, ts.bytes_read);
+  EXPECT_EQ(tb.bytes_written, ts.bytes_written);
+  EXPECT_EQ(tb.reads * D2Q9::Q, ts.reads);
+  EXPECT_EQ(tb.writes * D2Q9::Q, ts.writes);
+  expect_fields_identical<D2Q9>(batched, scalar);
+}
+
+// --------------------------------------------------------------------- MR
+// Both sides of the MR engine move whole M-component moment vectors, so
+// reads and writes collapse by M = 1 + D + D(D+1)/2.
+TEST(TrafficInvariance, MrPingPong2DBatchesByM) {
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  MrEngine<D2Q9> batched(tg.geo, 0.8, Regularization::kProjective, {8, 1, 2});
+  MrEngine<D2Q9> scalar(tg.geo, 0.8, Regularization::kProjective, {8, 1, 2});
+  scalar.set_batched_io(false);
+  tg.attach(batched);
+  tg.attach(scalar);
+
+  const auto tb = traffic_of_run<D2Q9>(batched, 5);
+  const auto ts = traffic_of_run<D2Q9>(scalar, 5);
+
+  EXPECT_EQ(tb.bytes_read, ts.bytes_read);
+  EXPECT_EQ(tb.bytes_written, ts.bytes_written);
+  EXPECT_EQ(tb.reads * D2Q9::M, ts.reads);
+  EXPECT_EQ(tb.writes * D2Q9::M, ts.writes);
+  expect_fields_identical<D2Q9>(batched, scalar);
+}
+
+TEST(TrafficInvariance, MrCircularShift3DBatchesByM) {
+  const auto tg = TaylorGreen<D3Q19>::create(8, 0.03, 8);
+  MrConfig cfg{4, 4, 1, MomentStorage::kCircularShift};
+  MrEngine<D3Q19> batched(tg.geo, 0.8, Regularization::kRecursive, cfg);
+  MrEngine<D3Q19> scalar(tg.geo, 0.8, Regularization::kRecursive, cfg);
+  scalar.set_batched_io(false);
+  tg.attach(batched);
+  tg.attach(scalar);
+
+  const auto tb = traffic_of_run<D3Q19>(batched, 3);
+  const auto ts = traffic_of_run<D3Q19>(scalar, 3);
+
+  EXPECT_EQ(tb.bytes_read, ts.bytes_read);
+  EXPECT_EQ(tb.bytes_written, ts.bytes_written);
+  EXPECT_EQ(tb.reads * D3Q19::M, ts.reads);
+  EXPECT_EQ(tb.writes * D3Q19::M, ts.writes);
+  expect_fields_identical<D3Q19>(batched, scalar);
+}
+
+}  // namespace
+}  // namespace mlbm
