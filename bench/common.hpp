@@ -3,14 +3,18 @@
 // problem-size sweeps.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "engines/factory.hpp"
 #include "engines/mr_engine.hpp"
 #include "engines/st_engine.hpp"
 #include "perfmodel/efficiency.hpp"
 #include "perfmodel/opcount.hpp"
 #include "perfmodel/pattern.hpp"
+#include "perfmodel/roofline.hpp"
+#include "util/precision.hpp"
 #include "workloads/taylor_green.hpp"
 
 namespace mlbm::bench {
@@ -112,6 +116,36 @@ perf::KernelCharacteristics characteristics(perf::Pattern p) {
   return p == perf::Pattern::kST
              ? st_characteristics<L>()
              : mr_characteristics<L>(p, default_mr_config(L::D));
+}
+
+/// Characteristics under a storage-precision policy: identical kernel shape
+/// and flop count (compute stays FP64), storage element width scaled.
+template <class L>
+perf::KernelCharacteristics characteristics(perf::Pattern p,
+                                            StoragePrecision prec) {
+  perf::KernelCharacteristics kc = characteristics<L>(p);
+  kc.storage_elem_bytes = perf::elem_bytes_of(prec);
+  return kc;
+}
+
+/// Builds the engine for a perfmodel Pattern at a runtime storage precision
+/// (ST defaults: BGK pull, 256 threads; MR: the dimension's default tiles).
+template <class L>
+std::unique_ptr<Engine<L>> make_pattern_engine(perf::Pattern p,
+                                               StoragePrecision prec,
+                                               Geometry geo, real_t tau,
+                                               MrConfig cfg = {}) {
+  switch (p) {
+    case perf::Pattern::kST:
+      return make_st_engine<L>(prec, std::move(geo), tau);
+    case perf::Pattern::kMRP:
+      return make_mr_engine<L>(prec, std::move(geo), tau,
+                               Regularization::kProjective, cfg);
+    case perf::Pattern::kMRR:
+      return make_mr_engine<L>(prec, std::move(geo), tau,
+                               Regularization::kRecursive, cfg);
+  }
+  return nullptr;
 }
 
 /// Thread blocks launched per timestep at a given domain shape.

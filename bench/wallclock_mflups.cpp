@@ -32,6 +32,7 @@ namespace {
 
 struct Result {
   std::string pattern;
+  std::string precision;
   std::string lattice;
   int nx, ny, nz;
   int steps;
@@ -52,34 +53,33 @@ double time_steps(Engine<L>& eng, int steps, bool counters) {
 }
 
 template <class L, class MakeEngine>
-void measure(std::vector<Result>& out, const char* pattern, Geometry geo,
-             int steps, const MakeEngine& make) {
+void measure(std::vector<Result>& out, const char* pattern,
+             const char* precision, Geometry geo, int steps,
+             const MakeEngine& make) {
   const Box& b = geo.box;
   for (const bool counters : {true, false}) {
     auto eng = make();
     const double s = time_steps<L>(*eng, steps, counters);
     const double nodes =
         static_cast<double>(b.cells()) * static_cast<double>(steps);
-    out.push_back({pattern, L::name(), b.nx, b.ny, b.nz, steps, counters, s,
-                   nodes / 1e6 / s});
+    out.push_back({pattern, precision, L::name(), b.nx, b.ny, b.nz, steps,
+                   counters, s, nodes / 1e6 / s});
   }
 }
 
 template <class L>
 void measure_lattice(std::vector<Result>& out, int n0, int n1, int n2,
-                     int steps) {
+                     int steps, const std::vector<StoragePrecision>& precs) {
   const Geometry geo = bench::periodic_geo(n0, n1, n2);
   const MrConfig cfg = bench::default_mr_config(L::D);
-  measure<L>(out, "ST", geo, steps,
-             [&] { return std::make_unique<StEngine<L>>(geo, 0.8); });
-  measure<L>(out, "MR-P", geo, steps, [&] {
-    return std::make_unique<MrEngine<L>>(geo, 0.8,
-                                         Regularization::kProjective, cfg);
-  });
-  measure<L>(out, "MR-R", geo, steps, [&] {
-    return std::make_unique<MrEngine<L>>(geo, 0.8, Regularization::kRecursive,
-                                         cfg);
-  });
+  for (const StoragePrecision prec : precs) {
+    for (const perf::Pattern p :
+         {perf::Pattern::kST, perf::Pattern::kMRP, perf::Pattern::kMRR}) {
+      measure<L>(out, perf::to_string(p), to_string(prec), geo, steps, [&] {
+        return bench::make_pattern_engine<L>(p, prec, geo, 0.8, cfg);
+      });
+    }
+  }
 }
 
 bool write_json(const std::string& path, const std::vector<Result>& rows) {
@@ -89,8 +89,9 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
        "(host)\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Result& r = rows[i];
-    f << "    {\"pattern\": \"" << r.pattern << "\", \"lattice\": \""
-      << r.lattice << "\", \"nx\": " << r.nx << ", \"ny\": " << r.ny
+    f << "    {\"pattern\": \"" << r.pattern << "\", \"precision\": \""
+      << r.precision << "\", \"lattice\": \"" << r.lattice
+      << "\", \"nx\": " << r.nx << ", \"ny\": " << r.ny
       << ", \"nz\": " << r.nz << ", \"steps\": " << r.steps
       << ", \"counters\": " << (r.counters ? "true" : "false")
       << ", \"seconds\": " << r.seconds << ", \"mflups\": " << r.mflups
@@ -109,17 +110,28 @@ int main(int argc, char** argv) {
   const int n3d = cli.get_int("n3d", 48);
   const int steps3d = cli.get_int("steps3d", 12);
   const std::string out = cli.get("out", "BENCH_wallclock.json");
+  const std::string prec_arg = cli.get("precision", "both");
+
+  std::vector<StoragePrecision> precs;
+  if (prec_arg == "both") {
+    precs = {StoragePrecision::kFP64, StoragePrecision::kFP32};
+  } else if (const auto p = parse_precision(prec_arg)) {
+    precs = {*p};
+  } else {
+    std::fprintf(stderr, "error: --precision must be both, fp64 or fp32\n");
+    return 1;
+  }
 
   perf::print_banner("Wall-clock", "Host MFLUPS of the simulator hot path");
 
   std::vector<Result> rows;
-  measure_lattice<D2Q9>(rows, n2d, n2d, 1, steps2d);
-  measure_lattice<D3Q19>(rows, n3d, n3d, n3d, steps3d);
+  measure_lattice<D2Q9>(rows, n2d, n2d, 1, steps2d, precs);
+  measure_lattice<D3Q19>(rows, n3d, n3d, n3d, steps3d, precs);
 
-  AsciiTable t({"Pattern", "Lattice", "Grid", "Counters", "Seconds",
+  AsciiTable t({"Pattern", "Prec", "Lattice", "Grid", "Counters", "Seconds",
                 "MFLUPS"});
   for (const Result& r : rows) {
-    t.row({r.pattern, r.lattice,
+    t.row({r.pattern, r.precision, r.lattice,
            std::to_string(r.nx) + "x" + std::to_string(r.ny) + "x" +
                std::to_string(r.nz),
            r.counters ? "on" : "off", AsciiTable::num(r.seconds, 3),
@@ -130,8 +142,8 @@ int main(int argc, char** argv) {
   // Instrumentation overhead per configuration: time(on) / time(off).
   std::printf("\ncounter overhead (time on / time off):\n");
   for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
-    std::printf("  %-5s %-6s %.3f\n", rows[i].pattern.c_str(),
-                rows[i].lattice.c_str(),
+    std::printf("  %-5s %-5s %-6s %.3f\n", rows[i].pattern.c_str(),
+                rows[i].precision.c_str(), rows[i].lattice.c_str(),
                 rows[i].seconds / rows[i + 1].seconds);
   }
 

@@ -4,11 +4,12 @@
 // VTK output for visualization.
 //
 //   ./examples/lid_driven_cavity [--n 48] [--re 100] [--ulid 0.1]
-//                                [--steps 8000] [--vtk cavity.vtk]
+//                                [--steps 8000] [--precision fp64|fp32]
+//                                [--vtk cavity.vtk]
 #include <cmath>
 #include <cstdio>
 
-#include "engines/mr_engine.hpp"
+#include "engines/factory.hpp"
 #include "io/vtk_writer.hpp"
 #include "util/cli.hpp"
 #include "workloads/cavity.hpp"
@@ -20,15 +21,25 @@ int main(int argc, char** argv) {
   const real_t re = cli.get_double("re", 100);
   const real_t ulid = cli.get_double("ulid", 0.1);
   const int steps = cli.get_int("steps", 8000);
+  const auto prec = parse_precision(cli.get("precision", "fp64"));
+  if (!prec) {
+    std::fprintf(stderr, "error: --precision must be fp64 or fp32\n");
+    return 1;
+  }
 
   // Choose tau from the requested Reynolds number: nu = ulid * n / Re.
   const real_t nu = ulid * n / re;
   const real_t tau = nu / D2Q9::cs2 + real_t(0.5);
-  std::printf("lid_driven_cavity: %dx%d, Re=%.0f, u_lid=%.2f -> tau=%.4f\n",
-              n, n, re, ulid, tau);
+  std::printf(
+      "lid_driven_cavity: %dx%d, Re=%.0f, u_lid=%.2f -> tau=%.4f, storage "
+      "%s\n",
+      n, n, re, ulid, tau, to_string(*prec));
 
   const auto cav = LidDrivenCavity<D2Q9>::create(n, ulid);
-  MrEngine<D2Q9> eng(cav.geo, tau, Regularization::kRecursive, {16, 1, 4});
+  const auto eng_ptr = make_mr_engine<D2Q9>(*prec, cav.geo, tau,
+                                            Regularization::kRecursive,
+                                            MrConfig{16, 1, 4});
+  Engine<D2Q9>& eng = *eng_ptr;
   cav.attach(eng);
   eng.profiler()->counter().set_enabled(false);
 

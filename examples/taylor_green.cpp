@@ -3,14 +3,13 @@
 // series to CSV for plotting.
 //
 //   ./examples/taylor_green [--n 48] [--tau 0.8] [--u0 0.03] [--steps 400]
-//                           [--csv decay.csv]
+//                           [--precision fp64|fp32] [--csv decay.csv]
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "engines/mr_engine.hpp"
-#include "engines/st_engine.hpp"
+#include "engines/factory.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "workloads/analytic.hpp"
@@ -23,18 +22,26 @@ int main(int argc, char** argv) {
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t u0 = cli.get_double("u0", 0.03);
   const int steps = cli.get_int("steps", 400);
+  const auto prec = parse_precision(cli.get("precision", "fp64"));
+  if (!prec) {
+    std::fprintf(stderr, "error: --precision must be fp64 or fp32\n");
+    return 1;
+  }
   const int sample_every = std::max(1, steps / 20);
 
   const auto tg = TaylorGreen<D2Q9>::create(n, u0);
 
-  StEngine<D2Q9> st(tg.geo, tau);
-  MrEngine<D2Q9> mrp(tg.geo, tau, Regularization::kProjective, {16, 1, 4});
-  MrEngine<D2Q9> mrr(tg.geo, tau, Regularization::kRecursive, {16, 1, 4});
-  std::vector<Engine<D2Q9>*> engines = {&st, &mrp, &mrr};
+  const MrConfig cfg{16, 1, 4};
+  const auto st = make_st_engine<D2Q9>(*prec, tg.geo, tau);
+  const auto mrp =
+      make_mr_engine<D2Q9>(*prec, tg.geo, tau, Regularization::kProjective, cfg);
+  const auto mrr =
+      make_mr_engine<D2Q9>(*prec, tg.geo, tau, Regularization::kRecursive, cfg);
+  std::vector<Engine<D2Q9>*> engines = {st.get(), mrp.get(), mrr.get()};
 
   const real_t nu = D2Q9::cs2 * (tau - real_t(0.5));
-  std::printf("taylor_green: %dx%d, tau=%.3f (nu=%.4f), u0=%.3f\n\n", n, n,
-              tau, nu, u0);
+  std::printf("taylor_green: %dx%d, tau=%.3f (nu=%.4f), u0=%.3f, storage %s\n\n",
+              n, n, tau, nu, u0, to_string(*prec));
 
   std::unique_ptr<CsvWriter> csv;
   if (cli.has("csv")) {

@@ -9,9 +9,9 @@
 
 namespace mlbm {
 
-template <class L>
-AaEngine<L>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
-                      int threads_per_block)
+template <class L, class ST>
+AaEngine<L, ST>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
+                          int threads_per_block)
     : Engine<L>(std::move(geo), tau),
       scheme_(scheme),
       threads_per_block_(threads_per_block) {
@@ -33,8 +33,8 @@ AaEngine<L>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
   f_.allocate(n, &prof_.counter());
 }
 
-template <class L>
-void AaEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+template <class L, class ST>
+void AaEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
   if (swapped_phase()) {
     throw std::logic_error("AaEngine: initialize() only at even timesteps");
   }
@@ -48,13 +48,13 @@ void AaEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
   }
 }
 
-template <class L>
-Moments<L> AaEngine<L>::moments_at(int x, int y, int z) const {
+template <class L, class ST>
+Moments<L> AaEngine<L, ST>::moments_at(int x, int y, int z) const {
   const index_t cell = this->geo_.box.idx(x, y, z);
   real_t f[L::Q];
   if (!swapped_phase()) {
     for (int i = 0; i < L::Q; ++i) {
-      f[i] = f_.raw(soa(i, cell));
+      f[i] = static_cast<real_t>(f_.raw(soa(i, cell)));
     }
     return compute_moments<L>(f);
   }
@@ -63,7 +63,7 @@ Moments<L> AaEngine<L>::moments_at(int x, int y, int z) const {
   // the pre-collision state of one step ago — the AA cycle only has a
   // spatially consistent snapshot after odd steps.
   for (int i = 0; i < L::Q; ++i) {
-    f[i] = f_.raw(soa(L::opposite(i), cell));
+    f[i] = static_cast<real_t>(f_.raw(soa(L::opposite(i), cell)));
   }
   Moments<L> m = compute_moments<L>(f);
   const real_t factor = real_t(1) - real_t(1) / this->tau_;
@@ -79,15 +79,15 @@ Moments<L> AaEngine<L>::moments_at(int x, int y, int z) const {
   return m;
 }
 
-template <class L>
-void AaEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+template <class L, class ST>
+void AaEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
   const index_t cell = this->geo_.box.idx(x, y, z);
   real_t pineq[Moments<L>::NP];
   if (!swapped_phase()) {
     for (int p = 0; p < Moments<L>::NP; ++p) pineq[p] = m.pi_neq(p);
     for (int i = 0; i < L::Q; ++i) {
-      f_.raw(soa(i, cell)) =
-          reconstruct_projective<L>(i, m.rho, m.u.data(), pineq);
+      f_.raw(soa(i, cell)) = static_cast<ST>(
+          reconstruct_projective<L>(i, m.rho, m.u.data(), pineq));
     }
     return;
   }
@@ -101,17 +101,17 @@ void AaEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
                                  : Regularization::kProjective;
   for (int i = 0; i < L::Q; ++i) {
     f_.raw(soa(L::opposite(i), cell)) =
-        reconstruct<L>(reg, i, m.rho, m.u.data(), pineq);
+        static_cast<ST>(reconstruct<L>(reg, i, m.rho, m.u.data(), pineq));
   }
 }
 
-template <class L>
-std::size_t AaEngine<L>::state_bytes() const {
+template <class L, class ST>
+std::size_t AaEngine<L, ST>::state_bytes() const {
   return f_.size_bytes();
 }
 
-template <class L>
-void AaEngine<L>::do_step() {
+template <class L, class ST>
+void AaEngine<L, ST>::do_step() {
   if (!swapped_phase()) {
     step_even();
   } else {
@@ -119,8 +119,8 @@ void AaEngine<L>::do_step() {
   }
 }
 
-template <class L>
-void AaEngine<L>::step_even() {
+template <class L, class ST>
+void AaEngine<L, ST>::step_even() {
   // Node-local: read plainly, collide, write swapped. No neighbour traffic.
   // Populations whose downwind link crosses a wall receive their moving-wall
   // bounceback correction here, at write time, where the node's density is
@@ -132,7 +132,7 @@ void AaEngine<L>::step_even() {
   const real_t tau = this->tau_;
   const real_t inv_cs2 = real_t(1) / L::cs2;
   const CollisionScheme scheme = scheme_;
-  gpusim::GlobalArray<real_t>& f = f_;
+  gpusim::GlobalArray<ST>& f = f_;
   const bool batched = batched_io_;
 
   const int tpb = threads_per_block_;
@@ -155,13 +155,14 @@ void AaEngine<L>::step_even() {
 
           // Node-local step: both the read and the (slot-swapped) write
           // touch all Q slots of this cell, so each moves as one batched
-          // span transaction.
+          // span transaction. Loads widen to real_t registers; stores
+          // narrow back to the storage type.
           real_t fl[L::Q];
           if (batched) {
-            f.load_span(cell, cells, L::Q, fl);
+            f.template load_span_as<real_t>(cell, cells, L::Q, fl);
           } else {
             for (int i = 0; i < L::Q; ++i) {
-              fl[i] = f.load(soa(i, cell));
+              fl[i] = f.template load_as<real_t>(soa(i, cell));
             }
           }
           real_t rho_pre = 0;
@@ -179,18 +180,19 @@ void AaEngine<L>::step_even() {
             out[static_cast<std::size_t>(L::opposite(i))] = v;
           }
           if (batched) {
-            f.store_span(cell, cells, L::Q, out);
+            f.template store_span_as<real_t>(cell, cells, L::Q, out);
           } else {
             for (int i = 0; i < L::Q; ++i) {
-              f.store(soa(i, cell), out[static_cast<std::size_t>(i)]);
+              f.template store_as<real_t>(soa(i, cell),
+                                          out[static_cast<std::size_t>(i)]);
             }
           }
         });
       });
 }
 
-template <class L>
-void AaEngine<L>::step_odd() {
+template <class L, class ST>
+void AaEngine<L, ST>::step_odd() {
   // Gather from the upwind neighbours' swapped slots (completing the
   // previous stream), collide, scatter into the downwind neighbours' plain
   // slots (pre-streaming the next step). Each slot has a unique
@@ -201,7 +203,7 @@ void AaEngine<L>::step_odd() {
   const real_t tau = this->tau_;
   const real_t inv_cs2 = real_t(1) / L::cs2;
   const CollisionScheme scheme = scheme_;
-  gpusim::GlobalArray<real_t>& f = f_;
+  gpusim::GlobalArray<ST>& f = f_;
 
   const int tpb = threads_per_block_;
   const auto nblocks =
@@ -231,9 +233,10 @@ void AaEngine<L>::step_odd() {
             const StreamTarget t =
                 resolve_stream<L>(geo, x, y, z, L::opposite(i));
             if (t.kind == StreamTarget::Kind::kInterior) {
-              fl[i] = f.load(soa(L::opposite(i), b.idx(t.x, t.y, t.z)));
+              fl[i] = f.template load_as<real_t>(
+                  soa(L::opposite(i), b.idx(t.x, t.y, t.z)));
             } else {
-              fl[i] = f.load(soa(i, cell));
+              fl[i] = f.template load_as<real_t>(soa(i, cell));
             }
           }
 
@@ -245,22 +248,28 @@ void AaEngine<L>::step_odd() {
           for (int i = 0; i < L::Q; ++i) {
             const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
             if (t.kind == StreamTarget::Kind::kInterior) {
-              f.store(soa(i, b.idx(t.x, t.y, t.z)), fl[i]);
+              f.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)),
+                                          fl[i]);
             } else {
               // Wall: bounce back into this node's own plain slot
               // opposite(i), where the next even step reads it directly.
-              f.store(soa(L::opposite(i), cell),
-                      fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
-                                  rho_now * t.cu_wall * inv_cs2);
+              f.template store_as<real_t>(
+                  soa(L::opposite(i), cell),
+                  fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                              rho_now * t.cu_wall * inv_cs2);
             }
           }
         });
       });
 }
 
-template class AaEngine<D2Q9>;
-template class AaEngine<D3Q19>;
-template class AaEngine<D3Q27>;
-template class AaEngine<D3Q15>;
+template class AaEngine<D2Q9, double>;
+template class AaEngine<D3Q19, double>;
+template class AaEngine<D3Q27, double>;
+template class AaEngine<D3Q15, double>;
+template class AaEngine<D2Q9, float>;
+template class AaEngine<D3Q19, float>;
+template class AaEngine<D3Q27, float>;
+template class AaEngine<D3Q15, float>;
 
 }  // namespace mlbm

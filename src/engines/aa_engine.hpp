@@ -2,7 +2,7 @@
 //
 // The paper's related work motivates reducing LBM's memory footprint on
 // GPUs; before the moment representation, the standard answer was in-place
-// streaming: the AA pattern keeps ONE distribution lattice (Q doubles per
+// streaming: the AA pattern keeps ONE distribution lattice (Q elements per
 // node — half of ST) by alternating two kernel flavours:
 //
 //   even step   read slot i of x, collide, write f*_i into slot opposite(i)
@@ -12,7 +12,7 @@
 //               slot i of the downwind neighbour x + c_i — performing two
 //               half-streams so that the next even step again reads plainly.
 //
-// Per-update global traffic is identical to ST (2Q doubles), so the AA
+// Per-update global traffic is identical to ST (2Q elements), so the AA
 // pattern is the paper's natural memory-footprint baseline: it matches MR's
 // *bandwidth* profile story but not its traffic reduction. Included for the
 // memory table and ablations.
@@ -22,6 +22,9 @@
 // swapped post-collision state. moments_at/impose translate both parities to
 // the shared pre-collision moment convention, so boundary passes and tests
 // work unchanged — including mid-cycle.
+//
+// `ST` is the storage-precision policy (element type of the single lattice);
+// compute stays real_t with conversion at the register boundary.
 #pragma once
 
 #include "core/collision.hpp"
@@ -31,9 +34,11 @@
 
 namespace mlbm {
 
-template <class L>
+template <class L, class ST = real_t>
 class AaEngine final : public Engine<L> {
  public:
+  using StorageT = ST;
+
   AaEngine(Geometry geo, real_t tau,
            CollisionScheme scheme = CollisionScheme::kBGK,
            int threads_per_block = 256);
@@ -43,6 +48,9 @@ class AaEngine final : public Engine<L> {
   [[nodiscard]] Moments<L> moments_at(int x, int y, int z) const override;
   void impose(int x, int y, int z, const Moments<L>& m) override;
   [[nodiscard]] std::size_t state_bytes() const override;
+  [[nodiscard]] StoragePrecision storage_precision() const override {
+    return precision_of_v<ST>;
+  }
 
   [[nodiscard]] gpusim::Profiler* profiler() override { return &prof_; }
   [[nodiscard]] const gpusim::Profiler* profiler() const override {
@@ -80,16 +88,20 @@ class AaEngine final : public Engine<L> {
   CollisionScheme scheme_;
   int threads_per_block_;
   gpusim::Profiler prof_;
-  gpusim::GlobalArray<real_t> f_;
+  gpusim::GlobalArray<ST> f_;
   bool batched_io_ = true;
   /// Cached kernel records (even/odd flavours) — no string lookup per step.
   gpusim::KernelRecord* krec_even_ = nullptr;
   gpusim::KernelRecord* krec_odd_ = nullptr;
 };
 
-extern template class AaEngine<D2Q9>;
-extern template class AaEngine<D3Q19>;
-extern template class AaEngine<D3Q27>;
-extern template class AaEngine<D3Q15>;
+extern template class AaEngine<D2Q9, double>;
+extern template class AaEngine<D3Q19, double>;
+extern template class AaEngine<D3Q27, double>;
+extern template class AaEngine<D3Q15, double>;
+extern template class AaEngine<D2Q9, float>;
+extern template class AaEngine<D3Q19, float>;
+extern template class AaEngine<D3Q27, float>;
+extern template class AaEngine<D3Q15, float>;
 
 }  // namespace mlbm

@@ -25,6 +25,7 @@
 #include "core/box.hpp"
 #include "core/moments.hpp"
 #include "gpusim/profiler.hpp"
+#include "util/precision.hpp"
 #include "util/types.hpp"
 
 namespace mlbm {
@@ -61,6 +62,13 @@ class Engine {
   /// Bytes of simulation state resident in (simulated) device memory; basis
   /// of the paper's memory-footprint comparison.
   [[nodiscard]] virtual std::size_t state_bytes() const = 0;
+
+  /// Precision in which this engine *stores* device-resident state. Compute
+  /// is always real_t (FP64); gpusim engines may store FP32, in which case
+  /// every counted byte, state_bytes() and checkpoints use 4-byte elements.
+  [[nodiscard]] virtual StoragePrecision storage_precision() const {
+    return StoragePrecision::kFP64;
+  }
 
   /// Advances one timestep, then applies the post-step boundary pass.
   void step() {

@@ -1,0 +1,62 @@
+// Runtime-precision engine construction.
+//
+// The storage-precision policy is a compile-time template parameter of the
+// gpusim engines (StEngine<L, ST>, AaEngine<L, ST>, MrEngine<L, ST>), which
+// keeps the FP64 path bit-identical and the byte accounting exact. CLI tools
+// and benches, however, select the precision at runtime (--precision fp32);
+// these helpers dispatch a StoragePrecision value to the right instantiation
+// behind the type-erasing Engine<L> interface.
+//
+// All four explicit instantiations per engine x {double, float} are already
+// compiled into the library (see the engine .cpp files), so these templates
+// add no object code beyond the dispatch.
+#pragma once
+
+#include <memory>
+
+#include "engines/aa_engine.hpp"
+#include "engines/mr_engine.hpp"
+#include "engines/st_engine.hpp"
+#include "util/precision.hpp"
+
+namespace mlbm {
+
+template <class L>
+std::unique_ptr<Engine<L>> make_st_engine(
+    StoragePrecision prec, Geometry geo, real_t tau,
+    CollisionScheme scheme = CollisionScheme::kBGK, int threads_per_block = 256,
+    StreamMode mode = StreamMode::kPull) {
+  if (prec == StoragePrecision::kFP32) {
+    return std::make_unique<StEngine<L, float>>(std::move(geo), tau, scheme,
+                                                threads_per_block, mode);
+  }
+  return std::make_unique<StEngine<L, double>>(std::move(geo), tau, scheme,
+                                               threads_per_block, mode);
+}
+
+template <class L>
+std::unique_ptr<Engine<L>> make_aa_engine(
+    StoragePrecision prec, Geometry geo, real_t tau,
+    CollisionScheme scheme = CollisionScheme::kBGK,
+    int threads_per_block = 256) {
+  if (prec == StoragePrecision::kFP32) {
+    return std::make_unique<AaEngine<L, float>>(std::move(geo), tau, scheme,
+                                                threads_per_block);
+  }
+  return std::make_unique<AaEngine<L, double>>(std::move(geo), tau, scheme,
+                                               threads_per_block);
+}
+
+template <class L>
+std::unique_ptr<Engine<L>> make_mr_engine(StoragePrecision prec, Geometry geo,
+                                          real_t tau, Regularization scheme,
+                                          MrConfig config = {}) {
+  if (prec == StoragePrecision::kFP32) {
+    return std::make_unique<MrEngine<L, float>>(std::move(geo), tau, scheme,
+                                                config);
+  }
+  return std::make_unique<MrEngine<L, double>>(std::move(geo), tau, scheme,
+                                               config);
+}
+
+}  // namespace mlbm

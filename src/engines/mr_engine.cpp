@@ -20,8 +20,8 @@ constexpr int c_sweep(int i) {
 
 }  // namespace
 
-template <class L>
-MrEngine<L>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
+template <class L, class ST>
+MrEngine<L, ST>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
                       MrConfig config)
     : Engine<L>(std::move(geo), tau), scheme_(scheme), config_(config) {
   if (config_.tile_x < 1 || config_.tile_y < 1 || config_.tile_s < 1) {
@@ -44,21 +44,21 @@ MrEngine<L>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
   }
 }
 
-template <class L>
-int MrEngine<L>::sweep_extent() const {
+template <class L, class ST>
+int MrEngine<L, ST>::sweep_extent() const {
   return L::D == 2 ? this->geo_.box.ny : this->geo_.box.nz;
 }
 
-template <class L>
-int MrEngine<L>::phys_layer(int s, long long t) const {
+template <class L, class ST>
+int MrEngine<L, ST>::phys_layer(int s, long long t) const {
   if (config_.storage == MomentStorage::kPingPong) return s;
   const long long r = sweep_extent() + 2;
   const long long p = (static_cast<long long>(s) - 2 * t) % r;
   return static_cast<int>(p < 0 ? p + r : p);
 }
 
-template <class L>
-index_t MrEngine<L>::midx(int m, int cx0, int cx1, int sp) const {
+template <class L, class ST>
+index_t MrEngine<L, ST>::midx(int m, int cx0, int cx1, int sp) const {
   const Box& b = this->geo_.box;
   const index_t ncx0 = b.nx;
   const index_t ncx1 = (L::D == 2) ? 1 : b.ny;
@@ -69,38 +69,42 @@ index_t MrEngine<L>::midx(int m, int cx0, int cx1, int sp) const {
          static_cast<index_t>(cx1) * ncx0 + cx0;
 }
 
-template <class L>
-Moments<L> MrEngine<L>::read_moments_raw(int cx0, int cx1, int s,
+template <class L, class ST>
+Moments<L> MrEngine<L, ST>::read_moments_raw(int cx0, int cx1, int s,
                                          long long t) const {
   const int sp = phys_layer(s, t);
   const auto& buf = mom_[cur_];
   Moments<L> m;
-  m.rho = buf.raw(midx(0, cx0, cx1, sp));
+  m.rho = static_cast<real_t>(buf.raw(midx(0, cx0, cx1, sp)));
   for (int a = 0; a < L::D; ++a) {
-    m.u[static_cast<std::size_t>(a)] = buf.raw(midx(1 + a, cx0, cx1, sp));
+    m.u[static_cast<std::size_t>(a)] =
+        static_cast<real_t>(buf.raw(midx(1 + a, cx0, cx1, sp)));
   }
   for (int p = 0; p < NP; ++p) {
-    m.pi[static_cast<std::size_t>(p)] = buf.raw(midx(1 + L::D + p, cx0, cx1, sp));
+    m.pi[static_cast<std::size_t>(p)] =
+        static_cast<real_t>(buf.raw(midx(1 + L::D + p, cx0, cx1, sp)));
   }
   return m;
 }
 
-template <class L>
-void MrEngine<L>::write_moments_raw(int cx0, int cx1, int s, long long t,
+template <class L, class ST>
+void MrEngine<L, ST>::write_moments_raw(int cx0, int cx1, int s, long long t,
                                     const Moments<L>& m) {
   const int sp = phys_layer(s, t);
   auto& buf = mom_[cur_];
-  buf.raw(midx(0, cx0, cx1, sp)) = m.rho;
+  buf.raw(midx(0, cx0, cx1, sp)) = static_cast<ST>(m.rho);
   for (int a = 0; a < L::D; ++a) {
-    buf.raw(midx(1 + a, cx0, cx1, sp)) = m.u[static_cast<std::size_t>(a)];
+    buf.raw(midx(1 + a, cx0, cx1, sp)) =
+        static_cast<ST>(m.u[static_cast<std::size_t>(a)]);
   }
   for (int p = 0; p < NP; ++p) {
-    buf.raw(midx(1 + L::D + p, cx0, cx1, sp)) = m.pi[static_cast<std::size_t>(p)];
+    buf.raw(midx(1 + L::D + p, cx0, cx1, sp)) =
+        static_cast<ST>(m.pi[static_cast<std::size_t>(p)]);
   }
 }
 
-template <class L>
-void MrEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+template <class L, class ST>
+void MrEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
   const Box& b = this->geo_.box;
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
@@ -111,8 +115,8 @@ void MrEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
   }
 }
 
-template <class L>
-Moments<L> MrEngine<L>::moments_at(int x, int y, int z) const {
+template <class L, class ST>
+Moments<L> MrEngine<L, ST>::moments_at(int x, int y, int z) const {
   if constexpr (L::D == 2) {
     return read_moments_raw(x, 0, y, this->t_);
   } else {
@@ -120,8 +124,8 @@ Moments<L> MrEngine<L>::moments_at(int x, int y, int z) const {
   }
 }
 
-template <class L>
-void MrEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+template <class L, class ST>
+void MrEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
   if constexpr (L::D == 2) {
     write_moments_raw(x, 0, y, this->t_, m);
   } else {
@@ -129,8 +133,8 @@ void MrEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
   }
 }
 
-template <class L>
-std::size_t MrEngine<L>::state_bytes() const {
+template <class L, class ST>
+std::size_t MrEngine<L, ST>::state_bytes() const {
   // kPingPong: two full moment lattices. kCircularShift: only mom_[0]
   // exists, sized S+2 sweep layers (M per node plus two layers — the
   // paper's footprint claim); the never-allocated mom_[1] is not touched.
@@ -139,8 +143,8 @@ std::size_t MrEngine<L>::state_bytes() const {
   return n;
 }
 
-template <class L>
-int MrEngine<L>::threads_per_block() const {
+template <class L, class ST>
+int MrEngine<L, ST>::threads_per_block() const {
   if constexpr (L::D == 2) {
     return (config_.tile_x + 2) * config_.tile_s;
   } else {
@@ -148,8 +152,8 @@ int MrEngine<L>::threads_per_block() const {
   }
 }
 
-template <class L>
-std::size_t MrEngine<L>::shared_bytes_per_block() const {
+template <class L, class ST>
+std::size_t MrEngine<L, ST>::shared_bytes_per_block() const {
   const std::size_t cross =
       static_cast<std::size_t>(config_.tile_x) *
       static_cast<std::size_t>(L::D == 2 ? 1 : config_.tile_y);
@@ -157,8 +161,8 @@ std::size_t MrEngine<L>::shared_bytes_per_block() const {
          static_cast<std::size_t>(L::Q) * sizeof(real_t);
 }
 
-template <class L>
-void MrEngine<L>::do_step() {
+template <class L, class ST>
+void MrEngine<L, ST>::do_step() {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const real_t tau = this->tau_;
@@ -187,8 +191,8 @@ void MrEngine<L>::do_step() {
         "MrEngine: periodic sweep axis requires extent >= tile_s + 3");
   }
 
-  const gpusim::GlobalArray<real_t>& rbuf = mom_[ping_pong ? cur_ : 0];
-  gpusim::GlobalArray<real_t>& wbuf = mom_[ping_pong ? 1 - cur_ : 0];
+  const gpusim::GlobalArray<ST>& rbuf = mom_[ping_pong ? cur_ : 0];
+  gpusim::GlobalArray<ST>& wbuf = mom_[ping_pong ? 1 - cur_ : 0];
   // Element stride between consecutive moment components of one node
   // (midx(m+1,...) - midx(m,...)); the per-node moment vector is one
   // batched span of M elements at this stride.
@@ -288,10 +292,11 @@ void MrEngine<L>::do_step() {
           // moment space (Eq. 10).
           real_t mom[M];
           if (batched) {
-            rbuf.load_span(midx(0, px, py, sp), mstride, M, mom);
+            rbuf.template load_span_as<real_t>(midx(0, px, py, sp), mstride, M,
+                                               mom);
           } else {
             for (int m = 0; m < M; ++m) {
-              mom[m] = rbuf.load(midx(m, px, py, sp));
+              mom[m] = rbuf.template load_as<real_t>(midx(m, px, py, sp));
             }
           }
           const real_t rho = mom[0];
@@ -398,10 +403,11 @@ void MrEngine<L>::do_step() {
           vals[1 + L::D + p] = m.pi[static_cast<std::size_t>(p)];
         }
         if (batched) {
-          wbuf.store_span(midx(0, cx, cy, sp), mstride, M, vals);
+          wbuf.template store_span_as<real_t>(midx(0, cx, cy, sp), mstride, M,
+                                              vals);
         } else {
           for (int mm = 0; mm < M; ++mm) {
-            wbuf.store(midx(mm, cx, cy, sp), vals[mm]);
+            wbuf.template store_as<real_t>(midx(mm, cx, cy, sp), vals[mm]);
           }
         }
       }
@@ -481,9 +487,13 @@ void MrEngine<L>::do_step() {
   if (ping_pong) cur_ = 1 - cur_;
 }
 
-template class MrEngine<D2Q9>;
-template class MrEngine<D3Q19>;
-template class MrEngine<D3Q27>;
-template class MrEngine<D3Q15>;
+template class MrEngine<D2Q9, double>;
+template class MrEngine<D3Q19, double>;
+template class MrEngine<D3Q27, double>;
+template class MrEngine<D3Q15, double>;
+template class MrEngine<D2Q9, float>;
+template class MrEngine<D3Q19, float>;
+template class MrEngine<D3Q27, float>;
+template class MrEngine<D3Q15, float>;
 
 }  // namespace mlbm

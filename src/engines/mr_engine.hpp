@@ -30,7 +30,14 @@
 //                     t+1 lands exactly in the slot vacated by layer s+2 of
 //                     timestep t (Dethier-style constant-time shifting;
 //                     M per node plus two layers).
-// Both move 2M doubles of global traffic per fluid lattice update (Table 2).
+// Both move 2M storage elements of global traffic per fluid lattice update
+// (Table 2).
+//
+// `ST` is the storage-precision policy: the element type of the *global*
+// moment lattices. The shared-memory ring stays in the compute precision
+// (real_t) — on a real GPU the ring lives on-chip where capacity, not
+// DRAM bandwidth, is the constraint, and keeping it wide means the only
+// rounding an FP32 run adds is at the global load/store boundary.
 #pragma once
 
 #include <memory>
@@ -59,9 +66,11 @@ struct MrConfig {
   MomentStorage storage = MomentStorage::kPingPong;
 };
 
-template <class L>
+template <class L, class ST = real_t>
 class MrEngine final : public Engine<L> {
  public:
+  using StorageT = ST;
+
   MrEngine(Geometry geo, real_t tau, Regularization scheme,
            MrConfig config = {});
 
@@ -72,6 +81,9 @@ class MrEngine final : public Engine<L> {
   [[nodiscard]] Moments<L> moments_at(int x, int y, int z) const override;
   void impose(int x, int y, int z, const Moments<L>& m) override;
   [[nodiscard]] std::size_t state_bytes() const override;
+  [[nodiscard]] StoragePrecision storage_precision() const override {
+    return precision_of_v<ST>;
+  }
 
   [[nodiscard]] gpusim::Profiler* profiler() override { return &prof_; }
   [[nodiscard]] const gpusim::Profiler* profiler() const override {
@@ -130,7 +142,7 @@ class MrEngine final : public Engine<L> {
   gpusim::Profiler prof_;
   /// kPingPong: both allocated, cur_ is the read side. kCircularShift: only
   /// mom_[0] is allocated (with S+2 sweep layers).
-  gpusim::GlobalArray<real_t> mom_[2];
+  gpusim::GlobalArray<ST> mom_[2];
   int cur_ = 0;
   bool batched_io_ = true;
   /// Cached kernel record (scheme and lattice are fixed per engine) — no
@@ -138,9 +150,13 @@ class MrEngine final : public Engine<L> {
   gpusim::KernelRecord* krec_ = nullptr;
 };
 
-extern template class MrEngine<D2Q9>;
-extern template class MrEngine<D3Q19>;
-extern template class MrEngine<D3Q27>;
-extern template class MrEngine<D3Q15>;
+extern template class MrEngine<D2Q9, double>;
+extern template class MrEngine<D3Q19, double>;
+extern template class MrEngine<D3Q27, double>;
+extern template class MrEngine<D3Q15, double>;
+extern template class MrEngine<D2Q9, float>;
+extern template class MrEngine<D3Q19, float>;
+extern template class MrEngine<D3Q27, float>;
+extern template class MrEngine<D3Q15, float>;
 
 }  // namespace mlbm

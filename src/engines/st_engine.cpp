@@ -6,9 +6,9 @@
 
 namespace mlbm {
 
-template <class L>
-StEngine<L>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
-                      int threads_per_block, StreamMode mode)
+template <class L, class ST>
+StEngine<L, ST>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
+                          int threads_per_block, StreamMode mode)
     : Engine<L>(std::move(geo), tau),
       scheme_(scheme),
       threads_per_block_(threads_per_block),
@@ -19,17 +19,17 @@ StEngine<L>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
   f_[1].allocate(n, &prof_.counter());
 }
 
-template <class L>
-void StEngine<L>::impose_population(int x, int y, int z,
-                                    const real_t (&f)[L::Q]) {
+template <class L, class ST>
+void StEngine<L, ST>::impose_population(int x, int y, int z,
+                                        const real_t (&f)[L::Q]) {
   const index_t cell = this->geo_.box.idx(x, y, z);
   for (int i = 0; i < L::Q; ++i) {
-    f_[cur_].raw(soa(i, cell)) = f[i];
+    f_[cur_].raw(soa(i, cell)) = static_cast<ST>(f[i]);
   }
 }
 
-template <class L>
-void StEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
+template <class L, class ST>
+void StEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
   const Box& b = this->geo_.box;
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
@@ -40,12 +40,12 @@ void StEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
   }
 }
 
-template <class L>
-Moments<L> StEngine<L>::moments_at(int x, int y, int z) const {
+template <class L, class ST>
+Moments<L> StEngine<L, ST>::moments_at(int x, int y, int z) const {
   const index_t cell = this->geo_.box.idx(x, y, z);
   real_t f[L::Q];
   for (int i = 0; i < L::Q; ++i) {
-    f[i] = f_[cur_].raw(soa(i, cell));
+    f[i] = static_cast<real_t>(f_[cur_].raw(soa(i, cell)));
   }
   Moments<L> m = compute_moments<L>(f);
   if (mode_ == StreamMode::kPush) {
@@ -68,8 +68,8 @@ Moments<L> StEngine<L>::moments_at(int x, int y, int z) const {
   return m;
 }
 
-template <class L>
-void StEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
+template <class L, class ST>
+void StEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
   real_t pineq[Moments<L>::NP];
   real_t f[L::Q];
   if (mode_ == StreamMode::kPush) {
@@ -96,13 +96,13 @@ void StEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
   impose_population(x, y, z, f);
 }
 
-template <class L>
-std::size_t StEngine<L>::state_bytes() const {
+template <class L, class ST>
+std::size_t StEngine<L, ST>::state_bytes() const {
   return f_[0].size_bytes() + f_[1].size_bytes();
 }
 
-template <class L>
-void StEngine<L>::do_step() {
+template <class L, class ST>
+void StEngine<L, ST>::do_step() {
   if (mode_ == StreamMode::kPull) {
     step_pull();
   } else {
@@ -111,8 +111,8 @@ void StEngine<L>::do_step() {
   cur_ = 1 - cur_;
 }
 
-template <class L>
-void StEngine<L>::step_pull() {
+template <class L, class ST>
+void StEngine<L, ST>::step_pull() {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const index_t cells = b.cells();
@@ -120,8 +120,8 @@ void StEngine<L>::step_pull() {
   const real_t inv_cs2 = real_t(1) / L::cs2;
   const CollisionScheme scheme = scheme_;
 
-  const gpusim::GlobalArray<real_t>& src = f_[cur_];
-  gpusim::GlobalArray<real_t>& dst = f_[1 - cur_];
+  const gpusim::GlobalArray<ST>& src = f_[cur_];
+  gpusim::GlobalArray<ST>& dst = f_[1 - cur_];
   const bool batched = batched_io_;
 
   const int tpb = threads_per_block_;
@@ -146,7 +146,8 @@ void StEngine<L>::step_pull() {
           // Streaming: pull each population from its upwind source
           // (Algorithm 1, lines 4-10). Pulling direction i corresponds to a
           // push along opposite(i) from this node, so the shared resolver is
-          // reused with the opposite velocity.
+          // reused with the opposite velocity. Loads widen to real_t at the
+          // register boundary.
           real_t f[L::Q];
           real_t rho_self = real_t(-1);  // lazily computed for moving walls
           for (int i = 0; i < L::Q; ++i) {
@@ -154,15 +155,17 @@ void StEngine<L>::step_pull() {
                 resolve_stream<L>(geo, x, y, z, L::opposite(i));
             switch (t.kind) {
               case StreamTarget::Kind::kInterior:
-                f[i] = src.load(soa(i, b.idx(t.x, t.y, t.z)));
+                f[i] = src.template load_as<real_t>(
+                    soa(i, b.idx(t.x, t.y, t.z)));
                 break;
               case StreamTarget::Kind::kBounce: {
-                real_t v = src.load(soa(L::opposite(i), cell));
+                real_t v =
+                    src.template load_as<real_t>(soa(L::opposite(i), cell));
                 if (t.cu_wall != real_t(0)) {
                   if (rho_self < real_t(0)) {
                     rho_self = 0;
                     for (int j = 0; j < L::Q; ++j) {
-                      rho_self += src.load(soa(j, cell));
+                      rho_self += src.template load_as<real_t>(soa(j, cell));
                     }
                   }
                   v -= real_t(2) * L::w[static_cast<std::size_t>(i)] *
@@ -174,7 +177,7 @@ void StEngine<L>::step_pull() {
               case StreamTarget::Kind::kDropped:
                 // This node sits on an open face and is rebuilt by the BC
                 // pass; any finite placeholder works.
-                f[i] = src.load(soa(L::opposite(i), cell));
+                f[i] = src.template load_as<real_t>(soa(L::opposite(i), cell));
                 break;
             }
           }
@@ -185,18 +188,18 @@ void StEngine<L>::step_pull() {
           // counted transaction; scalar fallback kept for the traffic
           // invariance tests).
           if (batched) {
-            dst.store_span(cell, cells, L::Q, f);
+            dst.template store_span_as<real_t>(cell, cells, L::Q, f);
           } else {
             for (int i = 0; i < L::Q; ++i) {
-              dst.store(soa(i, cell), f[i]);
+              dst.template store_as<real_t>(soa(i, cell), f[i]);
             }
           }
         });
       });
 }
 
-template <class L>
-void StEngine<L>::step_push() {
+template <class L, class ST>
+void StEngine<L, ST>::step_push() {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const index_t cells = b.cells();
@@ -204,8 +207,8 @@ void StEngine<L>::step_push() {
   const real_t inv_cs2 = real_t(1) / L::cs2;
   const CollisionScheme scheme = scheme_;
 
-  const gpusim::GlobalArray<real_t>& src = f_[cur_];
-  gpusim::GlobalArray<real_t>& dst = f_[1 - cur_];
+  const gpusim::GlobalArray<ST>& src = f_[cur_];
+  gpusim::GlobalArray<ST>& dst = f_[1 - cur_];
   const bool batched = batched_io_;
 
   const int tpb = threads_per_block_;
@@ -231,10 +234,10 @@ void StEngine<L>::step_push() {
           // one counted transaction when batched.
           real_t f[L::Q];
           if (batched) {
-            src.load_span(cell, cells, L::Q, f);
+            src.template load_span_as<real_t>(cell, cells, L::Q, f);
           } else {
             for (int i = 0; i < L::Q; ++i) {
-              f[i] = src.load(soa(i, cell));
+              f[i] = src.template load_as<real_t>(soa(i, cell));
             }
           }
           real_t rho_pre = 0;
@@ -246,12 +249,14 @@ void StEngine<L>::step_push() {
             const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
             switch (t.kind) {
               case StreamTarget::Kind::kInterior:
-                dst.store(soa(i, b.idx(t.x, t.y, t.z)), f[i]);
+                dst.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)),
+                                              f[i]);
                 break;
               case StreamTarget::Kind::kBounce:
-                dst.store(soa(L::opposite(i), cell),
-                          f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
-                                     rho_pre * t.cu_wall * inv_cs2);
+                dst.template store_as<real_t>(
+                    soa(L::opposite(i), cell),
+                    f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                               rho_pre * t.cu_wall * inv_cs2);
                 break;
               case StreamTarget::Kind::kDropped:
                 break;
@@ -261,9 +266,13 @@ void StEngine<L>::step_push() {
       });
 }
 
-template class StEngine<D2Q9>;
-template class StEngine<D3Q19>;
-template class StEngine<D3Q27>;
-template class StEngine<D3Q15>;
+template class StEngine<D2Q9, double>;
+template class StEngine<D3Q19, double>;
+template class StEngine<D3Q27, double>;
+template class StEngine<D3Q15, double>;
+template class StEngine<D2Q9, float>;
+template class StEngine<D3Q19, float>;
+template class StEngine<D3Q27, float>;
+template class StEngine<D3Q15, float>;
 
 }  // namespace mlbm

@@ -2,8 +2,8 @@
 //
 // One gpusim thread per lattice node performs a fused stream + collide
 // update between two SoA distribution lattices resident in instrumented
-// global memory. This is the paper's "ST" baseline: 2Q doubles of global
-// traffic per fluid lattice update (Table 2) and no shared memory.
+// global memory. This is the paper's "ST" baseline: 2Q storage elements of
+// global traffic per fluid lattice update (Table 2) and no shared memory.
 //
 // Both orderings of Section 3.1 are implemented:
 //  * kPull (default) — stream-then-collide; gathers are irregular, stores
@@ -14,6 +14,12 @@
 //
 // The collision defaults to BGK as in the paper; the regularized schemes can
 // be selected for ablation studies.
+//
+// `ST` is the storage-precision policy: the element type of the two global
+// lattices. All per-node arithmetic runs in real_t registers; values convert
+// at the load/store boundary (GlobalArray's `_as` accessors), so with
+// ST = real_t the engine is bit-identical to the pre-policy implementation,
+// and with ST = float it moves exactly half the counted bytes.
 #pragma once
 
 #include "core/collision.hpp"
@@ -28,9 +34,11 @@ enum class StreamMode {
   kPush,  ///< collide-then-stream (ablation)
 };
 
-template <class L>
+template <class L, class ST = real_t>
 class StEngine final : public Engine<L> {
  public:
+  using StorageT = ST;
+
   /// `threads_per_block` is the 1D block size of the fused kernel.
   StEngine(Geometry geo, real_t tau,
            CollisionScheme scheme = CollisionScheme::kBGK,
@@ -43,6 +51,9 @@ class StEngine final : public Engine<L> {
   [[nodiscard]] Moments<L> moments_at(int x, int y, int z) const override;
   void impose(int x, int y, int z, const Moments<L>& m) override;
   [[nodiscard]] std::size_t state_bytes() const override;
+  [[nodiscard]] StoragePrecision storage_precision() const override {
+    return precision_of_v<ST>;
+  }
 
   [[nodiscard]] gpusim::Profiler* profiler() override { return &prof_; }
   [[nodiscard]] const gpusim::Profiler* profiler() const override {
@@ -89,7 +100,7 @@ class StEngine final : public Engine<L> {
   int threads_per_block_;
   StreamMode mode_;
   gpusim::Profiler prof_;
-  gpusim::GlobalArray<real_t> f_[2];
+  gpusim::GlobalArray<ST> f_[2];
   int cur_ = 0;
   bool batched_io_ = true;
   /// Cached kernel record (one kernel per engine: mode is fixed), so
@@ -97,9 +108,13 @@ class StEngine final : public Engine<L> {
   gpusim::KernelRecord* krec_ = nullptr;
 };
 
-extern template class StEngine<D2Q9>;
-extern template class StEngine<D3Q19>;
-extern template class StEngine<D3Q27>;
-extern template class StEngine<D3Q15>;
+extern template class StEngine<D2Q9, double>;
+extern template class StEngine<D3Q19, double>;
+extern template class StEngine<D3Q27, double>;
+extern template class StEngine<D3Q15, double>;
+extern template class StEngine<D2Q9, float>;
+extern template class StEngine<D3Q19, float>;
+extern template class StEngine<D3Q27, float>;
+extern template class StEngine<D3Q15, float>;
 
 }  // namespace mlbm

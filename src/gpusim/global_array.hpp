@@ -13,8 +13,20 @@
 // to 1 (a coalesced vector transaction). Engines use them for the per-node
 // moment/population vectors, which dominate the hot path.
 //
+// Storage precision: T is the *storage* type of the allocation; engines
+// compute in `real_t` regardless. The `_as` access forms convert between
+// the two exactly at the load/store boundary — the model of a kernel that
+// widens an FP32 global value into an FP64 register on load and narrows it
+// on store. Counting always uses sizeof(T): an FP32-stored lattice moves
+// (and occupies) exactly half the bytes of an FP64 one, which is the whole
+// point of the storage-precision policy (docs/algorithms.md §7).
+//
 // Host-side (uncounted) access goes through `raw`/`host_data`, mirroring
 // cudaMemcpy-style initialization that the paper would not count either.
+//
+// A default-constructed (or null-counter-allocated) array routes counted
+// accesses to the shared disabled `null_counter()` instead of dereferencing
+// null; debug builds additionally assert the invariant.
 #pragma once
 
 #include <atomic>
@@ -31,20 +43,21 @@ namespace mlbm::gpusim {
 template <typename T>
 class GlobalArray {
  public:
-  GlobalArray() = default;
+  GlobalArray() : counter_(&null_counter()) {}
 
   GlobalArray(std::size_t n, TrafficCounter* counter)
-      : data_(n), counter_(counter) {}
+      : data_(n), counter_(counter != nullptr ? counter : &null_counter()) {}
 
   void allocate(std::size_t n, TrafficCounter* counter) {
     data_.assign(n, T{});
-    counter_ = counter;
+    counter_ = counter != nullptr ? counter : &null_counter();
     read_touched_.clear();
     unique_reads_.store(0, std::memory_order_relaxed);
   }
 
   /// Device load: counted.
   [[nodiscard]] T load(index_t i) const {
+    assert(counter_ != nullptr);
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
     counter_->add_read(sizeof(T));
     touch_read(static_cast<std::size_t>(i));
@@ -53,21 +66,35 @@ class GlobalArray {
 
   /// Device store: counted.
   void store(index_t i, T v) {
+    assert(counter_ != nullptr);
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
     counter_->add_write(sizeof(T));
     data_[static_cast<std::size_t>(i)] = v;
   }
 
-  /// Batched device load of `n` elements at base, base + stride, ...:
-  /// one bounds check, one counter update of n*sizeof(T) bytes in a single
-  /// transaction. Byte-identical to n scalar `load`s.
-  void load_span(index_t base, index_t stride, int n, T* dst) const {
-    assert(n > 0 && base >= 0 &&
-           static_cast<std::size_t>(base + static_cast<index_t>(n - 1) *
-                                               stride) < data_.size());
+  /// Device load converted to the compute type `U` at the register boundary.
+  /// Counted as sizeof(T) bytes — the storage element is what crosses DRAM.
+  template <typename U>
+  [[nodiscard]] U load_as(index_t i) const {
+    return static_cast<U>(load(i));
+  }
+
+  /// Device store of a compute-type value, narrowed to T at the boundary.
+  template <typename U>
+  void store_as(index_t i, U v) {
+    store(i, static_cast<T>(v));
+  }
+
+  /// Batched device load of `n` elements at base, base + stride, ... into a
+  /// compute-type buffer: one bounds check, one counter update of
+  /// n*sizeof(T) bytes in a single transaction. Byte-identical to n scalar
+  /// `load`s; with U == T the conversion is the identity.
+  template <typename U>
+  void load_span_as(index_t base, index_t stride, int n, U* dst) const {
+    check_span(base, stride, n);
     counter_->add_read(static_cast<std::uint64_t>(n) * sizeof(T), 1);
     const T* p = data_.data() + base;
-    for (int k = 0; k < n; ++k, p += stride) dst[k] = *p;
+    for (int k = 0; k < n; ++k, p += stride) dst[k] = static_cast<U>(*p);
     if (!read_touched_.empty()) {
       for (int k = 0; k < n; ++k) {
         touch_read(static_cast<std::size_t>(base +
@@ -76,14 +103,22 @@ class GlobalArray {
     }
   }
 
-  /// Batched device store; counterpart of `load_span`.
-  void store_span(index_t base, index_t stride, int n, const T* src) {
-    assert(n > 0 && base >= 0 &&
-           static_cast<std::size_t>(base + static_cast<index_t>(n - 1) *
-                                               stride) < data_.size());
+  /// Batched device store from a compute-type buffer; counterpart of
+  /// `load_span_as`.
+  template <typename U>
+  void store_span_as(index_t base, index_t stride, int n, const U* src) {
+    check_span(base, stride, n);
     counter_->add_write(static_cast<std::uint64_t>(n) * sizeof(T), 1);
     T* p = data_.data() + base;
-    for (int k = 0; k < n; ++k, p += stride) *p = src[k];
+    for (int k = 0; k < n; ++k, p += stride) *p = static_cast<T>(src[k]);
+  }
+
+  /// Storage-typed batched load/store (the pre-policy interface).
+  void load_span(index_t base, index_t stride, int n, T* dst) const {
+    load_span_as<T>(base, stride, n, dst);
+  }
+  void store_span(index_t base, index_t stride, int n, const T* src) {
+    store_span_as<T>(base, stride, n, src);
   }
 
   /// Host access: NOT counted (initialization, result inspection).
@@ -140,6 +175,26 @@ class GlobalArray {
   }
 
  private:
+  /// Span bounds check, valid for either stride sign: both endpoints of the
+  /// arithmetic progression must lie inside the allocation (a negative
+  /// stride walks downward from base, so `base + (n-1)*stride` is the *low*
+  /// end there — checking only the last element against size() would miss
+  /// the underflow).
+  void check_span(index_t base, index_t stride, int n) const {
+#ifndef NDEBUG
+    assert(counter_ != nullptr);
+    assert(n > 0);
+    const index_t last = base + static_cast<index_t>(n - 1) * stride;
+    const index_t lo = base < last ? base : last;
+    const index_t hi = base < last ? last : base;
+    assert(lo >= 0 && static_cast<std::size_t>(hi) < data_.size());
+#else
+    (void)base;
+    (void)stride;
+    (void)n;
+#endif
+  }
+
   /// First-touch accounting for the ideal-cache model. Only the first toucher
   /// of an element pays the atomic increment; steady-state re-reads see the
   /// byte already set.

@@ -57,6 +57,8 @@ struct TrafficSnapshot {
 class TrafficCounter {
  public:
   TrafficCounter() : shards_(shard_count()) {}
+  explicit TrafficCounter(bool enabled)
+      : shards_(shard_count()), enabled_(enabled) {}
 
   /// Counts `bytes` of read traffic in `transactions` device transactions
   /// (1 for a scalar load; a batched span is one wide transaction).
@@ -135,5 +137,15 @@ class TrafficCounter {
   std::vector<Shard> shards_;
   bool enabled_ = true;
 };
+
+/// Shared always-disabled counter. A GlobalArray that was never attached to
+/// a profiler (default construction, or allocate with a null counter) routes
+/// its counted accesses here instead of dereferencing null: the access is
+/// still legal, it just counts nothing. Engines always attach a real
+/// counter; this is a guard rail for utility/test code.
+inline TrafficCounter& null_counter() {
+  static TrafficCounter c(/*enabled=*/false);
+  return c;
+}
 
 }  // namespace mlbm::gpusim

@@ -3,12 +3,46 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 namespace mlbm {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x4d4c424d43503031ULL;  // "MLBMCP01"
+
+// Format v1 ("MLBMCP01"): header {D, Q, nx, ny, nz}, values always real_t.
+// Format v2 ("MLBMCP02"): header {D, Q, nx, ny, nz, precision}, values in
+// the declared storage precision (0 = fp64, 1 = fp32). A v2/fp64 file is
+// byte-compatible with v1 apart from the header; v1 files remain loadable.
+constexpr std::uint64_t kMagicV1 = 0x4d4c424d43503031ULL;  // "MLBMCP01"
+constexpr std::uint64_t kMagicV2 = 0x4d4c424d43503032ULL;  // "MLBMCP02"
+
+/// Values per node: rho + u + Pi.
+template <class L>
+constexpr int node_values() {
+  return 1 + L::D + Moments<L>::NP;
 }
+
+template <class L>
+void pack_node(const Moments<L>& m, real_t* v) {
+  v[0] = m.rho;
+  for (int a = 0; a < L::D; ++a) v[1 + a] = m.u[static_cast<std::size_t>(a)];
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    v[1 + L::D + p] = m.pi[static_cast<std::size_t>(p)];
+  }
+}
+
+template <class L>
+Moments<L> unpack_node(const real_t* v) {
+  Moments<L> m;
+  m.rho = v[0];
+  for (int a = 0; a < L::D; ++a) m.u[static_cast<std::size_t>(a)] = v[1 + a];
+  for (int p = 0; p < Moments<L>::NP; ++p) {
+    m.pi[static_cast<std::size_t>(p)] = v[1 + L::D + p];
+  }
+  return m;
+}
+
+}  // namespace
 
 template <class L>
 void save_checkpoint(const Engine<L>& eng, const std::string& path) {
@@ -16,19 +50,30 @@ void save_checkpoint(const Engine<L>& eng, const std::string& path) {
   if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
 
   const Box& b = eng.geometry().box;
-  const std::int32_t header[5] = {L::D, L::Q, b.nx, b.ny, b.nz};
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const StoragePrecision prec = eng.storage_precision();
+  const std::int32_t header[6] = {
+      L::D, L::Q, b.nx, b.ny, b.nz,
+      prec == StoragePrecision::kFP32 ? std::int32_t{1} : std::int32_t{0}};
+  out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
   out.write(reinterpret_cast<const char*>(header), sizeof(header));
 
+  // Values are written in the engine's *storage* precision: what the device
+  // held is what lands on disk, so restoring an FP32 run loses nothing
+  // beyond what storage already rounded — and an MR fp32 round-trip is
+  // bit-exact (moments are the stored representation).
+  constexpr int NV = node_values<L>();
+  real_t v[NV];
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
-        const Moments<L> m = eng.moments_at(x, y, z);
-        out.write(reinterpret_cast<const char*>(&m.rho), sizeof(real_t));
-        out.write(reinterpret_cast<const char*>(m.u.data()),
-                  sizeof(real_t) * L::D);
-        out.write(reinterpret_cast<const char*>(m.pi.data()),
-                  sizeof(real_t) * Moments<L>::NP);
+        pack_node<L>(eng.moments_at(x, y, z), v);
+        if (prec == StoragePrecision::kFP32) {
+          float vf[NV];
+          for (int k = 0; k < NV; ++k) vf[k] = static_cast<float>(v[k]);
+          out.write(reinterpret_cast<const char*>(vf), sizeof(vf));
+        } else {
+          out.write(reinterpret_cast<const char*>(v), sizeof(v));
+        }
       }
     }
   }
@@ -41,25 +86,46 @@ void load_checkpoint(Engine<L>& eng, const std::string& path) {
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
 
   std::uint64_t magic = 0;
-  std::int32_t header[5] = {};
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  std::int32_t header[6] = {};
+  StoragePrecision file_prec = StoragePrecision::kFP64;
+  if (magic == kMagicV1) {
+    in.read(reinterpret_cast<char*>(header), sizeof(std::int32_t) * 5);
+  } else if (magic == kMagicV2) {
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (header[5] == 1) {
+      file_prec = StoragePrecision::kFP32;
+    } else if (header[5] != 0) {
+      throw std::runtime_error("load_checkpoint: unknown precision field in " +
+                               path);
+    }
+  } else {
+    throw std::runtime_error("load_checkpoint: not a checkpoint file: " +
+                             path);
+  }
   const Box& b = eng.geometry().box;
-  if (magic != kMagic || header[0] != L::D || header[2] != b.nx ||
-      header[3] != b.ny || header[4] != b.nz) {
+  if (header[0] != L::D || header[2] != b.nx || header[3] != b.ny ||
+      header[4] != b.nz) {
     throw std::runtime_error("load_checkpoint: incompatible checkpoint " +
                              path);
   }
 
+  // Values convert to the compute type on read; the target engine may use
+  // either storage precision (portability across patterns extends to
+  // precision: an fp32 file restores into an fp64 engine and vice versa).
+  constexpr int NV = node_values<L>();
+  real_t v[NV];
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
-        Moments<L> m;
-        in.read(reinterpret_cast<char*>(&m.rho), sizeof(real_t));
-        in.read(reinterpret_cast<char*>(m.u.data()), sizeof(real_t) * L::D);
-        in.read(reinterpret_cast<char*>(m.pi.data()),
-                sizeof(real_t) * Moments<L>::NP);
-        eng.impose(x, y, z, m);
+        if (file_prec == StoragePrecision::kFP32) {
+          float vf[NV];
+          in.read(reinterpret_cast<char*>(vf), sizeof(vf));
+          for (int k = 0; k < NV; ++k) v[k] = static_cast<real_t>(vf[k]);
+        } else {
+          in.read(reinterpret_cast<char*>(v), sizeof(v));
+        }
+        eng.impose(x, y, z, unpack_node<L>(v));
       }
     }
   }

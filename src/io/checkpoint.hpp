@@ -2,6 +2,11 @@
 // full state through the moment interface, checkpoints are portable across
 // propagation patterns: a run saved from an ST engine restores into an MR
 // engine and vice versa.
+//
+// Format v2 ("MLBMCP02") records the engine's declared storage precision and
+// writes node values in that precision — an FP32 run's checkpoint is half
+// the size and loses nothing beyond what device storage already rounded.
+// v1 files ("MLBMCP01", always fp64 values) remain loadable.
 #pragma once
 
 #include <string>

@@ -85,6 +85,13 @@ class MultiDomainEngine final : public Engine<L> {
   /// Writes to the owning slab and to any neighbour ghost copy of the plane.
   void impose(int gx, int y, int z, const Moments<L>& m) override;
   [[nodiscard]] std::size_t state_bytes() const override;
+  /// Storage precision of the slab engines (the factory builds them
+  /// uniformly; mixed-precision decompositions report the first slab).
+  /// state_bytes() needs no adjustment: it sums the slab engines, which
+  /// already size themselves by their own storage type.
+  [[nodiscard]] StoragePrecision storage_precision() const override {
+    return engines_.front()->storage_precision();
+  }
 
   [[nodiscard]] int devices() const { return static_cast<int>(slabs_.size()); }
   [[nodiscard]] const SlabInfo& slab(int d) const {
@@ -98,7 +105,10 @@ class MultiDomainEngine final : public Engine<L> {
   }
 
   /// Moment values exchanged across all interfaces in one step (both
-  /// directions); bytes = this x sizeof(real_t).
+  /// directions). The exchange crosses the link in the *compute* precision
+  /// (values pass through Moments<L>, i.e. real_t), so modelled link bytes
+  /// are this x sizeof(real_t) regardless of the slabs' storage precision —
+  /// only device-resident state shrinks under FP32 storage.
   [[nodiscard]] std::uint64_t exchanged_values_per_step() const;
   /// Total values exchanged since construction.
   [[nodiscard]] std::uint64_t exchanged_values_total() const {

@@ -33,6 +33,10 @@ struct KernelCharacteristics {
   /// (measured). Served by L2 on real hardware; folded into the pipeline
   /// efficiency calibration, reported for the analysis tables.
   double halo_read_fraction = 0;
+  /// Width of one stored global value (8 = FP64 storage, 4 = FP32 storage);
+  /// scales the B/FLUP the roofline divides the bandwidth by. Compute stays
+  /// FP64 either way, so flops_per_flup is unaffected.
+  double storage_elem_bytes = 8.0;
 };
 
 struct Efficiency {

@@ -12,7 +12,7 @@ PerfEstimate estimate_saturated(const gpusim::DeviceSpec& dev, Pattern p,
                                 const LatticeInfo& lat,
                                 const KernelCharacteristics& kc) {
   PerfEstimate e;
-  const double bpf = bytes_per_flup(p, lat);
+  const double bpf = bytes_per_flup(p, lat, kc.storage_elem_bytes);
   e.roofline_mflups = roofline_mflups(dev, bpf);
 
   const Efficiency eff = bandwidth_efficiency(dev, p, lat, kc);

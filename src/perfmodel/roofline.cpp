@@ -2,9 +2,9 @@
 
 namespace mlbm::perf {
 
-double bytes_per_flup(Pattern p, const LatticeInfo& lat) {
+double bytes_per_flup(Pattern p, const LatticeInfo& lat, double elem_bytes) {
   const double dof = (p == Pattern::kST) ? lat.q : lat.m;
-  return 2.0 * dof * 8.0;
+  return 2.0 * dof * elem_bytes;
 }
 
 double roofline_mflups(const gpusim::DeviceSpec& dev, double bpf) {
@@ -12,15 +12,15 @@ double roofline_mflups(const gpusim::DeviceSpec& dev, double bpf) {
 }
 
 double state_bytes(Pattern p, const LatticeInfo& lat, long long cells,
-                   bool single_buffer_mr) {
+                   bool single_buffer_mr, double elem_bytes) {
   if (p == Pattern::kST) {
-    return 2.0 * lat.q * 8.0 * static_cast<double>(cells);
+    return 2.0 * lat.q * elem_bytes * static_cast<double>(cells);
   }
   // MR: ping-pong keeps two moment lattices (this matches the footprints the
   // paper reports); circular shift keeps one plus two extra layers, which we
   // approximate as one here (the two layers are O(surface)).
   const double buffers = single_buffer_mr ? 1.0 : 2.0;
-  return buffers * lat.m * 8.0 * static_cast<double>(cells);
+  return buffers * lat.m * elem_bytes * static_cast<double>(cells);
 }
 
 }  // namespace mlbm::perf

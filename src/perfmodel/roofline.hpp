@@ -2,26 +2,41 @@
 //
 // LBM propagation patterns are bandwidth bound, so the roofline reduces to
 // Eq. 15:  MFLUPS_max = B_BW / (1e6 * B/F), with the bytes per fluid lattice
-// update B/F of Table 2: 2 Q doubles for the distribution representation
-// (read Q + write Q) and 2 M doubles for the moment representation
+// update B/F of Table 2: 2 Q storage elements for the distribution
+// representation (read Q + write Q) and 2 M for the moment representation
 // (read M + write M; halo re-reads are served by L2, see DESIGN.md).
+//
+// The element width is a parameter (`elem_bytes`): the paper's tables use
+// FP64 storage (8 bytes, the default), and the storage-precision policy
+// halves both traffic and footprint with FP32 storage (4 bytes). Compute
+// precision does not appear in the byte model at all — only what crosses
+// DRAM counts.
 #pragma once
 
 #include "gpusim/device.hpp"
 #include "perfmodel/pattern.hpp"
+#include "util/precision.hpp"
 
 namespace mlbm::perf {
 
-/// Bytes of DRAM traffic per fluid lattice update (Table 2).
-double bytes_per_flup(Pattern p, const LatticeInfo& lat);
+/// Bytes of DRAM traffic per fluid lattice update (Table 2). `elem_bytes` is
+/// the width of one stored value (8 = FP64 storage, 4 = FP32 storage).
+double bytes_per_flup(Pattern p, const LatticeInfo& lat,
+                      double elem_bytes = 8.0);
 
 /// Eq. 15: ideal MFLUPS at full peak bandwidth.
 double roofline_mflups(const gpusim::DeviceSpec& dev, double bytes_per_flup);
 
 /// Simulation-state footprint in bytes for `cells` fluid nodes (the paper's
 /// 15M-node memory comparison). `single_buffer_mr` selects the
-/// circular-shift storage policy for the MR patterns.
+/// circular-shift storage policy for the MR patterns; `elem_bytes` the
+/// storage element width.
 double state_bytes(Pattern p, const LatticeInfo& lat, long long cells,
-                   bool single_buffer_mr = false);
+                   bool single_buffer_mr = false, double elem_bytes = 8.0);
+
+/// Storage element width of a precision, as a double for the byte model.
+inline double elem_bytes_of(StoragePrecision prec) {
+  return static_cast<double>(bytes_of(prec));
+}
 
 }  // namespace mlbm::perf

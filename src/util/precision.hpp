@@ -1,0 +1,58 @@
+// Storage-precision policy for device-resident simulation state.
+//
+// The paper's performance argument is bandwidth: each pattern moves
+// 2 x dof x sizeof(element) bytes per fluid lattice update. All *compute*
+// in this repository stays `real_t` (FP64) — collision, regularization and
+// moment math are bit-identical regardless of policy — but the smooth
+// hydrodynamic fields the MR pattern stores ({rho, rho u, Pi}) tolerate
+// FP32 *storage* well (cf. the stability-guided quantization line of work
+// in PAPERS.md), halving both footprint and counted traffic. The policy
+// selects the element type of the GlobalArrays an engine owns; conversion
+// happens once per access, at the register boundary (see
+// docs/algorithms.md, "Storage precision and the byte model").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace mlbm {
+
+enum class StoragePrecision {
+  kFP64,  ///< store double (the paper's configuration; the default)
+  kFP32,  ///< store float, compute in double at the register boundary
+};
+
+inline const char* to_string(StoragePrecision p) {
+  return p == StoragePrecision::kFP32 ? "fp32" : "fp64";
+}
+
+/// Bytes per stored element under the policy — the `sizeof(StorageT)` that
+/// enters every counted byte, footprint and bytes-per-FLUP figure.
+inline constexpr std::size_t bytes_of(StoragePrecision p) {
+  return p == StoragePrecision::kFP32 ? 4 : 8;
+}
+
+/// Compile-time storage type -> runtime policy tag.
+template <typename S>
+struct PrecisionOf;
+template <>
+struct PrecisionOf<double> {
+  static constexpr StoragePrecision value = StoragePrecision::kFP64;
+};
+template <>
+struct PrecisionOf<float> {
+  static constexpr StoragePrecision value = StoragePrecision::kFP32;
+};
+template <typename S>
+inline constexpr StoragePrecision precision_of_v = PrecisionOf<S>::value;
+
+/// Parses a `--precision {fp64,fp32}` CLI value; nullopt on anything else.
+inline std::optional<StoragePrecision> parse_precision(std::string_view s) {
+  if (s == "fp64" || s == "double") return StoragePrecision::kFP64;
+  if (s == "fp32" || s == "float" || s == "single")
+    return StoragePrecision::kFP32;
+  return std::nullopt;
+}
+
+}  // namespace mlbm
