@@ -1,5 +1,7 @@
 #include "bc/boundary.hpp"
 
+#include "util/error.hpp"
+
 #include <stdexcept>
 
 namespace mlbm {
@@ -36,10 +38,10 @@ InletOutletBC<L>::InletOutletBC(Box box,
     : box_(box), inlet_u_(std::move(inlet_u)), outlet_rho_(outlet_rho) {
   if (inlet_u_.size() != static_cast<std::size_t>(box_.ny) *
                              static_cast<std::size_t>(box_.nz)) {
-    throw std::invalid_argument("InletOutletBC: inlet profile size mismatch");
+    throw ConfigError("InletOutletBC: inlet profile size mismatch");
   }
   if (box_.nx < 4) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "InletOutletBC: nx must be >= 4 for one-sided differences");
   }
 }

@@ -1,5 +1,7 @@
 #include "engines/aa_engine.hpp"
 
+#include "util/error.hpp"
+
 #include <stdexcept>
 #include <string>
 
@@ -22,7 +24,7 @@ AaEngine<L, ST>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
         // Open faces need a post-step state rebuild, but mid-cycle the AA
         // state is collided-not-yet-streamed; inlet/outlet handling would
         // have to live inside the kernels. Out of scope for this baseline.
-        throw std::invalid_argument(
+        throw ConfigError(
             "AaEngine: open (inlet/outlet) faces are not supported; use "
             "periodic or wall boundaries");
       }

@@ -71,6 +71,39 @@ class AaEngine final : public Engine<L> {
     return f_.unique_read_bytes();
   }
 
+  /// Soft-error surface: the single in-place lattice.
+  [[nodiscard]] std::uint64_t fault_sites() const override {
+    return f_.size();
+  }
+  void inject_storage_bitflip(std::uint64_t site, unsigned bit) override {
+    f_.flip_bit(static_cast<std::size_t>(site % f_.size()), bit);
+  }
+
+  /// Raw snapshot surface: the single in-place lattice. The tag carries the
+  /// storage parity — a blob captured in the swapped (post-even-step)
+  /// representation only restores into an engine re-timed to that phase,
+  /// which restore_state guarantees by calling set_time() first.
+  [[nodiscard]] std::string raw_state_tag() const override {
+    const Box& b = this->geo_.box;
+    return std::string(pattern_name()) +
+           (swapped_phase() ? "|swapped|" : "|plain|") + std::to_string(b.nx) +
+           "x" + std::to_string(b.ny) + "x" + std::to_string(b.nz);
+  }
+  void serialize_raw_state(std::vector<real_t>& out) const override {
+    out.reserve(out.size() + f_.size());
+    for (std::size_t i = 0; i < f_.size(); ++i) {
+      out.push_back(static_cast<real_t>(f_.raw(static_cast<index_t>(i))));
+    }
+  }
+  void restore_raw_state(const std::vector<real_t>& in) override {
+    if (in.size() != f_.size()) {
+      throw ConfigError("AaEngine: raw snapshot does not match lattice size");
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      f_.raw(static_cast<index_t>(i)) = static_cast<ST>(in[i]);
+    }
+  }
+
  protected:
   void do_step() override;
 

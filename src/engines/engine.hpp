@@ -20,11 +20,13 @@
 #pragma once
 
 #include <functional>
-#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/box.hpp"
 #include "core/moments.hpp"
 #include "gpusim/profiler.hpp"
+#include "util/error.hpp"
 #include "util/precision.hpp"
 #include "util/types.hpp"
 
@@ -39,7 +41,7 @@ class Engine {
 
   Engine(Geometry geo, real_t tau) : geo_(std::move(geo)), tau_(tau) {
     if (tau <= real_t(0.5)) {
-      throw std::invalid_argument("Engine: tau must exceed 1/2 for stability");
+      throw ConfigError("Engine: tau must exceed 1/2 for stability");
     }
   }
   virtual ~Engine() = default;
@@ -105,6 +107,42 @@ class Engine {
   virtual void set_unique_read_tracking(bool /*on*/) {}
   virtual void clear_unique_reads() {}
   [[nodiscard]] virtual std::uint64_t unique_read_bytes() const { return 0; }
+
+  /// Fault-injection surface (resilience subsystem): the number of storage
+  /// elements addressable by an ECC-style soft-error bit flip, across every
+  /// device-resident allocation the engine owns. 0 = unsupported.
+  [[nodiscard]] virtual std::uint64_t fault_sites() const { return 0; }
+  /// Flips one bit of storage element `site` (interpreted modulo
+  /// fault_sites(); `bit` modulo the element width). No-op when the engine
+  /// reports no fault sites. Deliberately uncounted and un-synchronized with
+  /// stepping: the injector calls it between steps, like a soft error
+  /// landing between kernel launches.
+  virtual void inject_storage_bitflip(std::uint64_t /*site*/,
+                                      unsigned /*bit*/) {}
+
+  /// Exact raw-state snapshot surface (resilience rollback). The moment
+  /// interface is portable but *projecting* on distribution engines: impose()
+  /// rebuilds populations from {rho, u, Pi} and discards higher-order
+  /// non-equilibrium content, so a moment round trip is only equal to
+  /// ~1e-16. Engines that can serialize their device-resident state
+  /// losslessly return a non-empty layout tag here (pattern, extents, and
+  /// storage parity where addressing depends on it); a snapshot restores
+  /// through the raw path only when source and target tags match, and falls
+  /// back to the moment interface otherwise (cross-engine restores, e.g. the
+  /// degraded-precision retry path). An empty tag means moment-only.
+  [[nodiscard]] virtual std::string raw_state_tag() const { return {}; }
+  /// Appends the live state to `out` in compute precision. Exact for both
+  /// storage policies: float -> double widening is lossless, and narrowing
+  /// back on restore recovers the identical float.
+  virtual void serialize_raw_state(std::vector<real_t>& /*out*/) const {}
+  /// Restores state previously serialized under an identical raw_state_tag.
+  virtual void restore_raw_state(const std::vector<real_t>& /*in*/) {}
+  /// Restores the step counter to `t` (rollback). Buffer parity (AA's
+  /// swapped phase) and circular-shift layer addressing follow the step
+  /// count, so a restored state must be re-timed to the step it was captured
+  /// at *before* any state is written back. Virtual so decomposed engines
+  /// forward to their slab engines.
+  virtual void set_time(int t) { t_ = t; }
 
  protected:
   virtual void do_step() = 0;

@@ -1,5 +1,7 @@
 #include "engines/mr_engine.hpp"
 
+#include "util/error.hpp"
+
 #include <cassert>
 #include <span>
 #include <stdexcept>
@@ -25,11 +27,11 @@ MrEngine<L, ST>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
                       MrConfig config)
     : Engine<L>(std::move(geo), tau), scheme_(scheme), config_(config) {
   if (config_.tile_x < 1 || config_.tile_y < 1 || config_.tile_s < 1) {
-    throw std::invalid_argument("MrEngine: tile extents must be positive");
+    throw ConfigError("MrEngine: tile extents must be positive");
   }
   const Box& b = this->geo_.box;
   if constexpr (L::D == 2) {
-    if (b.nz != 1) throw std::invalid_argument("MrEngine<2D>: nz must be 1");
+    if (b.nz != 1) throw ConfigError("MrEngine<2D>: nz must be 1");
   }
   const auto ncx0 = static_cast<std::size_t>(b.nx);
   const auto ncx1 = static_cast<std::size_t>(L::D == 2 ? 1 : b.ny);
@@ -187,7 +189,7 @@ void MrEngine<L, ST>::do_step() {
   const bool cx0_periodic = geo.bc.periodic(0);
   const bool cx1_periodic = (L::D == 3) && geo.bc.periodic(1);
   if (sweep_periodic && S < ts + 3) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "MrEngine: periodic sweep axis requires extent >= tile_s + 3");
   }
 

@@ -106,6 +106,21 @@ class MrEngine final : public Engine<L> {
            (mom_[1].allocated() ? mom_[1].unique_read_bytes() : 0);
   }
 
+  /// Soft-error surface: the global moment lattice(s) — the only
+  /// device-resident state of the MR pattern.
+  [[nodiscard]] std::uint64_t fault_sites() const override {
+    return mom_[0].size() + (mom_[1].allocated() ? mom_[1].size() : 0);
+  }
+  void inject_storage_bitflip(std::uint64_t site, unsigned bit) override {
+    const std::uint64_t n0 = mom_[0].size();
+    const std::uint64_t s = site % fault_sites();
+    if (s < n0) {
+      mom_[0].flip_bit(static_cast<std::size_t>(s), bit);
+    } else {
+      mom_[1].flip_bit(static_cast<std::size_t>(s - n0), bit);
+    }
+  }
+
   /// Validation hook: scalar per-component moment I/O instead of batched
   /// spans. Bytes identical; transactions differ by the batch width M.
   void set_batched_io(bool on) { batched_io_ = on; }

@@ -1,5 +1,7 @@
 #include "engines/reference_engine.hpp"
 
+#include <cstring>
+
 #include "core/regularization.hpp"
 #include "engines/streaming.hpp"
 
@@ -70,6 +72,19 @@ std::size_t ReferenceEngine<L>::state_bytes() const {
 template <class L>
 real_t ReferenceEngine<L>::f_at(int i, int x, int y, int z) const {
   return f_[cur_][static_cast<std::size_t>(soa(i, this->geo_.box.idx(x, y, z)))];
+}
+
+template <class L>
+void ReferenceEngine<L>::inject_storage_bitflip(std::uint64_t site,
+                                                unsigned bit) {
+  const std::uint64_t n0 = f_[0].size();
+  const std::uint64_t s = site % fault_sites();
+  real_t& v = s < n0 ? f_[0][static_cast<std::size_t>(s)]
+                     : f_[1][static_cast<std::size_t>(s - n0)];
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= std::uint64_t{1} << (bit % 64u);
+  std::memcpy(&v, &u, sizeof(u));
 }
 
 template <class L>

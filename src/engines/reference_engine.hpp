@@ -38,6 +38,32 @@ class ReferenceEngine final : public Engine<L> {
   /// Direct access to the stored (pre-collision) population of a node.
   [[nodiscard]] real_t f_at(int i, int x, int y, int z) const;
 
+  /// Soft-error surface: both host population lattices, so CPU-side tests of
+  /// the sentinel/rollback machinery need no gpusim engine.
+  [[nodiscard]] std::uint64_t fault_sites() const override {
+    return f_[0].size() + f_[1].size();
+  }
+  void inject_storage_bitflip(std::uint64_t site, unsigned bit) override;
+
+  /// Raw snapshot surface: the current (pre-collision) host lattice; the
+  /// other one is scratch for the next scatter.
+  [[nodiscard]] std::string raw_state_tag() const override {
+    const Box& b = this->geo_.box;
+    return std::string(pattern_name()) + "|" + std::to_string(b.nx) + "x" +
+           std::to_string(b.ny) + "x" + std::to_string(b.nz);
+  }
+  void serialize_raw_state(std::vector<real_t>& out) const override {
+    const std::vector<real_t>& f = f_[cur_];
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  void restore_raw_state(const std::vector<real_t>& in) override {
+    if (in.size() != f_[cur_].size()) {
+      throw ConfigError(
+          "ReferenceEngine: raw snapshot does not match lattice size");
+    }
+    f_[cur_] = in;
+  }
+
  protected:
   void do_step() override;
 

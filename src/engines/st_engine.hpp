@@ -83,6 +83,45 @@ class StEngine final : public Engine<L> {
     return f_[0].unique_read_bytes() + f_[1].unique_read_bytes();
   }
 
+  /// Soft-error surface: both distribution lattices (a flip in the lattice
+  /// about to be overwritten is harmless, exactly as on hardware).
+  [[nodiscard]] std::uint64_t fault_sites() const override {
+    return f_[0].size() + f_[1].size();
+  }
+  void inject_storage_bitflip(std::uint64_t site, unsigned bit) override {
+    const std::uint64_t n0 = f_[0].size();
+    const std::uint64_t s = site % fault_sites();
+    if (s < n0) {
+      f_[0].flip_bit(static_cast<std::size_t>(s), bit);
+    } else {
+      f_[1].flip_bit(static_cast<std::size_t>(s - n0), bit);
+    }
+  }
+
+  /// Raw snapshot surface: the current lattice only — the other one is pure
+  /// scratch for the next fused kernel, so serializing the write side would
+  /// snapshot garbage and restoring it would be wasted work.
+  [[nodiscard]] std::string raw_state_tag() const override {
+    const Box& b = this->geo_.box;
+    return std::string(pattern_name()) + "|" + std::to_string(b.nx) + "x" +
+           std::to_string(b.ny) + "x" + std::to_string(b.nz);
+  }
+  void serialize_raw_state(std::vector<real_t>& out) const override {
+    const auto& f = f_[cur_];
+    out.reserve(out.size() + f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      out.push_back(static_cast<real_t>(f.raw(static_cast<index_t>(i))));
+    }
+  }
+  void restore_raw_state(const std::vector<real_t>& in) override {
+    if (in.size() != f_[cur_].size()) {
+      throw ConfigError("StEngine: raw snapshot does not match lattice size");
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      f_[cur_].raw(static_cast<index_t>(i)) = static_cast<ST>(in[i]);
+    }
+  }
+
  protected:
   void do_step() override;
 

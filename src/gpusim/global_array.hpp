@@ -131,6 +131,17 @@ class GlobalArray {
     return data_[static_cast<std::size_t>(i)];
   }
 
+  /// Flips one bit of the stored element at `i` — the model of an ECC-scale
+  /// soft error landing in this allocation while it sits in DRAM. Uncounted
+  /// (a cosmic ray is not a kernel access); `bit` is taken modulo the
+  /// element width, so any 64-bit draw addresses a valid bit of any T.
+  void flip_bit(std::size_t i, unsigned bit) {
+    assert(i < data_.size());
+    auto* bytes = reinterpret_cast<unsigned char*>(&data_[i]);
+    const unsigned b = bit % (sizeof(T) * 8u);
+    bytes[b / 8u] ^= static_cast<unsigned char>(1u << (b % 8u));
+  }
+
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] std::size_t size_bytes() const {
     return data_.size() * sizeof(T);

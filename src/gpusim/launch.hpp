@@ -68,6 +68,10 @@ void parallel_for_blocks(long long nblocks, Fn&& fn) {
 template <class Body>
 void launch(Profiler& prof, KernelRecord& rec, Dim3 grid, Dim3 block,
             Body&& body) {
+  // Fault-injection point: a hook may throw TransientLaunchError here, i.e.
+  // before any block runs or any counter moves — the failed launch left the
+  // device untouched and the caller may retry.
+  if (LaunchFaultHook* hook = prof.launch_fault_hook()) hook->on_launch(rec);
   const TrafficSnapshot before = prof.counter().snapshot();
   const long long nblocks = grid.count();
 
@@ -117,6 +121,9 @@ void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
                          Dim3 block, int levels, MakeState&& make_state,
                          LevelFn&& level_fn) {
   using State = decltype(make_state(std::declval<BlockCtx&>()));
+  // Same fault-injection point as `launch`: throws happen before any
+  // per-block state exists.
+  if (LaunchFaultHook* hook = prof.launch_fault_hook()) hook->on_launch(rec);
   const TrafficSnapshot before = prof.counter().snapshot();
   const long long nblocks = grid.count();
 

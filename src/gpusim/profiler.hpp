@@ -26,6 +26,25 @@ struct KernelRecord {
   TrafficSnapshot traffic;
 };
 
+/// Consulted by `launch` at the entry of every kernel launch, before any
+/// block runs or any counter moves. Throwing (TransientLaunchError) models a
+/// failed launch return code: the kernel never executed, state and traffic
+/// are untouched, the caller may retry. The resilience layer's FaultInjector
+/// is the production implementation.
+class LaunchFaultHook {
+ public:
+  virtual ~LaunchFaultHook() = default;
+  virtual void on_launch(const KernelRecord& rec) = 0;
+};
+
+/// Full profiler state — counter totals plus every kernel record — captured
+/// at a checkpoint and restored on rollback, so a replayed window leaves the
+/// profiler bit-identical to a run that never faulted.
+struct ProfilerState {
+  TrafficSnapshot counter;
+  std::map<std::string, KernelRecord> records;
+};
+
 class Profiler {
  public:
   TrafficCounter& counter() { return counter_; }
@@ -56,9 +75,42 @@ class Profiler {
     records_.clear();  // invalidates references cached via record()
   }
 
+  /// Captures counter + per-kernel records for a checkpoint.
+  [[nodiscard]] ProfilerState state() const {
+    return {counter_.snapshot(), records_};
+  }
+
+  /// Restores a captured state WITHOUT invalidating references cached via
+  /// record(): existing map nodes are overwritten in place (records created
+  /// after the capture reset to zero), missing ones are re-inserted —
+  /// std::map never moves surviving nodes on insert.
+  void restore(const ProfilerState& s) {
+    counter_.restore(s.counter);
+    for (auto& [name, rec] : records_) {
+      const auto it = s.records.find(name);
+      if (it != s.records.end()) {
+        rec = it->second;
+      } else {
+        rec = KernelRecord{};
+        rec.name = name;
+      }
+    }
+    for (const auto& [name, rec] : s.records) {
+      records_.emplace(name, rec);  // no-op for names already present
+    }
+  }
+
+  /// Installs (or clears, with nullptr) the launch fault hook consulted at
+  /// the start of every launch through this profiler.
+  void set_launch_fault_hook(LaunchFaultHook* hook) { fault_hook_ = hook; }
+  [[nodiscard]] LaunchFaultHook* launch_fault_hook() const {
+    return fault_hook_;
+  }
+
  private:
   TrafficCounter counter_;
   std::map<std::string, KernelRecord> records_;
+  LaunchFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace mlbm::gpusim

@@ -102,6 +102,19 @@ class TrafficCounter {
     }
   }
 
+  /// Restores the counter to a previously taken snapshot (checkpoint
+  /// rollback): all shards reset, the snapshot's totals land in shard 0, so
+  /// a replayed window re-counts exactly what the aborted window counted.
+  /// Call between launches, like snapshot().
+  void restore(const TrafficSnapshot& s) {
+    reset();
+    Shard& sh = shards_[0];
+    sh.bytes_read.store(s.bytes_read, std::memory_order_relaxed);
+    sh.bytes_written.store(s.bytes_written, std::memory_order_relaxed);
+    sh.reads.store(s.reads, std::memory_order_relaxed);
+    sh.writes.store(s.writes, std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(64) Shard {
     std::atomic<std::uint64_t> bytes_read{0};

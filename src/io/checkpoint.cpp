@@ -1,9 +1,12 @@
 #include "io/checkpoint.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace mlbm {
 
@@ -47,7 +50,10 @@ Moments<L> unpack_node(const real_t* v) {
 template <class L>
 void save_checkpoint(const Engine<L>& eng, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  if (!out) {
+    throw CheckpointError(CheckpointError::Kind::kOpen,
+                          "save_checkpoint: cannot open " + path);
+  }
 
   const Box& b = eng.geometry().box;
   const StoragePrecision prec = eng.storage_precision();
@@ -77,59 +83,116 @@ void save_checkpoint(const Engine<L>& eng, const std::string& path) {
       }
     }
   }
-  if (!out) throw std::runtime_error("save_checkpoint: write failed: " + path);
+  if (!out) {
+    throw CheckpointError(CheckpointError::Kind::kWrite,
+                          "save_checkpoint: write failed: " + path);
+  }
 }
 
 template <class L>
 void load_checkpoint(Engine<L>& eng, const std::string& path) {
+  // Hardened load: the file is fully read and validated — magic, header
+  // completeness, extents, precision tag, exact payload size — BEFORE the
+  // first impose(), so a malformed file raises a typed CheckpointError and
+  // leaves the target engine bit-for-bit untouched (no half-restored state).
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  if (!in) {
+    throw CheckpointError(CheckpointError::Kind::kOpen,
+                          "load_checkpoint: cannot open " + path);
+  }
 
   std::uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic))) {
+    throw CheckpointError(
+        CheckpointError::Kind::kTruncated,
+        "load_checkpoint: file ends inside the magic: " + path);
+  }
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw CheckpointError(CheckpointError::Kind::kBadMagic,
+                          "load_checkpoint: not a checkpoint file: " + path);
+  }
+
   std::int32_t header[6] = {};
+  const std::streamsize header_bytes = static_cast<std::streamsize>(
+      sizeof(std::int32_t) * (magic == kMagicV1 ? 5 : 6));
+  in.read(reinterpret_cast<char*>(header), header_bytes);
+  if (in.gcount() != header_bytes) {
+    throw CheckpointError(
+        CheckpointError::Kind::kTruncated,
+        "load_checkpoint: file ends inside the header: " + path);
+  }
+
   StoragePrecision file_prec = StoragePrecision::kFP64;
-  if (magic == kMagicV1) {
-    in.read(reinterpret_cast<char*>(header), sizeof(std::int32_t) * 5);
-  } else if (magic == kMagicV2) {
-    in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (magic == kMagicV2) {
     if (header[5] == 1) {
       file_prec = StoragePrecision::kFP32;
     } else if (header[5] != 0) {
-      throw std::runtime_error("load_checkpoint: unknown precision field in " +
-                               path);
+      throw CheckpointError(
+          CheckpointError::Kind::kPrecision,
+          "load_checkpoint: precision tag " + std::to_string(header[5]) +
+              " out of range in " + path);
     }
-  } else {
-    throw std::runtime_error("load_checkpoint: not a checkpoint file: " +
-                             path);
   }
+
   const Box& b = eng.geometry().box;
+  if (header[2] < 1 || header[3] < 1 || header[4] < 1) {
+    throw CheckpointError(
+        CheckpointError::Kind::kExtents,
+        "load_checkpoint: non-positive extents in header of " + path);
+  }
   if (header[0] != L::D || header[2] != b.nx || header[3] != b.ny ||
       header[4] != b.nz) {
-    throw std::runtime_error("load_checkpoint: incompatible checkpoint " +
-                             path);
+    throw CheckpointError(
+        CheckpointError::Kind::kExtents,
+        "load_checkpoint: checkpoint is D" + std::to_string(header[0]) + " " +
+            std::to_string(header[2]) + "x" + std::to_string(header[3]) + "x" +
+            std::to_string(header[4]) + ", engine is D" + std::to_string(L::D) +
+            " " + std::to_string(b.nx) + "x" + std::to_string(b.ny) + "x" +
+            std::to_string(b.nz) + ": " + path);
+  }
+
+  constexpr int NV = node_values<L>();
+  const std::size_t elem =
+      file_prec == StoragePrecision::kFP32 ? sizeof(float) : sizeof(real_t);
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(b.cells()) * static_cast<std::size_t>(NV) *
+      elem;
+  std::vector<char> payload(payload_bytes);
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (in.gcount() != static_cast<std::streamsize>(payload_bytes)) {
+    throw CheckpointError(
+        CheckpointError::Kind::kTruncated,
+        "load_checkpoint: payload is " + std::to_string(in.gcount()) + " of " +
+            std::to_string(payload_bytes) + " bytes: " + path);
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw CheckpointError(
+        CheckpointError::Kind::kTrailing,
+        "load_checkpoint: trailing bytes after the payload: " + path);
   }
 
   // Values convert to the compute type on read; the target engine may use
   // either storage precision (portability across patterns extends to
   // precision: an fp32 file restores into an fp64 engine and vice versa).
-  constexpr int NV = node_values<L>();
   real_t v[NV];
+  const char* p = payload.data();
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
         if (file_prec == StoragePrecision::kFP32) {
           float vf[NV];
-          in.read(reinterpret_cast<char*>(vf), sizeof(vf));
+          std::memcpy(vf, p, sizeof(vf));
           for (int k = 0; k < NV; ++k) v[k] = static_cast<real_t>(vf[k]);
+          p += sizeof(vf);
         } else {
-          in.read(reinterpret_cast<char*>(v), sizeof(v));
+          std::memcpy(v, p, sizeof(v));
+          p += sizeof(v);
         }
         eng.impose(x, y, z, unpack_node<L>(v));
       }
     }
   }
-  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
 }
 
 template void save_checkpoint<D2Q9>(const Engine<D2Q9>&, const std::string&);

@@ -20,6 +20,11 @@ void save_checkpoint(const Engine<L>& eng, const std::string& path);
 
 /// Restores node states via impose(); the target engine must have matching
 /// box extents. The engine's step counter is not part of the state.
+///
+/// The file is validated in full (magic, header, extents, precision tag,
+/// exact payload size) before the first impose(): a malformed or truncated
+/// file raises a `CheckpointError` with the malformation classified and
+/// leaves the engine untouched.
 template <class L>
 void load_checkpoint(Engine<L>& eng, const std::string& path);
 

@@ -1,14 +1,15 @@
 #include "io/vtk_writer.hpp"
 
 #include <fstream>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace mlbm {
 
 template <class L>
 void write_vtk(const Engine<L>& eng, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_vtk: cannot open " + path);
+  if (!out) throw IoError("write_vtk: cannot open " + path);
 
   const Box& b = eng.geometry().box;
   out << "# vtk DataFile Version 3.0\n"
@@ -38,7 +39,7 @@ void write_vtk(const Engine<L>& eng, const std::string& path) {
       }
     }
   }
-  if (!out) throw std::runtime_error("write_vtk: write failed for " + path);
+  if (!out) throw IoError("write_vtk: write failed for " + path);
 }
 
 template void write_vtk<D2Q9>(const Engine<D2Q9>&, const std::string&);

@@ -1,13 +1,16 @@
 #include "multidev/multi_domain.hpp"
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace mlbm {
 
 std::vector<SlabInfo> make_slabs(int nx, int ndev) {
   if (ndev < 1 || ndev > nx) {
-    throw std::invalid_argument("make_slabs: need 1 <= ndev <= nx");
+    throw ConfigError("make_slabs: need 1 <= ndev <= nx, got ndev=" +
+                      std::to_string(ndev) + " nx=" + std::to_string(nx));
   }
   std::vector<SlabInfo> slabs(static_cast<std::size_t>(ndev));
   const int base = nx / ndev;
@@ -52,20 +55,44 @@ template <class L>
 MultiDomainEngine<L>::MultiDomainEngine(Geometry global, real_t tau, int ndev,
                                         const EngineFactory& factory)
     : Engine<L>(std::move(global), tau), slabs_(make_slabs(this->geo_.box.nx, ndev)) {
+  // Degenerate decompositions must fail loudly here, not as UB on
+  // engines_.front() (or worse, inside a slab engine) later: make_slabs
+  // already enforces 1 <= ndev <= nx, this validates what it produced and
+  // the cross extents the slabs share.
+  const Box& gb = this->geo_.box;
+  if (gb.nx < 1 || gb.ny < 1 || gb.nz < 1) {
+    throw ConfigError("MultiDomainEngine: empty global box " +
+                      std::to_string(gb.nx) + "x" + std::to_string(gb.ny) +
+                      "x" + std::to_string(gb.nz));
+  }
+  if (slabs_.empty()) {
+    throw ConfigError("MultiDomainEngine: decomposition produced no slabs");
+  }
+  for (const SlabInfo& s : slabs_) {
+    if (s.x_end <= s.x_begin) {
+      throw ConfigError("MultiDomainEngine: empty slab [" +
+                        std::to_string(s.x_begin) + ", " +
+                        std::to_string(s.x_end) + ")");
+    }
+  }
   if (ndev > 1 && this->geo_.bc.periodic(0)) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "MultiDomainEngine: a periodic decomposition axis is not supported; "
         "decompose channel-type (open/wall x) domains");
+  }
+  if (!factory) {
+    throw ConfigError("MultiDomainEngine: engine factory must not be null");
   }
   engines_.reserve(slabs_.size());
   for (int d = 0; d < static_cast<int>(slabs_.size()); ++d) {
     engines_.push_back(
         factory(slab_geometry(this->geo_, slabs_[static_cast<std::size_t>(d)]), d));
     if (engines_.back() == nullptr) {
-      throw std::invalid_argument("MultiDomainEngine: factory returned null");
+      throw ConfigError("MultiDomainEngine: factory returned null for slab " +
+                        std::to_string(d));
     }
     if (std::abs(engines_.back()->tau() - tau) > real_t(1e-12)) {
-      throw std::invalid_argument(
+      throw ConfigError(
           "MultiDomainEngine: slab engine tau differs from global tau");
     }
   }
@@ -77,7 +104,84 @@ int MultiDomainEngine<L>::owner_of(int gx) const {
     const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
     if (gx >= s.x_begin && gx < s.x_end) return d;
   }
-  throw std::out_of_range("MultiDomainEngine: x out of range");
+  throw OutOfRangeError("MultiDomainEngine: x=" + std::to_string(gx) +
+                        " outside [0, " + std::to_string(this->geo_.box.nx) +
+                        ")");
+}
+
+template <class L>
+std::uint64_t MultiDomainEngine<L>::fault_sites() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->fault_sites();
+  return total;
+}
+
+template <class L>
+void MultiDomainEngine<L>::inject_storage_bitflip(std::uint64_t site,
+                                                  unsigned bit) {
+  const std::uint64_t total = fault_sites();
+  if (total == 0) return;
+  std::uint64_t s = site % total;
+  for (auto& e : engines_) {
+    const std::uint64_t n = e->fault_sites();
+    if (s < n) {
+      e->inject_storage_bitflip(s, bit);
+      return;
+    }
+    s -= n;
+  }
+}
+
+template <class L>
+std::string MultiDomainEngine<L>::raw_state_tag() const {
+  std::string tag = "MULTI";
+  for (const auto& e : engines_) {
+    const std::string sub = e->raw_state_tag();
+    if (sub.empty()) return {};
+    tag += "[" + sub + "]";
+  }
+  return tag;
+}
+
+template <class L>
+void MultiDomainEngine<L>::serialize_raw_state(std::vector<real_t>& out) const {
+  // Length-prefix each slab blob. The count fits a real_t exactly (state
+  // sizes are far below 2^53 elements), so the snapshot stays one flat
+  // real_t vector like the moment payload.
+  std::vector<real_t> sub;
+  for (const auto& e : engines_) {
+    sub.clear();
+    e->serialize_raw_state(sub);
+    out.push_back(static_cast<real_t>(sub.size()));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+}
+
+template <class L>
+void MultiDomainEngine<L>::restore_raw_state(const std::vector<real_t>& in) {
+  std::size_t pos = 0;
+  for (auto& e : engines_) {
+    if (pos >= in.size()) {
+      throw ConfigError("MultiDomainEngine: raw snapshot truncated");
+    }
+    const auto n = static_cast<std::size_t>(in[pos]);
+    ++pos;
+    if (pos + n > in.size()) {
+      throw ConfigError("MultiDomainEngine: raw snapshot slab overruns blob");
+    }
+    const auto* base = in.data() + pos;
+    e->restore_raw_state(std::vector<real_t>(base, base + n));
+    pos += n;
+  }
+  if (pos != in.size()) {
+    throw ConfigError("MultiDomainEngine: raw snapshot has trailing data");
+  }
+}
+
+template <class L>
+void MultiDomainEngine<L>::set_time(int t) {
+  this->t_ = t;
+  for (auto& e : engines_) e->set_time(t);
 }
 
 template <class L>

@@ -90,8 +90,18 @@ class MultiDomainEngine final : public Engine<L> {
   /// state_bytes() needs no adjustment: it sums the slab engines, which
   /// already size themselves by their own storage type.
   [[nodiscard]] StoragePrecision storage_precision() const override {
+    if (engines_.empty()) {
+      throw ConfigError(
+          "MultiDomainEngine: no slab engines (moved-from or degenerate "
+          "decomposition)");
+    }
     return engines_.front()->storage_precision();
   }
+
+  /// Soft-error surface: the union of the slab engines' fault sites, routed
+  /// by global site index (slab order).
+  [[nodiscard]] std::uint64_t fault_sites() const override;
+  void inject_storage_bitflip(std::uint64_t site, unsigned bit) override;
 
   [[nodiscard]] int devices() const { return static_cast<int>(slabs_.size()); }
   [[nodiscard]] const SlabInfo& slab(int d) const {
@@ -114,6 +124,20 @@ class MultiDomainEngine final : public Engine<L> {
   [[nodiscard]] std::uint64_t exchanged_values_total() const {
     return exchanged_total_;
   }
+  /// Restores the exchange-volume counter to a checkpointed value (rollback
+  /// support: a replayed window must re-count, not double-count).
+  void set_exchanged_total(std::uint64_t v) { exchanged_total_ = v; }
+
+  /// Raw snapshot surface: the concatenation of the slab engines' raw states
+  /// (each length-prefixed), ghost planes included — so a rollback erases
+  /// in-flight halo corruption along with everything else. Non-empty only
+  /// when every slab engine supports raw serialization.
+  [[nodiscard]] std::string raw_state_tag() const override;
+  void serialize_raw_state(std::vector<real_t>& out) const override;
+  void restore_raw_state(const std::vector<real_t>& in) override;
+  /// Slab engines step in lockstep with the global clock, so re-timing the
+  /// decomposition re-times every slab.
+  void set_time(int t) override;
 
  protected:
   /// One global timestep: step every slab, then exchange ghost planes.

@@ -1,5 +1,7 @@
 #include "perfmodel/mflups_model.hpp"
 
+#include "util/error.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -59,7 +61,7 @@ std::vector<SeriesPoint> size_series(const gpusim::DeviceSpec& dev, Pattern p,
                                      const std::vector<long long>& cells,
                                      const std::vector<long long>& blocks) {
   if (cells.size() != blocks.size()) {
-    throw std::invalid_argument("size_series: cells/blocks size mismatch");
+    throw ConfigError("size_series: cells/blocks size mismatch");
   }
   std::vector<SeriesPoint> out;
   out.reserve(cells.size());

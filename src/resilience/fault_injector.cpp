@@ -1,0 +1,58 @@
+#include "resilience/fault_injector.hpp"
+
+#include <sstream>
+
+namespace mlbm::resilience {
+
+namespace {
+
+// splitmix64 finalizer: the avalanche stage is what makes counter-indexed
+// draws statistically independent.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::draw(std::uint64_t stream,
+                                  std::uint64_t n) const {
+  return mix(mix(cfg_.seed ^ (stream * 0xd1342543de82ef95ULL)) ^ mix(n));
+}
+
+void FaultInjector::on_launch(const gpusim::KernelRecord& rec) {
+  const std::uint64_t n = ++launch_draws_;
+  if (cfg_.launch_fail_rate <= 0 || !active()) return;
+  if (uniform(kStreamLaunch, n) < cfg_.launch_fail_rate) {
+    trace_.push_back({FaultKind::kLaunchFailure, current_step_, 0, 0,
+                      rec.name});
+    throw TransientLaunchError("injected transient launch failure in kernel '" +
+                               rec.name + "' at step " +
+                               std::to_string(current_step_));
+  }
+}
+
+std::string FaultInjector::trace_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : trace_) {
+    os << "step=" << e.step << " kind=" << to_string(e.kind);
+    switch (e.kind) {
+      case FaultKind::kBitFlip:
+      case FaultKind::kScriptedBitFlip:
+        os << " site=" << e.site << " bit=" << e.bit;
+        break;
+      case FaultKind::kLaunchFailure:
+        os << " kernel=" << e.detail;
+        break;
+      case FaultKind::kHaloCorruption:
+        os << " interface=" << e.site << " side=" << e.detail;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mlbm::resilience

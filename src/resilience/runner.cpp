@@ -1,0 +1,183 @@
+#include "resilience/runner.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "io/checkpoint.hpp"
+
+namespace mlbm::resilience {
+
+std::string RunReport::describe() const {
+  std::ostringstream os;
+  for (const RecoveryEvent& e : events) {
+    os << "step=" << e.step << " action=" << to_string(e.action)
+       << " attempt=" << e.attempt << " backoff_ms=" << e.backoff_ms
+       << " resume=" << e.restored_step << " cause=" << e.cause << '\n';
+  }
+  return os.str();
+}
+
+template <class L>
+ResilientRunner<L>::ResilientRunner(std::unique_ptr<Engine<L>> eng,
+                                    RunnerConfig cfg)
+    : eng_(std::move(eng)), cfg_(std::move(cfg)), sentinel_(cfg_.sentinel) {
+  if (!eng_) {
+    throw ConfigError("ResilientRunner: engine must not be null");
+  }
+  if (cfg_.checkpoint_interval <= 0) {
+    throw ConfigError("ResilientRunner: checkpoint_interval must be >= 1");
+  }
+  if (cfg_.ring_capacity <= 0) {
+    throw ConfigError("ResilientRunner: ring_capacity must be >= 1");
+  }
+  if (cfg_.max_retries_per_window <= 0) {
+    throw ConfigError("ResilientRunner: max_retries_per_window must be >= 1");
+  }
+}
+
+template <class L>
+ResilientRunner<L>::~ResilientRunner() {
+  if (injector_ != nullptr && eng_) injector_->uninstall(*eng_);
+}
+
+template <class L>
+void ResilientRunner<L>::set_fault_injector(FaultInjector* inj) {
+  if (injector_ != nullptr && eng_) injector_->uninstall(*eng_);
+  injector_ = inj;
+  if (injector_ != nullptr) injector_->install(*eng_);
+}
+
+template <class L>
+int ResilientRunner<L>::backoff_ms(int attempt) const {
+  long long ms = cfg_.backoff_base_ms;
+  for (int i = 1; i < attempt && ms < cfg_.backoff_max_ms; ++i) ms *= 2;
+  if (ms > cfg_.backoff_max_ms) ms = cfg_.backoff_max_ms;
+  return static_cast<int>(ms);
+}
+
+template <class L>
+int ResilientRunner<L>::recover(RunReport& rep, int failed_step, int& attempt,
+                                const std::string& cause) {
+  ++rep.rollbacks;
+  if (rep.rollbacks > cfg_.max_total_rollbacks) {
+    throw UnrecoverableError(
+        "ResilientRunner: rollback budget exhausted (" +
+        std::to_string(cfg_.max_total_rollbacks) + ") at step " +
+        std::to_string(failed_step) + "; last cause: " + cause);
+  }
+
+  ++attempt;
+  RecoveryAction action = RecoveryAction::kRollback;
+  if (attempt > cfg_.max_retries_per_window) {
+    if (ring_.size() > 1) {
+      // The newest checkpoint's window keeps failing — distrust it (its
+      // state may carry a fault the sentinel cannot see) and fall back.
+      ring_.pop_back();
+      ++rep.ring_fallbacks;
+      action = RecoveryAction::kRingFallback;
+      attempt = 1;
+    } else if (fallback_ && !degraded_) {
+      std::unique_ptr<Engine<L>> next = fallback_();
+      if (!next) {
+        throw UnrecoverableError(
+            "ResilientRunner: fallback factory returned null at step " +
+            std::to_string(failed_step));
+      }
+      if (injector_ != nullptr) injector_->uninstall(*eng_);
+      eng_ = std::move(next);
+      if (injector_ != nullptr) injector_->install(*eng_);
+      degraded_ = true;
+      rep.degraded = true;
+      action = RecoveryAction::kDegrade;
+      attempt = 1;
+    } else {
+      throw UnrecoverableError(
+          "ResilientRunner: retries exhausted at step " +
+          std::to_string(failed_step) + "; last cause: " + cause);
+    }
+  }
+
+  const int bo = backoff_ms(attempt);
+  rep.total_backoff_ms += static_cast<std::uint64_t>(bo);
+  if (cfg_.sleep_on_backoff && bo > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(bo));
+  }
+
+  const StateSnapshot<L>& snap = ring_.back();
+  restore_state(*eng_, snap);
+  rep.events.push_back({failed_step, snap.step, attempt, bo, action, cause});
+  return snap.step;
+}
+
+template <class L>
+RunReport ResilientRunner<L>::run(int steps) {
+  if (steps < 0) {
+    throw ConfigError("ResilientRunner::run: steps must be >= 0");
+  }
+  RunReport rep;
+
+  // The run's anchor: without a good step-0 snapshot there is nothing to
+  // roll back to when the very first window fails.
+  //
+  // Snapshots need the (expensive) portable moment payload only when a
+  // cross-engine restore is possible: a degrade into a fallback engine, or a
+  // moment-only engine (whose raw tag is empty — capture_state then includes
+  // the payload regardless).
+  const bool with_moments = fallback_ != nullptr;
+  ring_.clear();
+  ring_.push_back(capture_state(*eng_, 0, with_moments));
+
+  int step = 0;     // completed steps this run()
+  int attempt = 0;  // failed tries of the current window
+  while (step < steps) {
+    bool healthy = true;
+    std::string cause;
+    try {
+      if (injector_ != nullptr) injector_->begin_step(step);
+      eng_->step();
+      if (injector_ != nullptr) injector_->apply_state_faults(*eng_);
+      ++step;
+
+      const bool cp_due = step % cfg_.checkpoint_interval == 0;
+      if (sentinel_.due(step) || cp_due) {
+        const SentinelReport sr = sentinel_.check(*eng_);
+        if (!sr.healthy) {
+          ++rep.sentinel_trips;
+          healthy = false;
+          cause = "sentinel: " + sr.describe();
+        }
+      }
+      if (healthy && cp_due) {
+        ring_.push_back(capture_state(*eng_, step, with_moments));
+        while (static_cast<int>(ring_.size()) > cfg_.ring_capacity) {
+          ring_.erase(ring_.begin());
+        }
+        ++rep.checkpoints;
+        attempt = 0;
+        if (cfg_.disk_every > 0 && !cfg_.disk_path.empty() &&
+            rep.checkpoints % cfg_.disk_every == 0) {
+          save_checkpoint(*eng_, cfg_.disk_path);
+        }
+      }
+    } catch (const Error& e) {
+      if (!e.transient()) throw;
+      ++rep.launch_failures;
+      healthy = false;
+      cause = error_message(e);
+      // `step` was not advanced: the failure interrupted the step itself.
+    }
+    if (!healthy) step = recover(rep, step, attempt, cause);
+  }
+
+  rep.steps = steps;
+  return rep;
+}
+
+template class ResilientRunner<D2Q9>;
+template class ResilientRunner<D3Q19>;
+template class ResilientRunner<D3Q27>;
+template class ResilientRunner<D3Q15>;
+
+}  // namespace mlbm::resilience

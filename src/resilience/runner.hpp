@@ -1,0 +1,152 @@
+// ResilientRunner: checkpoint / rollback / retry around any Engine<L>.
+//
+// The runner advances an engine step by step while defending the run against
+// the fault classes FaultInjector models (and their real-world counterparts):
+//
+//   * periodic in-memory checkpoints (a small ring of StateSnapshots), with
+//     an optional on-disk mirror in checkpoint v2 format;
+//   * a StabilitySentinel consulted on its own cadence and before every
+//     checkpoint (a checkpoint is only "good" if the sentinel passed it);
+//   * on a transient failure — an injected/real launch fault surfacing as a
+//     transient mlbm::Error, or a sentinel trip — roll back to the newest
+//     good checkpoint and retry the window, with bounded exponential backoff;
+//   * when a window keeps failing, fall back to older ring entries, and as a
+//     last resort rebuild the engine through a caller-provided fallback
+//     factory (the intended use: degrade FP32 storage to FP64 via the
+//     StoragePrecision factories) and continue from the last good snapshot;
+//   * if all of that is exhausted, raise UnrecoverableError.
+//
+// Because retried windows draw *fresh* fault randomness (see FaultInjector)
+// while the physics replay is deterministic, a faulted run converges to the
+// exact trajectory of an unfaulted one — moments and traffic totals
+// bit-identical — which the rollback-determinism tests pin.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/sentinel.hpp"
+#include "resilience/snapshot.hpp"
+#include "util/error.hpp"
+
+namespace mlbm::resilience {
+
+struct RunnerConfig {
+  /// Steps between in-memory checkpoints (also the retry-window length).
+  int checkpoint_interval = 128;
+  /// Good checkpoints kept in memory (newest first); older entries are the
+  /// fallback when a window keeps failing from the newest one.
+  int ring_capacity = 2;
+  /// Retries of one window from one checkpoint before falling back.
+  int max_retries_per_window = 3;
+  /// Exponential backoff between retries: min(base * 2^(attempt-1), max).
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Actually sleep during backoff. Off by default: tests and benches only
+  /// need the schedule recorded; production monitors would enable it.
+  bool sleep_on_backoff = false;
+  /// Hard cap on total rollbacks per run() — bounds the worst case under a
+  /// pathological fault rate.
+  int max_total_rollbacks = 1000;
+  SentinelConfig sentinel;
+  /// Optional on-disk mirror (checkpoint v2): written every `disk_every`-th
+  /// in-memory checkpoint when non-empty and disk_every > 0.
+  std::string disk_path;
+  int disk_every = 0;
+};
+
+enum class RecoveryAction { kRollback, kRingFallback, kDegrade };
+
+inline const char* to_string(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::kRollback: return "rollback";
+    case RecoveryAction::kRingFallback: return "ring-fallback";
+    case RecoveryAction::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
+
+struct RecoveryEvent {
+  int step = 0;           ///< runner step the failure surfaced at
+  int restored_step = 0;  ///< checkpoint step execution resumed from
+  int attempt = 0;        ///< retry attempt number within the window
+  int backoff_ms = 0;     ///< backoff assessed before the retry
+  RecoveryAction action = RecoveryAction::kRollback;
+  std::string cause;
+};
+
+struct RunReport {
+  int steps = 0;             ///< steps completed (the requested count)
+  int rollbacks = 0;         ///< total recoveries (all actions)
+  int launch_failures = 0;   ///< transient errors caught from step()
+  int sentinel_trips = 0;    ///< unhealthy sentinel reports
+  int ring_fallbacks = 0;    ///< recoveries that dropped to an older entry
+  int checkpoints = 0;       ///< good checkpoints taken (excl. the initial)
+  bool degraded = false;     ///< fallback factory was engaged
+  std::uint64_t total_backoff_ms = 0;
+  std::vector<RecoveryEvent> events;
+
+  /// Canonical one-line-per-recovery rendering (seed-reproducibility checks
+  /// compare these across runs).
+  [[nodiscard]] std::string describe() const;
+};
+
+template <class L>
+class ResilientRunner {
+ public:
+  /// Builds a replacement engine for the degrade path (same geometry/tau;
+  /// typically FP64 storage where the primary stored FP32).
+  using FallbackFactory = std::function<std::unique_ptr<Engine<L>>()>;
+
+  explicit ResilientRunner(std::unique_ptr<Engine<L>> eng,
+                           RunnerConfig cfg = {});
+
+  [[nodiscard]] Engine<L>& engine() { return *eng_; }
+  [[nodiscard]] const Engine<L>& engine() const { return *eng_; }
+  [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
+  [[nodiscard]] const StabilitySentinel<L>& sentinel() const {
+    return sentinel_;
+  }
+
+  /// Attaches a fault injector (not owned; may be null to detach). The
+  /// runner installs its launch hook on the engine and drives its per-step
+  /// streams.
+  void set_fault_injector(FaultInjector* inj);
+
+  void set_fallback_factory(FallbackFactory f) { fallback_ = std::move(f); }
+
+  /// Advances `steps` steps with checkpoint/rollback protection. Throws
+  /// UnrecoverableError when recovery is exhausted; non-transient errors
+  /// propagate unchanged.
+  RunReport run(int steps);
+
+  ~ResilientRunner();
+
+ private:
+  [[nodiscard]] int backoff_ms(int attempt) const;
+  /// Rolls back to the best available checkpoint; escalates to ring
+  /// fallback / engine degrade as attempts accumulate. Returns the step to
+  /// resume from and records the event.
+  int recover(RunReport& rep, int failed_step, int& attempt,
+              const std::string& cause);
+
+  std::unique_ptr<Engine<L>> eng_;
+  RunnerConfig cfg_;
+  StabilitySentinel<L> sentinel_;
+  FaultInjector* injector_ = nullptr;
+  FallbackFactory fallback_;
+  /// Good checkpoints, oldest first; back() is the newest.
+  std::vector<StateSnapshot<L>> ring_;
+  bool degraded_ = false;
+};
+
+extern template class ResilientRunner<D2Q9>;
+extern template class ResilientRunner<D3Q19>;
+extern template class ResilientRunner<D3Q27>;
+extern template class ResilientRunner<D3Q15>;
+
+}  // namespace mlbm::resilience

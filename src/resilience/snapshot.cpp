@@ -1,0 +1,160 @@
+#include "resilience/snapshot.hpp"
+
+#include "multidev/multi_domain.hpp"
+#include "util/error.hpp"
+
+namespace mlbm::resilience {
+
+namespace {
+
+template <class L>
+constexpr int node_values() {
+  return 1 + L::D + Moments<L>::NP;
+}
+
+/// Applies `fn` to every profiler the engine owns, in a stable order: the
+/// engine's own (monolithic gpusim engines) or one per slab (MultiDomain).
+/// Host engines have none.
+template <class L, class Fn>
+void for_each_profiler(Engine<L>& eng, Fn&& fn) {
+  if (auto* md = dynamic_cast<MultiDomainEngine<L>*>(&eng)) {
+    for (int d = 0; d < md->devices(); ++d) {
+      if (gpusim::Profiler* p = md->device_engine(d).profiler()) fn(*p);
+    }
+    return;
+  }
+  if (gpusim::Profiler* p = eng.profiler()) fn(*p);
+}
+
+template <class L, class Fn>
+void for_each_profiler(const Engine<L>& eng, Fn&& fn) {
+  if (const auto* md = dynamic_cast<const MultiDomainEngine<L>*>(&eng)) {
+    for (int d = 0; d < md->devices(); ++d) {
+      if (const gpusim::Profiler* p = md->device_engine(d).profiler()) fn(*p);
+    }
+    return;
+  }
+  if (const gpusim::Profiler* p = eng.profiler()) fn(*p);
+}
+
+}  // namespace
+
+template <class L>
+StateSnapshot<L> capture_state(const Engine<L>& eng, int step,
+                               bool with_moments) {
+  constexpr int NV = node_values<L>();
+  const Box& b = eng.geometry().box;
+
+  StateSnapshot<L> snap;
+  snap.step = step;
+  snap.time = eng.time();
+  snap.raw_tag = eng.raw_state_tag();
+  if (!snap.raw_tag.empty()) eng.serialize_raw_state(snap.raw);
+
+  // The portable moment payload is the expensive part of a capture (a full
+  // moments_at sweep); callers that can only ever restore into the same
+  // engine (raw tag match guaranteed) may skip it. A moment-only engine
+  // always needs it — it is the only state representation available.
+  if (with_moments || snap.raw_tag.empty()) {
+    snap.values.resize(static_cast<std::size_t>(b.cells()) *
+                       static_cast<std::size_t>(NV));
+    real_t* v = snap.values.data();
+    for (int z = 0; z < b.nz; ++z) {
+      for (int y = 0; y < b.ny; ++y) {
+        for (int x = 0; x < b.nx; ++x, v += NV) {
+          const Moments<L> m = eng.moments_at(x, y, z);
+          v[0] = m.rho;
+          for (int a = 0; a < L::D; ++a) {
+            v[1 + a] = m.u[static_cast<std::size_t>(a)];
+          }
+          for (int p = 0; p < Moments<L>::NP; ++p) {
+            v[1 + L::D + p] = m.pi[static_cast<std::size_t>(p)];
+          }
+        }
+      }
+    }
+  }
+
+  for_each_profiler(eng, [&snap](const gpusim::Profiler& p) {
+    snap.profilers.push_back(p.state());
+  });
+  if (const auto* md = dynamic_cast<const MultiDomainEngine<L>*>(&eng)) {
+    snap.exchanged_total = md->exchanged_values_total();
+  }
+  return snap;
+}
+
+template <class L>
+void restore_state(Engine<L>& eng, const StateSnapshot<L>& snap) {
+  constexpr int NV = node_values<L>();
+  const Box& b = eng.geometry().box;
+
+  // Re-time FIRST: buffer parity (AA) and circular-shift layer addressing
+  // follow the clock, so both restore paths must write under the capture
+  // step's addressing — and the raw tag itself is parity-dependent.
+  eng.set_time(snap.time);
+
+  if (!snap.raw_tag.empty() && eng.raw_state_tag() == snap.raw_tag) {
+    // Same layout as the capture source: exact restore.
+    eng.restore_raw_state(snap.raw);
+  } else {
+    // Different engine (degrade path) or moment-only source: portable
+    // moment restore.
+    if (snap.values.empty()) {
+      throw ConfigError(
+          "restore_state: snapshot carries no moment payload for an engine "
+          "with a different raw layout (captured with with_moments=false)");
+    }
+    if (snap.values.size() != static_cast<std::size_t>(b.cells()) *
+                                  static_cast<std::size_t>(NV)) {
+      throw ConfigError("restore_state: snapshot does not match engine box");
+    }
+    const real_t* v = snap.values.data();
+    Moments<L> m;
+    for (int z = 0; z < b.nz; ++z) {
+      for (int y = 0; y < b.ny; ++y) {
+        for (int x = 0; x < b.nx; ++x, v += NV) {
+          m.rho = v[0];
+          for (int a = 0; a < L::D; ++a) {
+            m.u[static_cast<std::size_t>(a)] = v[1 + a];
+          }
+          for (int p = 0; p < Moments<L>::NP; ++p) {
+            m.pi[static_cast<std::size_t>(p)] = v[1 + L::D + p];
+          }
+          eng.impose(x, y, z, m);
+        }
+      }
+    }
+  }
+
+  std::size_t i = 0;
+  for_each_profiler(eng, [&snap, &i](gpusim::Profiler& p) {
+    if (i < snap.profilers.size()) p.restore(snap.profilers[i]);
+    ++i;
+  });
+  if (auto* md = dynamic_cast<MultiDomainEngine<L>*>(&eng)) {
+    md->set_exchanged_total(snap.exchanged_total);
+  }
+}
+
+template struct StateSnapshot<D2Q9>;
+template struct StateSnapshot<D3Q19>;
+template struct StateSnapshot<D3Q27>;
+template struct StateSnapshot<D3Q15>;
+template StateSnapshot<D2Q9> capture_state<D2Q9>(const Engine<D2Q9>&, int,
+                                                 bool);
+template StateSnapshot<D3Q19> capture_state<D3Q19>(const Engine<D3Q19>&, int,
+                                                   bool);
+template StateSnapshot<D3Q27> capture_state<D3Q27>(const Engine<D3Q27>&, int,
+                                                   bool);
+template StateSnapshot<D3Q15> capture_state<D3Q15>(const Engine<D3Q15>&, int,
+                                                   bool);
+template void restore_state<D2Q9>(Engine<D2Q9>&, const StateSnapshot<D2Q9>&);
+template void restore_state<D3Q19>(Engine<D3Q19>&,
+                                   const StateSnapshot<D3Q19>&);
+template void restore_state<D3Q27>(Engine<D3Q27>&,
+                                   const StateSnapshot<D3Q27>&);
+template void restore_state<D3Q15>(Engine<D3Q15>&,
+                                   const StateSnapshot<D3Q15>&);
+
+}  // namespace mlbm::resilience

@@ -1,0 +1,96 @@
+// In-memory state snapshots: the rollback unit of the resilience layer.
+//
+// A snapshot captures everything a replayed window must reproduce
+// bit-identically:
+//   * the engine's raw device state (when it supports lossless
+//     serialization — see Engine::raw_state_tag) plus the step count it was
+//     captured at, since buffer parity and circular-shift addressing follow
+//     the clock,
+//   * the full moment state {rho, u, Pi} of every node — the portable
+//     representation every engine produces and accepts (same contract as the
+//     on-disk checkpoint format), kept alongside the raw blob so a snapshot
+//     still restores into a *different* engine type (the degraded-precision
+//     retry path relies on exactly this),
+//   * the profiler state (traffic counter totals + per-kernel records) of
+//     every gpusim profiler the engine owns (one for a monolithic engine,
+//     one per slab for MultiDomainEngine),
+//   * MultiDomainEngine's exchange-volume counter.
+//
+// Restore prefers the raw path when the target's layout tag matches the
+// capture source — that path is exact, so re-running the aborted window
+// produces moments AND traffic counters bit-identical to a run that never
+// faulted (the determinism contract the rollback tests pin). The moment path
+// is the cross-engine fallback; it projects away higher-order
+// non-equilibrium content on distribution engines (~1 ulp on BGK), which is
+// fine for a degrade restore but would break the bit-identity contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace mlbm::resilience {
+
+template <class L>
+struct StateSnapshot {
+  int step = 0;  ///< runner step the snapshot was taken at
+  int time = 0;  ///< engine time() at capture (parity / layer addressing)
+  /// cells() * (1 + D + NP) moment values, x-fastest node order.
+  std::vector<real_t> values;
+  /// Source engine's raw layout tag; empty when the source is moment-only.
+  std::string raw_tag;
+  /// Exact raw state (only when raw_tag is non-empty).
+  std::vector<real_t> raw;
+  /// Profiler states in engine order (empty for host engines).
+  std::vector<gpusim::ProfilerState> profilers;
+  /// MultiDomainEngine::exchanged_values_total() (0 otherwise).
+  std::uint64_t exchanged_total = 0;
+
+  [[nodiscard]] bool empty() const { return values.empty() && raw.empty(); }
+};
+
+/// Captures raw state (when supported) + profiler/exchange counters of `eng`
+/// at `step`. `with_moments` additionally captures the portable moment
+/// payload; the runner skips it when no cross-engine restore can ever happen
+/// (no fallback factory), since the full moment read is the expensive part
+/// of a capture. Moment-only engines always get the moment payload.
+template <class L>
+StateSnapshot<L> capture_state(const Engine<L>& eng, int step,
+                               bool with_moments = true);
+
+/// Restores a snapshot into `eng` (box extents must match). The engine is
+/// first re-timed to the capture step; then the raw state is written back
+/// when the engine's layout tag matches the capture source (exact), or the
+/// moments are imposed on every node otherwise (portable fallback).
+/// Profiler and exchange counters are restored when the engine has them (an
+/// engine with a different profiler topology than the capture source — e.g.
+/// restoring into a rebuilt fallback engine — gets the states applied
+/// positionally as far as they go).
+template <class L>
+void restore_state(Engine<L>& eng, const StateSnapshot<L>& snap);
+
+extern template struct StateSnapshot<D2Q9>;
+extern template struct StateSnapshot<D3Q19>;
+extern template struct StateSnapshot<D3Q27>;
+extern template struct StateSnapshot<D3Q15>;
+extern template StateSnapshot<D2Q9> capture_state<D2Q9>(const Engine<D2Q9>&,
+                                                        int, bool);
+extern template StateSnapshot<D3Q19> capture_state<D3Q19>(
+    const Engine<D3Q19>&, int, bool);
+extern template StateSnapshot<D3Q27> capture_state<D3Q27>(
+    const Engine<D3Q27>&, int, bool);
+extern template StateSnapshot<D3Q15> capture_state<D3Q15>(
+    const Engine<D3Q15>&, int, bool);
+extern template void restore_state<D2Q9>(Engine<D2Q9>&,
+                                         const StateSnapshot<D2Q9>&);
+extern template void restore_state<D3Q19>(Engine<D3Q19>&,
+                                          const StateSnapshot<D3Q19>&);
+extern template void restore_state<D3Q27>(Engine<D3Q27>&,
+                                          const StateSnapshot<D3Q27>&);
+extern template void restore_state<D3Q15>(Engine<D3Q15>&,
+                                          const StateSnapshot<D3Q15>&);
+
+}  // namespace mlbm::resilience

@@ -1,7 +1,8 @@
 #include "util/cli.hpp"
 
 #include <cstdlib>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace mlbm {
 
@@ -58,8 +59,7 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
       it->second == "off") {
     return false;
   }
-  throw std::invalid_argument("Cli: bad boolean for --" + key + ": " +
-                              it->second);
+  throw ConfigError("Cli: bad boolean for --" + key + ": " + it->second);
 }
 
 std::vector<std::string> Cli::keys() const {

@@ -1,14 +1,15 @@
 #include "util/csv.hpp"
 
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace mlbm {
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
     : path_(path), out_(path), width_(header.size()) {
   if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
+    throw IoError("CsvWriter: cannot open " + path);
   }
   for (std::size_t i = 0; i < header.size(); ++i) {
     out_ << header[i] << (i + 1 < header.size() ? "," : "\n");
@@ -17,7 +18,7 @@ CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
   if (cells.size() != width_) {
-    throw std::invalid_argument("CsvWriter: row width mismatch in " + path_);
+    throw ConfigError("CsvWriter: row width mismatch in " + path_);
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     out_ << cells[i] << (i + 1 < cells.size() ? "," : "\n");

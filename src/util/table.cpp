@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <iostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace mlbm {
 
@@ -13,7 +14,7 @@ AsciiTable::AsciiTable(std::vector<std::string> header)
 
 void AsciiTable::row(std::vector<std::string> cells) {
   if (cells.size() != header_.size()) {
-    throw std::invalid_argument("AsciiTable: row width mismatch");
+    throw ConfigError("AsciiTable: row width mismatch");
   }
   rows_.push_back(std::move(cells));
 }

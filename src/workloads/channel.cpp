@@ -1,5 +1,7 @@
 #include "workloads/channel.hpp"
 
+#include "util/error.hpp"
+
 #include <stdexcept>
 
 namespace mlbm {
@@ -13,9 +15,9 @@ template <class L>
 Channel<L> Channel<L>::create(int nx, int ny, int nz, real_t tau, real_t u_max,
                               InletProfile profile) {
   if constexpr (L::D == 2) {
-    if (nz != 1) throw std::invalid_argument("2D channel requires nz == 1");
+    if (nz != 1) throw ConfigError("2D channel requires nz == 1");
   } else {
-    if (nz < 2) throw std::invalid_argument("3D channel requires nz >= 2");
+    if (nz < 2) throw ConfigError("3D channel requires nz >= 2");
   }
 
   Box box{nx, ny, nz};

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "resilience/sentinel.hpp"
+
 namespace mlbm {
 
 namespace {
@@ -37,21 +39,12 @@ void DoubleShearLayer<L>::attach(Engine<L>& eng) const {
 
 template <class L>
 bool DoubleShearLayer<L>::healthy(const Engine<L>& eng) {
-  const Box& b = eng.geometry().box;
-  const int stride = std::max(1, b.nx / 16);
-  for (int z = 0; z < b.nz; ++z) {
-    for (int y = 0; y < b.ny; y += stride) {
-      for (int x = 0; x < b.nx; x += stride) {
-        const Moments<L> m = eng.moments_at(x, y, z);
-        if (!std::isfinite(m.rho) || m.rho <= 0) return false;
-        for (int a = 0; a < L::D; ++a) {
-          const real_t ua = m.u[static_cast<std::size_t>(a)];
-          if (!std::isfinite(ua) || std::abs(ua) > real_t(0.8)) return false;
-        }
-      }
-    }
-  }
-  return true;
+  // The shared sentinel's defaults reproduce the historical detector
+  // (stride nx/16, |u| <= 0.8, rho finite and positive); pi is not checked
+  // so stability-study thresholds stay exactly where they were.
+  resilience::SentinelConfig cfg;
+  cfg.check_pi = false;
+  return resilience::StabilitySentinel<L>(cfg).check(eng).healthy;
 }
 
 template struct DoubleShearLayer<D2Q9>;

@@ -26,8 +26,9 @@ struct DoubleShearLayer {
 
   void attach(Engine<L>& eng) const;
 
-  /// True while every sampled node is finite and subsonic — the blow-up
-  /// detector used by the stability studies.
+  /// True while every sampled node is finite and subsonic. Thin wrapper
+  /// over resilience::StabilitySentinel (the shared divergence detector)
+  /// with the historical sampling and bounds.
   static bool healthy(const Engine<L>& eng);
 };
 

@@ -1,5 +1,7 @@
 #include "workloads/taylor_green.hpp"
 
+#include "util/error.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -12,7 +14,7 @@ constexpr real_t kPi = 3.14159265358979323846;
 template <class L>
 TaylorGreen<L> TaylorGreen<L>::create(int n, real_t u0, int nz) {
   if constexpr (L::D == 2) {
-    if (nz != 1) throw std::invalid_argument("2D Taylor-Green requires nz==1");
+    if (nz != 1) throw ConfigError("2D Taylor-Green requires nz==1");
   }
   Box box{n, n, L::D == 2 ? 1 : nz};
   Geometry geo(box);
