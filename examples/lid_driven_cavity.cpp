@@ -5,10 +5,14 @@
 //
 //   ./examples/lid_driven_cavity [--n 48] [--re 100] [--ulid 0.1]
 //                                [--steps 8000] [--precision fp64|fp32]
-//                                [--vtk cavity.vtk]
+//                                [--vtk cavity.vtk] [--sanitize]
+//
+// --sanitize runs the engine under the mlbm-sanitizer (docs/sanitizer.md)
+// and exits nonzero if any hazard is reported.
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/sanitizer/sanitizer.hpp"
 #include "engines/factory.hpp"
 #include "io/vtk_writer.hpp"
 #include "util/cli.hpp"
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
                                             Regularization::kRecursive,
                                             MrConfig{16, 1, 4});
   Engine<D2Q9>& eng = *eng_ptr;
+  analysis::Sanitizer san;
+  if (cli.has("sanitize")) eng.set_sanitizer(&san);
   cav.attach(eng);
   eng.profiler()->counter().set_enabled(false);
 
@@ -70,6 +76,14 @@ int main(int argc, char** argv) {
   if (cli.has("vtk")) {
     write_vtk(eng, cli.get("vtk", "cavity.vtk"));
     std::printf("wrote %s\n", cli.get("vtk", "cavity.vtk").c_str());
+  }
+  if (cli.has("sanitize")) {
+    std::printf("%s", san.report().to_string().c_str());
+    if (!san.report().clean()) {
+      std::fprintf(stderr, "sanitizer: %llu hazard(s) reported\n",
+                   static_cast<unsigned long long>(san.report().total()));
+      return 2;
+    }
   }
   return 0;
 }

@@ -4,11 +4,17 @@
 //
 //   ./examples/taylor_green [--n 48] [--tau 0.8] [--u0 0.03] [--steps 400]
 //                           [--precision fp64|fp32] [--csv decay.csv]
+//                           [--sanitize]
+//
+// --sanitize runs every engine under the mlbm-sanitizer (racecheck /
+// memcheck / initcheck / freshness / synccheck; docs/sanitizer.md) and exits
+// nonzero if any hazard is reported.
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "analysis/sanitizer/sanitizer.hpp"
 #include "engines/factory.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -27,6 +33,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --precision must be fp64 or fp32\n");
     return 1;
   }
+  const bool sanitize = cli.has("sanitize");
   const int sample_every = std::max(1, steps / 20);
 
   const auto tg = TaylorGreen<D2Q9>::create(n, u0);
@@ -50,7 +57,10 @@ int main(int argc, char** argv) {
         std::vector<std::string>{"pattern", "t", "ke", "ke_analytic"});
   }
 
+  int hazard_total = 0;
   for (Engine<D2Q9>* e : engines) {
+    analysis::Sanitizer san;
+    if (sanitize) e->set_sanitizer(&san);
     tg.attach(*e);
     if (e->profiler() != nullptr) {
       e->profiler()->counter().set_enabled(false);
@@ -71,6 +81,15 @@ int main(int argc, char** argv) {
     std::printf("%-5s  nu measured %.5f  expected %.5f  error %+.2f%%\n",
                 e->pattern_name(), nu_meas, nu,
                 100 * (nu_meas - nu) / nu);
+    if (sanitize) {
+      std::printf("%s", san.report().to_string().c_str());
+      hazard_total += static_cast<int>(san.report().total());
+      e->set_sanitizer(nullptr);  // `san` dies with this loop iteration
+    }
+  }
+  if (sanitize && hazard_total > 0) {
+    std::fprintf(stderr, "sanitizer: %d hazard(s) reported\n", hazard_total);
+    return 2;
   }
 
   if (csv) std::printf("\nwrote %s\n", cli.get("csv", "decay.csv").c_str());

@@ -1,0 +1,538 @@
+#include "analysis/sanitizer/sanitizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <shared_mutex>
+#include <sstream>
+
+#include "gpusim/profiler.hpp"
+
+namespace mlbm::analysis {
+
+namespace {
+
+// Packed shadow stamp: [63:40] per-array touch counter, [39:20] owner field
+// (0 = none, 1 = host, b+2 = block b), [19:0] level+1. Touch-tagging means
+// shadows never need clearing between launches: a stamp from an earlier
+// launch simply decodes to an older touch value.
+constexpr std::uint64_t kOwnerNone = 0;
+constexpr std::uint64_t kOwnerHost = 1;
+constexpr std::uint64_t kOwnerMax = (1ull << 20) - 1;
+constexpr std::uint32_t kTouchMask = 0xFFFFFFu;
+
+inline std::uint64_t owner_of_block(long long b) {
+  const auto clamped = static_cast<std::uint64_t>(b < 0 ? 0 : b);
+  return std::min<std::uint64_t>(clamped + 2, kOwnerMax);
+}
+inline long long block_of_owner(std::uint64_t owner) {
+  return owner >= 2 ? static_cast<long long>(owner - 2) : -1;
+}
+inline std::uint64_t pack(std::uint32_t touch, std::uint64_t owner,
+                          int level) {
+  return (static_cast<std::uint64_t>(touch & kTouchMask) << 40) |
+         ((owner & kOwnerMax) << 20) |
+         (static_cast<std::uint64_t>(level + 1) & 0xFFFFFu);
+}
+inline std::uint32_t stamp_touch(std::uint64_t s) {
+  return static_cast<std::uint32_t>(s >> 40) & kTouchMask;
+}
+inline std::uint64_t stamp_owner(std::uint64_t s) { return (s >> 20) & kOwnerMax; }
+inline int stamp_level(std::uint64_t s) {
+  return static_cast<int>(s & 0xFFFFFu) - 1;
+}
+
+// Per-OS-thread attribution context: which (sanitizer, block, level) the
+// thread is currently executing. Set by the launchers around each block's
+// level slice; global accesses issued outside any slice (host-side counted
+// access, which engines do not do) fall back to host attribution.
+struct TlsCtx {
+  const void* owner = nullptr;
+  long long block = -1;
+  int level = -1;
+};
+thread_local TlsCtx tls_ctx;
+
+// Element flag bits (one byte per element).
+constexpr std::uint8_t kInit = 1u;            ///< written at least once
+constexpr std::uint8_t kUninitReported = 2u;  ///< initcheck fired here
+constexpr std::uint8_t kStaleReported = 4u;   ///< staleness fired here
+
+std::shared_mutex& arrays_mu() {
+  static std::shared_mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+const char* to_string(HazardKind k) {
+  switch (k) {
+    case HazardKind::kSharedRace: return "shared-race";
+    case HazardKind::kOob: return "out-of-bounds";
+    case HazardKind::kUninitRead: return "uninit-read";
+    case HazardKind::kSyncDivergence: return "sync-divergence";
+    case HazardKind::kCrossBlockConflict: return "cross-block-conflict";
+    case HazardKind::kStaleRead: return "stale-read";
+  }
+  return "unknown";
+}
+
+std::string Hazard::to_string() const {
+  std::ostringstream os;
+  os << analysis::to_string(kind) << " in kernel '" << kernel << "' array '"
+     << array << "' elem " << elem;
+  if (block_a >= 0) os << " block " << block_a;
+  if (level_a >= 0) os << " level " << level_a;
+  if (tid_a >= 0) os << " tid " << tid_a;
+  if (block_b >= 0 || tid_b >= 0) {
+    os << " vs";
+    if (block_b >= 0) os << " block " << block_b;
+    if (level_b >= 0) os << " level " << level_b;
+    if (tid_b >= 0) os << " tid " << tid_b;
+  }
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+const Hazard* SanitizerReport::first(HazardKind k) const {
+  for (const Hazard& h : hazards) {
+    if (h.kind == k) return &h;
+  }
+  return nullptr;
+}
+
+std::string SanitizerReport::to_string() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "sanitizer: 0 hazards\n";
+    return os.str();
+  }
+  os << "sanitizer: " << total() << " hazard(s)";
+  for (int k = 0; k < kHazardKinds; ++k) {
+    if (counts[static_cast<std::size_t>(k)] != 0) {
+      os << "  [" << analysis::to_string(static_cast<HazardKind>(k)) << ": "
+         << counts[static_cast<std::size_t>(k)] << "]";
+    }
+  }
+  os << "\n";
+  for (const Hazard& h : hazards) os << "  " << h.to_string() << "\n";
+  if (total() > hazards.size()) {
+    os << "  ... (" << total() - hazards.size() << " more not recorded)\n";
+  }
+  return os.str();
+}
+
+// ---- shadow structures ----------------------------------------------------
+
+struct Sanitizer::ArrayShadow {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t elem_bytes = 0;
+  bool sliding_window = false;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> wstamp;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> rstamp;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> flags;
+  std::atomic<std::uint64_t> last_seen_launch{0};
+  std::atomic<std::uint32_t> touch{0};
+  std::mutex touch_mu;
+
+  void resize(std::size_t count) {
+    n = count;
+    wstamp = std::make_unique<std::atomic<std::uint64_t>[]>(count);
+    rstamp = std::make_unique<std::atomic<std::uint64_t>[]>(count);
+    flags = std::make_unique<std::atomic<std::uint8_t>[]>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      wstamp[i].store(0, std::memory_order_relaxed);
+      rstamp[i].store(0, std::memory_order_relaxed);
+      flags[i].store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct Sanitizer::BlockShared {
+  struct Word {
+    std::uint64_t epoch_p1 = 0;  ///< 0: never accessed
+    int tid = -1;
+    bool write = false;
+    bool init = false;
+    bool uninit_reported = false;
+  };
+  struct Span {
+    const std::byte* base = nullptr;
+    std::size_t words = 0;
+    std::size_t word_bytes = 1;
+    std::size_t word_offset = 0;  ///< word index of this span's first word
+    std::vector<Word> shadow;
+  };
+  std::vector<Span> spans;
+  std::size_t total_words = 0;
+};
+
+// ---- lifecycle ------------------------------------------------------------
+
+Sanitizer::Sanitizer(std::size_t max_recorded) : max_recorded_(max_recorded) {}
+Sanitizer::~Sanitizer() = default;
+
+SanitizerReport Sanitizer::report() const {
+  SanitizerReport r;
+  std::lock_guard<std::mutex> lk(mu_);
+  r.hazards = hazards_;
+  for (int k = 0; k < kHazardKinds; ++k) {
+    r.counts[static_cast<std::size_t>(k)] =
+        counts_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+  }
+  return r;
+}
+
+void Sanitizer::reset() {
+  std::unique_lock<std::shared_mutex> alk(arrays_mu());
+  std::lock_guard<std::mutex> lk(mu_);
+  hazards_.clear();
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& [_, a] : arrays_) {
+    a->resize(a->n);
+    a->last_seen_launch.store(0, std::memory_order_relaxed);
+    a->touch.store(0, std::memory_order_relaxed);
+  }
+  block_shared_.clear();
+  launch_seq_.store(0, std::memory_order_relaxed);
+}
+
+void Sanitizer::record(Hazard h) {
+  counts_[static_cast<std::size_t>(static_cast<int>(h.kind))].fetch_add(
+      1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (hazards_.size() < max_recorded_) {
+    h.kernel = cur_kernel_;
+    hazards_.push_back(std::move(h));
+  }
+}
+
+void Sanitizer::on_launch_begin(const gpusim::KernelRecord& rec,
+                                gpusim::Dim3 grid, gpusim::Dim3 /*block*/,
+                                int /*levels*/) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cur_kernel_ = rec.name;
+  }
+  launch_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Fresh shared-memory registry per launch: BlockCtx arenas are
+  // launch-local on the simulator exactly as on hardware.
+  block_shared_.clear();
+  block_shared_.resize(static_cast<std::size_t>(grid.count()));
+}
+
+void Sanitizer::on_block_begin(long long block, int level) {
+  tls_ctx.owner = this;
+  tls_ctx.block = block;
+  tls_ctx.level = level;
+}
+
+void Sanitizer::on_block_end() { tls_ctx.owner = nullptr; }
+
+void Sanitizer::on_launch_end(
+    const std::vector<std::uint64_t>& per_block_syncs) {
+  if (per_block_syncs.empty()) return;
+  const auto [mn, mx] =
+      std::minmax_element(per_block_syncs.begin(), per_block_syncs.end());
+  if (*mn == *mx) return;
+  Hazard h;
+  h.kind = HazardKind::kSyncDivergence;
+  h.array = "barriers";
+  h.block_a = mx - per_block_syncs.begin();
+  h.block_b = mn - per_block_syncs.begin();
+  h.detail = "blocks retired diverging barrier counts (max " +
+             std::to_string(*mx) + " at block " + std::to_string(h.block_a) +
+             ", min " + std::to_string(*mn) + " at block " +
+             std::to_string(h.block_b) + ")";
+  record(std::move(h));
+}
+
+// ---- global memory --------------------------------------------------------
+
+Sanitizer::ArrayShadow* Sanitizer::find_array(const void* arr) {
+  std::shared_lock<std::shared_mutex> lk(arrays_mu());
+  const auto it = arrays_.find(arr);
+  return it == arrays_.end() ? nullptr : it->second.get();
+}
+
+void Sanitizer::global_register(const void* arr, std::size_t n,
+                                std::size_t elem_bytes, const char* name,
+                                bool sliding_window) {
+  std::unique_lock<std::shared_mutex> lk(arrays_mu());
+  auto& slot = arrays_[arr];
+  if (slot == nullptr) slot = std::make_unique<ArrayShadow>();
+  slot->name = (name != nullptr && *name != '\0') ? name : "unnamed";
+  slot->elem_bytes = elem_bytes;
+  slot->sliding_window = sliding_window;
+  slot->resize(n);
+  slot->last_seen_launch.store(0, std::memory_order_relaxed);
+  slot->touch.store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t Sanitizer::touch_of(ArrayShadow& a) {
+  const std::uint64_t seq = launch_seq_.load(std::memory_order_relaxed);
+  if (a.last_seen_launch.load(std::memory_order_acquire) != seq) {
+    std::lock_guard<std::mutex> lk(a.touch_mu);
+    if (a.last_seen_launch.load(std::memory_order_relaxed) != seq) {
+      a.touch.fetch_add(1, std::memory_order_relaxed);
+      a.last_seen_launch.store(seq, std::memory_order_release);
+    }
+  }
+  return a.touch.load(std::memory_order_relaxed) & kTouchMask;
+}
+
+void Sanitizer::element_read(ArrayShadow& a, index_t i, long long block,
+                             int level, std::uint32_t touch) {
+  const auto idx = static_cast<std::size_t>(i);
+  const std::uint8_t fl = a.flags[idx].load(std::memory_order_relaxed);
+  if ((fl & kInit) == 0u) {
+    // initcheck: read of an element nothing (device or host) ever wrote.
+    // Reported once per element.
+    if ((a.flags[idx].fetch_or(kUninitReported, std::memory_order_relaxed) &
+         kUninitReported) == 0u) {
+      Hazard h;
+      h.kind = HazardKind::kUninitRead;
+      h.array = a.name;
+      h.elem = i;
+      h.block_a = block;
+      h.level_a = level;
+      h.detail = "device read of element never written";
+      record(std::move(h));
+    }
+  } else {
+    const std::uint64_t w = a.wstamp[idx].load(std::memory_order_relaxed);
+    const std::uint64_t owner = stamp_owner(w);
+    if (stamp_touch(w) == touch && owner >= 2 &&
+        block_of_owner(owner) != block) {
+      // Within one launch: a block consumed what another block produced.
+      Hazard h;
+      h.kind = HazardKind::kCrossBlockConflict;
+      h.array = a.name;
+      h.elem = i;
+      h.block_a = block;
+      h.level_a = level;
+      h.block_b = block_of_owner(owner);
+      h.level_b = stamp_level(w);
+      h.write_b = true;
+      h.detail = (h.level_b == level)
+                     ? "read races a same-level write by another block"
+                     : "read of an element another block wrote earlier in "
+                       "this launch (window invariant violated)";
+      record(std::move(h));
+    } else if (a.sliding_window && stamp_touch(w) + 1 < touch) {
+      // Sliding-window staleness: the element was not refreshed since the
+      // array's previous launch — a broken ring shift / write-behind
+      // distance leaves exactly such un-refreshed planes behind. Reported
+      // once per element.
+      if ((a.flags[idx].fetch_or(kStaleReported, std::memory_order_relaxed) &
+           kStaleReported) == 0u) {
+        Hazard h;
+        h.kind = HazardKind::kStaleRead;
+        h.array = a.name;
+        h.elem = i;
+        h.block_a = block;
+        h.level_a = level;
+        h.block_b = block_of_owner(owner);
+        h.level_b = stamp_level(w);
+        h.write_b = true;
+        h.detail = "read of element last written " +
+                   std::to_string(touch - stamp_touch(w)) +
+                   " launches ago (sliding-window freshness broken)";
+        record(std::move(h));
+      }
+    }
+  }
+  a.rstamp[idx].store(pack(touch, owner_of_block(block), level),
+                      std::memory_order_relaxed);
+}
+
+void Sanitizer::element_write(ArrayShadow& a, index_t i, long long block,
+                              int level, std::uint32_t touch) {
+  const auto idx = static_cast<std::size_t>(i);
+  const std::uint64_t mine = pack(touch, owner_of_block(block), level);
+  const std::uint64_t prev =
+      a.wstamp[idx].exchange(mine, std::memory_order_relaxed);
+  if (prev != 0 && stamp_touch(prev) == touch) {
+    const std::uint64_t owner = stamp_owner(prev);
+    if (owner >= 2 && block_of_owner(owner) != block &&
+        stamp_level(prev) == level) {
+      Hazard h;
+      h.kind = HazardKind::kCrossBlockConflict;
+      h.array = a.name;
+      h.elem = i;
+      h.block_a = block;
+      h.level_a = level;
+      h.block_b = block_of_owner(owner);
+      h.level_b = stamp_level(prev);
+      h.write_a = true;
+      h.write_b = true;
+      h.detail = "two blocks wrote the same element in the same level";
+      record(std::move(h));
+    }
+  }
+  const std::uint64_t r = a.rstamp[idx].load(std::memory_order_relaxed);
+  if (r != 0 && stamp_touch(r) == touch) {
+    const std::uint64_t rowner = stamp_owner(r);
+    if (rowner >= 2 && block_of_owner(rowner) != block &&
+        stamp_level(r) == level) {
+      Hazard h;
+      h.kind = HazardKind::kCrossBlockConflict;
+      h.array = a.name;
+      h.elem = i;
+      h.block_a = block;
+      h.level_a = level;
+      h.block_b = block_of_owner(rowner);
+      h.level_b = stamp_level(r);
+      h.write_a = true;
+      h.detail = "write races a same-level read by another block";
+      record(std::move(h));
+    }
+  }
+  if ((a.flags[idx].load(std::memory_order_relaxed) & kInit) == 0u) {
+    a.flags[idx].fetch_or(kInit, std::memory_order_relaxed);
+  }
+}
+
+void Sanitizer::global_access(const void* arr, index_t base, index_t stride,
+                              int n, bool write) {
+  ArrayShadow* a = find_array(arr);
+  if (a == nullptr) return;
+  long long block = -1;
+  int level = -1;
+  if (tls_ctx.owner == this) {
+    block = tls_ctx.block;
+    level = tls_ctx.level;
+  }
+  const std::uint32_t touch = touch_of(*a);
+  index_t i = base;
+  for (int k = 0; k < n; ++k, i += stride) {
+    if (write) {
+      element_write(*a, i, block, level, touch);
+    } else {
+      element_read(*a, i, block, level, touch);
+    }
+  }
+}
+
+void Sanitizer::global_oob(const void* arr, index_t base, index_t stride,
+                           int n, std::size_t size, bool write) {
+  ArrayShadow* a = find_array(arr);
+  Hazard h;
+  h.kind = HazardKind::kOob;
+  h.array = a != nullptr ? a->name : "unknown";
+  h.elem = base;
+  if (tls_ctx.owner == this) {
+    h.block_a = tls_ctx.block;
+    h.level_a = tls_ctx.level;
+  }
+  h.write_a = write;
+  h.detail = std::string(write ? "store" : "load") + " span base=" +
+             std::to_string(base) + " stride=" + std::to_string(stride) +
+             " n=" + std::to_string(n) + " outside [0, " +
+             std::to_string(size) + "); access skipped";
+  record(std::move(h));
+}
+
+void Sanitizer::global_host_write(const void* arr, index_t i) {
+  ArrayShadow* a = find_array(arr);
+  if (a == nullptr) return;
+  const auto idx = static_cast<std::size_t>(i);
+  if (idx >= a->n) return;
+  // Host writes (initialization, boundary imposes, ghost exchange, restore)
+  // initialize the element and count as fresh for the *next* launch: the
+  // stamp carries the array's current touch value, which satisfies the
+  // staleness window at touch+1.
+  a->wstamp[idx].store(
+      pack(a->touch.load(std::memory_order_relaxed) & kTouchMask, kOwnerHost,
+           -1),
+      std::memory_order_relaxed);
+  if ((a->flags[idx].load(std::memory_order_relaxed) & kInit) == 0u) {
+    a->flags[idx].fetch_or(kInit, std::memory_order_relaxed);
+  }
+}
+
+// ---- shared memory --------------------------------------------------------
+
+void Sanitizer::shared_register(long long block, const void* base,
+                                std::size_t words, std::size_t word_bytes) {
+  const auto b = static_cast<std::size_t>(block);
+  if (b >= block_shared_.size()) return;
+  if (block_shared_[b] == nullptr) {
+    block_shared_[b] = std::make_unique<BlockShared>();
+  }
+  BlockShared& bs = *block_shared_[b];
+  BlockShared::Span span;
+  span.base = static_cast<const std::byte*>(base);
+  span.words = words;
+  span.word_bytes = word_bytes == 0 ? 1 : word_bytes;
+  span.word_offset = bs.total_words;
+  span.shadow.assign(words, BlockShared::Word{});
+  bs.total_words += words;
+  bs.spans.push_back(std::move(span));
+}
+
+void Sanitizer::shared_access(long long block, const void* addr, int tid,
+                              bool write, std::uint64_t epoch) {
+  const auto b = static_cast<std::size_t>(block);
+  if (b >= block_shared_.size() || block_shared_[b] == nullptr) return;
+  BlockShared& bs = *block_shared_[b];
+  const auto* p = static_cast<const std::byte*>(addr);
+  for (BlockShared::Span& span : bs.spans) {
+    if (p < span.base || p >= span.base + span.words * span.word_bytes) {
+      continue;
+    }
+    const auto word = static_cast<std::size_t>(p - span.base) / span.word_bytes;
+    BlockShared::Word& w = span.shadow[word];
+    const std::uint64_t ep1 = epoch + 1;
+    if (w.epoch_p1 == ep1 && w.tid != tid && (write || w.write)) {
+      // racecheck: same word, same barrier epoch, different threads, at
+      // least one write — unordered on real hardware.
+      Hazard h;
+      h.kind = HazardKind::kSharedRace;
+      h.array = "shared";
+      h.elem = static_cast<long long>(span.word_offset + word);
+      h.block_a = block;
+      h.tid_a = tid;
+      h.tid_b = w.tid;
+      h.epoch = epoch;
+      h.write_a = write;
+      h.write_b = w.write;
+      if (tls_ctx.owner == this) h.level_a = tls_ctx.level;
+      h.detail = "two threads touched the same shared word in one barrier "
+                 "epoch (missing __syncthreads between them)";
+      record(std::move(h));
+    }
+    if (!write && !w.init && !w.uninit_reported) {
+      // initcheck for shared memory: on hardware the arena starts
+      // uninitialized, so a read before the block's first write of the word
+      // consumes garbage (the simulator zero-fills, which hides it).
+      w.uninit_reported = true;
+      Hazard h;
+      h.kind = HazardKind::kUninitRead;
+      h.array = "shared";
+      h.elem = static_cast<long long>(span.word_offset + word);
+      h.block_a = block;
+      h.tid_a = tid;
+      h.epoch = epoch;
+      if (tls_ctx.owner == this) h.level_a = tls_ctx.level;
+      h.detail = "read of a shared word never written by this block";
+      record(std::move(h));
+    }
+    if (w.epoch_p1 == ep1 && w.tid == tid) {
+      w.write = w.write || write;
+    } else {
+      w.epoch_p1 = ep1;
+      w.tid = tid;
+      w.write = write;
+    }
+    if (write) w.init = true;
+    return;
+  }
+}
+
+void Sanitizer::block_sync(long long /*block*/, std::uint64_t /*epoch*/) {
+  // Barrier counts reach synccheck through on_launch_end; per-sync state is
+  // already captured in the epoch ids kernels pass to shared_access.
+}
+
+}  // namespace mlbm::analysis

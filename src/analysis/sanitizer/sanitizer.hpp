@@ -1,0 +1,175 @@
+// mlbm-sanitizer: a compute-sanitizer-style hazard detector for gpusim.
+//
+// The paper's central correctness claim — the MR sliding window (write
+// moments two layers behind the read layer) plus Dethier-style circular
+// array shifting makes the persistent `launch_level_synced` kernel race-free
+// across columns — is an argument in comments until something checks it.
+// Real GPU stacks check exactly this with `compute-sanitizer`; our host-side
+// execution model makes the same analysis cheap and *exact*, because kernels
+// are written in block-synchronous phase style where the happens-before
+// relation is fully determined by barrier epochs and level boundaries
+// (docs/sanitizer.md).
+//
+// Hazard classes (the compute-sanitizer tool names in parentheses):
+//
+//  * kSharedRace (racecheck) — two threads of a block touch the same
+//    shared-memory word in the same barrier epoch, at least one writing.
+//  * kOob (memcheck) — a device access (scalar or batched span, either
+//    stride sign) falls outside its GlobalArray allocation.
+//  * kUninitRead (initcheck) — a device read of a global element or shared
+//    word that nothing wrote first (e.g. a halo cell consumed before the
+//    ghost exchange filled it).
+//  * kSyncDivergence (synccheck) — blocks of one launch retire different
+//    numbers of barriers.
+//  * kCrossBlockConflict — within one launch, a block touches a global
+//    element another block wrote: a read or write of the same element in
+//    the same level is a race under the level-barrier contract, and a read
+//    of an element a *different* block wrote at an earlier level breaks the
+//    window invariant (no block may consume what a peer produced inside the
+//    same persistent launch).
+//  * kStaleRead — the sliding-window freshness contract: for arrays that
+//    opt in (all engine state arrays), every element a launch reads must
+//    have been written no earlier than the array's previous launch (or by
+//    the host in between). A broken ring shift or shortened write-behind
+//    distance leaves a plane of elements un-refreshed, and the next step's
+//    reads of them surface here with exact coordinates.
+//
+// Shadow design: per global element, two packed 64-bit atomic stamps
+// {touch, owner, level} for the last write and last read, plus an init/
+// reported byte; per shared word, {epoch, tid, kind, init}. `touch` is a
+// per-array launch counter (bumped the first time a launch touches the
+// array), so shadows never need an O(size) clear between launches — a stale
+// stamp simply decodes to an old touch value.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/dim3.hpp"
+#include "gpusim/sanitizer_hook.hpp"
+#include "util/types.hpp"
+
+namespace mlbm::analysis {
+
+enum class HazardKind : int {
+  kSharedRace = 0,
+  kOob,
+  kUninitRead,
+  kSyncDivergence,
+  kCrossBlockConflict,
+  kStaleRead,
+};
+inline constexpr int kHazardKinds = 6;
+
+const char* to_string(HazardKind k);
+
+/// One detected hazard with enough coordinates to pin the faulty access in
+/// the kernel's index space: the flat element (or shared word), the two
+/// participating accesses' blocks/levels (shared: tids/epoch), and the
+/// kernel name of the launch that surfaced it.
+struct Hazard {
+  HazardKind kind = HazardKind::kOob;
+  std::string kernel;  ///< kernel whose launch surfaced the hazard
+  std::string array;   ///< global array name, or "shared"
+  long long elem = -1; ///< flat element index (global) / word index (shared)
+  long long block_a = -1;  ///< block making the surfacing access
+  long long block_b = -1;  ///< prior conflicting accessor (-1: none/host)
+  int level_a = -1;        ///< level of the surfacing access
+  int level_b = -1;        ///< level of the prior access
+  int tid_a = -1;          ///< shared only: surfacing thread
+  int tid_b = -1;          ///< shared only: prior thread
+  std::uint64_t epoch = 0; ///< shared only: barrier epoch of the race
+  bool write_a = false;    ///< surfacing access is a write
+  bool write_b = false;    ///< prior access was a write
+  std::string detail;      ///< human-readable one-liner
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Snapshot of everything the sanitizer found: the recorded hazards (capped
+/// at construction-time `max_recorded`; counts keep accumulating past the
+/// cap) plus per-class totals.
+struct SanitizerReport {
+  std::vector<Hazard> hazards;
+  std::array<std::uint64_t, kHazardKinds> counts{};
+
+  [[nodiscard]] std::uint64_t count(HazardKind k) const {
+    return counts[static_cast<std::size_t>(static_cast<int>(k))];
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+  [[nodiscard]] bool clean() const { return total() == 0; }
+  /// First recorded hazard of class `k`, or nullptr.
+  [[nodiscard]] const Hazard* first(HazardKind k) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The concrete SanitizerHook. Install with Engine::set_sanitizer(&s) (which
+/// binds it to the engine's profiler and every state array) or wire it
+/// manually via Profiler::set_sanitizer_hook + GlobalArray::set_sanitizer
+/// for synthetic kernels. Thread-safe as the hook contract requires; one
+/// instance observes one engine (or one MultiDomain, whose slab launches are
+/// sequential).
+class Sanitizer final : public gpusim::SanitizerHook {
+ public:
+  explicit Sanitizer(std::size_t max_recorded = 256);
+  ~Sanitizer() override;
+
+  [[nodiscard]] SanitizerReport report() const;
+  /// Drops all hazards and shadow state (arrays stay registered).
+  void reset();
+
+  // ---- SanitizerHook ----------------------------------------------------
+  void on_launch_begin(const gpusim::KernelRecord& rec, gpusim::Dim3 grid,
+                       gpusim::Dim3 block, int levels) override;
+  void on_block_begin(long long block, int level) override;
+  void on_block_end() override;
+  void on_launch_end(const std::vector<std::uint64_t>& per_block_syncs) override;
+  void global_register(const void* arr, std::size_t n, std::size_t elem_bytes,
+                       const char* name, bool sliding_window) override;
+  void global_access(const void* arr, index_t base, index_t stride, int n,
+                     bool write) override;
+  void global_oob(const void* arr, index_t base, index_t stride, int n,
+                  std::size_t size, bool write) override;
+  void global_host_write(const void* arr, index_t i) override;
+  void shared_register(long long block, const void* base, std::size_t words,
+                       std::size_t word_bytes) override;
+  void shared_access(long long block, const void* addr, int tid, bool write,
+                     std::uint64_t epoch) override;
+  void block_sync(long long block, std::uint64_t epoch) override;
+
+ private:
+  struct ArrayShadow;
+  struct BlockShared;
+
+  ArrayShadow* find_array(const void* arr);
+  std::uint32_t touch_of(ArrayShadow& a);
+  void element_read(ArrayShadow& a, index_t i, long long block, int level,
+                    std::uint32_t touch);
+  void element_write(ArrayShadow& a, index_t i, long long block, int level,
+                     std::uint32_t touch);
+  void record(Hazard h);
+
+  mutable std::mutex mu_;  ///< guards hazards_ and launch bookkeeping
+  std::vector<Hazard> hazards_;
+  std::size_t max_recorded_;
+  std::array<std::atomic<std::uint64_t>, kHazardKinds> counts_{};
+
+  std::unordered_map<const void*, std::unique_ptr<ArrayShadow>> arrays_;
+  std::vector<std::unique_ptr<BlockShared>> block_shared_;
+
+  std::atomic<std::uint64_t> launch_seq_{0};  ///< current launch id (1-based)
+  std::string cur_kernel_;                    ///< name of the active launch
+};
+
+}  // namespace mlbm::analysis

@@ -63,6 +63,15 @@ class AaEngine final : public Engine<L> {
   void set_batched_io(bool on) { batched_io_ = on; }
   [[nodiscard]] bool batched_io() const { return batched_io_; }
 
+  /// Binds the sanitizer to the profiler and the single in-place lattice.
+  /// The AA pattern rewrites every slot every step (reader thread == writer
+  /// thread per element), so the lattice satisfies the sliding-window
+  /// freshness contract and opts into the staleness check.
+  void set_sanitizer(gpusim::SanitizerHook* san) override {
+    prof_.set_sanitizer_hook(san);
+    f_.set_sanitizer(san, "f", /*sliding_window=*/true);
+  }
+
   void set_unique_read_tracking(bool on) override {
     f_.set_unique_read_tracking(on);
   }

@@ -100,6 +100,13 @@ class Engine {
     return nullptr;
   }
 
+  /// Installs (or clears, with nullptr) a sanitizer on the engine: binds the
+  /// hook to the engine's profiler (launch lifecycle, synccheck) and to
+  /// every device-resident state array (memcheck/initcheck/staleness
+  /// shadows). No-op for engines without gpusim backing. The uninstrumented
+  /// path stays zero-cost: all hot paths test one nullable pointer.
+  virtual void set_sanitizer(gpusim::SanitizerHook* /*san*/) {}
+
   /// Unique-address DRAM read modelling (gpusim engines; no-ops otherwise):
   /// with tracking enabled, `unique_read_bytes` counts distinct global
   /// elements loaded since the last clear — what reaches DRAM when re-reads

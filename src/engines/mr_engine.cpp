@@ -6,6 +6,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "core/collision.hpp"
 #include "gpusim/launch.hpp"
@@ -195,6 +196,30 @@ void MrEngine<L, ST>::do_step() {
 
   const gpusim::GlobalArray<ST>& rbuf = mom_[ping_pong ? cur_ : 0];
   gpusim::GlobalArray<ST>& wbuf = mom_[ping_pong ? 1 - cur_ : 0];
+
+  // Sanitizer plumbing. The phase bodies are generic lambdas over a
+  // bool_constant `sanc`, dispatched once at the launch site — the
+  // un-instrumented instantiation contains no shared-access reporting at
+  // all (`if constexpr`), so attaching the hook costs the null path
+  // nothing. The kernel reports its shared-ring accesses itself because
+  // the ring is a raw span (the conceptual GPU thread ids are the kernel's
+  // to define: phase A's source-halo threads and phase B's per-node writer
+  // threads get disjoint id ranges).
+  gpusim::SanitizerHook* const sanh = prof_.sanitizer_hook();
+  constexpr int kPhaseBTid = 1 << 20;
+  auto note_shared = [&](gpusim::BlockCtx& blk, const real_t* addr, int tid,
+                         bool write) {
+    sanh->shared_access(blk.linear_block(), addr, tid, write, blk.epoch());
+  };
+
+  // Seeded-mutation offsets (sanitizer kill-rate tests): a broken ring shift
+  // or shortened write-behind distance is one slot offset on the circular
+  // write layer. 0 in normal operation.
+  const int wmut = ping_pong ? 0
+                             : (2 - mutation_.write_behind) +
+                                   mutation_.ring_shift_bias;
+  const bool skip_phase_sync = mutation_.skip_phase_sync;
+  const bool shrink_halo = mutation_.shrink_cross_halo;
   // Element stride between consecutive moment components of one node
   // (midx(m+1,...) - midx(m,...)); the per-node moment vector is one
   // batched span of M elements at this stride.
@@ -257,7 +282,8 @@ void MrEngine<L, ST>::do_step() {
   };
 
   // ---- Phase A: read + collide + reconstruct + stream into shared memory.
-  auto phase_a = [&](ColState& st, int k) {
+  auto phase_a = [&](auto sanc, gpusim::BlockCtx& blk, ColState& st, int k) {
+    constexpr bool kSan = decltype(sanc)::value;
     const int s_begin = k * ts;
     const int s_end = std::min(S, s_begin + ts);
     const int hy_lo = (L::D == 3) ? st.y0 - 1 : 0;
@@ -277,12 +303,20 @@ void MrEngine<L, ST>::do_step() {
           if (!cx1_periodic) continue;  // no node beyond a wall/open face
           py = Box::wrap(hy, ncx1);
         }
-        for (int hx = st.x0 - 1; hx <= st.x1; ++hx) {
+        const int hx_lo = st.x0 - (shrink_halo ? 0 : 1);
+        const int hx_hi = st.x1 - (shrink_halo ? 1 : 0);
+        for (int hx = hx_lo; hx <= hx_hi; ++hx) {
           int px = hx;
           if (hx < 0 || hx >= ncx0) {
             if (!cx0_periodic) continue;
             px = Box::wrap(hx, ncx0);
           }
+          // Conceptual GPU thread id of this phase-A source thread (unique
+          // per (hx, hy, s) within the block); racecheck attribution only.
+          const int tid_a =
+              ((s - s_begin) * (hy_hi - hy_lo + 1) + (hy - hy_lo)) *
+                  (cax + 2) +
+              (hx - st.x0 + 1);
           // Signed cross-section index of the source node; halo sources sit
           // outside [0, cross), but every use below is offset to an
           // in-column destination first.
@@ -350,11 +384,13 @@ void MrEngine<L, ST>::do_step() {
               // Half-way bounceback: the population returns to its source
               // node; halo sources belong to the neighbouring column.
               if (hx >= st.x0 && hx < st.x1 && hy >= st.y0 && hy < st.y1) {
-                st.ring[dst_base[1] +
-                        static_cast<std::size_t>(cross_src) * L::Q +
-                        static_cast<std::size_t>(L::opposite(i))] =
-                    f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
-                            cu_wall * inv_cs2;
+                real_t& dst =
+                    st.ring[dst_base[1] +
+                            static_cast<std::size_t>(cross_src) * L::Q +
+                            static_cast<std::size_t>(L::opposite(i))];
+                dst = f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
+                              cu_wall * inv_cs2;
+                if constexpr (kSan) note_shared(blk, &dst, tid_a, true);
               }
               continue;
             }
@@ -368,14 +404,17 @@ void MrEngine<L, ST>::do_step() {
                 cross_src + ((L::D == 3) ? c[1] * cax : 0) + c[0]);
             const std::size_t elem =
                 cross_dst * L::Q + static_cast<std::size_t>(i);
+            real_t* dst;
             if (lds >= 0 && lds < S) {
-              st.ring[dst_base[c_sweep<L>(i) + 1] + elem] = f;
+              dst = &st.ring[dst_base[c_sweep<L>(i) + 1] + elem];
             } else if (lds == -1) {
-              st.stash_lo[elem] = f;  // wraps to S-1
+              dst = &st.stash_lo[elem];  // wraps to S-1
             } else {
               assert(lds == S);
-              st.stash_hi[elem] = f;  // wraps to 0
+              dst = &st.stash_hi[elem];  // wraps to 0
             }
+            *dst = f;
+            if constexpr (kSan) note_shared(blk, dst, tid_a, true);
           }
         }
       }
@@ -389,7 +428,12 @@ void MrEngine<L, ST>::do_step() {
   // Getters receive the flat cross-section node index (base of the node's Q
   // populations is node * Q) so the hot plain-ring case is a contiguous copy.
   auto write_layer_from = [&](ColState& st, int s, auto&& get) {
-    const int sp = phys_layer(s, tt + 1);
+    int sp = phys_layer(s, tt + 1);
+    // Seeded mutation: bias the circular write layer. Every biased slot
+    // assignment leaves (at least) one logical plane per step either stale
+    // or never written — exactly what the sanitizer's freshness shadow
+    // proves the correct shift never does.
+    if (wmut != 0) sp = (((sp + wmut) % (S + 2)) + (S + 2)) % (S + 2);
     std::size_t node = 0;
     for (int cy = st.y0; cy < st.y1; ++cy) {
       for (int cx = st.x0; cx < st.x1; ++cx, ++node) {
@@ -416,7 +460,13 @@ void MrEngine<L, ST>::do_step() {
     }
   };
 
-  auto phase_b = [&](ColState& st, int k) {
+  auto phase_b = [&](auto sanc, gpusim::BlockCtx& blk, ColState& st, int k) {
+    constexpr bool kSan = decltype(sanc)::value;
+    // Phase-B threads are one-per-node write-back threads; give them a tid
+    // range disjoint from phase A's source threads.
+    auto note_b = [&](const real_t* addr, std::size_t node, bool write) {
+      note_shared(blk, addr, kPhaseBTid + static_cast<int>(node), write);
+    };
     // Layers complete after phase A of level k: all s <= (k+1) ts - 2 (their
     // last contribution streams down from source layer s+1). The final level
     // (k == ntiles) flushes the remainder, for which the top layer's missing
@@ -432,8 +482,20 @@ void MrEngine<L, ST>::do_step() {
         // before the window recycles it and write it at the end.
         for (int cy = st.y0; cy < st.y1; ++cy) {
           for (int cx = st.x0; cx < st.x1; ++cx) {
+            const std::size_t node = cross_of(st, cx, cy);
             for (int i = 0; i < L::Q; ++i) {
-              stash_at(st.snap0, st, cx, cy, i) = ring_at(st, 0, cx, cy, i);
+              // Upward-streaming populations of layer 0 arrive from layer
+              // S-1 via stash_hi, not the ring: their slot-0 words are never
+              // written, and the final flush never reads their snap0 copies.
+              // Skipping them avoids copying uninitialized shared words.
+              if (c_sweep<L>(i) > 0) continue;
+              real_t& src = ring_at(st, 0, cx, cy, i);
+              real_t& dst = stash_at(st.snap0, st, cx, cy, i);
+              dst = src;
+              if constexpr (kSan) {
+                note_b(&src, node, false);
+                note_b(&dst, node, true);
+              }
             }
           }
         }
@@ -443,19 +505,28 @@ void MrEngine<L, ST>::do_step() {
         const std::size_t base = slot_base(st, s);
         write_layer_from(st, s, [&](std::size_t node, int i) {
           const std::size_t e = node * L::Q + static_cast<std::size_t>(i);
-          return c_sweep<L>(i) < 0 ? st.stash_lo[e] : st.ring[base + e];
+          const real_t* src =
+              c_sweep<L>(i) < 0 ? &st.stash_lo[e] : &st.ring[base + e];
+          if constexpr (kSan) note_b(src, node, false);
+          return *src;
         });
         continue;
       }
       const std::size_t base = slot_base(st, s);
       write_layer_from(st, s, [&](std::size_t node, int i) {
-        return st.ring[base + node * L::Q + static_cast<std::size_t>(i)];
+        const real_t* src =
+            &st.ring[base + node * L::Q + static_cast<std::size_t>(i)];
+        if constexpr (kSan) note_b(src, node, false);
+        return *src;
       });
     }
     if (k == ntiles && sweep_periodic) {
       write_layer_from(st, 0, [&](std::size_t node, int i) {
         const std::size_t e = node * L::Q + static_cast<std::size_t>(i);
-        return c_sweep<L>(i) > 0 ? st.stash_hi[e] : st.snap0[e];
+        const real_t* src =
+            c_sweep<L>(i) > 0 ? &st.stash_hi[e] : &st.snap0[e];
+        if constexpr (kSan) note_b(src, node, false);
+        return *src;
       });
     }
   };
@@ -474,17 +545,28 @@ void MrEngine<L, ST>::do_step() {
                           L::name());
   }
 
-  gpusim::launch_level_synced(
-      prof_, *krec_, grid, block, 2 * (ntiles + 1), make_state,
-      [&](gpusim::BlockCtx& blk, ColState& st, int level) {
-        const int k = level / 2;
-        if (level % 2 == 0) {
-          if (k < ntiles) phase_a(st, k);
-        } else {
-          blk.sync();
-          phase_b(st, k);
-        }
-      });
+  auto run = [&](auto sanc) {
+    gpusim::launch_level_synced(
+        prof_, *krec_, grid, block, 2 * (ntiles + 1), make_state,
+        [&, sanc](gpusim::BlockCtx& blk, ColState& st, int level) {
+          const int k = level / 2;
+          if (level % 2 == 0) {
+            if (k < ntiles) phase_a(sanc, blk, st, k);
+            // Seeded mutation: run phase B inside phase A's barrier epoch
+            // (models a deleted __syncthreads) — phase B's slot reads then
+            // race phase A's same-epoch writes.
+            if (skip_phase_sync) phase_b(sanc, blk, st, k);
+          } else if (!skip_phase_sync) {
+            blk.sync();
+            phase_b(sanc, blk, st, k);
+          }
+        });
+  };
+  if (sanh != nullptr) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
 
   if (ping_pong) cur_ = 1 - cur_;
 }

@@ -93,6 +93,41 @@ class MrEngine final : public Engine<L> {
   [[nodiscard]] Regularization scheme() const { return scheme_; }
   [[nodiscard]] const MrConfig& config() const { return config_; }
 
+  /// Binds the sanitizer to the profiler and the moment lattice(s). Both
+  /// storage policies satisfy the sliding-window freshness contract — a
+  /// ping-pong read side was fully written by the previous step, and with
+  /// the circular shift every slot phase A reads at step t was written as a
+  /// t-layer by step t-1's phase B — so the lattices opt into the staleness
+  /// check (which is exactly what catches a broken ring shift). Kernel-side
+  /// shared-ring accesses are reported from do_step when a sanitizer is
+  /// bound to the block context.
+  void set_sanitizer(gpusim::SanitizerHook* san) override {
+    prof_.set_sanitizer_hook(san);
+    mom_[0].set_sanitizer(san, "mom0", /*sliding_window=*/true);
+    if (mom_[1].allocated()) {
+      mom_[1].set_sanitizer(san, "mom1", /*sliding_window=*/true);
+    }
+  }
+
+  /// Seeded fault mutations for sanitizer kill-rate tests. These deliberately
+  /// corrupt the kernel's addressing/barrier discipline; the sanitizer must
+  /// flag every one of them (tests/test_sanitizer.cpp). Not for normal use.
+  struct FaultMutation {
+    /// Added to the physical write layer (circular shift only): an
+    /// off-by-one ring shift leaves one logical plane un-refreshed per step.
+    int ring_shift_bias = 0;
+    /// Write-behind distance (paper value 2): writing only 1 behind targets
+    /// slots the window has not yet vacated.
+    int write_behind = 2;
+    /// Run phase B inside phase A's barrier epoch (models deleting the
+    /// __syncthreads between collide/stream and write-back).
+    bool skip_phase_sync = false;
+    /// Drop the one-node cross halo from phase A's source loop (models a
+    /// shrunken halo: edge ring words are never streamed into).
+    bool shrink_cross_halo = false;
+  };
+  void set_fault_mutation_for_test(const FaultMutation& m) { mutation_ = m; }
+
   void set_unique_read_tracking(bool on) override {
     mom_[0].set_unique_read_tracking(on);
     if (mom_[1].allocated()) mom_[1].set_unique_read_tracking(on);
@@ -160,6 +195,7 @@ class MrEngine final : public Engine<L> {
   gpusim::GlobalArray<ST> mom_[2];
   int cur_ = 0;
   bool batched_io_ = true;
+  FaultMutation mutation_{};
   /// Cached kernel record (scheme and lattice are fixed per engine) — no
   /// string lookup per step.
   gpusim::KernelRecord* krec_ = nullptr;

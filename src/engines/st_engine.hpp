@@ -71,6 +71,16 @@ class StEngine final : public Engine<L> {
   void set_batched_io(bool on) { batched_io_ = on; }
   [[nodiscard]] bool batched_io() const { return batched_io_; }
 
+  /// Binds the sanitizer to the profiler and both distribution lattices.
+  /// Ping-pong lattices satisfy the sliding-window freshness contract (the
+  /// source of step t was fully written at step t-1 or host-imposed since),
+  /// so both opt into the staleness check.
+  void set_sanitizer(gpusim::SanitizerHook* san) override {
+    prof_.set_sanitizer_hook(san);
+    f_[0].set_sanitizer(san, "f0", /*sliding_window=*/true);
+    f_[1].set_sanitizer(san, "f1", /*sliding_window=*/true);
+  }
+
   void set_unique_read_tracking(bool on) override {
     f_[0].set_unique_read_tracking(on);
     f_[1].set_unique_read_tracking(on);

@@ -14,12 +14,14 @@
 // on a real GPU.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "gpusim/dim3.hpp"
+#include "gpusim/sanitizer_hook.hpp"
 
 namespace mlbm::gpusim {
 
@@ -39,13 +41,25 @@ class BlockCtx {
     const std::size_t bytes = n * sizeof(T);
     auto& chunk = shared_.emplace_back(bytes, std::byte{0});
     shared_bytes_ += bytes;
+    if (san_ != nullptr) {
+      san_->shared_register(linear_block_, chunk.data(), n, sizeof(T));
+    }
     return {reinterpret_cast<T*>(chunk.data()), n};
   }
 
   /// Executes `fn(tid)` for every thread id in the block (x fastest). The
-  /// loop completing is the simulator's barrier.
+  /// loop completing is the simulator's barrier. Debug builds assert the
+  /// loop is not re-entered from inside `fn`: a nested thread loop would
+  /// silently break the phase model (and the happens-before relation the
+  /// sanitizer derives from it).
   template <class Fn>
   void for_each_thread(Fn&& fn) {
+    assert(!in_thread_loop_ &&
+           "BlockCtx::for_each_thread re-entered mid-phase (nested thread "
+           "loop breaks the block-synchronous phase model)");
+#ifndef NDEBUG
+    in_thread_loop_ = true;
+#endif
     for (int z = 0; z < block_dim_.z; ++z) {
       for (int y = 0; y < block_dim_.y; ++y) {
         for (int x = 0; x < block_dim_.x; ++x) {
@@ -53,11 +67,41 @@ class BlockCtx {
         }
       }
     }
+#ifndef NDEBUG
+    in_thread_loop_ = false;
+#endif
   }
 
-  /// Records a __syncthreads(); the barrier itself is implicit in
-  /// `for_each_thread` phase boundaries.
-  void sync() { ++sync_count_; }
+  /// Records a __syncthreads() and opens a new barrier epoch, returning its
+  /// id. The barrier itself is implicit in `for_each_thread` phase
+  /// boundaries; the epoch id is what makes it observable — accesses to the
+  /// same shared word from different threads are only ordered when their
+  /// epochs differ (racecheck's happens-before).
+  std::uint64_t sync() {
+    ++sync_count_;
+    ++epoch_;
+    if (san_ != nullptr) san_->block_sync(linear_block_, epoch_);
+    return epoch_;
+  }
+
+  /// Opens a new barrier epoch without counting a __syncthreads(). Called by
+  /// `launch_level_synced` at each level boundary: the worksharing barrier
+  /// between levels orders every block's phases just like an intra-block
+  /// sync, but is not an instruction the kernel issues (the profiler's sync
+  /// count must stay a faithful instruction count).
+  void begin_phase() { ++epoch_; }
+
+  /// Current barrier epoch (0 until the first sync/level boundary).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Binds a sanitizer to this block. `linear_block` is the linearized grid
+  /// index used for attribution in hazard reports.
+  void attach_sanitizer(SanitizerHook* san, long long linear_block) {
+    san_ = san;
+    linear_block_ = linear_block;
+  }
+  [[nodiscard]] SanitizerHook* sanitizer() const { return san_; }
+  [[nodiscard]] long long linear_block() const { return linear_block_; }
 
   [[nodiscard]] std::size_t shared_bytes() const { return shared_bytes_; }
   [[nodiscard]] std::uint64_t sync_count() const { return sync_count_; }
@@ -70,6 +114,12 @@ class BlockCtx {
   std::vector<std::vector<std::byte>> shared_;
   std::size_t shared_bytes_ = 0;
   std::uint64_t sync_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  SanitizerHook* san_ = nullptr;
+  long long linear_block_ = 0;
+#ifndef NDEBUG
+  bool in_thread_loop_ = false;
+#endif
 };
 
 }  // namespace mlbm::gpusim

@@ -33,9 +33,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "gpusim/sanitizer_hook.hpp"
 #include "gpusim/traffic.hpp"
+#include "util/error.hpp"
 #include "util/types.hpp"
 
 namespace mlbm::gpusim {
@@ -53,11 +56,39 @@ class GlobalArray {
     counter_ = counter != nullptr ? counter : &null_counter();
     read_touched_.clear();
     unique_reads_.store(0, std::memory_order_relaxed);
+    if (san_ != nullptr) {
+      san_->global_register(this, data_.size(), sizeof(T), san_name_,
+                            san_sliding_window_);
+    }
   }
 
-  /// Device load: counted.
+  /// Binds (or clears, with nullptr) a sanitizer to this allocation. `name`
+  /// labels hazard reports; `sliding_window` opts into the staleness check
+  /// (see sanitizer_hook.hpp). The zero-fill of allocate() deliberately does
+  /// NOT count as initialization — like cudaMalloc'd memory, elements are
+  /// uninitialized until a kernel or the host writes them.
+  void set_sanitizer(SanitizerHook* san, const char* name = "",
+                     bool sliding_window = false) {
+    san_ = san;
+    san_name_ = name;
+    san_sliding_window_ = sliding_window;
+    if (san_ != nullptr) {
+      san_->global_register(this, data_.size(), sizeof(T), san_name_,
+                            san_sliding_window_);
+    }
+  }
+  [[nodiscard]] SanitizerHook* sanitizer() const { return san_; }
+
+  /// Device load: counted. The sanitized path lives in a noinline helper so
+  /// the un-instrumented hot path stays exactly one predicted branch bigger
+  /// than before the sanitizer existed (no code-bloat inlining regressions).
   [[nodiscard]] T load(index_t i) const {
     assert(counter_ != nullptr);
+    if (san_ != nullptr) [[unlikely]] {
+      if (!scalar_san(i, /*write=*/false)) {
+        return T{};  // reported and skipped: the sanitized run continues
+      }
+    }
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
     counter_->add_read(sizeof(T));
     touch_read(static_cast<std::size_t>(i));
@@ -67,6 +98,9 @@ class GlobalArray {
   /// Device store: counted.
   void store(index_t i, T v) {
     assert(counter_ != nullptr);
+    if (san_ != nullptr) [[unlikely]] {
+      if (!scalar_san(i, /*write=*/true)) return;
+    }
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
     counter_->add_write(sizeof(T));
     data_[static_cast<std::size_t>(i)] = v;
@@ -91,7 +125,10 @@ class GlobalArray {
   /// `load`s; with U == T the conversion is the identity.
   template <typename U>
   void load_span_as(index_t base, index_t stride, int n, U* dst) const {
-    check_span(base, stride, n);
+    if (!span_ok(base, stride, n, /*write=*/false)) {
+      for (int k = 0; k < n; ++k) dst[k] = U{};  // reported and skipped
+      return;
+    }
     counter_->add_read(static_cast<std::uint64_t>(n) * sizeof(T), 1);
     const T* p = data_.data() + base;
     for (int k = 0; k < n; ++k, p += stride) dst[k] = static_cast<U>(*p);
@@ -107,7 +144,7 @@ class GlobalArray {
   /// `load_span_as`.
   template <typename U>
   void store_span_as(index_t base, index_t stride, int n, const U* src) {
-    check_span(base, stride, n);
+    if (!span_ok(base, stride, n, /*write=*/true)) return;
     counter_->add_write(static_cast<std::uint64_t>(n) * sizeof(T), 1);
     T* p = data_.data() + base;
     for (int k = 0; k < n; ++k, p += stride) *p = static_cast<T>(src[k]);
@@ -121,9 +158,13 @@ class GlobalArray {
     store_span_as<T>(base, stride, n, src);
   }
 
-  /// Host access: NOT counted (initialization, result inspection).
+  /// Host access: NOT counted (initialization, result inspection). The
+  /// mutable form conservatively marks the element host-written for the
+  /// sanitizer's initcheck/staleness shadows — it is the cudaMemcpy path
+  /// (initialization, boundary imposes, ghost exchange, restores).
   [[nodiscard]] T& raw(index_t i) {
     assert(i >= 0 && static_cast<std::size_t>(i) < data_.size());
+    if (san_ != nullptr) san_->global_host_write(this, i);
     return data_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] const T& raw(index_t i) const {
@@ -149,6 +190,9 @@ class GlobalArray {
   [[nodiscard]] bool allocated() const { return !data_.empty(); }
 
   void swap(GlobalArray& other) {
+    // Shadow state is keyed by array identity; swapping the payload under a
+    // sanitizer would silently mismatch shadows and data.
+    assert(san_ == nullptr && other.san_ == nullptr);
     data_.swap(other.data_);
     std::swap(counter_, other.counter_);
     read_touched_.swap(other.read_touched_);
@@ -186,24 +230,70 @@ class GlobalArray {
   }
 
  private:
-  /// Span bounds check, valid for either stride sign: both endpoints of the
-  /// arithmetic progression must lie inside the allocation (a negative
+  /// Span bounds validation, valid for either stride sign: both endpoints of
+  /// the arithmetic progression must lie inside the allocation (a negative
   /// stride walks downward from base, so `base + (n-1)*stride` is the *low*
   /// end there — checking only the last element against size() would miss
-  /// the underflow).
-  void check_span(index_t base, index_t stride, int n) const {
-#ifndef NDEBUG
+  /// the underflow). Runs in release builds too. On violation:
+  ///  * sanitizer attached — report a memcheck hazard, return false (the
+  ///    caller skips the physical access and the run continues);
+  ///  * traffic counter attached (a real kernel access) — throw a typed
+  ///    BoundsError instead of invoking UB;
+  ///  * bare array (no counter, no sanitizer) — debug assert, release skip.
+  /// In-bounds spans additionally notify the sanitizer.
+  /// The fast path is the three comparisons only; everything else (sanitizer
+  /// notification, hazard reporting, the throwing diagnostic) sits in the
+  /// noinline slow helper so callers keep inlining the span copy loops.
+  bool span_ok(index_t base, index_t stride, int n, bool write) const {
     assert(counter_ != nullptr);
-    assert(n > 0);
     const index_t last = base + static_cast<index_t>(n - 1) * stride;
     const index_t lo = base < last ? base : last;
     const index_t hi = base < last ? last : base;
-    assert(lo >= 0 && static_cast<std::size_t>(hi) < data_.size());
-#else
-    (void)base;
-    (void)stride;
-    (void)n;
-#endif
+    if (n > 0 && lo >= 0 && static_cast<std::size_t>(hi) < data_.size() &&
+        san_ == nullptr) [[likely]] {
+      return true;
+    }
+    return span_slow(base, stride, n, write, lo, hi);
+  }
+
+  [[gnu::noinline]] bool span_slow(index_t base, index_t stride, int n,
+                                   bool write, index_t lo,
+                                   index_t hi) const {
+    const bool in_bounds =
+        n > 0 && lo >= 0 && static_cast<std::size_t>(hi) < data_.size();
+    if (san_ != nullptr) {
+      if (in_bounds) {
+        san_->global_access(this, base, stride, n, write);
+        return true;
+      }
+      san_->global_oob(this, base, stride, n, data_.size(), write);
+      return false;
+    }
+    if (in_bounds) return true;
+    if (counter_ != &null_counter()) {
+      throw BoundsError(
+          "GlobalArray" + (*san_name_ != '\0'
+                               ? " '" + std::string(san_name_) + "'"
+                               : std::string()) +
+          ": span out of bounds: base=" + std::to_string(base) +
+          " stride=" + std::to_string(stride) + " n=" + std::to_string(n) +
+          " touches [" + std::to_string(lo) + ", " + std::to_string(hi) +
+          "] outside [0, " + std::to_string(data_.size()) + ")");
+    }
+    assert(false && "GlobalArray: span out of bounds");
+    return false;
+  }
+
+  /// Scalar-access sanitizer path (load/store with a hook attached): bounds
+  /// check + shadow notification. Returns false when the access was
+  /// out-of-bounds (reported; the caller skips it).
+  [[gnu::noinline]] bool scalar_san(index_t i, bool write) const {
+    if (i < 0 || static_cast<std::size_t>(i) >= data_.size()) {
+      san_->global_oob(this, i, 0, 1, data_.size(), write);
+      return false;
+    }
+    san_->global_access(this, i, 0, 1, write);
+    return true;
   }
 
   /// First-touch accounting for the ideal-cache model. Only the first toucher
@@ -220,6 +310,9 @@ class GlobalArray {
 
   std::vector<T> data_;
   TrafficCounter* counter_ = nullptr;
+  SanitizerHook* san_ = nullptr;
+  const char* san_name_ = "";
+  bool san_sliding_window_ = false;
   mutable std::vector<std::uint8_t> read_touched_;
   mutable std::atomic<std::uint64_t> unique_reads_{0};
 };

@@ -72,6 +72,8 @@ void launch(Profiler& prof, KernelRecord& rec, Dim3 grid, Dim3 block,
   // before any block runs or any counter moves — the failed launch left the
   // device untouched and the caller may retry.
   if (LaunchFaultHook* hook = prof.launch_fault_hook()) hook->on_launch(rec);
+  SanitizerHook* san = prof.sanitizer_hook();
+  if (san != nullptr) san->on_launch_begin(rec, grid, block, /*levels=*/1);
   const TrafficSnapshot before = prof.counter().snapshot();
   const long long nblocks = grid.count();
 
@@ -80,7 +82,12 @@ void launch(Profiler& prof, KernelRecord& rec, Dim3 grid, Dim3 block,
 
   detail::parallel_for_blocks(nblocks, [&](long long b) {
     BlockCtx ctx(detail::unflatten(b, grid), block);
+    if (san != nullptr) {
+      ctx.attach_sanitizer(san, b);
+      san->on_block_begin(b, /*level=*/0);
+    }
     body(ctx);
+    if (san != nullptr) san->on_block_end();
     syncs[static_cast<std::size_t>(b)] = ctx.sync_count();
     shared[static_cast<std::size_t>(b)] = ctx.shared_bytes();
   });
@@ -95,6 +102,7 @@ void launch(Profiler& prof, KernelRecord& rec, Dim3 grid, Dim3 block,
     }
   }
   rec.traffic += prof.counter().snapshot() - before;
+  if (san != nullptr) san->on_launch_end(syncs);
 }
 
 /// By-name convenience form: looks up (creating if needed) the kernel record.
@@ -124,6 +132,8 @@ void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
   // Same fault-injection point as `launch`: throws happen before any
   // per-block state exists.
   if (LaunchFaultHook* hook = prof.launch_fault_hook()) hook->on_launch(rec);
+  SanitizerHook* san = prof.sanitizer_hook();
+  if (san != nullptr) san->on_launch_begin(rec, grid, block, levels);
   const TrafficSnapshot before = prof.counter().snapshot();
   const long long nblocks = grid.count();
 
@@ -133,8 +143,21 @@ void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
   states.reserve(static_cast<std::size_t>(nblocks));
   for (long long b = 0; b < nblocks; ++b) {
     ctxs.emplace_back(detail::unflatten(b, grid), block);
+    // Attach before make_state so shared allocations register their spans.
+    if (san != nullptr) ctxs.back().attach_sanitizer(san, b);
     states.push_back(make_state(ctxs.back()));
   }
+
+  // Each level boundary is a barrier epoch for every block (the worksharing
+  // barrier orders phases exactly like an intra-block sync), and each
+  // (block, level) slice sets the sanitizer's attribution context.
+  auto run_block_level = [&](long long b, int level) {
+    BlockCtx& ctx = ctxs[static_cast<std::size_t>(b)];
+    ctx.begin_phase();
+    if (san != nullptr) san->on_block_begin(b, level);
+    level_fn(ctx, states[static_cast<std::size_t>(b)], level);
+    if (san != nullptr) san->on_block_end();
+  };
 
 #ifdef _OPENMP
 #pragma omp parallel default(shared)
@@ -142,8 +165,7 @@ void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
     for (int level = 0; level < levels; ++level) {
 #pragma omp for schedule(static)
       for (long long b = 0; b < nblocks; ++b) {
-        level_fn(ctxs[static_cast<std::size_t>(b)],
-                 states[static_cast<std::size_t>(b)], level);
+        run_block_level(b, level);
       }
       // The worksharing loop's implicit barrier is the level barrier: every
       // block finishes the level before any block starts the next.
@@ -152,8 +174,7 @@ void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
 #else
   for (int level = 0; level < levels; ++level) {
     for (long long b = 0; b < nblocks; ++b) {
-      level_fn(ctxs[static_cast<std::size_t>(b)],
-               states[static_cast<std::size_t>(b)], level);
+      run_block_level(b, level);
     }
   }
 #endif
@@ -161,13 +182,17 @@ void launch_level_synced(Profiler& prof, KernelRecord& rec, Dim3 grid,
   rec.grid = grid;
   rec.block = block;
   rec.launches += 1;
-  for (auto& ctx : ctxs) {
+  std::vector<std::uint64_t> syncs(static_cast<std::size_t>(nblocks), 0);
+  for (long long b = 0; b < nblocks; ++b) {
+    BlockCtx& ctx = ctxs[static_cast<std::size_t>(b)];
+    syncs[static_cast<std::size_t>(b)] = ctx.sync_count();
     rec.syncs += ctx.sync_count();
     if (ctx.shared_bytes() > rec.shared_bytes_per_block) {
       rec.shared_bytes_per_block = ctx.shared_bytes();
     }
   }
   rec.traffic += prof.counter().snapshot() - before;
+  if (san != nullptr) san->on_launch_end(syncs);
 }
 
 /// By-name convenience form of `launch_level_synced` (see `launch`).

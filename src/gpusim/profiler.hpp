@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gpusim/dim3.hpp"
+#include "gpusim/sanitizer_hook.hpp"
 #include "gpusim/traffic.hpp"
 
 namespace mlbm::gpusim {
@@ -107,10 +108,20 @@ class Profiler {
     return fault_hook_;
   }
 
+  /// Installs (or clears, with nullptr) the sanitizer hook notified by every
+  /// launch through this profiler (see sanitizer_hook.hpp). Engines install
+  /// it here AND on their GlobalArrays; the launchers only consult this
+  /// pointer, so an uninstrumented launch pays one branch.
+  void set_sanitizer_hook(SanitizerHook* hook) { sanitizer_hook_ = hook; }
+  [[nodiscard]] SanitizerHook* sanitizer_hook() const {
+    return sanitizer_hook_;
+  }
+
  private:
   TrafficCounter counter_;
   std::map<std::string, KernelRecord> records_;
   LaunchFaultHook* fault_hook_ = nullptr;
+  SanitizerHook* sanitizer_hook_ = nullptr;
 };
 
 }  // namespace mlbm::gpusim

@@ -1,0 +1,99 @@
+// Sanitizer instrumentation interface (compute-sanitizer analogue).
+//
+// Mirrors the LaunchFaultHook pattern: the simulator's hot paths carry one
+// nullable pointer and test it before notifying, so an uninstrumented run
+// pays a single predictable branch per instrumented call site and nothing
+// else (no virtual dispatch unless a hook is installed).
+//
+// The hook observes four event families:
+//
+//  * launch lifecycle — `on_launch_begin` / `on_block_begin` /
+//    `on_block_end` / `on_launch_end`, emitted by `launch` and
+//    `launch_level_synced`. Block begin/end bracket one block's execution of
+//    one level (level 0 for plain launches) and establish the per-OS-thread
+//    attribution context for global-memory events.
+//  * global memory — `global_register` (a GlobalArray binds itself, sized),
+//    `global_access` (in-bounds device load/store, possibly strided),
+//    `global_oob` (an access that failed bounds validation; the array skips
+//    the touch, so the sanitizer must record it), and `global_host_write`
+//    (host-side mutation through `raw()`: initialization, boundary imposes,
+//    ghost exchange, checkpoint restore).
+//  * shared memory — `shared_register` (a BlockCtx arena span) and
+//    `shared_access` (one word, with the conceptual GPU thread id supplied
+//    by the kernel and the block's current barrier epoch).
+//  * barriers — `block_sync`, emitted by BlockCtx::sync().
+//
+// Concurrency contract: launch lifecycle calls other than
+// `on_block_begin`/`on_block_end` are serialized by the launcher;
+// everything else may arrive concurrently from OpenMP worker threads and
+// implementations must synchronize internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/dim3.hpp"
+#include "util/types.hpp"
+
+namespace mlbm::gpusim {
+
+struct KernelRecord;
+
+class SanitizerHook {
+ public:
+  SanitizerHook() = default;
+  SanitizerHook(const SanitizerHook&) = delete;
+  SanitizerHook& operator=(const SanitizerHook&) = delete;
+  virtual ~SanitizerHook() = default;
+
+  // ---- launch lifecycle -------------------------------------------------
+  /// A kernel launch starts. `levels` is 1 for plain launches.
+  virtual void on_launch_begin(const KernelRecord& rec, Dim3 grid, Dim3 block,
+                               int levels) = 0;
+  /// Block `block` (linearized) starts executing `level` on the calling OS
+  /// thread. Establishes attribution context for global accesses.
+  virtual void on_block_begin(long long block, int level) = 0;
+  /// The calling OS thread finished its current (block, level) slice.
+  virtual void on_block_end() = 0;
+  /// The launch completed; `per_block_syncs` holds each block's barrier
+  /// count (synccheck input).
+  virtual void on_launch_end(const std::vector<std::uint64_t>& per_block_syncs) = 0;
+
+  // ---- global memory ----------------------------------------------------
+  /// Binds array `arr` (identity key) of `n` elements. `sliding_window`
+  /// opts the array into the staleness check: its kernels promise that
+  /// every element a launch reads was refreshed no earlier than the array's
+  /// previous launch (the sliding-window / ping-pong contract all engine
+  /// state arrays satisfy).
+  virtual void global_register(const void* arr, std::size_t n,
+                               std::size_t elem_bytes, const char* name,
+                               bool sliding_window) = 0;
+  /// An in-bounds device access of `n` elements starting at `base` with
+  /// element stride `stride` (scalar accesses pass n=1, stride=0).
+  virtual void global_access(const void* arr, index_t base, index_t stride,
+                             int n, bool write) = 0;
+  /// An access that failed bounds validation (memcheck). The array skips
+  /// the physical touch after reporting.
+  virtual void global_oob(const void* arr, index_t base, index_t stride, int n,
+                          std::size_t size, bool write) = 0;
+  /// Host-side write of element `i` through raw(): marks initialization and
+  /// freshness (ghost exchange, boundary impose, restore, init).
+  virtual void global_host_write(const void* arr, index_t i) = 0;
+
+  // ---- shared memory ----------------------------------------------------
+  /// Block `block` allocated a shared span of `words` elements of
+  /// `word_bytes` each at address `base`.
+  virtual void shared_register(long long block, const void* base,
+                               std::size_t words, std::size_t word_bytes) = 0;
+  /// One shared-memory word access by conceptual thread `tid` of `block`
+  /// in barrier epoch `epoch`.
+  virtual void shared_access(long long block, const void* addr, int tid,
+                             bool write, std::uint64_t epoch) = 0;
+
+  // ---- barriers ---------------------------------------------------------
+  /// Block `block` executed a __syncthreads(), entering `epoch`.
+  virtual void block_sync(long long block, std::uint64_t epoch) = 0;
+};
+
+}  // namespace mlbm::gpusim

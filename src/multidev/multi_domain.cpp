@@ -266,7 +266,7 @@ void MultiDomainEngine<L>::do_step() {
   for (auto& e : engines_) {
     e->step();
   }
-  exchange();
+  if (!skip_exchange_) exchange();
 }
 
 template class MultiDomainEngine<D2Q9>;

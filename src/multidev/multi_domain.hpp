@@ -98,6 +98,26 @@ class MultiDomainEngine final : public Engine<L> {
     return engines_.front()->storage_precision();
   }
 
+  /// One sanitizer observes every slab engine ("device"). The per-array
+  /// launch-touch counters in the sanitizer keep the slabs' interleaved
+  /// launches independent, and the ghost exchange's host-side impose()
+  /// writes re-stamp every ghost plane fresh each step — so a decomposed
+  /// run is hazard-free exactly when its slabs are, and a *skipped*
+  /// exchange surfaces as stale ghost reads.
+  void set_sanitizer(gpusim::SanitizerHook* san) override {
+    for (auto& e : engines_) e->set_sanitizer(san);
+  }
+
+  /// Seeded fault mutation: drop the ghost exchange after each step. The
+  /// slab kernels still *write* their ghost nodes (open-face placeholder
+  /// values), so this is the one seeded fault that memory-shadow checks
+  /// cannot see — exactly as compute-sanitizer cannot see a dropped MPI
+  /// message on a device-computed halo. The sanitizer tests use it to pin
+  /// that boundary: the run stays hazard-clean while the physics diverges
+  /// from the monolithic reference (the receive-buffer initcheck tests
+  /// cover the detectable variant of this fault). Not for normal use.
+  void set_skip_exchange_for_test(bool skip) { skip_exchange_ = skip; }
+
   /// Soft-error surface: the union of the slab engines' fault sites, routed
   /// by global site index (slab order).
   [[nodiscard]] std::uint64_t fault_sites() const override;
@@ -151,6 +171,7 @@ class MultiDomainEngine final : public Engine<L> {
   std::vector<SlabInfo> slabs_;
   std::vector<std::unique_ptr<Engine<L>>> engines_;
   std::uint64_t exchanged_total_ = 0;
+  bool skip_exchange_ = false;
 };
 
 extern template class MultiDomainEngine<D2Q9>;

@@ -21,6 +21,7 @@ namespace mlbm {
 enum class ErrorCode {
   kConfig,         ///< invalid construction/argument
   kOutOfRange,     ///< coordinate or index outside the domain
+  kBounds,         ///< device memory access outside its allocation
   kIo,             ///< file open/write failure
   kCheckpoint,     ///< malformed or mismatched checkpoint file
   kLaunchFault,    ///< (injected) transient kernel-launch failure
@@ -32,6 +33,7 @@ inline const char* to_string(ErrorCode c) {
   switch (c) {
     case ErrorCode::kConfig: return "config";
     case ErrorCode::kOutOfRange: return "out-of-range";
+    case ErrorCode::kBounds: return "bounds";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kCheckpoint: return "checkpoint";
     case ErrorCode::kLaunchFault: return "launch-fault";
@@ -71,6 +73,21 @@ class OutOfRangeError : public std::out_of_range, public Error {
   explicit OutOfRangeError(const std::string& msg) : std::out_of_range(msg) {}
   [[nodiscard]] ErrorCode code() const noexcept override {
     return ErrorCode::kOutOfRange;
+  }
+};
+
+/// A device memory access (GlobalArray span) that falls outside its
+/// allocation — either endpoint of the strided progression, so negative
+/// strides that walk below the base are caught symmetrically. Raised instead
+/// of invoking UB whenever the array can tell the access came from a real
+/// kernel (a traffic counter is attached); under a sanitizer the access is
+/// reported as a memcheck hazard and skipped instead of thrown, so a
+/// sanitized run can keep collecting hazards.
+class BoundsError : public std::out_of_range, public Error {
+ public:
+  explicit BoundsError(const std::string& msg) : std::out_of_range(msg) {}
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::kBounds;
   }
 };
 
