@@ -131,19 +131,20 @@ perf::KernelCharacteristics characteristics(perf::Pattern p,
 /// Builds the engine for a perfmodel Pattern at a runtime storage precision
 /// (ST defaults: BGK pull, 256 threads; MR: the dimension's default tiles).
 template <class L>
-std::unique_ptr<Engine<L>> make_pattern_engine(perf::Pattern p,
-                                               StoragePrecision prec,
-                                               Geometry geo, real_t tau,
-                                               MrConfig cfg = {}) {
+std::unique_ptr<Engine<L>> make_pattern_engine(
+    perf::Pattern p, StoragePrecision prec, Geometry geo, real_t tau,
+    MrConfig cfg = {}, ExecMode exec = default_exec_mode()) {
   switch (p) {
     case perf::Pattern::kST:
-      return make_st_engine<L>(prec, std::move(geo), tau);
+      return make_st_engine<L>(prec, std::move(geo), tau,
+                               CollisionScheme::kBGK, 256, StreamMode::kPull,
+                               exec);
     case perf::Pattern::kMRP:
       return make_mr_engine<L>(prec, std::move(geo), tau,
-                               Regularization::kProjective, cfg);
+                               Regularization::kProjective, cfg, exec);
     case perf::Pattern::kMRR:
       return make_mr_engine<L>(prec, std::move(geo), tau,
-                               Regularization::kRecursive, cfg);
+                               Regularization::kRecursive, cfg, exec);
   }
   return nullptr;
 }

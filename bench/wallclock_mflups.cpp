@@ -34,6 +34,7 @@ struct Result {
   std::string pattern;
   std::string precision;
   std::string lattice;
+  std::string exec;
   int nx, ny, nz;
   int steps;
   bool counters;
@@ -54,7 +55,7 @@ double time_steps(Engine<L>& eng, int steps, bool counters) {
 
 template <class L, class MakeEngine>
 void measure(std::vector<Result>& out, const char* pattern,
-             const char* precision, Geometry geo, int steps,
+             const char* precision, const char* exec, Geometry geo, int steps,
              const MakeEngine& make) {
   const Box& b = geo.box;
   for (const bool counters : {true, false}) {
@@ -62,22 +63,27 @@ void measure(std::vector<Result>& out, const char* pattern,
     const double s = time_steps<L>(*eng, steps, counters);
     const double nodes =
         static_cast<double>(b.cells()) * static_cast<double>(steps);
-    out.push_back({pattern, precision, L::name(), b.nx, b.ny, b.nz, steps,
-                   counters, s, nodes / 1e6 / s});
+    out.push_back({pattern, precision, L::name(), exec, b.nx, b.ny, b.nz,
+                   steps, counters, s, nodes / 1e6 / s});
   }
 }
 
 template <class L>
 void measure_lattice(std::vector<Result>& out, int n0, int n1, int n2,
-                     int steps, const std::vector<StoragePrecision>& precs) {
+                     int steps, const std::vector<StoragePrecision>& precs,
+                     const std::vector<ExecMode>& execs) {
   const Geometry geo = bench::periodic_geo(n0, n1, n2);
   const MrConfig cfg = bench::default_mr_config(L::D);
-  for (const StoragePrecision prec : precs) {
-    for (const perf::Pattern p :
-         {perf::Pattern::kST, perf::Pattern::kMRP, perf::Pattern::kMRR}) {
-      measure<L>(out, perf::to_string(p), to_string(prec), geo, steps, [&] {
-        return bench::make_pattern_engine<L>(p, prec, geo, 0.8, cfg);
-      });
+  for (const ExecMode exec : execs) {
+    for (const StoragePrecision prec : precs) {
+      for (const perf::Pattern p :
+           {perf::Pattern::kST, perf::Pattern::kMRP, perf::Pattern::kMRR}) {
+        measure<L>(out, perf::to_string(p), to_string(prec), to_string(exec),
+                   geo, steps, [&] {
+                     return bench::make_pattern_engine<L>(p, prec, geo, 0.8,
+                                                          cfg, exec);
+                   });
+      }
     }
   }
 }
@@ -91,6 +97,7 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
     const Result& r = rows[i];
     f << "    {\"pattern\": \"" << r.pattern << "\", \"precision\": \""
       << r.precision << "\", \"lattice\": \"" << r.lattice
+      << "\", \"exec\": \"" << r.exec
       << "\", \"nx\": " << r.nx << ", \"ny\": " << r.ny
       << ", \"nz\": " << r.nz << ", \"steps\": " << r.steps
       << ", \"counters\": " << (r.counters ? "true" : "false")
@@ -111,6 +118,7 @@ int main(int argc, char** argv) {
   const int steps3d = cli.get_int("steps3d", 12);
   const std::string out = cli.get("out", "BENCH_wallclock.json");
   const std::string prec_arg = cli.get("precision", "both");
+  const std::string exec_arg = cli.get("exec", "both");
 
   std::vector<StoragePrecision> precs;
   if (prec_arg == "both") {
@@ -122,16 +130,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::vector<ExecMode> execs;
+  if (exec_arg == "both") {
+    execs = {ExecMode::kScalar, ExecMode::kLanes};
+  } else if (exec_arg == "scalar") {
+    execs = {ExecMode::kScalar};
+  } else if (exec_arg == "lanes") {
+    execs = {ExecMode::kLanes};
+  } else {
+    std::fprintf(stderr, "error: --exec must be both, scalar or lanes\n");
+    return 1;
+  }
+
   perf::print_banner("Wall-clock", "Host MFLUPS of the simulator hot path");
 
   std::vector<Result> rows;
-  measure_lattice<D2Q9>(rows, n2d, n2d, 1, steps2d, precs);
-  measure_lattice<D3Q19>(rows, n3d, n3d, n3d, steps3d, precs);
+  measure_lattice<D2Q9>(rows, n2d, n2d, 1, steps2d, precs, execs);
+  measure_lattice<D3Q19>(rows, n3d, n3d, n3d, steps3d, precs, execs);
 
-  AsciiTable t({"Pattern", "Prec", "Lattice", "Grid", "Counters", "Seconds",
-                "MFLUPS"});
+  AsciiTable t({"Pattern", "Prec", "Lattice", "Exec", "Grid", "Counters",
+                "Seconds", "MFLUPS"});
   for (const Result& r : rows) {
-    t.row({r.pattern, r.precision, r.lattice,
+    t.row({r.pattern, r.precision, r.lattice, r.exec,
            std::to_string(r.nx) + "x" + std::to_string(r.ny) + "x" +
                std::to_string(r.nz),
            r.counters ? "on" : "off", AsciiTable::num(r.seconds, 3),
@@ -142,9 +162,26 @@ int main(int argc, char** argv) {
   // Instrumentation overhead per configuration: time(on) / time(off).
   std::printf("\ncounter overhead (time on / time off):\n");
   for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
-    std::printf("  %-5s %-5s %-6s %.3f\n", rows[i].pattern.c_str(),
+    std::printf("  %-5s %-5s %-6s %-6s %.3f\n", rows[i].pattern.c_str(),
                 rows[i].precision.c_str(), rows[i].lattice.c_str(),
-                rows[i].seconds / rows[i + 1].seconds);
+                rows[i].exec.c_str(), rows[i].seconds / rows[i + 1].seconds);
+  }
+
+  // Recursive-over-projective cost (counters off): how much of MR-P's
+  // throughput MR-R retains — the number the sparse reconstruction moves.
+  std::printf("\nMR-R / MR-P throughput (counters off):\n");
+  for (const Result& rp : rows) {
+    if (rp.pattern != "MR-P" || rp.counters) continue;
+    for (const Result& rr : rows) {
+      if (rr.pattern != "MR-R" || rr.counters ||
+          rr.precision != rp.precision || rr.lattice != rp.lattice ||
+          rr.exec != rp.exec) {
+        continue;
+      }
+      std::printf("  %-5s %-6s %-6s %.3f\n", rp.precision.c_str(),
+                  rp.lattice.c_str(), rp.exec.c_str(),
+                  rr.mflups / rp.mflups);
+    }
   }
 
   if (!write_json(out, rows)) {

@@ -7,6 +7,8 @@
 // operations in moment space and must agree to round-off.
 #pragma once
 
+#include <type_traits>
+
 #include "core/equilibrium.hpp"
 #include "core/lattice.hpp"
 #include "core/moments.hpp"
@@ -40,37 +42,74 @@ void collide_bgk(real_t (&f)[L::Q], real_t tau) {
   }
 }
 
-/// In-place regularized relaxation in distribution space. The non-equilibrium
-/// second moment is projected out of f (Eq. 8), relaxed (Eq. 10), and the
-/// population rebuilt with the chosen reconstruction.
-template <class L>
-void collide_regularized(real_t (&f)[L::Q], real_t tau, Regularization scheme) {
+/// In-place regularized relaxation in distribution space with the scheme
+/// fixed at compile time — no per-node or per-population branch. The
+/// non-equilibrium second moment is projected out of f (Eq. 8), relaxed
+/// (Eq. 10), and the population rebuilt with the chosen reconstruction.
+template <class L, Regularization R>
+void collide_regularized(real_t (&f)[L::Q], real_t tau) {
   const Moments<L> m = compute_moments<L>(f);
   const real_t factor = real_t(1) - real_t(1) / tau;
   real_t pineq_star[Moments<L>::NP];
   for (int p = 0; p < Moments<L>::NP; ++p) {
     pineq_star[p] = factor * m.pi_neq(p);
   }
-  const Reconstructor<L> rec(scheme, m.rho, m.u.data(), pineq_star);
+  const Reconstructor<L, R> rec(m.rho, m.u.data(), pineq_star);
   for (int i = 0; i < L::Q; ++i) {
     f[i] = rec(i);
+  }
+}
+
+/// Runtime-scheme wrapper: dispatches once, then runs the templated kernel.
+template <class L>
+void collide_regularized(real_t (&f)[L::Q], real_t tau, Regularization scheme) {
+  dispatch_regularization(scheme, [&](auto reg) {
+    collide_regularized<L, decltype(reg)::value>(f, tau);
+  });
+}
+
+/// Compile-time-scheme collision: the emitted body contains only the chosen
+/// operator. Stream-collide kernels hoist their scheme dispatch to the
+/// launch level (dispatch_collision below) and call this, so the BGK node
+/// loop never carries the regularized reconstructors through register
+/// allocation — inlining those arms into the loop costs GCC ~10% of the
+/// gather-bound kernel's throughput even when the BGK branch is taken.
+template <class L, CollisionScheme S>
+void collide(real_t (&f)[L::Q], real_t tau) {
+  if constexpr (S == CollisionScheme::kBGK) {
+    collide_bgk<L>(f, tau);
+  } else if constexpr (S == CollisionScheme::kProjective) {
+    collide_regularized<L, Regularization::kProjective>(f, tau);
+  } else {
+    collide_regularized<L, Regularization::kRecursive>(f, tau);
+  }
+}
+
+/// Maps a runtime CollisionScheme to a std::integral_constant and invokes fn
+/// once with it — the scheme-hoisting counterpart of dispatch_regularization.
+template <class Fn>
+void dispatch_collision(CollisionScheme s, Fn&& fn) {
+  switch (s) {
+    case CollisionScheme::kBGK:
+      fn(std::integral_constant<CollisionScheme, CollisionScheme::kBGK>{});
+      return;
+    case CollisionScheme::kProjective:
+      fn(std::integral_constant<CollisionScheme,
+                                CollisionScheme::kProjective>{});
+      return;
+    case CollisionScheme::kRecursive:
+      fn(std::integral_constant<CollisionScheme,
+                                CollisionScheme::kRecursive>{});
+      return;
   }
 }
 
 /// Runtime-dispatched collision used by the reference engine.
 template <class L>
 void collide(CollisionScheme scheme, real_t (&f)[L::Q], real_t tau) {
-  switch (scheme) {
-    case CollisionScheme::kBGK:
-      collide_bgk<L>(f, tau);
-      break;
-    case CollisionScheme::kProjective:
-      collide_regularized<L>(f, tau, Regularization::kProjective);
-      break;
-    case CollisionScheme::kRecursive:
-      collide_regularized<L>(f, tau, Regularization::kRecursive);
-      break;
-  }
+  dispatch_collision(scheme, [&](auto sc) {
+    collide<L, decltype(sc)::value>(f, tau);
+  });
 }
 
 /// Moment-space collision (Eq. 10): relaxes the non-equilibrium part of Pi

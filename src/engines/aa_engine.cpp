@@ -2,9 +2,11 @@
 
 #include "util/error.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
+#include "core/lanes.hpp"
 #include "core/regularization.hpp"
 #include "engines/streaming.hpp"
 #include "gpusim/launch.hpp"
@@ -13,10 +15,11 @@ namespace mlbm {
 
 template <class L, class ST>
 AaEngine<L, ST>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
-                          int threads_per_block)
+                          int threads_per_block, ExecMode exec)
     : Engine<L>(std::move(geo), tau),
       scheme_(scheme),
-      threads_per_block_(threads_per_block) {
+      threads_per_block_(threads_per_block),
+      exec_(exec) {
   for (int axis = 0; axis < 3; ++axis) {
     for (int side = 0; side < 2; ++side) {
       if (this->geo_.bc.face[static_cast<std::size_t>(axis)][static_cast<std::size_t>(side)].type ==
@@ -98,12 +101,17 @@ void AaEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
   for (int p = 0; p < Moments<L>::NP; ++p) {
     pineq[p] = factor * m.pi_neq(p);
   }
-  const Regularization reg = scheme_ == CollisionScheme::kRecursive
-                                 ? Regularization::kRecursive
-                                 : Regularization::kProjective;
-  for (int i = 0; i < L::Q; ++i) {
-    f_.raw(soa(L::opposite(i), cell)) =
-        static_cast<ST>(reconstruct<L>(reg, i, m.rho, m.u.data(), pineq));
+  // One scheme branch per node, not per population.
+  if (scheme_ == CollisionScheme::kRecursive) {
+    for (int i = 0; i < L::Q; ++i) {
+      f_.raw(soa(L::opposite(i), cell)) = static_cast<ST>(
+          reconstruct_recursive<L>(i, m.rho, m.u.data(), pineq));
+    }
+  } else {
+    for (int i = 0; i < L::Q; ++i) {
+      f_.raw(soa(L::opposite(i), cell)) = static_cast<ST>(
+          reconstruct_projective<L>(i, m.rho, m.u.data(), pineq));
+    }
   }
 }
 
@@ -144,52 +152,129 @@ void AaEngine<L, ST>::step_even() {
   if (krec_even_ == nullptr) {
     krec_even_ = &prof_.record(std::string("aa_even_") + L::name());
   }
+  if (exec_ != ExecMode::kLanes) {
+    // Flat scalar body with the collision scheme dispatched once per launch
+    // (see st_engine.cpp for the rationale; the shared lambdas the lane path
+    // uses cost GCC a large fraction of the loop's throughput).
+    dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, *krec_even_, gpusim::Dim3{nblocks, 1, 1},
+        gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t cell =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (cell >= cells) return;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z =
+                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+            // Both the read and the (slot-swapped) write touch all Q slots
+            // of one cell, so each moves as one batched span transaction.
+            // Loads widen to real_t registers; stores narrow back.
+            real_t fl[L::Q];
+            if (batched) {
+              f.template load_span_as<real_t>(cell, cells, L::Q, fl);
+            } else {
+              for (int i = 0; i < L::Q; ++i) {
+                fl[i] = f.template load_as<real_t>(soa(i, cell));
+              }
+            }
+            real_t rho_pre = 0;
+            for (int i = 0; i < L::Q; ++i) rho_pre += fl[i];
+            collide<L, decltype(sc)::value>(fl, tau);
+            real_t out[L::Q];
+            for (int i = 0; i < L::Q; ++i) {
+              real_t v = fl[i];
+              const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+              if (t.kind == StreamTarget::Kind::kBounce &&
+                  t.cu_wall != real_t(0)) {
+                v -= real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
+                     t.cu_wall * inv_cs2;
+              }
+              out[static_cast<std::size_t>(L::opposite(i))] = v;
+            }
+            if (batched) {
+              f.template store_span_as<real_t>(cell, cells, L::Q, out);
+            } else {
+              for (int i = 0; i < L::Q; ++i) {
+                f.template store_as<real_t>(soa(i, cell),
+                                            out[static_cast<std::size_t>(i)]);
+              }
+            }
+          });
+        });
+    });
+    return;
+  }
+  // Node-local step: both the read and the (slot-swapped) write touch all Q
+  // slots of one cell, so each moves as one batched span transaction. Loads
+  // widen to real_t registers; stores narrow back to the storage type. The
+  // lane path issues the identical per-node access sequence as the scalar
+  // body above, just panel-interleaved.
+  const auto read_own = [&, cells](index_t cell,
+                                   real_t (&fl)[L::Q]) MLBM_ALWAYS_INLINE {
+    if (batched) {
+      f.template load_span_as<real_t>(cell, cells, L::Q, fl);
+    } else {
+      for (int i = 0; i < L::Q; ++i) {
+        fl[i] = f.template load_as<real_t>(soa(i, cell));
+      }
+    }
+  };
+  const auto write_swapped = [&, cells](index_t cell, int x, int y, int z,
+                                        const real_t (&fl)[L::Q],
+                                        real_t rho_pre) MLBM_ALWAYS_INLINE {
+    real_t out[L::Q];
+    for (int i = 0; i < L::Q; ++i) {
+      real_t v = fl[i];
+      const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+      if (t.kind == StreamTarget::Kind::kBounce && t.cu_wall != real_t(0)) {
+        v -= real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
+             t.cu_wall * inv_cs2;
+      }
+      out[static_cast<std::size_t>(L::opposite(i))] = v;
+    }
+    if (batched) {
+      f.template store_span_as<real_t>(cell, cells, L::Q, out);
+    } else {
+      for (int i = 0; i < L::Q; ++i) {
+        f.template store_as<real_t>(soa(i, cell),
+                                    out[static_cast<std::size_t>(i)]);
+      }
+    }
+  };
+
   gpusim::launch(
       prof_, *krec_even_, gpusim::Dim3{nblocks, 1, 1},
       gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
-        blk.for_each_thread([&](const gpusim::Dim3& tid) {
-          const index_t cell =
-              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-          if (cell >= cells) return;
-          const int x = static_cast<int>(cell % b.nx);
-          const int y = static_cast<int>((cell / b.nx) % b.ny);
-          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
-
-          // Node-local step: both the read and the (slot-swapped) write
-          // touch all Q slots of this cell, so each moves as one batched
-          // span transaction. Loads widen to real_t registers; stores
-          // narrow back to the storage type.
-          real_t fl[L::Q];
-          if (batched) {
-            f.template load_span_as<real_t>(cell, cells, L::Q, fl);
-          } else {
-            for (int i = 0; i < L::Q; ++i) {
-              fl[i] = f.template load_as<real_t>(soa(i, cell));
-            }
+        const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
+        const index_t end = std::min(start + tpb, cells);
+        for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
+          const int n = static_cast<int>(
+              std::min<index_t>(kLaneWidth, end - p0));
+          real_t panel[L::Q][kLaneWidth];
+          real_t rho_pre[kLaneWidth];
+          for (int ln = 0; ln < n; ++ln) {
+            real_t fl[L::Q];
+            read_own(p0 + ln, fl);
+            real_t r = 0;
+            for (int i = 0; i < L::Q; ++i) r += fl[i];
+            rho_pre[ln] = r;
+            for (int i = 0; i < L::Q; ++i) panel[i][ln] = fl[i];
           }
-          real_t rho_pre = 0;
-          for (int i = 0; i < L::Q; ++i) rho_pre += fl[i];
-          collide<L>(scheme, fl, tau);
-          real_t out[L::Q];
-          for (int i = 0; i < L::Q; ++i) {
-            real_t v = fl[i];
-            const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
-            if (t.kind == StreamTarget::Kind::kBounce &&
-                t.cu_wall != real_t(0)) {
-              v -= real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
-                   t.cu_wall * inv_cs2;
-            }
-            out[static_cast<std::size_t>(L::opposite(i))] = v;
+          collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
+          for (int ln = 0; ln < n; ++ln) {
+            const index_t cell = p0 + ln;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z = static_cast<int>(
+                cell / (static_cast<index_t>(b.nx) * b.ny));
+            real_t fl[L::Q];
+            for (int i = 0; i < L::Q; ++i) fl[i] = panel[i][ln];
+            write_swapped(cell, x, y, z, fl, rho_pre[ln]);
           }
-          if (batched) {
-            f.template store_span_as<real_t>(cell, cells, L::Q, out);
-          } else {
-            for (int i = 0; i < L::Q; ++i) {
-              f.template store_as<real_t>(soa(i, cell),
-                                          out[static_cast<std::size_t>(i)]);
-            }
-          }
-        });
+        }
       });
 }
 
@@ -214,55 +299,137 @@ void AaEngine<L, ST>::step_odd() {
   if (krec_odd_ == nullptr) {
     krec_odd_ = &prof_.record(std::string("aa_odd_") + L::name());
   }
+  if (exec_ != ExecMode::kLanes) {
+    // Flat scalar body, scheme dispatched once per launch (same rationale as
+    // the even step).
+    dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, *krec_odd_, gpusim::Dim3{nblocks, 1, 1},
+        gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t cell =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (cell >= cells) return;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z =
+                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+            // Gather f_i(x, t) = f*_i(x - c_i, t-1), stored swapped. Wall
+            // links read this node's own swapped slot i, whose moving-wall
+            // correction the even step already applied at write time.
+            real_t fl[L::Q];
+            for (int i = 0; i < L::Q; ++i) {
+              const StreamTarget t =
+                  resolve_stream<L>(geo, x, y, z, L::opposite(i));
+              if (t.kind == StreamTarget::Kind::kInterior) {
+                fl[i] = f.template load_as<real_t>(
+                    soa(L::opposite(i), b.idx(t.x, t.y, t.z)));
+              } else {
+                fl[i] = f.template load_as<real_t>(soa(i, cell));
+              }
+            }
+            real_t rho_now = 0;
+            for (int i = 0; i < L::Q; ++i) rho_now += fl[i];
+            collide<L, decltype(sc)::value>(fl, tau);
+            // Scatter f*_i(x, t) into slot i of x + c_i.
+            for (int i = 0; i < L::Q; ++i) {
+              const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+              if (t.kind == StreamTarget::Kind::kInterior) {
+                f.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)),
+                                            fl[i]);
+              } else {
+                // Wall: bounce back into this node's own plain slot
+                // opposite(i), where the next even step reads it directly.
+                f.template store_as<real_t>(
+                    soa(L::opposite(i), cell),
+                    fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                                rho_now * t.cu_wall * inv_cs2);
+              }
+            }
+          });
+        });
+    });
+    return;
+  }
   // Gathers and scatters touch Q different cells per node, so the odd step
   // stays on scalar load/store (no uniform stride to batch).
-  gpusim::launch(
-      prof_, *krec_odd_, gpusim::Dim3{nblocks, 1, 1},
-      gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
-        blk.for_each_thread([&](const gpusim::Dim3& tid) {
-          const index_t cell =
-              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-          if (cell >= cells) return;
-          const int x = static_cast<int>(cell % b.nx);
-          const int y = static_cast<int>((cell / b.nx) % b.ny);
-          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+  //
+  // Gather f_i(x, t) = f*_i(x - c_i, t-1), stored swapped. Wall links read
+  // this node's own swapped slot i, whose moving-wall correction the even
+  // step already applied at write time.
+  const auto gather = [&](index_t cell, int x, int y, int z,
+                          real_t (&fl)[L::Q]) MLBM_ALWAYS_INLINE {
+    for (int i = 0; i < L::Q; ++i) {
+      const StreamTarget t = resolve_stream<L>(geo, x, y, z, L::opposite(i));
+      if (t.kind == StreamTarget::Kind::kInterior) {
+        fl[i] = f.template load_as<real_t>(
+            soa(L::opposite(i), b.idx(t.x, t.y, t.z)));
+      } else {
+        fl[i] = f.template load_as<real_t>(soa(i, cell));
+      }
+    }
+  };
+  // Scatter f*_i(x, t) into slot i of x + c_i.
+  const auto scatter = [&](index_t cell, int x, int y, int z,
+                           const real_t (&fl)[L::Q],
+                           real_t rho_now) MLBM_ALWAYS_INLINE {
+    for (int i = 0; i < L::Q; ++i) {
+      const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+      if (t.kind == StreamTarget::Kind::kInterior) {
+        f.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)), fl[i]);
+      } else {
+        // Wall: bounce back into this node's own plain slot opposite(i),
+        // where the next even step reads it directly.
+        f.template store_as<real_t>(
+            soa(L::opposite(i), cell),
+            fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_now *
+                        t.cu_wall * inv_cs2);
+      }
+    }
+  };
 
-          // Gather f_i(x, t) = f*_i(x - c_i, t-1), stored swapped. Wall
-          // links read this node's own swapped slot i, whose moving-wall
-          // correction the even step already applied at write time.
-          real_t fl[L::Q];
-          for (int i = 0; i < L::Q; ++i) {
-            const StreamTarget t =
-                resolve_stream<L>(geo, x, y, z, L::opposite(i));
-            if (t.kind == StreamTarget::Kind::kInterior) {
-              fl[i] = f.template load_as<real_t>(
-                  soa(L::opposite(i), b.idx(t.x, t.y, t.z)));
-            } else {
-              fl[i] = f.template load_as<real_t>(soa(i, cell));
+  {
+    // Panel reordering of the in-place update is exact: every lattice word
+    // has a unique reader == writer node, so only each node's own
+    // gather-before-scatter order matters, which the panel preserves.
+    gpusim::launch(
+        prof_, *krec_odd_, gpusim::Dim3{nblocks, 1, 1},
+        gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+          const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
+          const index_t end = std::min(start + tpb, cells);
+          for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
+            const int n = static_cast<int>(
+                std::min<index_t>(kLaneWidth, end - p0));
+            real_t panel[L::Q][kLaneWidth];
+            real_t rho_now[kLaneWidth];
+            for (int ln = 0; ln < n; ++ln) {
+              const index_t cell = p0 + ln;
+              const int x = static_cast<int>(cell % b.nx);
+              const int y = static_cast<int>((cell / b.nx) % b.ny);
+              const int z = static_cast<int>(
+                  cell / (static_cast<index_t>(b.nx) * b.ny));
+              real_t fl[L::Q];
+              gather(cell, x, y, z, fl);
+              real_t r = 0;
+              for (int i = 0; i < L::Q; ++i) r += fl[i];
+              rho_now[ln] = r;
+              for (int i = 0; i < L::Q; ++i) panel[i][ln] = fl[i];
             }
-          }
-
-          real_t rho_now = 0;
-          for (int i = 0; i < L::Q; ++i) rho_now += fl[i];
-          collide<L>(scheme, fl, tau);
-
-          // Scatter f*_i(x, t) into slot i of x + c_i.
-          for (int i = 0; i < L::Q; ++i) {
-            const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
-            if (t.kind == StreamTarget::Kind::kInterior) {
-              f.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)),
-                                          fl[i]);
-            } else {
-              // Wall: bounce back into this node's own plain slot
-              // opposite(i), where the next even step reads it directly.
-              f.template store_as<real_t>(
-                  soa(L::opposite(i), cell),
-                  fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
-                              rho_now * t.cu_wall * inv_cs2);
+            collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
+            for (int ln = 0; ln < n; ++ln) {
+              const index_t cell = p0 + ln;
+              const int x = static_cast<int>(cell % b.nx);
+              const int y = static_cast<int>((cell / b.nx) % b.ny);
+              const int z = static_cast<int>(
+                  cell / (static_cast<index_t>(b.nx) * b.ny));
+              real_t fl[L::Q];
+              for (int i = 0; i < L::Q; ++i) fl[i] = panel[i][ln];
+              scatter(cell, x, y, z, fl, rho_now[ln]);
             }
           }
         });
-      });
+  }
 }
 
 template class AaEngine<D2Q9, double>;

@@ -39,9 +39,13 @@ class AaEngine final : public Engine<L> {
  public:
   using StorageT = ST;
 
+  /// `exec` selects the scalar or lane-batched kernel body. Lane batching is
+  /// safe for the in-place odd step because every lattice word has a unique
+  /// reader == writer node, so only each node's own gather-before-scatter
+  /// order matters — which panels preserve.
   AaEngine(Geometry geo, real_t tau,
            CollisionScheme scheme = CollisionScheme::kBGK,
-           int threads_per_block = 256);
+           int threads_per_block = 256, ExecMode exec = default_exec_mode());
 
   [[nodiscard]] const char* pattern_name() const override { return "ST-AA"; }
   void initialize(const typename Engine<L>::InitFn& init) override;
@@ -57,6 +61,7 @@ class AaEngine final : public Engine<L> {
     return &prof_;
   }
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
+  [[nodiscard]] ExecMode exec_mode() const { return exec_; }
 
   /// Validation hook: scalar per-population I/O instead of batched spans on
   /// the even (node-local) step. Bytes identical; transactions differ by Q.
@@ -129,6 +134,7 @@ class AaEngine final : public Engine<L> {
 
   CollisionScheme scheme_;
   int threads_per_block_;
+  ExecMode exec_;
   gpusim::Profiler prof_;
   gpusim::GlobalArray<ST> f_;
   bool batched_io_ = true;

@@ -19,8 +19,10 @@
 // and tests are written once against this interface.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/box.hpp"
@@ -31,6 +33,29 @@
 #include "util/types.hpp"
 
 namespace mlbm {
+
+/// How a gpusim engine's kernels traverse the nodes of a thread block.
+enum class ExecMode {
+  kScalar,  ///< one node per simulated thread, as written (reference path)
+  kLanes,   ///< fixed-width SoA lane panels with SIMD inner loops
+};
+
+inline const char* to_string(ExecMode m) {
+  return m == ExecMode::kScalar ? "scalar" : "lanes";
+}
+
+/// Session-wide default execution mode: `MLBM_EXEC=lanes` forces the
+/// lane-batched backend on every engine constructed without an explicit
+/// ExecMode (how CI runs the full tier-1 suite against the lane path).
+/// Read once; anything other than "lanes" means scalar.
+inline ExecMode default_exec_mode() {
+  static const ExecMode mode = [] {
+    const char* e = std::getenv("MLBM_EXEC");
+    return (e != nullptr && std::string_view(e) == "lanes") ? ExecMode::kLanes
+                                                            : ExecMode::kScalar;
+  }();
+  return mode;
+}
 
 template <class L>
 class Engine {

@@ -25,38 +25,39 @@ template <class L>
 std::unique_ptr<Engine<L>> make_st_engine(
     StoragePrecision prec, Geometry geo, real_t tau,
     CollisionScheme scheme = CollisionScheme::kBGK, int threads_per_block = 256,
-    StreamMode mode = StreamMode::kPull) {
+    StreamMode mode = StreamMode::kPull, ExecMode exec = default_exec_mode()) {
   if (prec == StoragePrecision::kFP32) {
     return std::make_unique<StEngine<L, float>>(std::move(geo), tau, scheme,
-                                                threads_per_block, mode);
+                                                threads_per_block, mode, exec);
   }
   return std::make_unique<StEngine<L, double>>(std::move(geo), tau, scheme,
-                                               threads_per_block, mode);
+                                               threads_per_block, mode, exec);
 }
 
 template <class L>
 std::unique_ptr<Engine<L>> make_aa_engine(
     StoragePrecision prec, Geometry geo, real_t tau,
-    CollisionScheme scheme = CollisionScheme::kBGK,
-    int threads_per_block = 256) {
+    CollisionScheme scheme = CollisionScheme::kBGK, int threads_per_block = 256,
+    ExecMode exec = default_exec_mode()) {
   if (prec == StoragePrecision::kFP32) {
     return std::make_unique<AaEngine<L, float>>(std::move(geo), tau, scheme,
-                                                threads_per_block);
+                                                threads_per_block, exec);
   }
   return std::make_unique<AaEngine<L, double>>(std::move(geo), tau, scheme,
-                                               threads_per_block);
+                                               threads_per_block, exec);
 }
 
 template <class L>
 std::unique_ptr<Engine<L>> make_mr_engine(StoragePrecision prec, Geometry geo,
                                           real_t tau, Regularization scheme,
-                                          MrConfig config = {}) {
+                                          MrConfig config = {},
+                                          ExecMode exec = default_exec_mode()) {
   if (prec == StoragePrecision::kFP32) {
     return std::make_unique<MrEngine<L, float>>(std::move(geo), tau, scheme,
-                                                config);
+                                                config, exec);
   }
   return std::make_unique<MrEngine<L, double>>(std::move(geo), tau, scheme,
-                                               config);
+                                               config, exec);
 }
 
 }  // namespace mlbm

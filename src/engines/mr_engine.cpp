@@ -9,6 +9,7 @@
 #include <type_traits>
 
 #include "core/collision.hpp"
+#include "core/lanes.hpp"
 #include "gpusim/launch.hpp"
 
 namespace mlbm {
@@ -25,8 +26,11 @@ constexpr int c_sweep(int i) {
 
 template <class L, class ST>
 MrEngine<L, ST>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
-                      MrConfig config)
-    : Engine<L>(std::move(geo), tau), scheme_(scheme), config_(config) {
+                      MrConfig config, ExecMode exec)
+    : Engine<L>(std::move(geo), tau),
+      scheme_(scheme),
+      config_(config),
+      exec_(exec) {
   if (config_.tile_x < 1 || config_.tile_y < 1 || config_.tile_s < 1) {
     throw ConfigError("MrEngine: tile extents must be positive");
   }
@@ -227,9 +231,19 @@ void MrEngine<L, ST>::do_step() {
                           static_cast<index_t>(ncx1) *
                           static_cast<index_t>(ncx0);
   const bool batched = batched_io_;
+  // Lane-batched kernel bodies are selected per phase invocation (a
+  // per-level branch — negligible against the per-node work it gates).
+  const bool lanes = exec_ == ExecMode::kLanes;
 
   struct ColState {
     int x0, x1, y0, y1;  // cross-section ranges of the column
+    // Per-column invariants, hoisted out of the per-call addressing helpers:
+    // cross-section extents, node count and the ring's per-slot element
+    // stride depend only on the column, not on the node being addressed.
+    int cax = 0;                  // x1 - x0
+    int cay = 0;                  // y1 - y0
+    std::size_t cross = 0;        // cax * cay
+    std::size_t slot_stride = 0;  // cross * Q
     std::span<real_t> ring;
     std::span<real_t> stash_lo;  // populations streamed to layer -1 == S-1
     std::span<real_t> stash_hi;  // populations streamed to layer S == 0
@@ -243,14 +257,17 @@ void MrEngine<L, ST>::do_step() {
     st.x1 = std::min(ncx0, st.x0 + tx);
     st.y0 = blk.block_idx().y * ty;
     st.y1 = std::min(ncx1, st.y0 + ty);
-    const std::size_t cross = static_cast<std::size_t>(st.x1 - st.x0) *
-                              static_cast<std::size_t>(st.y1 - st.y0);
+    st.cax = st.x1 - st.x0;
+    st.cay = st.y1 - st.y0;
+    st.cross = static_cast<std::size_t>(st.cax) *
+               static_cast<std::size_t>(st.cay);
+    st.slot_stride = st.cross * static_cast<std::size_t>(L::Q);
     st.ring = blk.alloc_shared<real_t>(static_cast<std::size_t>(ring_w) *
-                                       cross * L::Q);
+                                       st.cross * L::Q);
     if (sweep_periodic) {
-      st.stash_lo = blk.alloc_shared<real_t>(cross * L::Q);
-      st.stash_hi = blk.alloc_shared<real_t>(cross * L::Q);
-      st.snap0 = blk.alloc_shared<real_t>(cross * L::Q);
+      st.stash_lo = blk.alloc_shared<real_t>(st.cross * L::Q);
+      st.stash_hi = blk.alloc_shared<real_t>(st.cross * L::Q);
+      st.snap0 = blk.alloc_shared<real_t>(st.cross * L::Q);
     }
     return st;
   };
@@ -260,15 +277,12 @@ void MrEngine<L, ST>::do_step() {
   // modulo and the node arithmetic out of the per-population loop; these
   // helpers serve the cold (periodic-edge) paths.
   auto slot_base = [&](ColState& st, int s) -> std::size_t {
-    const std::size_t slot_stride = static_cast<std::size_t>(st.y1 - st.y0) *
-                                    static_cast<std::size_t>(st.x1 - st.x0) *
-                                    static_cast<std::size_t>(L::Q);
-    return static_cast<std::size_t>((s + 1) % ring_w) * slot_stride;
+    return static_cast<std::size_t>((s + 1) % ring_w) * st.slot_stride;
   };
   // Cross-section node index of (cx0, cx1) inside the column.
   auto cross_of = [&](ColState& st, int cx0, int cx1) -> std::size_t {
     return static_cast<std::size_t>(cx1 - st.y0) *
-               static_cast<std::size_t>(st.x1 - st.x0) +
+               static_cast<std::size_t>(st.cax) +
            static_cast<std::size_t>(cx0 - st.x0);
   };
   auto ring_at = [&](ColState& st, int s, int cx0, int cx1,
@@ -281,14 +295,92 @@ void MrEngine<L, ST>::do_step() {
     return stash[cross_of(st, cx0, cx1) * L::Q + static_cast<std::size_t>(i)];
   };
 
-  // ---- Phase A: read + collide + reconstruct + stream into shared memory.
-  auto phase_a = [&](auto sanc, gpusim::BlockCtx& blk, ColState& st, int k) {
+  // Streams the Q reconstructed populations `fv` of one phase-A source node
+  // into the shared ring (Algorithm 2, lines 29-33). Shared verbatim by the
+  // scalar and lane node drivers — the scatter is per-node either way, so
+  // both modes issue identical shared-memory writes.
+  auto scatter_source = [&](auto sanc, gpusim::BlockCtx& blk, ColState& st,
+                            const std::size_t (&dst_base)[3], int s, int hx,
+                            int hy, long long cross_src, int tid_a,
+                            real_t rho, const real_t (&fv)[L::Q]) MLBM_ALWAYS_INLINE {
     constexpr bool kSan = decltype(sanc)::value;
+    for (int i = 0; i < L::Q; ++i) {
+      const real_t f = fv[i];
+      const auto& c = L::c[static_cast<std::size_t>(i)];
+      const int ld0 = hx + c[0];
+      const int ld1 = (L::D == 3) ? hy + c[1] : 0;
+      const int lds = s + c_sweep<L>(i);
+
+      bool bounce = false;
+      bool dropped = false;
+      real_t cu_wall = 0;
+      auto check_axis = [&](int axis, int coord, int extent, bool periodic) {
+        if (periodic || (coord >= 0 && coord < extent)) return;
+        const FaceSpec& face =
+            geo.bc.face[static_cast<std::size_t>(axis)][coord < 0 ? 0 : 1];
+        if (face.type == FaceBC::kWall) {
+          bounce = true;
+          for (int bb = 0; bb < 3; ++bb) {
+            cu_wall += static_cast<real_t>(c[bb]) *
+                       face.u_wall[static_cast<std::size_t>(bb)];
+          }
+        } else if (face.type == FaceBC::kOpen) {
+          dropped = true;
+        }
+      };
+      check_axis(0, ld0, ncx0, cx0_periodic);
+      if (L::D == 3) check_axis(1, ld1, ncx1, cx1_periodic);
+      check_axis(kSweepAxis, lds, S, sweep_periodic);
+
+      if (dropped) continue;
+      if (bounce) {
+        // Half-way bounceback: the population returns to its source
+        // node; halo sources belong to the neighbouring column.
+        if (hx >= st.x0 && hx < st.x1 && hy >= st.y0 && hy < st.y1) {
+          real_t& dst = st.ring[dst_base[1] +
+                                static_cast<std::size_t>(cross_src) * L::Q +
+                                static_cast<std::size_t>(L::opposite(i))];
+          dst = f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
+                        cu_wall * inv_cs2;
+          if constexpr (kSan) note_shared(blk, &dst, tid_a, true);
+        }
+        continue;
+      }
+      // Interior stream: only destinations inside this column are ours;
+      // populations crossing into other columns are produced by those
+      // columns' halo threads.
+      if (ld0 < st.x0 || ld0 >= st.x1 || ld1 < st.y0 || ld1 >= st.y1) {
+        continue;
+      }
+      const std::size_t cross_dst = static_cast<std::size_t>(
+          cross_src + ((L::D == 3) ? c[1] * st.cax : 0) + c[0]);
+      const std::size_t elem = cross_dst * L::Q + static_cast<std::size_t>(i);
+      real_t* dst;
+      if (lds >= 0 && lds < S) {
+        dst = &st.ring[dst_base[c_sweep<L>(i) + 1] + elem];
+      } else if (lds == -1) {
+        dst = &st.stash_lo[elem];  // wraps to S-1
+      } else {
+        assert(lds == S);
+        dst = &st.stash_hi[elem];  // wraps to 0
+      }
+      *dst = f;
+      if constexpr (kSan) note_shared(blk, dst, tid_a, true);
+    }
+  };
+
+  // ---- Phase A: read + collide + reconstruct + stream into shared memory.
+  // Generic over the sanitizer flag AND the regularization scheme: the
+  // runtime enum is hoisted to a template argument at the launch site, so
+  // the per-node reconstruction (and its per-population loop) carries no
+  // scheme branch at all.
+  auto phase_a = [&](auto sanc, auto regc, gpusim::BlockCtx& blk,
+                     ColState& st, int k) {
+    constexpr Regularization kReg = decltype(regc)::value;
     const int s_begin = k * ts;
     const int s_end = std::min(S, s_begin + ts);
     const int hy_lo = (L::D == 3) ? st.y0 - 1 : 0;
     const int hy_hi = (L::D == 3) ? st.y1 : 0;
-    const int cax = st.x1 - st.x0;
 
     for (int s = s_begin; s < s_end; ++s) {
       const int sp = phys_layer(s, tt);
@@ -305,6 +397,76 @@ void MrEngine<L, ST>::do_step() {
         }
         const int hx_lo = st.x0 - (shrink_halo ? 0 : 1);
         const int hx_hi = st.x1 - (shrink_halo ? 1 : 0);
+        if (lanes) {
+          // Lane-batched source row: compact the valid (possibly wrapped)
+          // sources into panels of kLaneWidth, run the moment collide and
+          // reconstruction lane-major, then scatter per lane. Loads and
+          // scatters are the scalar path's, panel-interleaved.
+          int hx = hx_lo;
+          while (hx <= hx_hi) {
+            int n = 0;
+            int lane_hx[kLaneWidth];
+            int lane_px[kLaneWidth];
+            for (; hx <= hx_hi && n < kLaneWidth; ++hx) {
+              int px = hx;
+              if (hx < 0 || hx >= ncx0) {
+                if (!cx0_periodic) continue;
+                px = Box::wrap(hx, ncx0);
+              }
+              lane_hx[n] = hx;
+              lane_px[n] = px;
+              ++n;
+            }
+            if (n == 0) break;
+            real_t rho_l[kLaneWidth];
+            real_t u_l[L::D][kLaneWidth];
+            real_t pim_l[NP][kLaneWidth];
+            for (int ln = 0; ln < n; ++ln) {
+              real_t mom[M];
+              if (batched) {
+                rbuf.template load_span_as<real_t>(
+                    midx(0, lane_px[ln], py, sp), mstride, M, mom);
+              } else {
+                for (int m = 0; m < M; ++m) {
+                  mom[m] = rbuf.template load_as<real_t>(
+                      midx(m, lane_px[ln], py, sp));
+                }
+              }
+              rho_l[ln] = mom[0];
+              for (int a = 0; a < L::D; ++a) u_l[a][ln] = mom[1 + a];
+              for (int p = 0; p < NP; ++p) pim_l[p][ln] = mom[1 + L::D + p];
+            }
+            real_t pineq_l[NP][kLaneWidth];
+            for (int p = 0; p < NP; ++p) {
+              const auto [pa, pb] = Moments<L>::pair(p);
+              MLBM_SIMD
+              for (int ln = 0; ln < n; ++ln) {
+                pineq_l[p][ln] =
+                    relax *
+                    (pim_l[p][ln] - rho_l[ln] * u_l[pa][ln] * u_l[pb][ln]);
+              }
+            }
+            const ReconstructorLanes<L, kReg, kLaneWidth> rec(n, rho_l, u_l,
+                                                              pineq_l);
+            real_t panel[L::Q][kLaneWidth];
+            for (int i = 0; i < L::Q; ++i) rec.eval(i, panel[i]);
+            for (int ln = 0; ln < n; ++ln) {
+              const int lhx = lane_hx[ln];
+              const int tid_a =
+                  ((s - s_begin) * (hy_hi - hy_lo + 1) + (hy - hy_lo)) *
+                      (st.cax + 2) +
+                  (lhx - st.x0 + 1);
+              const long long cross_src =
+                  static_cast<long long>(hy - st.y0) * st.cax +
+                  (lhx - st.x0);
+              real_t fv[L::Q];
+              for (int i = 0; i < L::Q; ++i) fv[i] = panel[i][ln];
+              scatter_source(sanc, blk, st, dst_base, s, lhx, hy, cross_src,
+                             tid_a, rho_l[ln], fv);
+            }
+          }
+          continue;
+        }
         for (int hx = hx_lo; hx <= hx_hi; ++hx) {
           int px = hx;
           if (hx < 0 || hx >= ncx0) {
@@ -315,13 +477,13 @@ void MrEngine<L, ST>::do_step() {
           // per (hx, hy, s) within the block); racecheck attribution only.
           const int tid_a =
               ((s - s_begin) * (hy_hi - hy_lo + 1) + (hy - hy_lo)) *
-                  (cax + 2) +
+                  (st.cax + 2) +
               (hx - st.x0 + 1);
           // Signed cross-section index of the source node; halo sources sit
           // outside [0, cross), but every use below is offset to an
           // in-column destination first.
           const long long cross_src =
-              static_cast<long long>(hy - st.y0) * cax + (hx - st.x0);
+              static_cast<long long>(hy - st.y0) * st.cax + (hx - st.x0);
 
           // Read the node's M moments from global memory (Algorithm 2,
           // lines 15-23) — one batched span transaction — and collide in
@@ -346,76 +508,14 @@ void MrEngine<L, ST>::do_step() {
             const real_t full = mom[1 + L::D + p];
             pineq_star[p] = relax * (full - rho * u[pa] * u[pb]);
           }
-          const Reconstructor<L> rec(scheme, rho, u, pineq_star);
+          const Reconstructor<L, kReg> rec(rho, u, pineq_star);
 
           // Map to distribution space (Eq. 11 / Eq. 14) and stream into the
-          // shared ring (Algorithm 2, lines 29-33).
-          for (int i = 0; i < L::Q; ++i) {
-            const real_t f = rec(i);
-            const auto& c = L::c[static_cast<std::size_t>(i)];
-            const int ld0 = hx + c[0];
-            const int ld1 = (L::D == 3) ? hy + c[1] : 0;
-            const int lds = s + c_sweep<L>(i);
-
-            bool bounce = false;
-            bool dropped = false;
-            real_t cu_wall = 0;
-            auto check_axis = [&](int axis, int coord, int extent,
-                                  bool periodic) {
-              if (periodic || (coord >= 0 && coord < extent)) return;
-              const FaceSpec& face =
-                  geo.bc.face[static_cast<std::size_t>(axis)][coord < 0 ? 0 : 1];
-              if (face.type == FaceBC::kWall) {
-                bounce = true;
-                for (int bb = 0; bb < 3; ++bb) {
-                  cu_wall += static_cast<real_t>(c[bb]) *
-                             face.u_wall[static_cast<std::size_t>(bb)];
-                }
-              } else if (face.type == FaceBC::kOpen) {
-                dropped = true;
-              }
-            };
-            check_axis(0, ld0, ncx0, cx0_periodic);
-            if (L::D == 3) check_axis(1, ld1, ncx1, cx1_periodic);
-            check_axis(kSweepAxis, lds, S, sweep_periodic);
-
-            if (dropped) continue;
-            if (bounce) {
-              // Half-way bounceback: the population returns to its source
-              // node; halo sources belong to the neighbouring column.
-              if (hx >= st.x0 && hx < st.x1 && hy >= st.y0 && hy < st.y1) {
-                real_t& dst =
-                    st.ring[dst_base[1] +
-                            static_cast<std::size_t>(cross_src) * L::Q +
-                            static_cast<std::size_t>(L::opposite(i))];
-                dst = f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
-                              cu_wall * inv_cs2;
-                if constexpr (kSan) note_shared(blk, &dst, tid_a, true);
-              }
-              continue;
-            }
-            // Interior stream: only destinations inside this column are ours;
-            // populations crossing into other columns are produced by those
-            // columns' halo threads.
-            if (ld0 < st.x0 || ld0 >= st.x1 || ld1 < st.y0 || ld1 >= st.y1) {
-              continue;
-            }
-            const std::size_t cross_dst = static_cast<std::size_t>(
-                cross_src + ((L::D == 3) ? c[1] * cax : 0) + c[0]);
-            const std::size_t elem =
-                cross_dst * L::Q + static_cast<std::size_t>(i);
-            real_t* dst;
-            if (lds >= 0 && lds < S) {
-              dst = &st.ring[dst_base[c_sweep<L>(i) + 1] + elem];
-            } else if (lds == -1) {
-              dst = &st.stash_lo[elem];  // wraps to S-1
-            } else {
-              assert(lds == S);
-              dst = &st.stash_hi[elem];  // wraps to 0
-            }
-            *dst = f;
-            if constexpr (kSan) note_shared(blk, dst, tid_a, true);
-          }
+          // shared ring.
+          real_t fv[L::Q];
+          for (int i = 0; i < L::Q; ++i) fv[i] = rec(i);
+          scatter_source(sanc, blk, st, dst_base, s, hx, hy, cross_src,
+                         tid_a, rho, fv);
         }
       }
     }
@@ -434,6 +534,45 @@ void MrEngine<L, ST>::do_step() {
     // or never written — exactly what the sanitizer's freshness shadow
     // proves the correct shift never does.
     if (wmut != 0) sp = (((sp + wmut) % (S + 2)) + (S + 2)) % (S + 2);
+    if (lanes) {
+      // Lane-batched re-projection: gather each panel's populations through
+      // the same getter (identical shared reads, identical order), reduce
+      // the moments lane-major, then store per lane with the same batched
+      // span calls — bit-identical values and traffic.
+      for (std::size_t p0 = 0; p0 < st.cross; p0 += kLaneWidth) {
+        const int n =
+            static_cast<int>(std::min<std::size_t>(kLaneWidth, st.cross - p0));
+        real_t fl[L::Q][kLaneWidth];
+        for (int ln = 0; ln < n; ++ln) {
+          const std::size_t node = p0 + static_cast<std::size_t>(ln);
+          for (int i = 0; i < L::Q; ++i) fl[i][ln] = get(node, i);
+        }
+        real_t rho_l[kLaneWidth];
+        real_t u_l[L::D][kLaneWidth];
+        real_t pi_l[NP][kLaneWidth];
+        compute_moments_lanes<L, kLaneWidth>(fl, n, rho_l, u_l, pi_l);
+        for (int ln = 0; ln < n; ++ln) {
+          const std::size_t node = p0 + static_cast<std::size_t>(ln);
+          const int cx = st.x0 + static_cast<int>(node % static_cast<std::size_t>(
+                                                            st.cax));
+          const int cy = st.y0 + static_cast<int>(node / static_cast<std::size_t>(
+                                                            st.cax));
+          real_t vals[M];
+          vals[0] = rho_l[ln];
+          for (int a = 0; a < L::D; ++a) vals[1 + a] = u_l[a][ln];
+          for (int p = 0; p < NP; ++p) vals[1 + L::D + p] = pi_l[p][ln];
+          if (batched) {
+            wbuf.template store_span_as<real_t>(midx(0, cx, cy, sp), mstride,
+                                                M, vals);
+          } else {
+            for (int mm = 0; mm < M; ++mm) {
+              wbuf.template store_as<real_t>(midx(mm, cx, cy, sp), vals[mm]);
+            }
+          }
+        }
+      }
+      return;
+    }
     std::size_t node = 0;
     for (int cy = st.y0; cy < st.y1; ++cy) {
       for (int cx = st.x0; cx < st.x1; ++cx, ++node) {
@@ -545,13 +684,13 @@ void MrEngine<L, ST>::do_step() {
                           L::name());
   }
 
-  auto run = [&](auto sanc) {
+  auto run = [&](auto sanc, auto regc) {
     gpusim::launch_level_synced(
         prof_, *krec_, grid, block, 2 * (ntiles + 1), make_state,
-        [&, sanc](gpusim::BlockCtx& blk, ColState& st, int level) {
+        [&, sanc, regc](gpusim::BlockCtx& blk, ColState& st, int level) {
           const int k = level / 2;
           if (level % 2 == 0) {
-            if (k < ntiles) phase_a(sanc, blk, st, k);
+            if (k < ntiles) phase_a(sanc, regc, blk, st, k);
             // Seeded mutation: run phase B inside phase A's barrier epoch
             // (models a deleted __syncthreads) — phase B's slot reads then
             // race phase A's same-epoch writes.
@@ -562,11 +701,16 @@ void MrEngine<L, ST>::do_step() {
           }
         });
   };
-  if (sanh != nullptr) {
-    run(std::true_type{});
-  } else {
-    run(std::false_type{});
-  }
+  // Hoist both runtime flags (sanitizer presence, regularization scheme) to
+  // template arguments of the level body: 4 instantiations, zero per-node
+  // branches.
+  dispatch_regularization(scheme, [&](auto regc) {
+    if (sanh != nullptr) {
+      run(std::true_type{}, regc);
+    } else {
+      run(std::false_type{}, regc);
+    }
+  });
 
   if (ping_pong) cur_ = 1 - cur_;
 }

@@ -71,8 +71,11 @@ class MrEngine final : public Engine<L> {
  public:
   using StorageT = ST;
 
+  /// `exec` selects the scalar or lane-batched kernel body: lane mode runs
+  /// phase A's moment collide + reconstruction and phase B's re-projection
+  /// over SoA panels of kLaneWidth nodes (bit-identical; same traffic).
   MrEngine(Geometry geo, real_t tau, Regularization scheme,
-           MrConfig config = {});
+           MrConfig config = {}, ExecMode exec = default_exec_mode());
 
   [[nodiscard]] const char* pattern_name() const override {
     return scheme_ == Regularization::kProjective ? "MR-P" : "MR-R";
@@ -92,6 +95,7 @@ class MrEngine final : public Engine<L> {
 
   [[nodiscard]] Regularization scheme() const { return scheme_; }
   [[nodiscard]] const MrConfig& config() const { return config_; }
+  [[nodiscard]] ExecMode exec_mode() const { return exec_; }
 
   /// Binds the sanitizer to the profiler and the moment lattice(s). Both
   /// storage policies satisfy the sliding-window freshness contract — a
@@ -189,6 +193,7 @@ class MrEngine final : public Engine<L> {
 
   Regularization scheme_;
   MrConfig config_;
+  ExecMode exec_;
   gpusim::Profiler prof_;
   /// kPingPong: both allocated, cur_ is the read side. kCircularShift: only
   /// mom_[0] is allocated (with S+2 sweep layers).

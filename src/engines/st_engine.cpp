@@ -1,5 +1,8 @@
 #include "engines/st_engine.hpp"
 
+#include <algorithm>
+
+#include "core/lanes.hpp"
 #include "core/regularization.hpp"
 #include "engines/streaming.hpp"
 #include "gpusim/launch.hpp"
@@ -8,11 +11,13 @@ namespace mlbm {
 
 template <class L, class ST>
 StEngine<L, ST>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
-                          int threads_per_block, StreamMode mode)
+                          int threads_per_block, StreamMode mode,
+                          ExecMode exec)
     : Engine<L>(std::move(geo), tau),
       scheme_(scheme),
       threads_per_block_(threads_per_block),
-      mode_(mode) {
+      mode_(mode),
+      exec_(exec) {
   const auto n = static_cast<std::size_t>(this->geo_.box.cells()) *
                  static_cast<std::size_t>(L::Q);
   f_[0].allocate(n, &prof_.counter());
@@ -87,11 +92,16 @@ void StEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
   for (int p = 0; p < Moments<L>::NP; ++p) {
     pineq[p] = factor * m.pi_neq(p);
   }
-  const Regularization reg = scheme_ == CollisionScheme::kRecursive
-                                 ? Regularization::kRecursive
-                                 : Regularization::kProjective;
-  for (int i = 0; i < L::Q; ++i) {
-    f[i] = reconstruct<L>(reg, i, m.rho, m.u.data(), pineq);
+  // One scheme branch per node, not per population: the templated
+  // reconstruction loops carry no runtime dispatch.
+  if (scheme_ == CollisionScheme::kRecursive) {
+    for (int i = 0; i < L::Q; ++i) {
+      f[i] = reconstruct_recursive<L>(i, m.rho, m.u.data(), pineq);
+    }
+  } else {
+    for (int i = 0; i < L::Q; ++i) {
+      f[i] = reconstruct_projective<L>(i, m.rho, m.u.data(), pineq);
+    }
   }
   impose_population(x, y, z, f);
 }
@@ -131,70 +141,166 @@ void StEngine<L, ST>::step_pull() {
   if (krec_ == nullptr) {
     krec_ = &prof_.record(std::string("st_stream_collide_") + L::name());
   }
+  if (exec_ != ExecMode::kLanes) {
+    // Scalar body, written out in full: routing the gather/write-back
+    // through the lambdas the lane path uses costs GCC ~1/3 of the loop's
+    // throughput (the capture object defeats its alias analysis), so the
+    // scalar path keeps the flat seed-style form. The collision scheme is
+    // dispatched once per launch, not per node (see collision.hpp).
+    dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, *krec_,
+        gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+        [&, cells](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t cell =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (cell >= cells) return;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z =
+                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+            // Streaming: pull each population from its upwind source
+            // (Algorithm 1, lines 4-10). Pulling direction i corresponds to
+            // a push along opposite(i) from this node, so the shared
+            // resolver is reused with the opposite velocity. Loads widen to
+            // real_t at the register boundary.
+            real_t f[L::Q];
+            real_t rho_self = real_t(-1);  // lazily computed for moving walls
+            for (int i = 0; i < L::Q; ++i) {
+              const StreamTarget t =
+                  resolve_stream<L>(geo, x, y, z, L::opposite(i));
+              switch (t.kind) {
+                case StreamTarget::Kind::kInterior:
+                  f[i] = src.template load_as<real_t>(
+                      soa(i, b.idx(t.x, t.y, t.z)));
+                  break;
+                case StreamTarget::Kind::kBounce: {
+                  real_t v =
+                      src.template load_as<real_t>(soa(L::opposite(i), cell));
+                  if (t.cu_wall != real_t(0)) {
+                    if (rho_self < real_t(0)) {
+                      rho_self = 0;
+                      for (int j = 0; j < L::Q; ++j) {
+                        rho_self +=
+                            src.template load_as<real_t>(soa(j, cell));
+                      }
+                    }
+                    v -= real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                         rho_self * t.cu_wall * inv_cs2;
+                  }
+                  f[i] = v;
+                  break;
+                }
+                case StreamTarget::Kind::kDropped:
+                  // This node sits on an open face and is rebuilt by the BC
+                  // pass; any finite placeholder works.
+                  f[i] = src.template load_as<real_t>(
+                      soa(L::opposite(i), cell));
+                  break;
+              }
+            }
+
+            // Collision (Algorithm 1, lines 11-26).
+            collide<L, decltype(sc)::value>(f, tau);
+            // Coalesced write-back of all Q populations of this node (one
+            // counted transaction; scalar fallback kept for the traffic
+            // invariance tests).
+            if (batched) {
+              dst.template store_span_as<real_t>(cell, cells, L::Q, f);
+            } else {
+              for (int i = 0; i < L::Q; ++i) {
+                dst.template store_as<real_t>(soa(i, cell), f[i]);
+              }
+            }
+          });
+        });
+    });
+    return;
+  }
+  // Streaming gather for one node: pull each population from its upwind
+  // source (Algorithm 1, lines 4-10). Pulling direction i corresponds to a
+  // push along opposite(i) from this node, so the shared resolver is reused
+  // with the opposite velocity. Loads widen to real_t at the register
+  // boundary. The lane path issues the identical per-node load sequence as
+  // the scalar body above, just panel-interleaved.
+  const auto gather = [&](index_t cell, int x, int y, int z,
+                          real_t (&f)[L::Q]) MLBM_ALWAYS_INLINE {
+    real_t rho_self = real_t(-1);  // lazily computed for moving walls
+    for (int i = 0; i < L::Q; ++i) {
+      const StreamTarget t = resolve_stream<L>(geo, x, y, z, L::opposite(i));
+      switch (t.kind) {
+        case StreamTarget::Kind::kInterior:
+          f[i] = src.template load_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)));
+          break;
+        case StreamTarget::Kind::kBounce: {
+          real_t v = src.template load_as<real_t>(soa(L::opposite(i), cell));
+          if (t.cu_wall != real_t(0)) {
+            if (rho_self < real_t(0)) {
+              rho_self = 0;
+              for (int j = 0; j < L::Q; ++j) {
+                rho_self += src.template load_as<real_t>(soa(j, cell));
+              }
+            }
+            v -= real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_self *
+                 t.cu_wall * inv_cs2;
+          }
+          f[i] = v;
+          break;
+        }
+        case StreamTarget::Kind::kDropped:
+          // This node sits on an open face and is rebuilt by the BC
+          // pass; any finite placeholder works.
+          f[i] = src.template load_as<real_t>(soa(L::opposite(i), cell));
+          break;
+      }
+    }
+  };
+  // Coalesced write-back of all Q populations of one node (one counted
+  // transaction; scalar fallback kept for the traffic invariance tests).
+  const auto write_back = [&, cells](index_t cell,
+                                     const real_t (&f)[L::Q]) MLBM_ALWAYS_INLINE {
+    if (batched) {
+      dst.template store_span_as<real_t>(cell, cells, L::Q, f);
+    } else {
+      for (int i = 0; i < L::Q; ++i) {
+        dst.template store_as<real_t>(soa(i, cell), f[i]);
+      }
+    }
+  };
+
   gpusim::launch(
       prof_, *krec_,
       gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
       [&, cells](gpusim::BlockCtx& blk) {
-        blk.for_each_thread([&](const gpusim::Dim3& tid) {
-          const index_t cell =
-              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-          if (cell >= cells) return;
-          const int x = static_cast<int>(cell % b.nx);
-          const int y = static_cast<int>((cell / b.nx) % b.ny);
-          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
-
-          // Streaming: pull each population from its upwind source
-          // (Algorithm 1, lines 4-10). Pulling direction i corresponds to a
-          // push along opposite(i) from this node, so the shared resolver is
-          // reused with the opposite velocity. Loads widen to real_t at the
-          // register boundary.
-          real_t f[L::Q];
-          real_t rho_self = real_t(-1);  // lazily computed for moving walls
-          for (int i = 0; i < L::Q; ++i) {
-            const StreamTarget t =
-                resolve_stream<L>(geo, x, y, z, L::opposite(i));
-            switch (t.kind) {
-              case StreamTarget::Kind::kInterior:
-                f[i] = src.template load_as<real_t>(
-                    soa(i, b.idx(t.x, t.y, t.z)));
-                break;
-              case StreamTarget::Kind::kBounce: {
-                real_t v =
-                    src.template load_as<real_t>(soa(L::opposite(i), cell));
-                if (t.cu_wall != real_t(0)) {
-                  if (rho_self < real_t(0)) {
-                    rho_self = 0;
-                    for (int j = 0; j < L::Q; ++j) {
-                      rho_self += src.template load_as<real_t>(soa(j, cell));
-                    }
-                  }
-                  v -= real_t(2) * L::w[static_cast<std::size_t>(i)] *
-                       rho_self * t.cu_wall * inv_cs2;
-                }
-                f[i] = v;
-                break;
-              }
-              case StreamTarget::Kind::kDropped:
-                // This node sits on an open face and is rebuilt by the BC
-                // pass; any finite placeholder works.
-                f[i] = src.template load_as<real_t>(soa(L::opposite(i), cell));
-                break;
-            }
+        // Lane-batched body: the block's cell range in SoA panels of
+        // kLaneWidth nodes. Gather and write-back stay per-node (identical
+        // access sequence to the scalar body); collision runs lane-major
+        // with SIMD inner loops (core/lanes.hpp).
+        const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
+        const index_t end = std::min(start + tpb, cells);
+        for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
+          const int n = static_cast<int>(
+              std::min<index_t>(kLaneWidth, end - p0));
+          real_t panel[L::Q][kLaneWidth];
+          for (int ln = 0; ln < n; ++ln) {
+            const index_t cell = p0 + ln;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z = static_cast<int>(
+                cell / (static_cast<index_t>(b.nx) * b.ny));
+            real_t f[L::Q];
+            gather(cell, x, y, z, f);
+            for (int i = 0; i < L::Q; ++i) panel[i][ln] = f[i];
           }
-
-          // Collision (Algorithm 1, lines 11-26).
-          collide<L>(scheme, f, tau);
-          // Coalesced write-back of all Q populations of this node (one
-          // counted transaction; scalar fallback kept for the traffic
-          // invariance tests).
-          if (batched) {
-            dst.template store_span_as<real_t>(cell, cells, L::Q, f);
-          } else {
-            for (int i = 0; i < L::Q; ++i) {
-              dst.template store_as<real_t>(soa(i, cell), f[i]);
-            }
+          collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
+          for (int ln = 0; ln < n; ++ln) {
+            real_t f[L::Q];
+            for (int i = 0; i < L::Q; ++i) f[i] = panel[i][ln];
+            write_back(p0 + ln, f);
           }
-        });
+        }
       });
 }
 
@@ -218,51 +324,126 @@ void StEngine<L, ST>::step_push() {
   if (krec_ == nullptr) {
     krec_ = &prof_.record(std::string("st_push_collide_stream_") + L::name());
   }
+  if (exec_ != ExecMode::kLanes) {
+    // Flat scalar body for the same reason as step_pull: the shared lambdas
+    // cost the loop a third of its throughput under GCC. Scheme dispatched
+    // once per launch.
+    dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, *krec_,
+        gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+        [&, cells](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t cell =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (cell >= cells) return;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z =
+                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+
+            // Coalesced read of the node's own (pre-collision) populations —
+            // one counted transaction when batched.
+            real_t f[L::Q];
+            if (batched) {
+              src.template load_span_as<real_t>(cell, cells, L::Q, f);
+            } else {
+              for (int i = 0; i < L::Q; ++i) {
+                f[i] = src.template load_as<real_t>(soa(i, cell));
+              }
+            }
+            real_t rho_pre = 0;
+            for (int i = 0; i < L::Q; ++i) rho_pre += f[i];
+            collide<L, decltype(sc)::value>(f, tau);
+
+            // Scatter the post-collision populations (irregular stores).
+            for (int i = 0; i < L::Q; ++i) {
+              const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+              switch (t.kind) {
+                case StreamTarget::Kind::kInterior:
+                  dst.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)),
+                                                f[i]);
+                  break;
+                case StreamTarget::Kind::kBounce:
+                  dst.template store_as<real_t>(
+                      soa(L::opposite(i), cell),
+                      f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                                 rho_pre * t.cu_wall * inv_cs2);
+                  break;
+                case StreamTarget::Kind::kDropped:
+                  break;
+              }
+            }
+          });
+        });
+    });
+    return;
+  }
+  // Coalesced read of one node's own (pre-collision) populations — one
+  // counted transaction when batched.
+  const auto read_own = [&, cells](index_t cell,
+                                   real_t (&f)[L::Q]) MLBM_ALWAYS_INLINE {
+    if (batched) {
+      src.template load_span_as<real_t>(cell, cells, L::Q, f);
+    } else {
+      for (int i = 0; i < L::Q; ++i) {
+        f[i] = src.template load_as<real_t>(soa(i, cell));
+      }
+    }
+  };
+  // Scatter one node's post-collision populations (irregular stores).
+  const auto scatter = [&](index_t cell, int x, int y, int z,
+                           const real_t (&f)[L::Q],
+                           real_t rho_pre) MLBM_ALWAYS_INLINE {
+    for (int i = 0; i < L::Q; ++i) {
+      const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+      switch (t.kind) {
+        case StreamTarget::Kind::kInterior:
+          dst.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)), f[i]);
+          break;
+        case StreamTarget::Kind::kBounce:
+          dst.template store_as<real_t>(
+              soa(L::opposite(i), cell),
+              f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho_pre *
+                         t.cu_wall * inv_cs2);
+          break;
+        case StreamTarget::Kind::kDropped:
+          break;
+      }
+    }
+  };
+
   gpusim::launch(
       prof_, *krec_,
       gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
       [&, cells](gpusim::BlockCtx& blk) {
-        blk.for_each_thread([&](const gpusim::Dim3& tid) {
-          const index_t cell =
-              static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-          if (cell >= cells) return;
-          const int x = static_cast<int>(cell % b.nx);
-          const int y = static_cast<int>((cell / b.nx) % b.ny);
-          const int z = static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
-
-          // Coalesced read of the node's own (pre-collision) populations —
-          // one counted transaction when batched.
-          real_t f[L::Q];
-          if (batched) {
-            src.template load_span_as<real_t>(cell, cells, L::Q, f);
-          } else {
-            for (int i = 0; i < L::Q; ++i) {
-              f[i] = src.template load_as<real_t>(soa(i, cell));
-            }
+        const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
+        const index_t end = std::min(start + tpb, cells);
+        for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
+          const int n = static_cast<int>(
+              std::min<index_t>(kLaneWidth, end - p0));
+          real_t panel[L::Q][kLaneWidth];
+          real_t rho_pre[kLaneWidth];
+          for (int ln = 0; ln < n; ++ln) {
+            real_t f[L::Q];
+            read_own(p0 + ln, f);
+            real_t r = 0;
+            for (int i = 0; i < L::Q; ++i) r += f[i];
+            rho_pre[ln] = r;
+            for (int i = 0; i < L::Q; ++i) panel[i][ln] = f[i];
           }
-          real_t rho_pre = 0;
-          for (int i = 0; i < L::Q; ++i) rho_pre += f[i];
-          collide<L>(scheme, f, tau);
-
-          // Scatter the post-collision populations (irregular stores).
-          for (int i = 0; i < L::Q; ++i) {
-            const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
-            switch (t.kind) {
-              case StreamTarget::Kind::kInterior:
-                dst.template store_as<real_t>(soa(i, b.idx(t.x, t.y, t.z)),
-                                              f[i]);
-                break;
-              case StreamTarget::Kind::kBounce:
-                dst.template store_as<real_t>(
-                    soa(L::opposite(i), cell),
-                    f[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
-                               rho_pre * t.cu_wall * inv_cs2);
-                break;
-              case StreamTarget::Kind::kDropped:
-                break;
-            }
+          collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
+          for (int ln = 0; ln < n; ++ln) {
+            const index_t cell = p0 + ln;
+            const int x = static_cast<int>(cell % b.nx);
+            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const int z = static_cast<int>(
+                cell / (static_cast<index_t>(b.nx) * b.ny));
+            real_t f[L::Q];
+            for (int i = 0; i < L::Q; ++i) f[i] = panel[i][ln];
+            scatter(cell, x, y, z, f, rho_pre[ln]);
           }
-        });
+        }
       });
 }
 

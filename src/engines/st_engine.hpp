@@ -39,10 +39,13 @@ class StEngine final : public Engine<L> {
  public:
   using StorageT = ST;
 
-  /// `threads_per_block` is the 1D block size of the fused kernel.
+  /// `threads_per_block` is the 1D block size of the fused kernel. `exec`
+  /// selects the scalar or lane-batched kernel body (bit-identical results,
+  /// identical traffic; see core/lanes.hpp).
   StEngine(Geometry geo, real_t tau,
            CollisionScheme scheme = CollisionScheme::kBGK,
-           int threads_per_block = 256, StreamMode mode = StreamMode::kPull);
+           int threads_per_block = 256, StreamMode mode = StreamMode::kPull,
+           ExecMode exec = default_exec_mode());
 
   [[nodiscard]] const char* pattern_name() const override {
     return mode_ == StreamMode::kPull ? "ST" : "ST-push";
@@ -63,6 +66,7 @@ class StEngine final : public Engine<L> {
   [[nodiscard]] CollisionScheme scheme() const { return scheme_; }
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
   [[nodiscard]] StreamMode stream_mode() const { return mode_; }
+  [[nodiscard]] ExecMode exec_mode() const { return exec_; }
 
   /// Validation hook: route per-node population I/O through scalar
   /// load/store instead of batched spans. Byte counts are identical either
@@ -148,6 +152,7 @@ class StEngine final : public Engine<L> {
   CollisionScheme scheme_;
   int threads_per_block_;
   StreamMode mode_;
+  ExecMode exec_;
   gpusim::Profiler prof_;
   gpusim::GlobalArray<ST> f_[2];
   int cur_ = 0;

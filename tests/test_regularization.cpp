@@ -164,10 +164,10 @@ TYPED_TEST(RegTest, TableReconstructorMatchesGenericSums) {
   using L = TypeParam;
   for (unsigned seed = 0; seed < 6; ++seed) {
     const auto s = random_state<L>(seed);
-    const Reconstructor<L> proj(Regularization::kProjective, s.rho, s.u,
-                                s.pineq);
-    const Reconstructor<L> rec(Regularization::kRecursive, s.rho, s.u,
-                               s.pineq);
+    const Reconstructor<L, Regularization::kProjective> proj(s.rho, s.u,
+                                                             s.pineq);
+    const Reconstructor<L, Regularization::kRecursive> rec(s.rho, s.u,
+                                                           s.pineq);
     for (int i = 0; i < L::Q; ++i) {
       EXPECT_NEAR(proj(i), reconstruct_projective<L>(i, s.rho, s.u, s.pineq),
                   1e-15);

@@ -11,10 +11,16 @@
 //   * the physics is BIT-IDENTICAL: both paths read and write the same
 //     values at the same addresses, so trajectories match exactly — not
 //     merely to round-off.
+//
+// The same contract binds the lane-batched execution path (ExecMode::kLanes):
+// panels reorder node processing but perform the scalar path's loads, stores
+// and arithmetic per node, so fields AND all four traffic counters must be
+// identical — not merely the byte totals.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 
+#include "analysis/sanitizer/sanitizer.hpp"
 #include "engines/aa_engine.hpp"
 #include "engines/mr_engine.hpp"
 #include "engines/st_engine.hpp"
@@ -161,6 +167,129 @@ TEST(TrafficInvariance, MrCircularShift3DBatchesByM) {
   EXPECT_EQ(tb.reads * D3Q19::M, ts.reads);
   EXPECT_EQ(tb.writes * D3Q19::M, ts.writes);
   expect_fields_identical<D3Q19>(batched, scalar);
+}
+
+// ------------------------------------------------------- Scalar vs Lanes
+// The lane backend must be observationally indistinguishable from the
+// scalar backend: bit-identical fields and identical counters (bytes AND
+// transactions — lane batching changes neither the addresses touched nor
+// how they are grouped into spans).
+
+template <class L>
+void expect_exec_invariant(Engine<L>& scalar, Engine<L>& lanes,
+                           const TaylorGreen<L>& tg, int steps) {
+  ASSERT_EQ(scalar.pattern_name(), lanes.pattern_name());
+  tg.attach(scalar);
+  tg.attach(lanes);
+  const auto ts = traffic_of_run<L>(scalar, steps);
+  const auto tl = traffic_of_run<L>(lanes, steps);
+  EXPECT_EQ(ts.bytes_read, tl.bytes_read);
+  EXPECT_EQ(ts.bytes_written, tl.bytes_written);
+  EXPECT_EQ(ts.reads, tl.reads);
+  EXPECT_EQ(ts.writes, tl.writes);
+  expect_fields_identical<L>(scalar, lanes);
+}
+
+template <class L, class ST>
+void exec_invariance_matrix(const TaylorGreen<L>& tg, int steps) {
+  const real_t tau = 0.8;
+  for (const StreamMode mode : {StreamMode::kPull, StreamMode::kPush}) {
+    StEngine<L, ST> scalar(tg.geo, tau, CollisionScheme::kRecursive, 64, mode,
+                           ExecMode::kScalar);
+    StEngine<L, ST> lanes(tg.geo, tau, CollisionScheme::kRecursive, 64, mode,
+                          ExecMode::kLanes);
+    expect_exec_invariant<L>(scalar, lanes, tg, steps);
+  }
+  {
+    AaEngine<L, ST> scalar(tg.geo, tau, CollisionScheme::kProjective, 64,
+                           ExecMode::kScalar);
+    AaEngine<L, ST> lanes(tg.geo, tau, CollisionScheme::kProjective, 64,
+                          ExecMode::kLanes);
+    // Even number of steps: covers both the node-local even flavour and the
+    // in-place gather/scatter odd flavour.
+    expect_exec_invariant<L>(scalar, lanes, tg, steps + (steps % 2));
+  }
+  const MrConfig cfg =
+      (L::D == 2) ? MrConfig{8, 1, 2} : MrConfig{4, 4, 1};
+  MrConfig circ = cfg;
+  circ.storage = MomentStorage::kCircularShift;
+  for (const Regularization reg :
+       {Regularization::kProjective, Regularization::kRecursive}) {
+    {
+      MrEngine<L, ST> scalar(tg.geo, tau, reg, cfg, ExecMode::kScalar);
+      MrEngine<L, ST> lanes(tg.geo, tau, reg, cfg, ExecMode::kLanes);
+      expect_exec_invariant<L>(scalar, lanes, tg, steps);
+    }
+    {
+      MrEngine<L, ST> scalar(tg.geo, tau, reg, circ, ExecMode::kScalar);
+      MrEngine<L, ST> lanes(tg.geo, tau, reg, circ, ExecMode::kLanes);
+      expect_exec_invariant<L>(scalar, lanes, tg, steps);
+    }
+  }
+}
+
+TEST(ExecInvariance, D2Q9Fp64LanesMatchScalarBitExact) {
+  exec_invariance_matrix<D2Q9, double>(TaylorGreen<D2Q9>::create(16, 0.03), 5);
+}
+
+TEST(ExecInvariance, D2Q9Fp32LanesMatchScalarBitExact) {
+  exec_invariance_matrix<D2Q9, float>(TaylorGreen<D2Q9>::create(16, 0.03), 5);
+}
+
+TEST(ExecInvariance, D3Q19Fp64LanesMatchScalarBitExact) {
+  exec_invariance_matrix<D3Q19, double>(
+      TaylorGreen<D3Q19>::create(8, 0.03, 8), 3);
+}
+
+TEST(ExecInvariance, D3Q19Fp32LanesMatchScalarBitExact) {
+  exec_invariance_matrix<D3Q19, float>(
+      TaylorGreen<D3Q19>::create(8, 0.03, 8), 3);
+}
+
+// Odd domain extents force partially-filled panels on every row; the ragged
+// last lane must not read or write anything the scalar path does not.
+TEST(ExecInvariance, RaggedPanelsStayInvariant) {
+  const auto tg = TaylorGreen<D2Q9>::create(13, 0.03);
+  StEngine<D2Q9> scalar(tg.geo, 0.8, CollisionScheme::kBGK, 64,
+                        StreamMode::kPull, ExecMode::kScalar);
+  StEngine<D2Q9> lanes(tg.geo, 0.8, CollisionScheme::kBGK, 64,
+                       StreamMode::kPull, ExecMode::kLanes);
+  expect_exec_invariant<D2Q9>(scalar, lanes, tg, 5);
+}
+
+// The lane path must also be hazard-free under the sanitizer: panels reorder
+// node processing within a conceptual thread block, which is only legal
+// because no two nodes of one launch touch the same word (ST/AA) or because
+// every shared-ring word keeps its unique producer (MR).
+TEST(ExecInvariance, LanePathSanitizerClean) {
+  const auto tg = TaylorGreen<D2Q9>::create(16, 0.03);
+  const real_t tau = 0.8;
+  auto expect_clean = [&](auto& eng, int steps, const char* what) {
+    analysis::Sanitizer san;
+    eng.set_sanitizer(&san);
+    tg.attach(eng);
+    eng.run(steps);
+    const analysis::SanitizerReport r = san.report();
+    EXPECT_TRUE(r.clean()) << what << ":\n" << r.to_string();
+    eng.set_sanitizer(nullptr);
+  };
+  {
+    StEngine<D2Q9> e(tg.geo, tau, CollisionScheme::kBGK, 64, StreamMode::kPull,
+                     ExecMode::kLanes);
+    expect_clean(e, 3, "ST pull lanes");
+  }
+  {
+    AaEngine<D2Q9> e(tg.geo, tau, CollisionScheme::kBGK, 64, ExecMode::kLanes);
+    expect_clean(e, 4, "AA lanes");
+  }
+  for (const auto storage :
+       {MomentStorage::kPingPong, MomentStorage::kCircularShift}) {
+    MrEngine<D2Q9> e(tg.geo, tau, Regularization::kRecursive,
+                     MrConfig{8, 1, 2, storage}, ExecMode::kLanes);
+    expect_clean(e, 3,
+                 storage == MomentStorage::kPingPong ? "MR-R ping-pong lanes"
+                                                     : "MR-R circular lanes");
+  }
 }
 
 }  // namespace
