@@ -33,6 +33,16 @@ inline Geometry periodic_geo(int nx, int ny, int nz) {
   return geo;
 }
 
+/// Channel-type variant for multi-device rows: bounceback walls on x (the
+/// decomposition axis must not be periodic), periodic cross axes.
+inline Geometry wallx_geo(int nx, int ny, int nz) {
+  Geometry geo(Box{nx, ny, nz});
+  geo.bc.set_axis(0, FaceBC::kWall);
+  geo.bc.set_axis(1, FaceBC::kPeriodic);
+  geo.bc.set_axis(2, FaceBC::kPeriodic);
+  return geo;
+}
+
 struct MeasuredTraffic {
   double read_bytes_per_node = 0;
   double write_bytes_per_node = 0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "multidev/multi_domain.hpp"
 #include "perfmodel/report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -42,11 +43,29 @@ struct Result {
   double mflups;
 };
 
+/// Toggles the traffic counters on a monolithic engine (one profiler) or on
+/// every slab of a decomposed one (MultiDomainEngine::profiler() is null;
+/// each slab engine owns its own).
+template <class L>
+void set_counters(Engine<L>& eng, bool on) {
+  if (gpusim::Profiler* p = eng.profiler()) {
+    p->counter().set_enabled(on);
+    return;
+  }
+  if (auto* multi = dynamic_cast<MultiDomainEngine<L>*>(&eng)) {
+    for (int d = 0; d < multi->devices(); ++d) {
+      if (gpusim::Profiler* p = multi->device_engine(d).profiler()) {
+        p->counter().set_enabled(on);
+      }
+    }
+  }
+}
+
 template <class L>
 double time_steps(Engine<L>& eng, int steps, bool counters) {
   eng.initialize(
       [](int, int, int) { return equilibrium_moments<L>(1.0, {}); });
-  eng.profiler()->counter().set_enabled(counters);
+  set_counters(eng, counters);
   eng.step();  // warm-up excluded
   Timer t;
   eng.run(steps);
@@ -88,6 +107,42 @@ void measure_lattice(std::vector<Result>& out, int n0, int n1, int n2,
   }
 }
 
+/// MultiDomain rows: the same grids split into `slabs` MR-P slabs along a
+/// walled x axis (the decomposition axis must not be periodic), timed under
+/// the requested exchange modes. The host pays the per-step ghost exchange
+/// here, so these rows bound the decomposed experiment sweeps the same way
+/// the monolithic rows bound the single-domain ones.
+template <class L>
+void measure_multi(std::vector<Result>& out, int slabs,
+                   const std::vector<ExchangeMode>& modes, int n0, int n1,
+                   int n2, int steps,
+                   const std::vector<StoragePrecision>& precs,
+                   const std::vector<ExecMode>& execs) {
+  const Geometry geo = bench::wallx_geo(n0, n1, n2);
+  const MrConfig cfg = bench::default_mr_config(L::D);
+  for (const ExecMode exec : execs) {
+    for (const StoragePrecision prec : precs) {
+      for (const ExchangeMode mode : modes) {
+        const std::string pattern =
+            std::string("MULTIx") + std::to_string(slabs) +
+            (mode == ExchangeMode::kOverlap ? "/ovl" : "/lock");
+        measure<L>(out, pattern.c_str(), to_string(prec), to_string(exec),
+                   geo, steps, [&] {
+                     auto multi = std::make_unique<MultiDomainEngine<L>>(
+                         geo, 0.8, slabs,
+                         [&](Geometry g, int) -> std::unique_ptr<Engine<L>> {
+                           return bench::make_pattern_engine<L>(
+                               perf::Pattern::kMRP, prec, std::move(g), 0.8,
+                               cfg, exec);
+                         });
+                     multi->set_exchange_mode(mode);
+                     return multi;
+                   });
+      }
+    }
+  }
+}
+
 bool write_json(const std::string& path, const std::vector<Result>& rows) {
   std::ofstream f(path);
   if (!f) return false;
@@ -119,6 +174,10 @@ int main(int argc, char** argv) {
   const std::string out = cli.get("out", "BENCH_wallclock.json");
   const std::string prec_arg = cli.get("precision", "both");
   const std::string exec_arg = cli.get("exec", "both");
+  // --slabs N adds MultiDomain rows (N MR-P slabs, lockstep exchange);
+  // --overlap additionally times the overlapped exchange schedule.
+  const int slabs = cli.get_int("slabs", 0);
+  const bool overlap = cli.has("overlap");
 
   std::vector<StoragePrecision> precs;
   if (prec_arg == "both") {
@@ -147,6 +206,17 @@ int main(int argc, char** argv) {
   std::vector<Result> rows;
   measure_lattice<D2Q9>(rows, n2d, n2d, 1, steps2d, precs, execs);
   measure_lattice<D3Q19>(rows, n3d, n3d, n3d, steps3d, precs, execs);
+  if (slabs >= 2) {
+    std::vector<ExchangeMode> modes = {ExchangeMode::kLockstep};
+    if (overlap) modes.push_back(ExchangeMode::kOverlap);
+    measure_multi<D2Q9>(rows, slabs, modes, n2d, n2d, 1, steps2d, precs,
+                        execs);
+    measure_multi<D3Q19>(rows, slabs, modes, n3d, n3d, n3d, steps3d, precs,
+                         execs);
+  } else if (slabs != 0) {
+    std::fprintf(stderr, "error: --slabs must be >= 2\n");
+    return 1;
+  }
 
   AsciiTable t({"Pattern", "Prec", "Lattice", "Exec", "Grid", "Counters",
                 "Seconds", "MFLUPS"});

@@ -214,7 +214,12 @@ void Sanitizer::on_launch_begin(const gpusim::KernelRecord& rec,
     std::lock_guard<std::mutex> lk(mu_);
     cur_kernel_ = rec.name;
   }
-  launch_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Inside a launch group only the first launch advances the sequence: the
+  // group's launches share one per-array touch window (split-step contract).
+  if (group_depth_.load(std::memory_order_relaxed) == 0 ||
+      group_launches_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    launch_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Fresh shared-memory registry per launch: BlockCtx arenas are
   // launch-local on the simulator exactly as on hardware.
   block_shared_.clear();
@@ -245,6 +250,15 @@ void Sanitizer::on_launch_end(
              ", min " + std::to_string(*mn) + " at block " +
              std::to_string(h.block_b) + ")";
   record(std::move(h));
+}
+
+void Sanitizer::begin_launch_group() {
+  group_depth_.fetch_add(1, std::memory_order_relaxed);
+  group_launches_.store(0, std::memory_order_relaxed);
+}
+
+void Sanitizer::end_launch_group() {
+  group_depth_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 // ---- global memory --------------------------------------------------------

@@ -135,6 +135,8 @@ class Sanitizer final : public gpusim::SanitizerHook {
   void on_block_begin(long long block, int level) override;
   void on_block_end() override;
   void on_launch_end(const std::vector<std::uint64_t>& per_block_syncs) override;
+  void begin_launch_group() override;
+  void end_launch_group() override;
   void global_register(const void* arr, std::size_t n, std::size_t elem_bytes,
                        const char* name, bool sliding_window) override;
   void global_access(const void* arr, index_t base, index_t stride, int n,
@@ -170,6 +172,12 @@ class Sanitizer final : public gpusim::SanitizerHook {
 
   std::atomic<std::uint64_t> launch_seq_{0};  ///< current launch id (1-based)
   std::string cur_kernel_;                    ///< name of the active launch
+  // Launch-group state (split steps): while a group is open, only the first
+  // launch bumps launch_seq_, so every array touched anywhere in the group
+  // shares one touch value — the group IS the freshness window. Lifecycle
+  // calls are serialized by the launchers, so relaxed atomics suffice.
+  std::atomic<int> group_depth_{0};
+  std::atomic<std::uint64_t> group_launches_{0};
 };
 
 }  // namespace mlbm::analysis

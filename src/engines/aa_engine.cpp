@@ -15,21 +15,26 @@ namespace mlbm {
 
 template <class L, class ST>
 AaEngine<L, ST>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
-                          int threads_per_block, ExecMode exec)
+                          int threads_per_block, ExecMode exec,
+                          bool allow_open_faces)
     : Engine<L>(std::move(geo), tau),
       scheme_(scheme),
       threads_per_block_(threads_per_block),
       exec_(exec) {
-  for (int axis = 0; axis < 3; ++axis) {
-    for (int side = 0; side < 2; ++side) {
-      if (this->geo_.bc.face[static_cast<std::size_t>(axis)][static_cast<std::size_t>(side)].type ==
-          FaceBC::kOpen) {
-        // Open faces need a post-step state rebuild, but mid-cycle the AA
-        // state is collided-not-yet-streamed; inlet/outlet handling would
-        // have to live inside the kernels. Out of scope for this baseline.
-        throw ConfigError(
-            "AaEngine: open (inlet/outlet) faces are not supported; use "
-            "periodic or wall boundaries");
+  if (!allow_open_faces) {
+    for (int axis = 0; axis < 3; ++axis) {
+      for (int side = 0; side < 2; ++side) {
+        if (this->geo_.bc.face[static_cast<std::size_t>(axis)][static_cast<std::size_t>(side)].type ==
+            FaceBC::kOpen) {
+          // Open faces need a post-step state rebuild, but mid-cycle the AA
+          // state is collided-not-yet-streamed; inlet/outlet handling would
+          // have to live inside the kernels. Out of scope for this baseline.
+          // Slab interfaces opt out: their open faces sit behind a
+          // depth-2 ghost band the per-step moment exchange re-imposes.
+          throw ConfigError(
+              "AaEngine: open (inlet/outlet) faces are not supported; use "
+              "periodic or wall boundaries");
+        }
       }
     }
   }
@@ -121,16 +126,65 @@ std::size_t AaEngine<L, ST>::state_bytes() const {
 }
 
 template <class L, class ST>
-void AaEngine<L, ST>::do_step() {
-  if (!swapped_phase()) {
-    step_even();
-  } else {
-    step_odd();
+void AaEngine<L, ST>::ensure_records() {
+  if (krec_even_ == nullptr) {
+    krec_even_ = &prof_.record(std::string("aa_even_") + L::name());
+    krec_odd_ = &prof_.record(std::string("aa_odd_") + L::name());
+    krec_even_frontier_ =
+        &prof_.record(std::string("aa_even_") + L::name() + "_frontier");
+    krec_odd_frontier_ =
+        &prof_.record(std::string("aa_odd_") + L::name() + "_frontier");
   }
 }
 
 template <class L, class ST>
-void AaEngine<L, ST>::step_even() {
+void AaEngine<L, ST>::do_step() {
+  ensure_records();
+  const int nx = this->geo_.box.nx;
+  if (!swapped_phase()) {
+    step_even(0, nx, *krec_even_);
+  } else {
+    step_odd(0, nx, *krec_odd_);
+  }
+}
+
+template <class L, class ST>
+void AaEngine<L, ST>::do_step_split(
+    const FrontierSpec& fs,
+    const typename Engine<L>::FrontierDoneFn& on_frontier) {
+  const Box& b = this->geo_.box;
+  ensure_records();
+  const bool even = !swapped_phase();
+  // The even step is node-local (ext 0); the odd step's in-place swap
+  // touches planes x-1..x+1 from source x, so finalizing [0, left) needs
+  // sources [0, left] (ext 1). Disjoint source ranges touch disjoint words
+  // (unique reader == writer per word), so the launches commute.
+  const int ext = even ? 0 : 1;
+  const int fl = fs.left > 0 ? fs.left + ext : 0;
+  const int fr = fs.right > 0 ? fs.right + ext : 0;
+  gpusim::KernelRecord& rec = even ? *krec_even_ : *krec_odd_;
+  gpusim::KernelRecord& frec = even ? *krec_even_frontier_ : *krec_odd_frontier_;
+  const auto run = [&](int x0, int x1, gpusim::KernelRecord& r) {
+    if (even) {
+      step_even(x0, x1, r);
+    } else {
+      step_odd(x0, x1, r);
+    }
+  };
+  if (fs.empty() || fl + fr >= b.nx) {
+    run(0, b.nx, rec);
+    if (on_frontier) on_frontier();
+  } else {
+    gpusim::LaunchGroup group(prof_);
+    if (fl > 0) run(0, fl, frec);
+    if (fr > 0) run(b.nx - fr, b.nx, frec);
+    if (on_frontier) on_frontier();
+    run(fl, b.nx - fr, rec);
+  }
+}
+
+template <class L, class ST>
+void AaEngine<L, ST>::step_even(int rx0, int rx1, gpusim::KernelRecord& rec) {
   // Node-local: read plainly, collide, write swapped. No neighbour traffic.
   // Populations whose downwind link crosses a wall receive their moving-wall
   // bounceback correction here, at write time, where the node's density is
@@ -145,29 +199,32 @@ void AaEngine<L, ST>::step_even() {
   gpusim::GlobalArray<ST>& f = f_;
   const bool batched = batched_io_;
 
+  // Plane-range remap (see st_engine.cpp): the full range degenerates to the
+  // flat cell index, keeping the monolithic step bit-identical.
+  const auto nxr = static_cast<index_t>(rx1 - rx0);
+  const index_t rcells = nxr * b.ny * b.nz;
+
   const int tpb = threads_per_block_;
   const auto nblocks =
-      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+      static_cast<int>((rcells + tpb - 1) / static_cast<index_t>(tpb));
 
-  if (krec_even_ == nullptr) {
-    krec_even_ = &prof_.record(std::string("aa_even_") + L::name());
-  }
   if (exec_ != ExecMode::kLanes) {
     // Flat scalar body with the collision scheme dispatched once per launch
     // (see st_engine.cpp for the rationale; the shared lambdas the lane path
     // uses cost GCC a large fraction of the loop's throughput).
     dispatch_collision(scheme, [&](auto sc) {
     gpusim::launch(
-        prof_, *krec_even_, gpusim::Dim3{nblocks, 1, 1},
+        prof_, rec, gpusim::Dim3{nblocks, 1, 1},
         gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
           blk.for_each_thread([&](const gpusim::Dim3& tid) {
-            const index_t cell =
+            const index_t r =
                 static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-            if (cell >= cells) return;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            if (r >= rcells) return;
+            const int x = rx0 + static_cast<int>(r % nxr);
+            const int y = static_cast<int>((r / nxr) % b.ny);
             const int z =
-                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+                static_cast<int>(r / (nxr * static_cast<index_t>(b.ny)));
+            const index_t cell = b.idx(x, y, z);
 
             // Both the read and the (slot-swapped) write touch all Q slots
             // of one cell, so each moves as one batched span transaction.
@@ -246,18 +303,25 @@ void AaEngine<L, ST>::step_even() {
   };
 
   gpusim::launch(
-      prof_, *krec_even_, gpusim::Dim3{nblocks, 1, 1},
-      gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+      prof_, rec, gpusim::Dim3{nblocks, 1, 1},
+      gpusim::Dim3{tpb, 1, 1}, [&](gpusim::BlockCtx& blk) {
         const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
-        const index_t end = std::min(start + tpb, cells);
+        const index_t end = std::min(start + tpb, rcells);
         for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
           const int n = static_cast<int>(
               std::min<index_t>(kLaneWidth, end - p0));
           real_t panel[L::Q][kLaneWidth];
           real_t rho_pre[kLaneWidth];
+          index_t cellv[kLaneWidth];
           for (int ln = 0; ln < n; ++ln) {
+            const index_t rr = p0 + ln;
+            const int x = rx0 + static_cast<int>(rr % nxr);
+            const int y = static_cast<int>((rr / nxr) % b.ny);
+            const int z = static_cast<int>(
+                rr / (nxr * static_cast<index_t>(b.ny)));
+            cellv[ln] = b.idx(x, y, z);
             real_t fl[L::Q];
-            read_own(p0 + ln, fl);
+            read_own(cellv[ln], fl);
             real_t r = 0;
             for (int i = 0; i < L::Q; ++i) r += fl[i];
             rho_pre[ln] = r;
@@ -265,55 +329,57 @@ void AaEngine<L, ST>::step_even() {
           }
           collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
           for (int ln = 0; ln < n; ++ln) {
-            const index_t cell = p0 + ln;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const index_t rr = p0 + ln;
+            const int x = rx0 + static_cast<int>(rr % nxr);
+            const int y = static_cast<int>((rr / nxr) % b.ny);
             const int z = static_cast<int>(
-                cell / (static_cast<index_t>(b.nx) * b.ny));
+                rr / (nxr * static_cast<index_t>(b.ny)));
             real_t fl[L::Q];
             for (int i = 0; i < L::Q; ++i) fl[i] = panel[i][ln];
-            write_swapped(cell, x, y, z, fl, rho_pre[ln]);
+            write_swapped(cellv[ln], x, y, z, fl, rho_pre[ln]);
           }
         }
       });
 }
 
 template <class L, class ST>
-void AaEngine<L, ST>::step_odd() {
+void AaEngine<L, ST>::step_odd(int rx0, int rx1, gpusim::KernelRecord& rec) {
   // Gather from the upwind neighbours' swapped slots (completing the
   // previous stream), collide, scatter into the downwind neighbours' plain
   // slots (pre-streaming the next step). Each slot has a unique
-  // reader == writer thread, so the update is race-free in place.
+  // reader == writer thread, so the update is race-free in place — and
+  // because word (j, m) is gathered AND scattered only by node m - c_j,
+  // plane-range launches touch disjoint word sets (split is exact).
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
-  const index_t cells = b.cells();
   const real_t tau = this->tau_;
   const real_t inv_cs2 = real_t(1) / L::cs2;
   const CollisionScheme scheme = scheme_;
   gpusim::GlobalArray<ST>& f = f_;
 
+  const auto nxr = static_cast<index_t>(rx1 - rx0);
+  const index_t rcells = nxr * b.ny * b.nz;
+
   const int tpb = threads_per_block_;
   const auto nblocks =
-      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+      static_cast<int>((rcells + tpb - 1) / static_cast<index_t>(tpb));
 
-  if (krec_odd_ == nullptr) {
-    krec_odd_ = &prof_.record(std::string("aa_odd_") + L::name());
-  }
   if (exec_ != ExecMode::kLanes) {
     // Flat scalar body, scheme dispatched once per launch (same rationale as
     // the even step).
     dispatch_collision(scheme, [&](auto sc) {
     gpusim::launch(
-        prof_, *krec_odd_, gpusim::Dim3{nblocks, 1, 1},
-        gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+        prof_, rec, gpusim::Dim3{nblocks, 1, 1},
+        gpusim::Dim3{tpb, 1, 1}, [&](gpusim::BlockCtx& blk) {
           blk.for_each_thread([&](const gpusim::Dim3& tid) {
-            const index_t cell =
+            const index_t r =
                 static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-            if (cell >= cells) return;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            if (r >= rcells) return;
+            const int x = rx0 + static_cast<int>(r % nxr);
+            const int y = static_cast<int>((r / nxr) % b.ny);
             const int z =
-                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+                static_cast<int>(r / (nxr * static_cast<index_t>(b.ny)));
+            const index_t cell = b.idx(x, y, z);
 
             // Gather f_i(x, t) = f*_i(x - c_i, t-1), stored swapped. Wall
             // links read this node's own swapped slot i, whose moving-wall
@@ -394,23 +460,25 @@ void AaEngine<L, ST>::step_odd() {
     // has a unique reader == writer node, so only each node's own
     // gather-before-scatter order matters, which the panel preserves.
     gpusim::launch(
-        prof_, *krec_odd_, gpusim::Dim3{nblocks, 1, 1},
-        gpusim::Dim3{tpb, 1, 1}, [&, cells](gpusim::BlockCtx& blk) {
+        prof_, rec, gpusim::Dim3{nblocks, 1, 1},
+        gpusim::Dim3{tpb, 1, 1}, [&](gpusim::BlockCtx& blk) {
           const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
-          const index_t end = std::min(start + tpb, cells);
+          const index_t end = std::min(start + tpb, rcells);
           for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
             const int n = static_cast<int>(
                 std::min<index_t>(kLaneWidth, end - p0));
             real_t panel[L::Q][kLaneWidth];
             real_t rho_now[kLaneWidth];
+            index_t cellv[kLaneWidth];
             for (int ln = 0; ln < n; ++ln) {
-              const index_t cell = p0 + ln;
-              const int x = static_cast<int>(cell % b.nx);
-              const int y = static_cast<int>((cell / b.nx) % b.ny);
+              const index_t rr = p0 + ln;
+              const int x = rx0 + static_cast<int>(rr % nxr);
+              const int y = static_cast<int>((rr / nxr) % b.ny);
               const int z = static_cast<int>(
-                  cell / (static_cast<index_t>(b.nx) * b.ny));
+                  rr / (nxr * static_cast<index_t>(b.ny)));
+              cellv[ln] = b.idx(x, y, z);
               real_t fl[L::Q];
-              gather(cell, x, y, z, fl);
+              gather(cellv[ln], x, y, z, fl);
               real_t r = 0;
               for (int i = 0; i < L::Q; ++i) r += fl[i];
               rho_now[ln] = r;
@@ -418,14 +486,14 @@ void AaEngine<L, ST>::step_odd() {
             }
             collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
             for (int ln = 0; ln < n; ++ln) {
-              const index_t cell = p0 + ln;
-              const int x = static_cast<int>(cell % b.nx);
-              const int y = static_cast<int>((cell / b.nx) % b.ny);
+              const index_t rr = p0 + ln;
+              const int x = rx0 + static_cast<int>(rr % nxr);
+              const int y = static_cast<int>((rr / nxr) % b.ny);
               const int z = static_cast<int>(
-                  cell / (static_cast<index_t>(b.nx) * b.ny));
+                  rr / (nxr * static_cast<index_t>(b.ny)));
               real_t fl[L::Q];
               for (int i = 0; i < L::Q; ++i) fl[i] = panel[i][ln];
-              scatter(cell, x, y, z, fl, rho_now[ln]);
+              scatter(cellv[ln], x, y, z, fl, rho_now[ln]);
             }
           }
         });

@@ -43,9 +43,17 @@ class AaEngine final : public Engine<L> {
   /// safe for the in-place odd step because every lattice word has a unique
   /// reader == writer node, so only each node's own gather-before-scatter
   /// order matters — which panels preserve.
+  ///
+  /// `allow_open_faces` relaxes the no-open-faces validation for slab
+  /// decomposition: an interface face is kOpen, its ghost band absorbs the
+  /// locally-wrong open-link updates, and the per-step moment exchange
+  /// (ghost depth 2 — see MultiDomainEngine) re-imposes the band before the
+  /// corruption reaches owned planes. Physical inlet/outlet faces remain
+  /// unsupported.
   AaEngine(Geometry geo, real_t tau,
            CollisionScheme scheme = CollisionScheme::kBGK,
-           int threads_per_block = 256, ExecMode exec = default_exec_mode());
+           int threads_per_block = 256, ExecMode exec = default_exec_mode(),
+           bool allow_open_faces = false);
 
   [[nodiscard]] const char* pattern_name() const override { return "ST-AA"; }
   void initialize(const typename Engine<L>::InitFn& init) override;
@@ -118,8 +126,16 @@ class AaEngine final : public Engine<L> {
     }
   }
 
+  /// Even steps are node-local (ext 0); odd steps partition by source node
+  /// with a one-plane extension (every lattice word has a unique
+  /// reader == writer node, so plane-range launches touch disjoint words).
+  [[nodiscard]] bool supports_frontier_split() const override { return true; }
+
  protected:
   void do_step() override;
+  void do_step_split(const FrontierSpec& fs,
+                     const typename Engine<L>::FrontierDoneFn& on_frontier)
+      override;
 
  private:
   [[nodiscard]] index_t soa(int i, index_t cell) const {
@@ -129,8 +145,11 @@ class AaEngine final : public Engine<L> {
   /// representation.
   [[nodiscard]] bool swapped_phase() const { return this->t_ % 2 == 1; }
 
-  void step_even();
-  void step_odd();
+  void ensure_records();
+  /// One launch covering nodes in planes [rx0, rx1); the full range is
+  /// bit-identical to the monolithic step (see StEngine).
+  void step_even(int rx0, int rx1, gpusim::KernelRecord& rec);
+  void step_odd(int rx0, int rx1, gpusim::KernelRecord& rec);
 
   CollisionScheme scheme_;
   int threads_per_block_;
@@ -138,9 +157,12 @@ class AaEngine final : public Engine<L> {
   gpusim::Profiler prof_;
   gpusim::GlobalArray<ST> f_;
   bool batched_io_ = true;
-  /// Cached kernel records (even/odd flavours) — no string lookup per step.
+  /// Cached kernel records (even/odd flavours, plus frontier variants for
+  /// split steps) — no string lookup per step.
   gpusim::KernelRecord* krec_even_ = nullptr;
   gpusim::KernelRecord* krec_odd_ = nullptr;
+  gpusim::KernelRecord* krec_even_frontier_ = nullptr;
+  gpusim::KernelRecord* krec_odd_frontier_ = nullptr;
 };
 
 extern template class AaEngine<D2Q9, double>;

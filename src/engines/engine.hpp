@@ -57,12 +57,24 @@ inline ExecMode default_exec_mode() {
   return mode;
 }
 
+/// Frontier extent of a split step: how many x-planes adjacent to each
+/// domain edge must be fully stepped before the frontier callback fires.
+/// `left` covers planes [0, left), `right` covers [nx - right, nx); either
+/// may be 0 (no interface on that side).
+struct FrontierSpec {
+  int left = 0;
+  int right = 0;
+
+  [[nodiscard]] bool empty() const { return left <= 0 && right <= 0; }
+};
+
 template <class L>
 class Engine {
  public:
   using Lattice = L;
   using InitFn = std::function<Moments<L>(int x, int y, int z)>;
   using PostStepFn = std::function<void(Engine&)>;
+  using FrontierDoneFn = std::function<void()>;
 
   Engine(Geometry geo, real_t tau) : geo_(std::move(geo)), tau_(tau) {
     if (tau <= real_t(0.5)) {
@@ -103,6 +115,26 @@ class Engine {
     ++t_;
     if (post_step_) post_step_(*this);
   }
+
+  /// Frontier/interior split step (async multi-domain overlap). Advances one
+  /// timestep exactly like step(), but invokes `on_frontier` at the point
+  /// where the frontier planes — [0, fs.left) and [nx - fs.right, nx) — hold
+  /// their FINAL post-step values and no remaining work of this step writes
+  /// them. The caller may then start the (modeled-async) ghost exchange while
+  /// the engine finishes the interior. The split is a pure scheduling change:
+  /// the stepped state is bit-identical to step() for every engine, whether
+  /// or not it supports a genuine split (the default implementation runs the
+  /// whole step as frontier). `on_frontier` must not mutate engine state.
+  void step_split(const FrontierSpec& fs, const FrontierDoneFn& on_frontier) {
+    do_step_split(fs, on_frontier);
+    ++t_;
+    if (post_step_) post_step_(*this);
+  }
+
+  /// True when do_step_split genuinely defers interior work past the
+  /// frontier callback (i.e. overlap can hide communication). Engines
+  /// falling back to whole-step-as-frontier return false.
+  [[nodiscard]] virtual bool supports_frontier_split() const { return false; }
 
   void run(int steps) {
     for (int i = 0; i < steps; ++i) step();
@@ -178,6 +210,17 @@ class Engine {
 
  protected:
   virtual void do_step() = 0;
+
+  /// Split-step hook. The default runs the entire step as "frontier": every
+  /// plane is final when the callback fires, so correctness (and
+  /// bit-identity) hold for engines without a native split — they simply
+  /// expose all communication time. Overriders must preserve the contract
+  /// documented on step_split().
+  virtual void do_step_split(const FrontierSpec& /*fs*/,
+                             const FrontierDoneFn& on_frontier) {
+    do_step();
+    if (on_frontier) on_frontier();
+  }
 
   Geometry geo_;
   real_t tau_;

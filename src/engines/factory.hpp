@@ -38,13 +38,13 @@ template <class L>
 std::unique_ptr<Engine<L>> make_aa_engine(
     StoragePrecision prec, Geometry geo, real_t tau,
     CollisionScheme scheme = CollisionScheme::kBGK, int threads_per_block = 256,
-    ExecMode exec = default_exec_mode()) {
+    ExecMode exec = default_exec_mode(), bool allow_open_faces = false) {
   if (prec == StoragePrecision::kFP32) {
-    return std::make_unique<AaEngine<L, float>>(std::move(geo), tau, scheme,
-                                                threads_per_block, exec);
+    return std::make_unique<AaEngine<L, float>>(
+        std::move(geo), tau, scheme, threads_per_block, exec, allow_open_faces);
   }
-  return std::make_unique<AaEngine<L, double>>(std::move(geo), tau, scheme,
-                                               threads_per_block, exec);
+  return std::make_unique<AaEngine<L, double>>(
+      std::move(geo), tau, scheme, threads_per_block, exec, allow_open_faces);
 }
 
 template <class L>

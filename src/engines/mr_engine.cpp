@@ -169,7 +169,72 @@ std::size_t MrEngine<L, ST>::shared_bytes_per_block() const {
 }
 
 template <class L, class ST>
+int MrEngine<L, ST>::tiles_x() const {
+  const int ncx0 = this->geo_.box.nx;
+  const int tx = std::min(config_.tile_x, ncx0);
+  return (ncx0 + tx - 1) / tx;
+}
+
+template <class L, class ST>
+void MrEngine<L, ST>::ensure_records() {
+  if (krec_ == nullptr) {
+    const std::string base =
+        std::string(scheme_ == Regularization::kProjective ? "mr_p_"
+                                                           : "mr_r_") +
+        L::name();
+    krec_ = &prof_.record(base);
+  }
+}
+
+// Registered separately from ensure_records() so engines that never take a
+// split step keep a single kernel record (the profiler reports registered
+// kernels even before their first launch).
+template <class L, class ST>
+void MrEngine<L, ST>::ensure_frontier_record() {
+  if (krec_frontier_ == nullptr) {
+    krec_frontier_ = &prof_.record(std::string(krec_->name) + "_frontier");
+  }
+}
+
+template <class L, class ST>
 void MrEngine<L, ST>::do_step() {
+  ensure_records();
+  step_tiles(0, tiles_x(), *krec_);
+  if (config_.storage == MomentStorage::kPingPong) cur_ = 1 - cur_;
+}
+
+template <class L, class ST>
+void MrEngine<L, ST>::do_step_split(
+    const FrontierSpec& fs,
+    const typename Engine<L>::FrontierDoneFn& on_frontier) {
+  ensure_records();
+  const bool ping_pong = config_.storage == MomentStorage::kPingPong;
+  const int ncx0 = this->geo_.box.nx;
+  const int tx = std::min(config_.tile_x, ncx0);
+  const int nc0 = tiles_x();
+  // Finalizing planes [0, left) needs every tile that owns one of them:
+  // phase B writes a node's moments only from its own column, so whole
+  // tiles are the split granule. No ext — columns read the ping-pong read
+  // side only, which this step never writes.
+  const int lt = fs.left > 0 ? (fs.left + tx - 1) / tx : 0;
+  const int rt = fs.right > 0 ? (fs.right + tx - 1) / tx : 0;
+  if (!ping_pong || fs.empty() || lt + rt >= nc0) {
+    step_tiles(0, nc0, *krec_);
+    if (on_frontier) on_frontier();
+  } else {
+    ensure_frontier_record();
+    gpusim::LaunchGroup group(prof_);
+    if (lt > 0) step_tiles(0, lt, *krec_frontier_);
+    if (rt > 0) step_tiles(nc0 - rt, rt, *krec_frontier_);
+    if (on_frontier) on_frontier();
+    step_tiles(lt, nc0 - lt - rt, *krec_);
+  }
+  if (ping_pong) cur_ = 1 - cur_;
+}
+
+template <class L, class ST>
+void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
+                                 gpusim::KernelRecord& rec) {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const real_t tau = this->tau_;
@@ -185,7 +250,6 @@ void MrEngine<L, ST>::do_step() {
   const int tx = std::min(config_.tile_x, ncx0);
   const int ty = (L::D == 2) ? 1 : std::min(config_.tile_y, ncx1);
   const int ts = std::min(config_.tile_s, S);
-  const int nc0 = (ncx0 + tx - 1) / tx;
   const int nc1 = (ncx1 + ty - 1) / ty;
   const int ntiles = (S + ts - 1) / ts;
   const int ring_w = ts + 2;
@@ -253,7 +317,9 @@ void MrEngine<L, ST>::do_step() {
 
   auto make_state = [&](gpusim::BlockCtx& blk) {
     ColState st;
-    st.x0 = blk.block_idx().x * tx;
+    // Tile-range launches (frontier split) offset the block's x-tile index;
+    // the full range (c0_begin 0) is the monolithic grid.
+    st.x0 = (blk.block_idx().x + c0_begin) * tx;
     st.x1 = std::min(ncx0, st.x0 + tx);
     st.y0 = blk.block_idx().y * ty;
     st.y1 = std::min(ncx1, st.y0 + ty);
@@ -369,6 +435,60 @@ void MrEngine<L, ST>::do_step() {
     }
   };
 
+  // A population whose source lies beyond an OPEN face has no producer:
+  // the reverse population is dropped by scatter_source instead of bounced,
+  // and there is no halo node to stream from, so its shared word stays
+  // unwritten — phase B would read it uninitialized (a genuine hazard on
+  // real hardware; the host arena zero-fills, so writing zeros here is
+  // bit-identical). True iff any non-periodic axis the source position
+  // crosses carries an open face, mirroring scatter_source's drop rule
+  // (drop wins over bounce at open/wall corners).
+  auto is_open_hole = [&](int hx, int hy, int s, int i) {
+    const auto& c = L::c[static_cast<std::size_t>(L::opposite(i))];
+    bool open = false;
+    auto probe = [&](int axis, int coord, int extent, bool periodic) {
+      if (periodic || (coord >= 0 && coord < extent)) return;
+      if (geo.bc.face[static_cast<std::size_t>(axis)][coord < 0 ? 0 : 1]
+              .type == FaceBC::kOpen) {
+        open = true;
+      }
+    };
+    probe(0, hx + c[0], ncx0, cx0_periodic);
+    if (L::D == 3) probe(1, hy + c[1], ncx1, cx1_periodic);
+    probe(kSweepAxis, s + c_sweep<L>(L::opposite(i)), S, sweep_periodic);
+    return open;
+  };
+  // Zero-fills layer `s`'s orphaned words in the slot (or stash) phase B
+  // will read them from. Cold path: called only for columns touching an
+  // open face; the filled words have no other writer, so ordering against
+  // the rest of phase A is free.
+  auto fill_open_holes = [&](auto sanc, gpusim::BlockCtx& blk, ColState& st,
+                             int s) {
+    constexpr bool kSan = decltype(sanc)::value;
+    for (int hy = st.y0; hy < st.y1; ++hy) {
+      for (int hx = st.x0; hx < st.x1; ++hx) {
+        const std::size_t node = cross_of(st, hx, hy);
+        for (int i = 0; i < L::Q; ++i) {
+          if (!is_open_hole(hx, hy, s, i)) continue;
+          const std::size_t e =
+              node * L::Q + static_cast<std::size_t>(i);
+          real_t* dst;
+          if (sweep_periodic && s == S - 1 && c_sweep<L>(i) < 0) {
+            dst = &st.stash_lo[e];
+          } else if (sweep_periodic && s == 0 && c_sweep<L>(i) > 0) {
+            dst = &st.stash_hi[e];
+          } else {
+            dst = &st.ring[slot_base(st, s) + e];
+          }
+          *dst = real_t(0);
+          if constexpr (kSan) {
+            note_shared(blk, dst, kPhaseBTid + static_cast<int>(node), true);
+          }
+        }
+      }
+    }
+  };
+
   // ---- Phase A: read + collide + reconstruct + stream into shared memory.
   // Generic over the sanitizer flag AND the regularization scheme: the
   // runtime enum is hoisted to a template argument at the launch site, so
@@ -381,6 +501,20 @@ void MrEngine<L, ST>::do_step() {
     const int s_end = std::min(S, s_begin + ts);
     const int hy_lo = (L::D == 3) ? st.y0 - 1 : 0;
     const int hy_hi = (L::D == 3) ? st.y1 : 0;
+    // Open-face adjacency of this column: only such columns can hold
+    // orphaned words (sweep-axis holes exist only on the first and last
+    // layer).
+    const bool col_open =
+        (!cx0_periodic &&
+         ((st.x0 == 0 && geo.bc.face[0][0].type == FaceBC::kOpen) ||
+          (st.x1 == ncx0 && geo.bc.face[0][1].type == FaceBC::kOpen))) ||
+        (L::D == 3 && !cx1_periodic &&
+         ((st.y0 == 0 && geo.bc.face[1][0].type == FaceBC::kOpen) ||
+          (st.y1 == ncx1 && geo.bc.face[1][1].type == FaceBC::kOpen)));
+    const bool sweep_open =
+        !sweep_periodic &&
+        (geo.bc.face[kSweepAxis][0].type == FaceBC::kOpen ||
+         geo.bc.face[kSweepAxis][1].type == FaceBC::kOpen);
 
     for (int s = s_begin; s < s_end; ++s) {
       const int sp = phys_layer(s, tt);
@@ -389,6 +523,9 @@ void MrEngine<L, ST>::do_step() {
       // population.
       const std::size_t dst_base[3] = {slot_base(st, s - 1), slot_base(st, s),
                                        slot_base(st, s + 1)};
+      if (col_open || (sweep_open && (s == 0 || s == S - 1))) {
+        fill_open_holes(sanc, blk, st, s);
+      }
       for (int hy = hy_lo; hy <= hy_hi; ++hy) {
         int py = hy;
         if (L::D == 3 && (hy < 0 || hy >= ncx1)) {
@@ -673,20 +810,14 @@ void MrEngine<L, ST>::do_step() {
   // Levels alternate phase A and phase B with a global barrier in between,
   // so a column's write-back can never overtake a neighbour's halo reads
   // (the circular-shift slot reuse analysis in the header relies on this).
-  const gpusim::Dim3 grid{nc0, nc1, 1};
+  const gpusim::Dim3 grid{c0_count, nc1, 1};
   const gpusim::Dim3 block =
       (L::D == 2) ? gpusim::Dim3{tx + 2, ts, 1}
                   : gpusim::Dim3{tx + 2, ty + 2, ts};
-  if (krec_ == nullptr) {
-    krec_ = &prof_.record(std::string(scheme == Regularization::kProjective
-                                          ? "mr_p_"
-                                          : "mr_r_") +
-                          L::name());
-  }
 
   auto run = [&](auto sanc, auto regc) {
     gpusim::launch_level_synced(
-        prof_, *krec_, grid, block, 2 * (ntiles + 1), make_state,
+        prof_, rec, grid, block, 2 * (ntiles + 1), make_state,
         [&, sanc, regc](gpusim::BlockCtx& blk, ColState& st, int level) {
           const int k = level / 2;
           if (level % 2 == 0) {
@@ -711,8 +842,6 @@ void MrEngine<L, ST>::do_step() {
       run(std::false_type{}, regc);
     }
   });
-
-  if (ping_pong) cur_ = 1 - cur_;
 }
 
 template class MrEngine<D2Q9, double>;

@@ -171,8 +171,21 @@ class MrEngine final : public Engine<L> {
   /// Shared-memory ring size per block: cross-section x (tile_s + 2) x Q.
   [[nodiscard]] std::size_t shared_bytes_per_block() const;
 
+  /// Ping-pong columns are independent (the read lattice is read-only, the
+  /// write lattice is tile-disjoint), so the step splits exactly into
+  /// x-tile-range launches. The circular shift relies on the launch-wide
+  /// level barrier to bound inter-column skew — separate launches would
+  /// break the slot-reuse analysis — so it keeps the whole-step-as-frontier
+  /// fallback.
+  [[nodiscard]] bool supports_frontier_split() const override {
+    return config_.storage == MomentStorage::kPingPong;
+  }
+
  protected:
   void do_step() override;
+  void do_step_split(const FrontierSpec& fs,
+                     const typename Engine<L>::FrontierDoneFn& on_frontier)
+      override;
 
  private:
   static constexpr int kSweepAxis = (L::D == 2) ? 1 : 2;
@@ -191,6 +204,15 @@ class MrEngine final : public Engine<L> {
   void write_moments_raw(int cx0, int cx1, int s, long long t,
                          const Moments<L>& m);
 
+  void ensure_records();
+  void ensure_frontier_record();
+  /// Number of column tiles along cross axis 0 (x).
+  [[nodiscard]] int tiles_x() const;
+  /// One level-synced launch covering column tiles [c0_begin,
+  /// c0_begin + c0_count) along x; the full range is the monolithic step.
+  /// Does not flip the ping-pong side.
+  void step_tiles(int c0_begin, int c0_count, gpusim::KernelRecord& rec);
+
   Regularization scheme_;
   MrConfig config_;
   ExecMode exec_;
@@ -201,9 +223,10 @@ class MrEngine final : public Engine<L> {
   int cur_ = 0;
   bool batched_io_ = true;
   FaultMutation mutation_{};
-  /// Cached kernel record (scheme and lattice are fixed per engine) — no
-  /// string lookup per step.
+  /// Cached kernel records (scheme and lattice are fixed per engine, plus a
+  /// frontier variant for split steps) — no string lookup per step.
   gpusim::KernelRecord* krec_ = nullptr;
+  gpusim::KernelRecord* krec_frontier_ = nullptr;
 };
 
 extern template class MrEngine<D2Q9, double>;

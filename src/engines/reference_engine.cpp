@@ -89,6 +89,34 @@ void ReferenceEngine<L>::inject_storage_bitflip(std::uint64_t site,
 
 template <class L>
 void ReferenceEngine<L>::do_step() {
+  step_range(0, this->geo_.box.nx);
+  cur_ = 1 - cur_;
+}
+
+template <class L>
+void ReferenceEngine<L>::do_step_split(
+    const FrontierSpec& fs,
+    const typename Engine<L>::FrontierDoneFn& on_frontier) {
+  const Box& b = this->geo_.box;
+  // Source-partitioned push (see StEngine::do_step_split): target planes
+  // [0, left) are final once sources [0, left] have scattered, and no
+  // interior source writes them.
+  const int fl = fs.left > 0 ? fs.left + 1 : 0;
+  const int fr = fs.right > 0 ? fs.right + 1 : 0;
+  if (fs.empty() || fl + fr >= b.nx) {
+    step_range(0, b.nx);
+    if (on_frontier) on_frontier();
+  } else {
+    step_range(0, fl);
+    step_range(b.nx - fr, b.nx);
+    if (on_frontier) on_frontier();
+    step_range(fl, b.nx - fr);
+  }
+  cur_ = 1 - cur_;
+}
+
+template <class L>
+void ReferenceEngine<L>::step_range(int rx0, int rx1) {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const std::vector<real_t>& src = f_[cur_];
@@ -99,7 +127,7 @@ void ReferenceEngine<L>::do_step() {
 
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
-      for (int x = 0; x < b.nx; ++x) {
+      for (int x = rx0; x < rx1; ++x) {
         const index_t cell = b.idx(x, y, z);
         // Strided gather of the node's Q populations (soa slot i is
         // i*cells + cell): one base pointer, Q constant-stride reads.
@@ -134,7 +162,6 @@ void ReferenceEngine<L>::do_step() {
       }
     }
   }
-  cur_ = 1 - cur_;
 }
 
 template class ReferenceEngine<D2Q9>;

@@ -64,13 +64,22 @@ class ReferenceEngine final : public Engine<L> {
     f_[cur_] = in;
   }
 
+  /// Push-style scatter partitions by source plane (see StEngine): plane x
+  /// is final once sources x-1..x+1 have scattered.
+  [[nodiscard]] bool supports_frontier_split() const override { return true; }
+
  protected:
   void do_step() override;
+  void do_step_split(const FrontierSpec& fs,
+                     const typename Engine<L>::FrontierDoneFn& on_frontier)
+      override;
 
  private:
   [[nodiscard]] index_t soa(int i, index_t cell) const {
     return static_cast<index_t>(i) * this->geo_.box.cells() + cell;
   }
+  /// Collide-and-scatter for source planes [rx0, rx1).
+  void step_range(int rx0, int rx1);
 
   CollisionScheme scheme_;
   std::vector<real_t> f_[2];

@@ -112,17 +112,67 @@ std::size_t StEngine<L, ST>::state_bytes() const {
 }
 
 template <class L, class ST>
+void StEngine<L, ST>::ensure_records() {
+  if (krec_ == nullptr) {
+    const std::string base = mode_ == StreamMode::kPull
+                                 ? std::string("st_stream_collide_") + L::name()
+                                 : std::string("st_push_collide_stream_") +
+                                       L::name();
+    krec_ = &prof_.record(base);
+    krec_frontier_ = &prof_.record(base + "_frontier");
+  }
+}
+
+template <class L, class ST>
 void StEngine<L, ST>::do_step() {
+  ensure_records();
   if (mode_ == StreamMode::kPull) {
-    step_pull();
+    step_pull(0, this->geo_.box.nx, *krec_);
   } else {
-    step_push();
+    step_push(0, this->geo_.box.nx, *krec_);
   }
   cur_ = 1 - cur_;
 }
 
 template <class L, class ST>
-void StEngine<L, ST>::step_pull() {
+void StEngine<L, ST>::do_step_split(
+    const FrontierSpec& fs,
+    const typename Engine<L>::FrontierDoneFn& on_frontier) {
+  const Box& b = this->geo_.box;
+  ensure_records();
+  // Pull partitions by destination plane (ext 0); push partitions by source
+  // plane, so finalizing target planes [0, left) needs sources [0, left]
+  // (ext 1) — and symmetrically on the right. No interior source then writes
+  // any frontier target.
+  const int ext = mode_ == StreamMode::kPush ? 1 : 0;
+  const int fl = fs.left > 0 ? fs.left + ext : 0;
+  const int fr = fs.right > 0 ? fs.right + ext : 0;
+  const auto run = [&](int x0, int x1, gpusim::KernelRecord& rec) {
+    if (mode_ == StreamMode::kPull) {
+      step_pull(x0, x1, rec);
+    } else {
+      step_push(x0, x1, rec);
+    }
+  };
+  if (fs.empty() || fl + fr >= b.nx) {
+    // Degenerate split (slab thinner than the frontier): whole step runs as
+    // frontier — correct, just with nothing left to hide behind.
+    run(0, b.nx, *krec_);
+    if (on_frontier) on_frontier();
+  } else {
+    // The three launches form one logical step: group them so the
+    // sanitizer's freshness window spans the whole step.
+    gpusim::LaunchGroup group(prof_);
+    if (fl > 0) run(0, fl, *krec_frontier_);
+    if (fr > 0) run(b.nx - fr, b.nx, *krec_frontier_);
+    if (on_frontier) on_frontier();
+    run(fl, b.nx - fr, *krec_);
+  }
+  cur_ = 1 - cur_;
+}
+
+template <class L, class ST>
+void StEngine<L, ST>::step_pull(int rx0, int rx1, gpusim::KernelRecord& rec) {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const index_t cells = b.cells();
@@ -134,13 +184,16 @@ void StEngine<L, ST>::step_pull() {
   gpusim::GlobalArray<ST>& dst = f_[1 - cur_];
   const bool batched = batched_io_;
 
+  // Plane-range remap: thread r covers node (rx0 + r % nxr, ...). For the
+  // full range this is exactly the flat cell index, so the monolithic step
+  // is bit-identical to the pre-split implementation.
+  const auto nxr = static_cast<index_t>(rx1 - rx0);
+  const index_t rcells = nxr * b.ny * b.nz;
+
   const int tpb = threads_per_block_;
   const auto nblocks =
-      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+      static_cast<int>((rcells + tpb - 1) / static_cast<index_t>(tpb));
 
-  if (krec_ == nullptr) {
-    krec_ = &prof_.record(std::string("st_stream_collide_") + L::name());
-  }
   if (exec_ != ExecMode::kLanes) {
     // Scalar body, written out in full: routing the gather/write-back
     // through the lambdas the lane path uses costs GCC ~1/3 of the loop's
@@ -149,17 +202,18 @@ void StEngine<L, ST>::step_pull() {
     // dispatched once per launch, not per node (see collision.hpp).
     dispatch_collision(scheme, [&](auto sc) {
     gpusim::launch(
-        prof_, *krec_,
+        prof_, rec,
         gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
         [&, cells](gpusim::BlockCtx& blk) {
           blk.for_each_thread([&](const gpusim::Dim3& tid) {
-            const index_t cell =
+            const index_t r =
                 static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-            if (cell >= cells) return;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            if (r >= rcells) return;
+            const int x = rx0 + static_cast<int>(r % nxr);
+            const int y = static_cast<int>((r / nxr) % b.ny);
             const int z =
-                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+                static_cast<int>(r / (nxr * static_cast<index_t>(b.ny)));
+            const index_t cell = b.idx(x, y, z);
 
             // Streaming: pull each population from its upwind source
             // (Algorithm 1, lines 4-10). Pulling direction i corresponds to
@@ -271,25 +325,28 @@ void StEngine<L, ST>::step_pull() {
   };
 
   gpusim::launch(
-      prof_, *krec_,
+      prof_, rec,
       gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
-      [&, cells](gpusim::BlockCtx& blk) {
+      [&](gpusim::BlockCtx& blk) {
         // Lane-batched body: the block's cell range in SoA panels of
         // kLaneWidth nodes. Gather and write-back stay per-node (identical
         // access sequence to the scalar body); collision runs lane-major
         // with SIMD inner loops (core/lanes.hpp).
         const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
-        const index_t end = std::min(start + tpb, cells);
+        const index_t end = std::min(start + tpb, rcells);
         for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
           const int n = static_cast<int>(
               std::min<index_t>(kLaneWidth, end - p0));
           real_t panel[L::Q][kLaneWidth];
+          index_t cellv[kLaneWidth];
           for (int ln = 0; ln < n; ++ln) {
-            const index_t cell = p0 + ln;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const index_t r = p0 + ln;
+            const int x = rx0 + static_cast<int>(r % nxr);
+            const int y = static_cast<int>((r / nxr) % b.ny);
             const int z = static_cast<int>(
-                cell / (static_cast<index_t>(b.nx) * b.ny));
+                r / (nxr * static_cast<index_t>(b.ny)));
+            const index_t cell = b.idx(x, y, z);
+            cellv[ln] = cell;
             real_t f[L::Q];
             gather(cell, x, y, z, f);
             for (int i = 0; i < L::Q; ++i) panel[i][ln] = f[i];
@@ -298,14 +355,14 @@ void StEngine<L, ST>::step_pull() {
           for (int ln = 0; ln < n; ++ln) {
             real_t f[L::Q];
             for (int i = 0; i < L::Q; ++i) f[i] = panel[i][ln];
-            write_back(p0 + ln, f);
+            write_back(cellv[ln], f);
           }
         }
       });
 }
 
 template <class L, class ST>
-void StEngine<L, ST>::step_push() {
+void StEngine<L, ST>::step_push(int rx0, int rx1, gpusim::KernelRecord& rec) {
   const Box& b = this->geo_.box;
   const Geometry& geo = this->geo_;
   const index_t cells = b.cells();
@@ -317,30 +374,33 @@ void StEngine<L, ST>::step_push() {
   gpusim::GlobalArray<ST>& dst = f_[1 - cur_];
   const bool batched = batched_io_;
 
+  // Source-plane range remap (see step_pull); the full range degenerates to
+  // the flat cell index.
+  const auto nxr = static_cast<index_t>(rx1 - rx0);
+  const index_t rcells = nxr * b.ny * b.nz;
+
   const int tpb = threads_per_block_;
   const auto nblocks =
-      static_cast<int>((cells + tpb - 1) / static_cast<index_t>(tpb));
+      static_cast<int>((rcells + tpb - 1) / static_cast<index_t>(tpb));
 
-  if (krec_ == nullptr) {
-    krec_ = &prof_.record(std::string("st_push_collide_stream_") + L::name());
-  }
   if (exec_ != ExecMode::kLanes) {
     // Flat scalar body for the same reason as step_pull: the shared lambdas
     // cost the loop a third of its throughput under GCC. Scheme dispatched
     // once per launch.
     dispatch_collision(scheme, [&](auto sc) {
     gpusim::launch(
-        prof_, *krec_,
+        prof_, rec,
         gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
         [&, cells](gpusim::BlockCtx& blk) {
           blk.for_each_thread([&](const gpusim::Dim3& tid) {
-            const index_t cell =
+            const index_t r =
                 static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
-            if (cell >= cells) return;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            if (r >= rcells) return;
+            const int x = rx0 + static_cast<int>(r % nxr);
+            const int y = static_cast<int>((r / nxr) % b.ny);
             const int z =
-                static_cast<int>(cell / (static_cast<index_t>(b.nx) * b.ny));
+                static_cast<int>(r / (nxr * static_cast<index_t>(b.ny)));
+            const index_t cell = b.idx(x, y, z);
 
             // Coalesced read of the node's own (pre-collision) populations —
             // one counted transaction when batched.
@@ -414,19 +474,26 @@ void StEngine<L, ST>::step_push() {
   };
 
   gpusim::launch(
-      prof_, *krec_,
+      prof_, rec,
       gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
-      [&, cells](gpusim::BlockCtx& blk) {
+      [&](gpusim::BlockCtx& blk) {
         const index_t start = static_cast<index_t>(blk.block_idx().x) * tpb;
-        const index_t end = std::min(start + tpb, cells);
+        const index_t end = std::min(start + tpb, rcells);
         for (index_t p0 = start; p0 < end; p0 += kLaneWidth) {
           const int n = static_cast<int>(
               std::min<index_t>(kLaneWidth, end - p0));
           real_t panel[L::Q][kLaneWidth];
           real_t rho_pre[kLaneWidth];
+          index_t cellv[kLaneWidth];
           for (int ln = 0; ln < n; ++ln) {
+            const index_t rr = p0 + ln;
+            const int x = rx0 + static_cast<int>(rr % nxr);
+            const int y = static_cast<int>((rr / nxr) % b.ny);
+            const int z = static_cast<int>(
+                rr / (nxr * static_cast<index_t>(b.ny)));
+            cellv[ln] = b.idx(x, y, z);
             real_t f[L::Q];
-            read_own(p0 + ln, f);
+            read_own(cellv[ln], f);
             real_t r = 0;
             for (int i = 0; i < L::Q; ++i) r += f[i];
             rho_pre[ln] = r;
@@ -434,14 +501,14 @@ void StEngine<L, ST>::step_push() {
           }
           collide_lanes<L, kLaneWidth>(scheme, panel, n, tau);
           for (int ln = 0; ln < n; ++ln) {
-            const index_t cell = p0 + ln;
-            const int x = static_cast<int>(cell % b.nx);
-            const int y = static_cast<int>((cell / b.nx) % b.ny);
+            const index_t rr = p0 + ln;
+            const int x = rx0 + static_cast<int>(rr % nxr);
+            const int y = static_cast<int>((rr / nxr) % b.ny);
             const int z = static_cast<int>(
-                cell / (static_cast<index_t>(b.nx) * b.ny));
+                rr / (nxr * static_cast<index_t>(b.ny)));
             real_t f[L::Q];
             for (int i = 0; i < L::Q; ++i) f[i] = panel[i][ln];
-            scatter(cell, x, y, z, f, rho_pre[ln]);
+            scatter(cellv[ln], x, y, z, f, rho_pre[ln]);
           }
         }
       });

@@ -63,6 +63,12 @@ class StEngine final : public Engine<L> {
     return &prof_;
   }
 
+  /// Both orderings split cleanly by x-plane: pull partitions by destination
+  /// node (a plane's populations are written only by that plane's threads),
+  /// push by source node with a one-plane interior extension (plane x is
+  /// final once sources x-1..x+1 have scattered).
+  [[nodiscard]] bool supports_frontier_split() const override { return true; }
+
   [[nodiscard]] CollisionScheme scheme() const { return scheme_; }
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
   [[nodiscard]] StreamMode stream_mode() const { return mode_; }
@@ -138,6 +144,9 @@ class StEngine final : public Engine<L> {
 
  protected:
   void do_step() override;
+  void do_step_split(const FrontierSpec& fs,
+                     const typename Engine<L>::FrontierDoneFn& on_frontier)
+      override;
 
  private:
   [[nodiscard]] index_t soa(int i, index_t cell) const {
@@ -146,8 +155,12 @@ class StEngine final : public Engine<L> {
   /// Uncounted population write into the current lattice (host-side setup).
   void impose_population(int x, int y, int z, const real_t (&f)[L::Q]);
 
-  void step_pull();
-  void step_push();
+  void ensure_records();
+  /// One fused-kernel launch covering source/destination planes [rx0, rx1).
+  /// The full range (0, nx) reproduces the monolithic step bit-for-bit: the
+  /// range remap r -> (x, y, z) degenerates to the flat cell index.
+  void step_pull(int rx0, int rx1, gpusim::KernelRecord& rec);
+  void step_push(int rx0, int rx1, gpusim::KernelRecord& rec);
 
   CollisionScheme scheme_;
   int threads_per_block_;
@@ -157,9 +170,11 @@ class StEngine final : public Engine<L> {
   gpusim::GlobalArray<ST> f_[2];
   int cur_ = 0;
   bool batched_io_ = true;
-  /// Cached kernel record (one kernel per engine: mode is fixed), so
-  /// steady-state stepping does no string lookup.
+  /// Cached kernel records (one kernel per engine: mode is fixed), so
+  /// steady-state stepping does no string lookup. Frontier launches of a
+  /// split step record separately so overlap traffic stays attributable.
   gpusim::KernelRecord* krec_ = nullptr;
+  gpusim::KernelRecord* krec_frontier_ = nullptr;
 };
 
 extern template class StEngine<D2Q9, double>;

@@ -38,12 +38,40 @@ class LaunchFaultHook {
   virtual void on_launch(const KernelRecord& rec) = 0;
 };
 
-/// Full profiler state — counter totals plus every kernel record — captured
-/// at a checkpoint and restored on rollback, so a replayed window leaves the
-/// profiler bit-identical to a run that never faulted.
+/// Modeled communication/compute timing attribution for one device's stream
+/// timeline (see timeline.hpp). `exposed_s` is the part of `comm_s` the
+/// compute stream actually waited on; `hidden_s` is the part that ran under
+/// interior compute. Lockstep execution exposes everything
+/// (exposed_s == comm_s); overlap hides what the interior phase covers.
+/// Invariant: exposed_s + hidden_s == comm_s.
+struct CommStats {
+  double compute_s = 0;  ///< modeled kernel time on the compute stream
+  double comm_s = 0;     ///< modeled ghost-exchange transfer time
+  double exposed_s = 0;  ///< comm time the next step had to wait for
+  double hidden_s = 0;   ///< comm time overlapped with interior compute
+  std::uint64_t steps = 0;
+
+  [[nodiscard]] double exposed_fraction() const {
+    return comm_s > 0 ? exposed_s / comm_s : 0.0;
+  }
+  CommStats& operator+=(const CommStats& o) {
+    compute_s += o.compute_s;
+    comm_s += o.comm_s;
+    exposed_s += o.exposed_s;
+    hidden_s += o.hidden_s;
+    steps += o.steps;
+    return *this;
+  }
+};
+
+/// Full profiler state — counter totals plus every kernel record and the
+/// comm attribution — captured at a checkpoint and restored on rollback, so
+/// a replayed window leaves the profiler bit-identical to a run that never
+/// faulted.
 struct ProfilerState {
   TrafficSnapshot counter;
   std::map<std::string, KernelRecord> records;
+  CommStats comm;
 };
 
 class Profiler {
@@ -74,11 +102,17 @@ class Profiler {
   void reset() {
     counter_.reset();
     records_.clear();  // invalidates references cached via record()
+    comm_ = CommStats{};
   }
+
+  /// Modeled communication attribution, accumulated by the multi-domain
+  /// overlap scheduler (timeline.hpp). Untouched in single-domain runs.
+  CommStats& comm_stats() { return comm_; }
+  [[nodiscard]] const CommStats& comm_stats() const { return comm_; }
 
   /// Captures counter + per-kernel records for a checkpoint.
   [[nodiscard]] ProfilerState state() const {
-    return {counter_.snapshot(), records_};
+    return {counter_.snapshot(), records_, comm_};
   }
 
   /// Restores a captured state WITHOUT invalidating references cached via
@@ -99,6 +133,7 @@ class Profiler {
     for (const auto& [name, rec] : s.records) {
       records_.emplace(name, rec);  // no-op for names already present
     }
+    comm_ = s.comm;
   }
 
   /// Installs (or clears, with nullptr) the launch fault hook consulted at
@@ -120,8 +155,28 @@ class Profiler {
  private:
   TrafficCounter counter_;
   std::map<std::string, KernelRecord> records_;
+  CommStats comm_;
   LaunchFaultHook* fault_hook_ = nullptr;
   SanitizerHook* sanitizer_hook_ = nullptr;
+};
+
+/// RAII bracket declaring that the launches issued within its scope form ONE
+/// logical engine step (the frontier/interior split). Forwards to the
+/// installed sanitizer hook's launch-group calls; a no-op when no hook is
+/// installed, so split-step engines can use it unconditionally.
+class LaunchGroup {
+ public:
+  explicit LaunchGroup(Profiler& prof) : hook_(prof.sanitizer_hook()) {
+    if (hook_ != nullptr) hook_->begin_launch_group();
+  }
+  ~LaunchGroup() {
+    if (hook_ != nullptr) hook_->end_launch_group();
+  }
+  LaunchGroup(const LaunchGroup&) = delete;
+  LaunchGroup& operator=(const LaunchGroup&) = delete;
+
+ private:
+  SanitizerHook* hook_;
 };
 
 }  // namespace mlbm::gpusim

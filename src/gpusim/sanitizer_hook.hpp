@@ -60,6 +60,17 @@ class SanitizerHook {
   /// count (synccheck input).
   virtual void on_launch_end(const std::vector<std::uint64_t>& per_block_syncs) = 0;
 
+  // ---- launch groups ----------------------------------------------------
+  /// Brackets a set of launches that together form ONE logical engine step
+  /// (the frontier/interior split issues up to three launches per step).
+  /// Grouped launches share one freshness window: sliding-window staleness
+  /// treats the whole group as a single launch, matching the split-step
+  /// contract that the sub-launches partition the step's work over disjoint
+  /// write ranges. Defaulted no-ops so existing hooks are unaffected;
+  /// serialized by the caller like the rest of the launch lifecycle.
+  virtual void begin_launch_group() {}
+  virtual void end_launch_group() {}
+
   // ---- global memory ----------------------------------------------------
   /// Binds array `arr` (identity key) of `n` elements. `sliding_window`
   /// opts the array into the staleness check: its kernels promise that

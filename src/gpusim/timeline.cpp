@@ -1,0 +1,51 @@
+#include "gpusim/timeline.hpp"
+
+#include <algorithm>
+
+namespace mlbm::gpusim {
+
+LinkSpec LinkSpec::nvlink2() {
+  // V100 SXM2 pairs: 2 NVLink2 bricks x 25 GB/s/dir nominal; ~50 GB/s
+  // sustained per direction measured by p2pBandwidthLatencyTest-class
+  // microbenchmarks, ~2 us end-to-end message latency.
+  return {"nvlink2", 2e-6, 50.0};
+}
+
+LinkSpec LinkSpec::pcie3() {
+  // PCIe3 x16 host-staged peer path: 15.75 GB/s theoretical, ~12 GB/s
+  // effective with pinned staging buffers; ~6 us latency including the
+  // host-side hop.
+  return {"pcie3", 6e-6, 12.0};
+}
+
+double kernel_duration_s(const DeviceSpec& dev, std::uint64_t bytes) {
+  const double bw = dev.bandwidth_gbs * 1e9 * dev.stream_efficiency;
+  return kTimelineLaunchOverheadSeconds +
+         (bw > 0 ? static_cast<double>(bytes) / bw : 0.0);
+}
+
+Event Timeline::enqueue(int stream, double duration_s,
+                        const std::vector<Event>& deps, std::string label) {
+  const auto s = static_cast<std::size_t>(stream);
+  double start = stream_tail_[s];
+  for (const Event& e : deps) {
+    start = std::max(start, complete_time(e));
+  }
+  Op op;
+  op.stream = stream;
+  op.start = start;
+  op.duration = duration_s;
+  op.end = start + duration_s;
+  op.label = std::move(label);
+  stream_tail_[s] = op.end;
+  ops_.push_back(std::move(op));
+  return Event{static_cast<int>(ops_.size()) - 1};
+}
+
+double Timeline::horizon() const {
+  double h = 0;
+  for (double t : stream_tail_) h = std::max(h, t);
+  return h;
+}
+
+}  // namespace mlbm::gpusim

@@ -1,0 +1,119 @@
+// Per-device stream/event timeline model: the simulator's analogue of CUDA
+// streams + events (or HIP streams), used by the multi-domain scheduler to
+// model WHEN launches and ghost transfers would execute on real hardware.
+//
+// The host simulator executes kernels synchronously, so wall-clock tells us
+// nothing about device concurrency. The Timeline instead assigns every
+// modeled operation a duration (derived from the DeviceSpec's bandwidth and
+// the measured DRAM traffic of the launch, or from the LinkSpec for ghost
+// transfers) and plays the standard stream semantics:
+//
+//   * ops on one stream execute in issue order, back to back;
+//   * an op additionally waits on its dependency events (cudaStreamWaitEvent);
+//   * an op's completion is an event other streams may wait on.
+//
+// From the resulting schedule the scheduler attributes each step's exchange
+// time as EXPOSED (the next step's frontier had to wait for it) or HIDDEN
+// (it completed under interior compute) — the quantity the overlap perfmodel
+// predicts and bench/multidev_scaling validates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace mlbm::gpusim {
+
+/// Inter-device interconnect model: a fixed per-message latency plus a
+/// per-direction sustained bandwidth. The two presets bracket the paper's
+/// hardware generation (V100 SXM2 = NVLink2-class, MI100 = PCIe3/4-class
+/// host-staged peer transfers); DESIGN.md documents the calibration.
+struct LinkSpec {
+  std::string name;
+  double latency_s = 0;      ///< fixed per-message cost (sw + hw)
+  double bandwidth_gbs = 0;  ///< sustained per-direction bandwidth
+
+  /// Modeled duration of one `bytes`-sized ghost-plane message.
+  [[nodiscard]] double transfer_s(std::uint64_t bytes) const {
+    return latency_s +
+           static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+  }
+
+  /// NVLink2-class peer link (V100 SXM2 pair): ~50 GB/s per direction,
+  /// ~2 us effective message latency.
+  static LinkSpec nvlink2();
+  /// PCIe3 x16 host-staged peer path: ~12 GB/s effective, ~6 us latency.
+  static LinkSpec pcie3();
+};
+
+/// Kernel-launch overhead charged once per modeled launch. Mirrors
+/// perf::kLaunchOverheadSeconds (mflups_model.hpp) so timeline-modeled step
+/// times and the analytic perfmodel agree by construction.
+inline constexpr double kTimelineLaunchOverheadSeconds = 6e-6;
+
+/// Modeled duration of a bandwidth-bound kernel that moved `bytes` of DRAM
+/// traffic on `dev`: launch overhead + bytes over the device's achievable
+/// streaming bandwidth. The engines in this repository are bandwidth bound
+/// (the paper's premise), so measured traffic is the duration model.
+double kernel_duration_s(const DeviceSpec& dev, std::uint64_t bytes);
+
+/// Completion event of an enqueued op. Default-constructed events are
+/// "already complete" (time 0) and may be passed as dependencies freely.
+struct Event {
+  int id = -1;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+};
+
+class Timeline {
+ public:
+  struct Op {
+    int stream = -1;
+    double start = 0;
+    double duration = 0;
+    double end = 0;
+    std::string label;
+  };
+
+  /// Creates a new empty stream and returns its id.
+  int add_stream(std::string name) {
+    stream_tail_.push_back(0.0);
+    stream_names_.push_back(std::move(name));
+    return static_cast<int>(stream_tail_.size()) - 1;
+  }
+
+  /// Enqueues an op of `duration_s` on `stream`, starting no earlier than
+  /// the stream's previous op and every dependency event. Returns the op's
+  /// completion event.
+  Event enqueue(int stream, double duration_s, const std::vector<Event>& deps,
+                std::string label = {});
+
+  /// Completion time of `e` (0 for an invalid/default event).
+  [[nodiscard]] double complete_time(Event e) const {
+    if (!e.valid() || static_cast<std::size_t>(e.id) >= ops_.size()) return 0;
+    return ops_[static_cast<std::size_t>(e.id)].end;
+  }
+
+  /// Time at which `stream` drains (0 for an empty stream).
+  [[nodiscard]] double stream_time(int stream) const {
+    if (stream < 0 || static_cast<std::size_t>(stream) >= stream_tail_.size())
+      return 0;
+    return stream_tail_[static_cast<std::size_t>(stream)];
+  }
+
+  /// Time at which every stream has drained.
+  [[nodiscard]] double horizon() const;
+
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<std::string>& stream_names() const {
+    return stream_names_;
+  }
+
+ private:
+  std::vector<double> stream_tail_;
+  std::vector<std::string> stream_names_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace mlbm::gpusim

@@ -1,19 +1,33 @@
 #include "multidev/multi_domain.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
+#include "gpusim/traffic.hpp"
 #include "util/error.hpp"
 
 namespace mlbm {
 
-std::vector<SlabInfo> make_slabs(int nx, int ndev) {
+std::vector<SlabInfo> make_slabs(int nx, int ndev, int ghost_depth) {
   if (ndev < 1 || ndev > nx) {
     throw ConfigError("make_slabs: need 1 <= ndev <= nx, got ndev=" +
                       std::to_string(ndev) + " nx=" + std::to_string(nx));
   }
-  std::vector<SlabInfo> slabs(static_cast<std::size_t>(ndev));
+  if (ghost_depth < 1) {
+    throw ConfigError("make_slabs: ghost_depth must be >= 1, got " +
+                      std::to_string(ghost_depth));
+  }
   const int base = nx / ndev;
+  if (ndev > 1 && base < ghost_depth) {
+    // The exchange reads `ghost_depth` owned planes per interface side; a
+    // narrower slab would have to forward a neighbour's ghost data.
+    throw ConfigError("make_slabs: slab width " + std::to_string(base) +
+                      " is narrower than ghost depth " +
+                      std::to_string(ghost_depth));
+  }
+  std::vector<SlabInfo> slabs(static_cast<std::size_t>(ndev));
   const int rem = nx % ndev;
   int x = 0;
   for (int d = 0; d < ndev; ++d) {
@@ -22,6 +36,7 @@ std::vector<SlabInfo> make_slabs(int nx, int ndev) {
     s.x_end = x + base + (d < rem ? 1 : 0);
     s.has_left = d > 0;
     s.has_right = d < ndev - 1;
+    s.ghost_depth = ghost_depth;
     x = s.x_end;
   }
   return slabs;
@@ -39,7 +54,7 @@ Geometry slab_geometry(const Geometry& global, const SlabInfo& slab) {
 
   // Copy node kinds for the owned range plus ghost planes (ghost kinds are
   // irrelevant to the update but keep diagnostics meaningful).
-  const int g0 = slab.x_begin - (slab.has_left ? 1 : 0);
+  const int g0 = slab.x_begin - (slab.has_left ? slab.ghost_depth : 0);
   for (int z = 0; z < local.nz; ++z) {
     for (int y = 0; y < local.ny; ++y) {
       for (int lx = 0; lx < local.nx; ++lx) {
@@ -53,8 +68,11 @@ Geometry slab_geometry(const Geometry& global, const SlabInfo& slab) {
 
 template <class L>
 MultiDomainEngine<L>::MultiDomainEngine(Geometry global, real_t tau, int ndev,
-                                        const EngineFactory& factory)
-    : Engine<L>(std::move(global), tau), slabs_(make_slabs(this->geo_.box.nx, ndev)) {
+                                        const EngineFactory& factory,
+                                        int ghost_depth)
+    : Engine<L>(std::move(global), tau),
+      slabs_(make_slabs(this->geo_.box.nx, ndev, ghost_depth)),
+      ghost_depth_(ghost_depth) {
   // Degenerate decompositions must fail loudly here, not as UB on
   // engines_.front() (or worse, inside a slab engine) later: make_slabs
   // already enforces 1 <= ndev <= nx, this validates what it produced and
@@ -190,7 +208,7 @@ void MultiDomainEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
   // local to global coordinates.
   for (int d = 0; d < devices(); ++d) {
     const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
-    const int g0 = s.x_begin - (s.has_left ? 1 : 0);
+    const int g0 = s.x_begin - (s.has_left ? s.ghost_depth : 0);
     engines_[static_cast<std::size_t>(d)]->initialize(
         [&init, g0](int lx, int y, int z) { return init(g0 + lx, y, z); });
   }
@@ -208,18 +226,22 @@ void MultiDomainEngine<L>::impose(int gx, int y, int z, const Moments<L>& m) {
   const int d = owner_of(gx);
   const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
   engines_[static_cast<std::size_t>(d)]->impose(s.local_x(gx), y, z, m);
-  // Mirror into neighbour ghost copies of this plane, if any.
-  if (d > 0) {
+  // Mirror into neighbour ghost copies of this plane, if any. SlabInfo's
+  // local_x extends naturally past the owned range, so the neighbour's
+  // local coordinate of a plane inside its ghost band needs no special
+  // casing.
+  if (d > 0 && gx - s.x_begin < ghost_depth_) {
     const SlabInfo& left = slabs_[static_cast<std::size_t>(d - 1)];
-    if (gx == s.x_begin && left.has_right) {
-      engines_[static_cast<std::size_t>(d - 1)]->impose(left.local_nx() - 1, y,
-                                                        z, m);
+    if (left.has_right) {
+      engines_[static_cast<std::size_t>(d - 1)]->impose(left.local_x(gx), y, z,
+                                                        m);
     }
   }
-  if (d + 1 < devices()) {
+  if (d + 1 < devices() && s.x_end - 1 - gx < ghost_depth_) {
     const SlabInfo& right = slabs_[static_cast<std::size_t>(d + 1)];
-    if (gx == s.x_end - 1 && right.has_left) {
-      engines_[static_cast<std::size_t>(d + 1)]->impose(0, y, z, m);
+    if (right.has_left) {
+      engines_[static_cast<std::size_t>(d + 1)]->impose(right.local_x(gx), y, z,
+                                                        m);
     }
   }
 }
@@ -235,26 +257,51 @@ template <class L>
 std::uint64_t MultiDomainEngine<L>::exchanged_values_per_step() const {
   const Box& b = this->geo_.box;
   const auto interfaces = static_cast<std::uint64_t>(devices() - 1);
-  return interfaces * 2ull * static_cast<std::uint64_t>(b.ny) *
-         static_cast<std::uint64_t>(b.nz) * static_cast<std::uint64_t>(L::M);
+  return interfaces * 2ull * static_cast<std::uint64_t>(ghost_depth_) *
+         static_cast<std::uint64_t>(b.ny) * static_cast<std::uint64_t>(b.nz) *
+         static_cast<std::uint64_t>(L::M);
+}
+
+template <class L>
+gpusim::CommStats MultiDomainEngine<L>::comm_stats() const {
+  gpusim::CommStats total;
+  for (const auto& e : engines_) {
+    if (const gpusim::Profiler* p = e->profiler()) {
+      total += p->comm_stats();
+    }
+  }
+  // Per-device steps would sum to devices() x the step count; report the
+  // global step count instead.
+  total.steps = 0;
+  for (const auto& e : engines_) {
+    if (const gpusim::Profiler* p = e->profiler()) {
+      total.steps = std::max(total.steps, p->comm_stats().steps);
+    }
+  }
+  return total;
 }
 
 template <class L>
 void MultiDomainEngine<L>::exchange() {
   const Box& b = this->geo_.box;
+  const int depth = ghost_depth_;
   for (int d = 0; d + 1 < devices(); ++d) {
     Engine<L>& left = *engines_[static_cast<std::size_t>(d)];
     Engine<L>& right = *engines_[static_cast<std::size_t>(d + 1)];
     const SlabInfo& ls = slabs_[static_cast<std::size_t>(d)];
     const SlabInfo& rs = slabs_[static_cast<std::size_t>(d + 1)];
-    // Left's right ghost <- right's first owned plane; right's left ghost
-    // <- left's last owned plane.
+    // Left's right ghost band <- right's first `depth` owned planes; right's
+    // left ghost band <- left's last `depth` owned planes.
     const int l_last_owned = ls.local_x(ls.x_end - 1);
     const int r_first_owned = rs.local_x(rs.x_begin);
-    for (int z = 0; z < b.nz; ++z) {
-      for (int y = 0; y < b.ny; ++y) {
-        left.impose(l_last_owned + 1, y, z, right.moments_at(r_first_owned, y, z));
-        right.impose(r_first_owned - 1, y, z, left.moments_at(l_last_owned, y, z));
+    for (int k = 0; k < depth; ++k) {
+      for (int z = 0; z < b.nz; ++z) {
+        for (int y = 0; y < b.ny; ++y) {
+          left.impose(l_last_owned + 1 + k, y, z,
+                      right.moments_at(r_first_owned + k, y, z));
+          right.impose(r_first_owned - 1 - k, y, z,
+                       left.moments_at(l_last_owned - k, y, z));
+        }
       }
     }
   }
@@ -262,11 +309,232 @@ void MultiDomainEngine<L>::exchange() {
 }
 
 template <class L>
-void MultiDomainEngine<L>::do_step() {
-  for (auto& e : engines_) {
-    e->step();
+void MultiDomainEngine<L>::capture_interface_planes(int d, int par) {
+  const Box& b = this->geo_.box;
+  const int depth = ghost_depth_;
+  const std::size_t plane = static_cast<std::size_t>(b.ny) *
+                            static_cast<std::size_t>(b.nz);
+  const SlabInfo& s = slabs_[static_cast<std::size_t>(d)];
+  Engine<L>& e = *engines_[static_cast<std::size_t>(d)];
+  std::vector<Moments<L>>& stage = stage_[par];
+  auto capture_block = [&](std::size_t block, int gx0) {
+    for (int k = 0; k < depth; ++k) {
+      const int lx = s.local_x(gx0 + k);
+      std::size_t at = (block * static_cast<std::size_t>(depth) +
+                        static_cast<std::size_t>(k)) *
+                       plane;
+      for (int z = 0; z < b.nz; ++z) {
+        for (int y = 0; y < b.ny; ++y, ++at) {
+          stage[at] = e.moments_at(lx, y, z);
+        }
+      }
+    }
+  };
+  // Block (interface * 2 + dir): dir 0 carries slab i's last owned planes
+  // rightward, dir 1 slab i+1's first owned planes leftward.
+  if (s.has_right) {
+    capture_block(static_cast<std::size_t>(d) * 2, s.x_end - depth);
+  }
+  if (s.has_left) {
+    capture_block(static_cast<std::size_t>(d - 1) * 2 + 1, s.x_begin);
+  }
+}
+
+template <class L>
+void MultiDomainEngine<L>::apply_staged_ghosts(int par) {
+  const Box& b = this->geo_.box;
+  const int depth = ghost_depth_;
+  const std::size_t plane = static_cast<std::size_t>(b.ny) *
+                            static_cast<std::size_t>(b.nz);
+  const std::vector<Moments<L>>& stage = stage_[par];
+  auto apply_block = [&](std::size_t block, Engine<L>& e, int lx0) {
+    for (int k = 0; k < depth; ++k) {
+      std::size_t at = (block * static_cast<std::size_t>(depth) +
+                        static_cast<std::size_t>(k)) *
+                       plane;
+      for (int z = 0; z < b.nz; ++z) {
+        for (int y = 0; y < b.ny; ++y, ++at) {
+          e.impose(lx0 + k, y, z, stage[at]);
+        }
+      }
+    }
+  };
+  for (int i = 0; i + 1 < devices(); ++i) {
+    Engine<L>& left = *engines_[static_cast<std::size_t>(i)];
+    Engine<L>& right = *engines_[static_cast<std::size_t>(i + 1)];
+    const SlabInfo& ls = slabs_[static_cast<std::size_t>(i)];
+    const SlabInfo& rs = slabs_[static_cast<std::size_t>(i + 1)];
+    // dir 0 (left slab's planes) lands in the right slab's left ghost band,
+    // whose local x runs [0, depth) in ascending global order; dir 1 lands
+    // in the left slab's right ghost band, starting one past its last owned
+    // plane.
+    apply_block(static_cast<std::size_t>(i) * 2, right,
+                rs.local_x(rs.x_begin) - depth);
+    apply_block(static_cast<std::size_t>(i) * 2 + 1, left,
+                ls.local_x(ls.x_end - 1) + 1);
+  }
+}
+
+template <class L>
+void MultiDomainEngine<L>::account_overlap(
+    const std::vector<std::uint64_t>& frontier_bytes,
+    const std::vector<std::uint64_t>& interior_bytes) {
+  const int n = devices();
+  const std::uint64_t ghost_bytes = ghost_bytes_per_direction();
+  gpusim::Timeline tl;
+  std::vector<int> dev_stream(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    dev_stream[static_cast<std::size_t>(d)] =
+        tl.add_stream("dev" + std::to_string(d));
+  }
+  // Per-device compute stream: frontier launch, then interior launch (the
+  // stream orders them; no event needed).
+  std::vector<gpusim::Event> frontier_ev(static_cast<std::size_t>(n));
+  std::vector<gpusim::Event> interior_ev(static_cast<std::size_t>(n));
+  // A zero-byte phase means the engine fell back to a single whole-step
+  // launch (degenerate split, e.g. a slab thinner than the tile granule):
+  // no second launch happened, so no launch overhead is charged for it.
+  auto phase_s = [&](std::uint64_t bytes) {
+    return bytes > 0 ? gpusim::kernel_duration_s(dev_spec_, bytes) : 0.0;
+  };
+  for (int d = 0; d < n; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    frontier_ev[sd] = tl.enqueue(dev_stream[sd], phase_s(frontier_bytes[sd]),
+                                 {}, "frontier d" + std::to_string(d));
+    interior_ev[sd] = tl.enqueue(dev_stream[sd], phase_s(interior_bytes[sd]),
+                                 {}, "interior d" + std::to_string(d));
+  }
+  // Each interface gets one modeled link stream per direction (full-duplex
+  // DMA engines); a transfer departs once its source's frontier completes.
+  std::vector<gpusim::Event> from_left(static_cast<std::size_t>(n));
+  std::vector<gpusim::Event> from_right(static_cast<std::size_t>(n));
+  const double xfer_s = link_spec_.transfer_s(ghost_bytes);
+  for (int i = 0; i + 1 < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const int lr = tl.add_stream("link" + std::to_string(i) + ".lr");
+    const int rl = tl.add_stream("link" + std::to_string(i) + ".rl");
+    from_left[si + 1] = tl.enqueue(lr, xfer_s, {frontier_ev[si]},
+                                   "ghost " + std::to_string(i) + "->" +
+                                       std::to_string(i + 1));
+    from_right[si] = tl.enqueue(rl, xfer_s, {frontier_ev[si + 1]},
+                                "ghost " + std::to_string(i + 1) + "->" +
+                                    std::to_string(i));
+  }
+  // Attribution: a device's next step can start only when its interior
+  // launch AND every incoming ghost transfer have completed; communication
+  // time past the interior completion is exposed, the rest is hidden.
+  for (int d = 0; d < n; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    gpusim::Profiler* p = engines_[sd]->profiler();
+    if (p == nullptr) continue;
+    double comm = 0;
+    double arrival = 0;
+    if (from_left[sd].valid()) {
+      comm += xfer_s;
+      arrival = std::max(arrival, tl.complete_time(from_left[sd]));
+    }
+    if (from_right[sd].valid()) {
+      comm += xfer_s;
+      arrival = std::max(arrival, tl.complete_time(from_right[sd]));
+    }
+    const double interior_end = tl.complete_time(interior_ev[sd]);
+    const double exposed =
+        std::min(comm, std::max(0.0, arrival - interior_end));
+    gpusim::CommStats cs;
+    cs.compute_s = tl.complete_time(interior_ev[sd]);
+    cs.comm_s = comm;
+    cs.exposed_s = exposed;
+    cs.hidden_s = comm - exposed;
+    cs.steps = 1;
+    p->comm_stats() += cs;
+  }
+  last_tl_ = std::move(tl);
+}
+
+template <class L>
+void MultiDomainEngine<L>::step_lockstep() {
+  const std::uint64_t ghost_bytes = ghost_bytes_per_direction();
+  const double xfer_s = link_spec_.transfer_s(ghost_bytes);
+  for (int d = 0; d < devices(); ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    Engine<L>& e = *engines_[sd];
+    gpusim::Profiler* p = have_model_ ? e.profiler() : nullptr;
+    gpusim::TrafficSnapshot before;
+    if (p != nullptr) before = p->counter().snapshot();
+    e.step();
+    if (p == nullptr) continue;
+    // Lockstep exposes all communication: the exchange starts only after
+    // every slab has finished its full step, and the next step waits for it.
+    const gpusim::TrafficSnapshot delta = p->counter().snapshot() - before;
+    gpusim::CommStats cs;
+    cs.compute_s = gpusim::kernel_duration_s(
+        dev_spec_, delta.bytes_read + delta.bytes_written);
+    if (!skip_exchange_) {
+      const SlabInfo& s = slabs_[sd];
+      cs.comm_s = ((s.has_left ? 1 : 0) + (s.has_right ? 1 : 0)) * xfer_s;
+      cs.exposed_s = cs.comm_s;
+    }
+    cs.steps = 1;
+    p->comm_stats() += cs;
   }
   if (!skip_exchange_) exchange();
+}
+
+template <class L>
+void MultiDomainEngine<L>::step_overlapped() {
+  const Box& b = this->geo_.box;
+  const int depth = ghost_depth_;
+  const int n = devices();
+  const int par = static_cast<int>(this->t_ & 1);
+  const std::size_t stage_n = static_cast<std::size_t>(n - 1) * 2 *
+                              static_cast<std::size_t>(depth) *
+                              static_cast<std::size_t>(b.ny) *
+                              static_cast<std::size_t>(b.nz);
+  stage_[par].resize(stage_n);
+
+  std::vector<std::uint64_t> frontier_bytes(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> interior_bytes(static_cast<std::size_t>(n), 0);
+  for (int d = 0; d < n; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    const SlabInfo& s = slabs_[sd];
+    Engine<L>& e = *engines_[sd];
+    // The frontier must finalize the ghost band (depth planes of open-face
+    // junk the exchange overwrites) plus the owned planes the neighbours
+    // need — 2 x depth planes per interface side.
+    const FrontierSpec fs{s.has_left ? 2 * depth : 0,
+                          s.has_right ? 2 * depth : 0};
+    gpusim::Profiler* p = have_model_ ? e.profiler() : nullptr;
+    gpusim::TrafficSnapshot t0, t1;
+    if (p != nullptr) t0 = p->counter().snapshot();
+    e.step_split(fs, [&] {
+      if (p != nullptr) t1 = p->counter().snapshot();
+    });
+    if (p != nullptr) {
+      const gpusim::TrafficSnapshot t2 = p->counter().snapshot();
+      const gpusim::TrafficSnapshot df = t1 - t0;
+      const gpusim::TrafficSnapshot di = t2 - t1;
+      frontier_bytes[sd] = df.bytes_read + df.bytes_written;
+      interior_bytes[sd] = di.bytes_read + di.bytes_written;
+    }
+    // Capture after the step: the frontier contract guarantees the
+    // interface planes are final when on_frontier fires and that no later
+    // launch touches them, so capturing here reads the same values while
+    // the engine's phase bookkeeping (ping-pong side, AA parity, clock) is
+    // consistent for moments_at.
+    capture_interface_planes(d, par);
+  }
+  apply_staged_ghosts(par);
+  exchanged_total_ += exchanged_values_per_step();
+  if (have_model_) account_overlap(frontier_bytes, interior_bytes);
+}
+
+template <class L>
+void MultiDomainEngine<L>::do_step() {
+  if (mode_ == ExchangeMode::kOverlap && devices() > 1 && !skip_exchange_) {
+    step_overlapped();
+    return;
+  }
+  step_lockstep();
 }
 
 template class MultiDomainEngine<D2Q9>;

@@ -27,30 +27,64 @@
 #include <vector>
 
 #include "engines/engine.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/profiler.hpp"
+#include "gpusim/timeline.hpp"
 #include "util/types.hpp"
 
 namespace mlbm {
 
-/// One slab of the decomposition: global x-range [x_begin, x_end) plus one
-/// ghost plane on each interior side.
+/// How the per-step ghost exchange is scheduled.
+///
+///  * kLockstep  — step every slab to completion, then exchange. All
+///                 modeled communication time is exposed.
+///  * kOverlap   — split every slab's step into frontier and interior
+///                 launches (Engine::step_split); the interface planes are
+///                 captured into double-buffered staging as soon as the
+///                 frontier completes, so the modeled transfers run
+///                 concurrently with the interior compute and only the
+///                 residual (arrival after interior completion) is exposed.
+/// Both modes produce bit-identical fields and traffic totals — overlap
+/// reorders the modeled schedule, not the dataflow.
+enum class ExchangeMode {
+  kLockstep,
+  kOverlap,
+};
+
+inline const char* to_string(ExchangeMode m) {
+  return m == ExchangeMode::kLockstep ? "lockstep" : "overlap";
+}
+
+/// One slab of the decomposition: global x-range [x_begin, x_end) plus
+/// `ghost_depth` ghost planes on each interior side.
 struct SlabInfo {
   int x_begin = 0;      ///< first owned global x
   int x_end = 0;        ///< one past the last owned global x
-  bool has_left = false;   ///< ghost plane at local x = 0
-  bool has_right = false;  ///< ghost plane at local x = local_nx - 1
+  bool has_left = false;   ///< ghost band at local x in [0, ghost_depth)
+  bool has_right = false;  ///< ghost band ending at local x = local_nx - 1
+  /// Ghost band width per interior side. Depth 1 suffices for the one-node
+  /// stencils (ST, MR, reference); the AA pattern's in-place odd step lets a
+  /// ghost node's corrupted scatter reach one plane inward, so AA slabs need
+  /// depth 2 — the outer ghost plane absorbs the corruption and the per-step
+  /// exchange re-imposes both planes before it propagates into owned nodes.
+  int ghost_depth = 1;
   /// Local extent including ghost planes.
   [[nodiscard]] int local_nx() const {
-    return x_end - x_begin + (has_left ? 1 : 0) + (has_right ? 1 : 0);
+    return x_end - x_begin +
+           ((has_left ? 1 : 0) + (has_right ? 1 : 0)) * ghost_depth;
   }
   /// Local x of global coordinate gx.
   [[nodiscard]] int local_x(int gx) const {
-    return gx - x_begin + (has_left ? 1 : 0);
+    return gx - x_begin + (has_left ? ghost_depth : 0);
   }
 };
 
 /// Splits `nx` columns into `ndev` contiguous slabs (remainder spread over
-/// the first slabs) and computes ghost plane placement.
-std::vector<SlabInfo> make_slabs(int nx, int ndev);
+/// the first slabs) and computes ghost plane placement. Throws
+/// mlbm::ConfigError for degenerate decompositions: ndev < 1, ndev > nx
+/// (zero-width slabs), ghost_depth < 1, or slabs narrower than the ghost
+/// depth (an exchange would have to read a neighbour's ghost band).
+std::vector<SlabInfo> make_slabs(int nx, int ndev, int ghost_depth = 1);
 
 /// Builds the local geometry of one slab from the global geometry: interior
 /// interfaces become kOpen faces (their planes are ghost nodes rebuilt by
@@ -75,9 +109,10 @@ class MultiDomainEngine final : public Engine<L> {
   using EngineFactory =
       std::function<std::unique_ptr<Engine<L>>(Geometry, int /*slab*/)>;
 
-  /// Decomposes `global` into `ndev` slabs and creates one engine per slab.
+  /// Decomposes `global` into `ndev` slabs (each with `ghost_depth` ghost
+  /// planes per interior side) and creates one engine per slab.
   MultiDomainEngine(Geometry global, real_t tau, int ndev,
-                    const EngineFactory& factory);
+                    const EngineFactory& factory, int ghost_depth = 1);
 
   [[nodiscard]] const char* pattern_name() const override { return "MULTI"; }
   void initialize(const typename Engine<L>::InitFn& init) override;
@@ -124,8 +159,46 @@ class MultiDomainEngine final : public Engine<L> {
   void inject_storage_bitflip(std::uint64_t site, unsigned bit) override;
 
   [[nodiscard]] int devices() const { return static_cast<int>(slabs_.size()); }
+  [[nodiscard]] int ghost_depth() const { return ghost_depth_; }
   [[nodiscard]] const SlabInfo& slab(int d) const {
     return slabs_[static_cast<std::size_t>(d)];
+  }
+
+  /// Exchange scheduling (see ExchangeMode). Switchable between steps; the
+  /// fields and traffic counters are identical either way.
+  void set_exchange_mode(ExchangeMode m) { mode_ = m; }
+  [[nodiscard]] ExchangeMode exchange_mode() const { return mode_; }
+
+  /// Installs the performance model used to attribute communication time:
+  /// kernel durations derive from the device spec's bandwidth and the
+  /// launches' measured bytes, transfer durations from the link's latency
+  /// and bandwidth. Without a model, stepping is unchanged and the per-slab
+  /// CommStats stay zero.
+  void set_timeline_model(const gpusim::DeviceSpec& dev,
+                          const gpusim::LinkSpec& link) {
+    dev_spec_ = dev;
+    link_spec_ = link;
+    have_model_ = true;
+  }
+  [[nodiscard]] bool has_timeline_model() const { return have_model_; }
+
+  /// Aggregated exposed/hidden communication attribution across the slab
+  /// profilers (zero until set_timeline_model). Per-device numbers live in
+  /// device_engine(d).profiler()->comm_stats().
+  [[nodiscard]] gpusim::CommStats comm_stats() const;
+
+  /// The stream/event schedule of the most recent overlapped step (empty
+  /// before the first overlap step or in lockstep mode).
+  [[nodiscard]] const gpusim::Timeline& last_step_timeline() const {
+    return last_tl_;
+  }
+
+  /// Modeled bytes crossing one interface in one direction per step.
+  [[nodiscard]] std::uint64_t ghost_bytes_per_direction() const {
+    const Box& b = this->geo_.box;
+    return static_cast<std::uint64_t>(ghost_depth_) *
+           static_cast<std::uint64_t>(b.ny) * static_cast<std::uint64_t>(b.nz) *
+           static_cast<std::uint64_t>(L::M) * sizeof(real_t);
   }
   [[nodiscard]] Engine<L>& device_engine(int d) {
     return *engines_[static_cast<std::size_t>(d)];
@@ -160,18 +233,46 @@ class MultiDomainEngine final : public Engine<L> {
   void set_time(int t) override;
 
  protected:
-  /// One global timestep: step every slab, then exchange ghost planes.
+  /// One global timestep. Lockstep: step every slab, then exchange ghost
+  /// planes. Overlap: split-step every slab (capturing interface planes into
+  /// parity-indexed staging), then apply the staged ghosts — same dataflow,
+  /// with the modeled transfers scheduled against the interior compute.
   /// (The base class then runs the global post-step boundary pass.)
   void do_step() override;
 
  private:
   [[nodiscard]] int owner_of(int gx) const;
   void exchange();
+  void step_lockstep();
+  void step_overlapped();
+  /// Copies slab d's owned interface planes into the staging buffer for
+  /// step parity `par`.
+  void capture_interface_planes(int d, int par);
+  /// Imposes the staged interface planes into the neighbouring ghost bands.
+  void apply_staged_ghosts(int par);
+  /// Builds the per-step stream/event schedule from the measured frontier /
+  /// interior bytes and accumulates exposed/hidden attribution into the
+  /// slab profilers.
+  void account_overlap(const std::vector<std::uint64_t>& frontier_bytes,
+                       const std::vector<std::uint64_t>& interior_bytes);
 
   std::vector<SlabInfo> slabs_;
   std::vector<std::unique_ptr<Engine<L>>> engines_;
   std::uint64_t exchanged_total_ = 0;
   bool skip_exchange_ = false;
+  int ghost_depth_ = 1;
+  ExchangeMode mode_ = ExchangeMode::kLockstep;
+  bool have_model_ = false;
+  gpusim::DeviceSpec dev_spec_{};
+  gpusim::LinkSpec link_spec_{};
+  gpusim::Timeline last_tl_;
+  /// Double-buffered interface staging, indexed by step parity: the capture
+  /// of step t never overwrites the buffer a (modeled) in-flight transfer of
+  /// step t-1 would still be reading. Layout per buffer:
+  /// ((interface * 2 + dir) * depth + k) * ny * nz + z * ny + y, where dir 0
+  /// carries left-slab planes rightward and dir 1 right-slab planes leftward,
+  /// and k walks the depth planes in ascending global x.
+  std::vector<Moments<L>> stage_[2];
 };
 
 extern template class MultiDomainEngine<D2Q9>;

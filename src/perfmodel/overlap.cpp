@@ -1,0 +1,58 @@
+#include "perfmodel/overlap.hpp"
+
+namespace mlbm::perf {
+
+OverlapPrediction predict_overlap(const gpusim::DeviceSpec& dev,
+                                  const gpusim::LinkSpec& link,
+                                  std::uint64_t frontier_bytes,
+                                  std::uint64_t interior_bytes,
+                                  std::uint64_t ghost_bytes_per_direction,
+                                  int incoming_links) {
+  OverlapPrediction p;
+  p.frontier_s = gpusim::kernel_duration_s(dev, frontier_bytes);
+  p.interior_s = gpusim::kernel_duration_s(dev, interior_bytes);
+  p.transfer_s = link.transfer_s(ghost_bytes_per_direction);
+  p.comm_s = incoming_links * p.transfer_s;
+  // Symmetric-slab arrival: every neighbour finishes its frontier when this
+  // device does, so ghosts land at frontier_s + transfer_s while the interior
+  // runs until frontier_s + interior_s.
+  p.exposed_s =
+      std::min(p.comm_s, std::max(0.0, p.transfer_s - p.interior_s));
+  p.hidden_s = p.comm_s - p.exposed_s;
+  // Wall clock treats the per-direction link streams as concurrent (full
+  // duplex), so one transfer duration gates the step, not the duration sum.
+  p.overlap_step_s = p.frontier_s + std::max(p.interior_s, p.transfer_s);
+  p.lockstep_step_s =
+      gpusim::kernel_duration_s(dev, frontier_bytes + interior_bytes) +
+      p.transfer_s;
+  return p;
+}
+
+OverlapPrediction predict_overlap_slab(const gpusim::DeviceSpec& dev,
+                                       const gpusim::LinkSpec& link,
+                                       double bytes_per_cell, int width, int ny,
+                                       int nz, int ghost_depth, int sides,
+                                       int moments_m, int value_bytes) {
+  const auto plane = static_cast<double>(ny) * static_cast<double>(nz);
+  // The split runs 2 x ghost_depth planes per interface side in the frontier
+  // launch (ghost band + the owned planes the neighbours need); everything
+  // else — including nothing, for very thin slabs — is interior.
+  const double frontier_planes =
+      std::min<double>(width + sides * ghost_depth,
+                       2.0 * sides * ghost_depth);
+  const double total_planes =
+      static_cast<double>(width) + sides * ghost_depth;
+  const double interior_planes = total_planes - frontier_planes;
+  const auto fb = static_cast<std::uint64_t>(frontier_planes * plane *
+                                             bytes_per_cell);
+  const auto ib = static_cast<std::uint64_t>(interior_planes * plane *
+                                             bytes_per_cell);
+  const auto gb = static_cast<std::uint64_t>(ghost_depth) *
+                  static_cast<std::uint64_t>(ny) *
+                  static_cast<std::uint64_t>(nz) *
+                  static_cast<std::uint64_t>(moments_m) *
+                  static_cast<std::uint64_t>(value_bytes);
+  return predict_overlap(dev, link, fb, ib, gb, sides);
+}
+
+}  // namespace mlbm::perf

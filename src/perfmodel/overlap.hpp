@@ -1,0 +1,78 @@
+// Overlap-efficiency prediction for the multi-device ghost exchange.
+//
+// Mirrors the stream/event algebra MultiDomainEngine::account_overlap uses
+// at runtime, for a symmetric slab (every device finishes its frontier at
+// the same time):
+//
+//   frontier_s  = launch_overhead + frontier_bytes / effective_bw
+//   interior_s  = launch_overhead + interior_bytes / effective_bw
+//   transfer_s  = link latency + ghost_bytes / link_bw        (per direction)
+//   arrival     = frontier_s + transfer_s                     (relative to 0)
+//   exposed_s   = min(comm_s, max(0, arrival - (frontier_s + interior_s)))
+//               = min(comm_s, max(0, transfer_s - interior_s))
+//   comm_s      = incoming_links * transfer_s   (duration sum, the same
+//                 attribution quantity the profiler's CommStats accumulate)
+//
+// The predictor therefore answers the tuning questions directly: the
+// exposed-communication fraction as a function of slab width (interior
+// bytes shrink with the slab), moment count M (ghost bytes), Q (kernel
+// bytes) and link speed — and the lockstep/overlap crossover, since the
+// split pays one extra launch overhead per step that only amortizes while
+// there is communication left to hide.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "gpusim/timeline.hpp"
+
+namespace mlbm::perf {
+
+struct OverlapPrediction {
+  double frontier_s = 0;   ///< modeled frontier-launch duration
+  double interior_s = 0;   ///< modeled interior-launch duration
+  double transfer_s = 0;   ///< modeled one-direction ghost transfer
+  double comm_s = 0;       ///< summed incoming transfer durations
+  double exposed_s = 0;    ///< communication not hidden behind the interior
+  double hidden_s = 0;     ///< comm_s - exposed_s
+  double overlap_step_s = 0;   ///< per-device wall clock of an overlapped step
+  double lockstep_step_s = 0;  ///< wall clock of the equivalent lockstep step
+
+  [[nodiscard]] double exposed_fraction() const {
+    return comm_s > 0 ? exposed_s / comm_s : 0.0;
+  }
+  [[nodiscard]] double hidden_fraction() const {
+    return comm_s > 0 ? hidden_s / comm_s : 0.0;
+  }
+  /// Predicted lockstep-over-overlap speedup (> 1 when overlapping wins).
+  [[nodiscard]] double speedup() const {
+    return overlap_step_s > 0 ? lockstep_step_s / overlap_step_s : 0.0;
+  }
+};
+
+/// Predicts one device's step from measured (or estimated) launch bytes.
+/// `incoming_links` is the number of interfaces the device receives ghosts
+/// across (1 for edge slabs, 2 for interior slabs).
+OverlapPrediction predict_overlap(const gpusim::DeviceSpec& dev,
+                                  const gpusim::LinkSpec& link,
+                                  std::uint64_t frontier_bytes,
+                                  std::uint64_t interior_bytes,
+                                  std::uint64_t ghost_bytes_per_direction,
+                                  int incoming_links);
+
+/// Geometry-level wrapper: derives the launch bytes of a slab of
+/// `width x ny x nz` owned cells (plus `sides x ghost_depth` ghost planes)
+/// from the engine's per-cell traffic, and the ghost payload from the
+/// moment count. `bytes_per_cell` is the kernel's read+write bytes per
+/// lattice update (e.g. 2 Q elem for ST/AA, 2 M elem for MR);
+/// `moments_m` is L::M and `value_bytes` the exchanged element size
+/// (sizeof(real_t): the exchange crosses the link in compute precision).
+/// The frontier covers 2 x ghost_depth planes per interface side.
+OverlapPrediction predict_overlap_slab(const gpusim::DeviceSpec& dev,
+                                       const gpusim::LinkSpec& link,
+                                       double bytes_per_cell, int width, int ny,
+                                       int nz, int ghost_depth, int sides,
+                                       int moments_m, int value_bytes);
+
+}  // namespace mlbm::perf
