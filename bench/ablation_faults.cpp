@@ -280,6 +280,7 @@ bool write_json(const std::string& path, const std::vector<OverheadRow>& ov,
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  cli.reject_unknown({"n", "out", "ov-n", "ov-steps", "reps", "steps"});
   const int n = cli.get_int("n", 32);            // fault-run grid
   const int steps = cli.get_int("steps", 96);    // fault-run steps
   const int ov_n = cli.get_int("ov-n", 48);      // overhead grid

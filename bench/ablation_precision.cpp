@@ -163,6 +163,7 @@ bool write_json(const std::string& path, const std::vector<Row>& rows) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  cli.reject_unknown({"out", "precision", "tg-steps"});
   const std::string prec_arg = cli.get("precision", "both");
   const int tg_steps = cli.get_int("tg-steps", 30);
   const std::string out =

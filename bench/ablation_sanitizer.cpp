@@ -94,6 +94,7 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  cli.reject_unknown({"n", "n3d", "out", "steps", "steps3d"});
   const int n = cli.get_int("n", 192);
   const int steps = cli.get_int("steps", 24);
   const int n3d = cli.get_int("n3d", 32);

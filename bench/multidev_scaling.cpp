@@ -252,6 +252,7 @@ void analytic_projection() {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  cli.reject_unknown({"ncross", "out", "smoke", "steps", "strong-nx", "weak-width"});
   const bool smoke = cli.has("smoke");
   const std::string out = cli.get("out", "BENCH_multidev.json");
   // Weak scaling: fixed owned width per slab. Strong scaling: fixed global

@@ -167,6 +167,7 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  cli.reject_unknown({"exec", "n2d", "n3d", "out", "overlap", "precision", "slabs", "steps2d", "steps3d"});
   const int n2d = cli.get_int("n2d", 256);
   const int steps2d = cli.get_int("steps2d", 48);
   const int n3d = cli.get_int("n3d", 48);

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
+  cli.reject_unknown({"nx", "ny", "nz", "steps", "tau", "umax", "vtk"});
   const int nx = cli.get_int("nx", 48);
   const int ny = cli.get_int("ny", 16);
   const int nz = cli.get_int("nz", 16);

@@ -21,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
+  cli.reject_unknown({"n", "precision", "re", "sanitize", "steps", "ulid", "vtk"});
   const int n = cli.get_int("n", 48);
   const real_t re = cli.get_double("re", 100);
   const real_t ulid = cli.get_double("ulid", 0.1);

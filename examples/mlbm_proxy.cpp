@@ -181,6 +181,7 @@ int run(const Cli& cli) {
 
 int main(int argc, char** argv) {
   const mlbm::Cli cli(argc, argv);
+  cli.reject_unknown({"devices", "lattice", "load", "nx", "ny", "nz", "pattern", "save", "steps", "tau", "umax", "vtk", "workload"});
   const std::string lattice = cli.get("lattice", "d2q9");
   try {
     if (lattice == "d2q9") return run<mlbm::D2Q9>(cli);

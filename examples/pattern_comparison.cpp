@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
+  cli.reject_unknown({"nx", "ny", "steps"});
   const int nx = cli.get_int("nx", 128);
   const int ny = cli.get_int("ny", 64);
   const int steps = cli.get_int("steps", 200);

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
+  cli.reject_unknown({"nx", "ny", "steps", "tau", "umax", "vtk"});
   const int nx = cli.get_int("nx", 96);
   const int ny = cli.get_int("ny", 32);
   const real_t tau = cli.get_double("tau", 0.8);

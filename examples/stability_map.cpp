@@ -67,6 +67,7 @@ bool survives(Scheme s, int n, real_t u0, real_t tau, int steps) {
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
+  cli.reject_unknown({"n", "steps", "u0"});
   const int n = cli.get_int("n", 48);
   const real_t u0 = cli.get_double("u0", 0.06);
   const int steps = cli.get_int("steps", 1500);

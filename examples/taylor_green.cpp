@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
+  cli.reject_unknown({"csv", "n", "precision", "sanitize", "steps", "tau", "u0"});
   const int n = cli.get_int("n", 48);
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t u0 = cli.get_double("u0", 0.03);

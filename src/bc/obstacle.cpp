@@ -1,0 +1,89 @@
+#include "bc/obstacle.hpp"
+
+#include "core/regularization.hpp"
+
+namespace mlbm {
+
+template <class L>
+ObstacleBC<L>::ObstacleBC(const Geometry& geo, std::array<real_t, 3> ref)
+    : ref_(ref) {
+  const Box& b = geo.box;
+  if (!geo.has_solids()) return;
+  for (int z = 0; z < b.nz; ++z) {
+    for (int y = 0; y < b.ny; ++y) {
+      for (int x = 0; x < b.nx; ++x) {
+        if (geo.solid(x, y, z)) continue;
+        for (int i = 1; i < L::Q; ++i) {
+          const auto& c = L::c[static_cast<std::size_t>(i)];
+          int d[3] = {x + c[0], y + c[1], z + c[2]};
+          const int n[3] = {b.nx, b.ny, b.nz};
+          bool domain_face = false;
+          for (int a = 0; a < 3; ++a) {
+            if (d[a] >= 0 && d[a] < n[a]) continue;
+            if (geo.bc.periodic(a)) {
+              d[a] = Box::wrap(d[a], n[a]);
+            } else {
+              domain_face = true;  // wall/open face, not an obstacle link
+            }
+          }
+          if (domain_face || !geo.solid(d[0], d[1], d[2])) continue;
+          links_.push_back(Link{x, y, z, static_cast<std::uint8_t>(i)});
+        }
+      }
+    }
+  }
+}
+
+template <class L>
+ObstacleLoad ObstacleBC<L>::evaluate(const Engine<L>& eng) const {
+  ObstacleLoad load;
+  const real_t omega = real_t(1) / eng.tau();
+
+  // Links are node-ordered; reuse the reconstruction inputs of the previous
+  // link when it came from the same fluid node.
+  int lx = -1, ly = -1, lz = -1;
+  real_t rho = 0;
+  real_t u[3] = {0, 0, 0};
+  real_t pineq_post[Moments<L>::NP] = {};
+  for (const Link& lk : links_) {
+    if (lk.x != lx || lk.y != ly || lk.z != lz) {
+      const Moments<L> m = eng.moments_at(lk.x, lk.y, lk.z);
+      rho = m.rho;
+      for (int a = 0; a < 3; ++a) u[a] = 0;
+      for (int a = 0; a < L::D; ++a) u[a] = m.u[static_cast<std::size_t>(a)];
+      for (int p = 0; p < Moments<L>::NP; ++p) {
+        pineq_post[p] = (real_t(1) - omega) * m.pi_neq(p);
+      }
+      lx = lk.x;
+      ly = lk.y;
+      lz = lk.z;
+    }
+    const int i = lk.i;
+    const real_t fi =
+        reconstruct_projective<L>(i, rho, u, pineq_post);
+    const auto& c = L::c[static_cast<std::size_t>(i)];
+    const real_t dp[3] = {real_t(2) * fi * static_cast<real_t>(c[0]),
+                          real_t(2) * fi * static_cast<real_t>(c[1]),
+                          real_t(2) * fi * static_cast<real_t>(c[2])};
+    // Wall sits at the half-way point of the link.
+    const real_t r[3] = {
+        static_cast<real_t>(lk.x) + real_t(0.5) * static_cast<real_t>(c[0]) -
+            ref_[0],
+        static_cast<real_t>(lk.y) + real_t(0.5) * static_cast<real_t>(c[1]) -
+            ref_[1],
+        static_cast<real_t>(lk.z) + real_t(0.5) * static_cast<real_t>(c[2]) -
+            ref_[2]};
+    for (int a = 0; a < 3; ++a) load.force[static_cast<std::size_t>(a)] += dp[a];
+    load.torque[0] += r[1] * dp[2] - r[2] * dp[1];
+    load.torque[1] += r[2] * dp[0] - r[0] * dp[2];
+    load.torque[2] += r[0] * dp[1] - r[1] * dp[0];
+  }
+  return load;
+}
+
+template class ObstacleBC<D2Q9>;
+template class ObstacleBC<D3Q19>;
+template class ObstacleBC<D3Q27>;
+template class ObstacleBC<D3Q15>;
+
+}  // namespace mlbm

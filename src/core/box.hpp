@@ -18,6 +18,8 @@ enum class NodeKind : std::uint8_t {
             ///< out-of-domain link reflection; kept for diagnostics)
   kInlet,   ///< finite-difference velocity inlet (Latt et al. 2008)
   kOutlet,  ///< finite-difference outlet (prescribed density, extrapolated u)
+  kSolid,   ///< obstacle node: carries no state; fluid populations streaming
+            ///< into it bounce back half-way (geometry/geometry.hpp)
 };
 
 /// Axis-aligned box of lattice nodes. `nz == 1` for 2D domains; all indexing
@@ -76,29 +78,6 @@ struct DomainBC {
   void set_axis(int axis, FaceBC type) {
     face[static_cast<std::size_t>(axis)][0].type = type;
     face[static_cast<std::size_t>(axis)][1].type = type;
-  }
-};
-
-/// Per-node classification grid plus boundary data (inlet velocities etc.).
-struct Geometry {
-  Box box;
-  DomainBC bc;
-  std::vector<NodeKind> kind;  // size box.cells()
-
-  explicit Geometry(Box b)
-      : box(b), kind(static_cast<std::size_t>(b.cells()), NodeKind::kFluid) {}
-
-  [[nodiscard]] NodeKind at(int x, int y, int z = 0) const {
-    return kind[static_cast<std::size_t>(box.idx(x, y, z))];
-  }
-  void set(int x, int y, int z, NodeKind k) {
-    kind[static_cast<std::size_t>(box.idx(x, y, z))] = k;
-  }
-
-  [[nodiscard]] index_t count(NodeKind k) const {
-    index_t n = 0;
-    for (auto v : kind) n += (v == k);
-    return n;
   }
 };
 

@@ -38,8 +38,16 @@ AaEngine<L, ST>::AaEngine(Geometry geo, real_t tau, CollisionScheme scheme,
       }
     }
   }
-  const auto n = static_cast<std::size_t>(this->geo_.box.cells()) *
-                 static_cast<std::size_t>(L::Q);
+  sparse_ = this->geo_.sparse();
+  if (sparse_) {
+    const TileMap& tm = this->geo_.tiles();
+    tdev_.build(tm, &prof_.counter());
+    elems_ = tm.elements();
+  } else {
+    elems_ = this->geo_.box.cells();
+  }
+  const auto n =
+      static_cast<std::size_t>(elems_) * static_cast<std::size_t>(L::Q);
   f_.allocate(n, &prof_.counter());
 }
 
@@ -49,9 +57,11 @@ void AaEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
     throw std::logic_error("AaEngine: initialize() only at even timesteps");
   }
   const Box& b = this->geo_.box;
+  const bool solids = this->geo_.has_solids();
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
+        if (solids && this->geo_.solid(x, y, z)) continue;
         impose(x, y, z, init(x, y, z));
       }
     }
@@ -60,7 +70,10 @@ void AaEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
 
 template <class L, class ST>
 Moments<L> AaEngine<L, ST>::moments_at(int x, int y, int z) const {
-  const index_t cell = this->geo_.box.idx(x, y, z);
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) {
+    return solid_moments<L>();
+  }
+  const index_t cell = element(x, y, z);
   real_t f[L::Q];
   if (!swapped_phase()) {
     for (int i = 0; i < L::Q; ++i) {
@@ -91,7 +104,8 @@ Moments<L> AaEngine<L, ST>::moments_at(int x, int y, int z) const {
 
 template <class L, class ST>
 void AaEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
-  const index_t cell = this->geo_.box.idx(x, y, z);
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) return;
+  const index_t cell = element(x, y, z);
   real_t pineq[Moments<L>::NP];
   if (!swapped_phase()) {
     for (int p = 0; p < Moments<L>::NP; ++p) pineq[p] = m.pi_neq(p);
@@ -122,12 +136,28 @@ void AaEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
 
 template <class L, class ST>
 std::size_t AaEngine<L, ST>::state_bytes() const {
-  return f_.size_bytes();
+  return f_.size_bytes() + (sparse_ ? tdev_.bytes() : 0);
 }
 
 template <class L, class ST>
 void AaEngine<L, ST>::ensure_records() {
   if (krec_even_ == nullptr) {
+    if (sparse_) {
+      // Per-tile-class records (see StEngine::ensure_records): the even/odd
+      // pointers name the all-fluid launches, the mixed pointers the masked
+      // ones.
+      const std::string base = std::string("aa_sparse_") + L::name();
+      krec_even_ = &prof_.record(base + "_even_fluid");
+      krec_odd_ = &prof_.record(base + "_odd_fluid");
+      krec_even_frontier_ = &prof_.record(base + "_even_fluid_frontier");
+      krec_odd_frontier_ = &prof_.record(base + "_odd_fluid_frontier");
+      krec_even_mixed_ = &prof_.record(base + "_even_mixed");
+      krec_odd_mixed_ = &prof_.record(base + "_odd_mixed");
+      krec_even_mixed_frontier_ =
+          &prof_.record(base + "_even_mixed_frontier");
+      krec_odd_mixed_frontier_ = &prof_.record(base + "_odd_mixed_frontier");
+      return;
+    }
     krec_even_ = &prof_.record(std::string("aa_even_") + L::name());
     krec_odd_ = &prof_.record(std::string("aa_odd_") + L::name());
     krec_even_frontier_ =
@@ -140,12 +170,70 @@ void AaEngine<L, ST>::ensure_records() {
 template <class L, class ST>
 void AaEngine<L, ST>::do_step() {
   ensure_records();
+  if (sparse_) {
+    step_sparse(0, 0, /*frontier_only=*/false, nullptr);
+    return;
+  }
   const int nx = this->geo_.box.nx;
   if (!swapped_phase()) {
     step_even(0, nx, *krec_even_);
   } else {
     step_odd(0, nx, *krec_odd_);
   }
+}
+
+template <class L, class ST>
+void AaEngine<L, ST>::step_sparse(
+    int fl, int fr, bool frontier_only,
+    const typename Engine<L>::FrontierDoneFn& on_frontier) {
+  const bool even = !swapped_phase();
+  const auto run = [&](const gpusim::GlobalArray<std::int32_t>& list,
+                       const gpusim::GlobalArray<std::uint64_t>* masks,
+                       int begin, int count, gpusim::KernelRecord& rec) {
+    if (even) {
+      step_even_tiles(list, masks, begin, count, rec);
+    } else {
+      step_odd_tiles(list, masks, begin, count, rec);
+    }
+  };
+  gpusim::KernelRecord& rfl = even ? *krec_even_ : *krec_odd_;
+  gpusim::KernelRecord& rflf =
+      even ? *krec_even_frontier_ : *krec_odd_frontier_;
+  gpusim::KernelRecord& rmx = even ? *krec_even_mixed_ : *krec_odd_mixed_;
+  gpusim::KernelRecord& rmxf =
+      even ? *krec_even_mixed_frontier_ : *krec_odd_mixed_frontier_;
+  // The fluid and mixed launches of one step share a freshness window.
+  gpusim::LaunchGroup group(prof_);
+  if (fl <= 0 && fr <= 0) {
+    // Monolithic step (or degenerate split: everything is frontier).
+    run(tdev_.fluid, nullptr, 0, tdev_.n_fluid_tiles, rfl);
+    run(tdev_.mixed, &tdev_.mask, 0, tdev_.n_mixed_tiles, rmx);
+    if (frontier_only && on_frontier) on_frontier();
+    return;
+  }
+  const TileGridInfo& g = tdev_.grid;
+  const int nx = this->geo_.box.nx;
+  const TileRange rf = partition_tiles(tdev_.fluid, tdev_.n_fluid_tiles,
+                                       g.tdx, g.ntx, nx, fl, fr);
+  const TileRange rm = partition_tiles(tdev_.mixed, tdev_.n_mixed_tiles,
+                                       g.tdx, g.ntx, nx, fl, fr);
+  if (rf.degenerate() || rm.degenerate()) {
+    run(tdev_.fluid, nullptr, 0, tdev_.n_fluid_tiles, rfl);
+    run(tdev_.mixed, &tdev_.mask, 0, tdev_.n_mixed_tiles, rmx);
+    if (on_frontier) on_frontier();
+    return;
+  }
+  // Even is node-local; odd partitions by source node and every lattice word
+  // has a unique reader == writer node, so in both flavours completing the
+  // frontier tiles finalizes every frontier plane (the source extension is
+  // already folded into fl/fr by the caller; tiles over-cover the planes).
+  run(tdev_.fluid, nullptr, 0, rf.left, rflf);
+  run(tdev_.fluid, nullptr, rf.right, rf.n - rf.right, rflf);
+  run(tdev_.mixed, &tdev_.mask, 0, rm.left, rmxf);
+  run(tdev_.mixed, &tdev_.mask, rm.right, rm.n - rm.right, rmxf);
+  if (on_frontier) on_frontier();
+  run(tdev_.fluid, nullptr, rf.left, rf.right - rf.left, rfl);
+  run(tdev_.mixed, &tdev_.mask, rm.left, rm.right - rm.left, rmx);
 }
 
 template <class L, class ST>
@@ -162,6 +250,15 @@ void AaEngine<L, ST>::do_step_split(
   const int ext = even ? 0 : 1;
   const int fl = fs.left > 0 ? fs.left + ext : 0;
   const int fr = fs.right > 0 ? fs.right + ext : 0;
+  if (sparse_) {
+    // Same plane contract; the tile partition over-covers the planes.
+    if (fs.empty() || fl + fr >= b.nx) {
+      step_sparse(0, 0, /*frontier_only=*/true, on_frontier);
+    } else {
+      step_sparse(fl, fr, /*frontier_only=*/false, on_frontier);
+    }
+    return;
+  }
   gpusim::KernelRecord& rec = even ? *krec_even_ : *krec_odd_;
   gpusim::KernelRecord& frec = even ? *krec_even_frontier_ : *krec_odd_frontier_;
   const auto run = [&](int x0, int x1, gpusim::KernelRecord& r) {
@@ -498,6 +595,168 @@ void AaEngine<L, ST>::step_odd(int rx0, int rx1, gpusim::KernelRecord& rec) {
           }
         });
   }
+}
+
+template <class L, class ST>
+void AaEngine<L, ST>::step_even_tiles(
+    const gpusim::GlobalArray<std::int32_t>& list,
+    const gpusim::GlobalArray<std::uint64_t>* masks, int begin, int count,
+    gpusim::KernelRecord& rec) {
+  if (count <= 0) return;
+  const Geometry& geo = this->geo_;
+  const TileGridInfo g = tdev_.grid;
+  const index_t elems = elems_;
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+  gpusim::GlobalArray<ST>& f = f_;
+  const bool batched = batched_io_;
+  const int tpb = threads_per_block_;
+  const int nblocks = (count + tpb - 1) / tpb;
+
+  // One thread per tile. The even step is node-local, so only the tile's own
+  // slot is needed — one int32 load instead of the odd step's full stash.
+  dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, rec, gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+        [&](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t r =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (r >= static_cast<index_t>(count)) return;
+            const std::int32_t tile = list.load(static_cast<index_t>(begin) + r);
+            const std::uint64_t occ =
+                masks != nullptr ? masks->load(static_cast<index_t>(begin) + r)
+                                 : ~std::uint64_t{0};
+            const int tx = tile % g.ntx;
+            const int ty = (tile / g.ntx) % g.nty;
+            const int tz = tile / (g.ntx * g.nty);
+            const index_t own_base =
+                static_cast<index_t>(tdev_.slots.load(tile)) * TileMap::kSlots;
+            for (int local = 0; local < TileMap::kSlots; ++local) {
+              if (!(occ >> local & 1ull)) continue;
+              const int x = tx * g.tdx + local % g.tdx;
+              const int y = ty * g.tdy + (local / g.tdx) % g.tdy;
+              const int z = tz * g.tdz + local / (g.tdx * g.tdy);
+              const index_t elem = own_base + local;
+              real_t fl[L::Q];
+              if (batched) {
+                f.template load_span_as<real_t>(elem, elems, L::Q, fl);
+              } else {
+                for (int i = 0; i < L::Q; ++i) {
+                  fl[i] = f.template load_as<real_t>(soa(i, elem));
+                }
+              }
+              real_t rho_pre = 0;
+              for (int i = 0; i < L::Q; ++i) rho_pre += fl[i];
+              collide<L, decltype(sc)::value>(fl, tau);
+              real_t out[L::Q];
+              for (int i = 0; i < L::Q; ++i) {
+                real_t v = fl[i];
+                const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+                if (t.kind == StreamTarget::Kind::kBounce &&
+                    t.cu_wall != real_t(0)) {
+                  v -= real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                       rho_pre * t.cu_wall * inv_cs2;
+                }
+                out[static_cast<std::size_t>(L::opposite(i))] = v;
+              }
+              if (batched) {
+                f.template store_span_as<real_t>(elem, elems, L::Q, out);
+              } else {
+                for (int i = 0; i < L::Q; ++i) {
+                  f.template store_as<real_t>(soa(i, elem),
+                                              out[static_cast<std::size_t>(i)]);
+                }
+              }
+            }
+          });
+        });
+  });
+}
+
+template <class L, class ST>
+void AaEngine<L, ST>::step_odd_tiles(
+    const gpusim::GlobalArray<std::int32_t>& list,
+    const gpusim::GlobalArray<std::uint64_t>* masks, int begin, int count,
+    gpusim::KernelRecord& rec) {
+  if (count <= 0) return;
+  const Geometry& geo = this->geo_;
+  const TileGridInfo g = tdev_.grid;
+  const bool is3d = geo.box.nz > 1;
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+  gpusim::GlobalArray<ST>& f = f_;
+  const int tpb = threads_per_block_;
+  const int nblocks = (count + tpb - 1) / tpb;
+
+  // One thread per tile; the in-place gather/scatter crosses tile borders,
+  // so the full neighbour-slot stash is loaded. Wall and solid links read
+  // and write this node's own slots exactly as the dense odd step does —
+  // resolve_stream turns solid destinations into (zero-velocity) bounces.
+  dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, rec, gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+        [&](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t r =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (r >= static_cast<index_t>(count)) return;
+            const std::int32_t tile = list.load(static_cast<index_t>(begin) + r);
+            const std::uint64_t occ =
+                masks != nullptr ? masks->load(static_cast<index_t>(begin) + r)
+                                 : ~std::uint64_t{0};
+            const int tx = tile % g.ntx;
+            const int ty = (tile / g.ntx) % g.nty;
+            const int tz = tile / (g.ntx * g.nty);
+            std::int32_t stash[27];
+            load_tile_stash(tdev_.slots, g, tx, ty, tz, is3d, stash);
+            const index_t own_base =
+                static_cast<index_t>(stash[13]) * TileMap::kSlots;
+            for (int local = 0; local < TileMap::kSlots; ++local) {
+              if (!(occ >> local & 1ull)) continue;
+              const int x = tx * g.tdx + local % g.tdx;
+              const int y = ty * g.tdy + (local / g.tdx) % g.tdy;
+              const int z = tz * g.tdz + local / (g.tdx * g.tdy);
+              const index_t elem = own_base + local;
+              // Gather f_i(x, t) = f*_i(x - c_i, t-1), stored swapped; wall
+              // links read this node's own swapped slot i.
+              real_t fl[L::Q];
+              for (int i = 0; i < L::Q; ++i) {
+                const StreamTarget t =
+                    resolve_stream<L>(geo, x, y, z, L::opposite(i));
+                if (t.kind == StreamTarget::Kind::kInterior) {
+                  const index_t ne =
+                      stash_elem(stash, g, tx, ty, tz, t.x, t.y, t.z);
+                  fl[i] = f.template load_as<real_t>(
+                      soa(L::opposite(i), ne));
+                } else {
+                  fl[i] = f.template load_as<real_t>(soa(i, elem));
+                }
+              }
+              real_t rho_now = 0;
+              for (int i = 0; i < L::Q; ++i) rho_now += fl[i];
+              collide<L, decltype(sc)::value>(fl, tau);
+              // Scatter f*_i(x, t) into slot i of x + c_i; wall links bounce
+              // back into this node's own plain slot opposite(i).
+              for (int i = 0; i < L::Q; ++i) {
+                const StreamTarget t = resolve_stream<L>(geo, x, y, z, i);
+                if (t.kind == StreamTarget::Kind::kInterior) {
+                  const index_t ne =
+                      stash_elem(stash, g, tx, ty, tz, t.x, t.y, t.z);
+                  f.template store_as<real_t>(soa(i, ne), fl[i]);
+                } else {
+                  f.template store_as<real_t>(
+                      soa(L::opposite(i), elem),
+                      fl[i] - real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                                  rho_now * t.cu_wall * inv_cs2);
+                }
+              }
+            }
+          });
+        });
+  });
 }
 
 template class AaEngine<D2Q9, double>;

@@ -25,7 +25,7 @@
 #include <string_view>
 #include <vector>
 
-#include "core/box.hpp"
+#include "geometry/geometry.hpp"
 #include "core/moments.hpp"
 #include "gpusim/profiler.hpp"
 #include "util/error.hpp"
@@ -227,6 +227,16 @@ class Engine {
   int t_ = 0;
   PostStepFn post_step_;
 };
+
+/// Canonical moments every engine reports for a solid node: all zero
+/// (solid nodes carry no state — rho = 0 marks them "blanked" in IO and
+/// makes a solid read visually unmistakable in dumps).
+template <class L>
+Moments<L> solid_moments() {
+  Moments<L> m;
+  m.rho = 0;
+  return m;
+}
 
 /// Equilibrium-state helper for initialize(): pi = rho u u.
 template <class L>

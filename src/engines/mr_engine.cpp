@@ -40,11 +40,40 @@ MrEngine<L, ST>::MrEngine(Geometry geo, real_t tau, Regularization scheme,
   }
   const auto ncx0 = static_cast<std::size_t>(b.nx);
   const auto ncx1 = static_cast<std::size_t>(L::D == 2 ? 1 : b.ny);
+  sparse_ = this->geo_.sparse();
+  if (sparse_) {
+    // Column compression: a cross-section column whose every sweep layer is
+    // solid allocates no moment storage. Ids are assigned in row-major cross
+    // order, so an all-fluid (forced-sparse) geometry gets the identity map
+    // and the dense addressing bit-for-bit.
+    const int S = sweep_extent();
+    colmap_.allocate(ncx0 * ncx1, &prof_.counter());
+    index_t next = 0;
+    for (std::size_t c1 = 0; c1 < ncx1; ++c1) {
+      for (std::size_t c0 = 0; c0 < ncx0; ++c0) {
+        bool any_fluid = false;
+        for (int s = 0; s < S && !any_fluid; ++s) {
+          const int x = static_cast<int>(c0);
+          const int y = L::D == 2 ? s : static_cast<int>(c1);
+          const int z = L::D == 2 ? 0 : s;
+          any_fluid = !this->geo_.solid(x, y, z);
+        }
+        colmap_.raw(static_cast<index_t>(c1 * ncx0 + c0)) =
+            any_fluid ? static_cast<std::int32_t>(next++)
+                      : std::int32_t{-1};
+      }
+    }
+    ncols_ = next;
+  } else {
+    ncols_ = static_cast<index_t>(ncx0 * ncx1);
+  }
   const auto s_layers =
       static_cast<std::size_t>(config_.storage == MomentStorage::kPingPong
                                    ? sweep_extent()
                                    : sweep_extent() + 2);
-  const std::size_t n = static_cast<std::size_t>(M) * ncx0 * ncx1 * s_layers;
+  const std::size_t n =
+      static_cast<std::size_t>(M) * static_cast<std::size_t>(ncols_) *
+      s_layers;
   mom_[0].allocate(n, &prof_.counter());
   if (config_.storage == MomentStorage::kPingPong) {
     mom_[1].allocate(n, &prof_.counter());
@@ -65,15 +94,20 @@ int MrEngine<L, ST>::phys_layer(int s, long long t) const {
 }
 
 template <class L, class ST>
+index_t MrEngine<L, ST>::col_of(int cx0, int cx1) const {
+  const index_t ncx0 = this->geo_.box.nx;
+  const index_t flat = static_cast<index_t>(cx1) * ncx0 + cx0;
+  if (!sparse_) return flat;
+  return static_cast<index_t>(std::as_const(colmap_).raw(flat));
+}
+
+template <class L, class ST>
 index_t MrEngine<L, ST>::midx(int m, int cx0, int cx1, int sp) const {
-  const Box& b = this->geo_.box;
-  const index_t ncx0 = b.nx;
-  const index_t ncx1 = (L::D == 2) ? 1 : b.ny;
   const index_t layers = config_.storage == MomentStorage::kPingPong
                              ? sweep_extent()
                              : sweep_extent() + 2;
-  return (static_cast<index_t>(m) * layers + sp) * ncx1 * ncx0 +
-         static_cast<index_t>(cx1) * ncx0 + cx0;
+  return (static_cast<index_t>(m) * layers + sp) * ncols_ +
+         col_of(cx0, cx1);
 }
 
 template <class L, class ST>
@@ -113,9 +147,11 @@ void MrEngine<L, ST>::write_moments_raw(int cx0, int cx1, int s, long long t,
 template <class L, class ST>
 void MrEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
   const Box& b = this->geo_.box;
+  const bool solids = this->geo_.has_solids();
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
+        if (solids && this->geo_.solid(x, y, z)) continue;
         impose(x, y, z, init(x, y, z));
       }
     }
@@ -124,6 +160,9 @@ void MrEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
 
 template <class L, class ST>
 Moments<L> MrEngine<L, ST>::moments_at(int x, int y, int z) const {
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) {
+    return solid_moments<L>();
+  }
   if constexpr (L::D == 2) {
     return read_moments_raw(x, 0, y, this->t_);
   } else {
@@ -133,6 +172,7 @@ Moments<L> MrEngine<L, ST>::moments_at(int x, int y, int z) const {
 
 template <class L, class ST>
 void MrEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) return;
   if constexpr (L::D == 2) {
     write_moments_raw(x, 0, y, this->t_, m);
   } else {
@@ -147,6 +187,7 @@ std::size_t MrEngine<L, ST>::state_bytes() const {
   // paper's footprint claim); the never-allocated mom_[1] is not touched.
   std::size_t n = mom_[0].size_bytes();
   if (mom_[1].allocated()) n += mom_[1].size_bytes();
+  if (sparse_) n += colmap_.size_bytes();
   return n;
 }
 
@@ -261,6 +302,17 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
     throw ConfigError(
         "MrEngine: periodic sweep axis requires extent >= tile_s + 3");
   }
+  const bool sparse = sparse_;
+  const bool solids = geo.has_solids();
+  const gpusim::GlobalArray<std::int32_t>& colmap = colmap_;
+  /// Solid flag of cross-section position (cx0, cx1) at sweep layer s.
+  const auto is_solid = [&](int cx0, int cx1, int s) {
+    if constexpr (L::D == 2) {
+      return geo.solid(cx0, s, 0);
+    } else {
+      return geo.solid(cx0, cx1, s);
+    }
+  };
 
   const gpusim::GlobalArray<ST>& rbuf = mom_[ping_pong ? cur_ : 0];
   gpusim::GlobalArray<ST>& wbuf = mom_[ping_pong ? 1 - cur_ : 0];
@@ -290,10 +342,17 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
   const bool shrink_halo = mutation_.shrink_cross_halo;
   // Element stride between consecutive moment components of one node
   // (midx(m+1,...) - midx(m,...)); the per-node moment vector is one
-  // batched span of M elements at this stride.
-  const index_t mstride = static_cast<index_t>(ping_pong ? S : S + 2) *
-                          static_cast<index_t>(ncx1) *
-                          static_cast<index_t>(ncx0);
+  // batched span of M elements at this stride. `ncols` is the full
+  // cross-section when dense, so the dense addresses are unchanged.
+  const index_t ncols = ncols_;
+  const index_t layers_n = static_cast<index_t>(ping_pong ? S : S + 2);
+  const index_t mstride = layers_n * ncols;
+  /// Flat element of moment `m` of the node with compressed column id `col`
+  /// at physical layer `sp` — the kernel-side midx, taking the column id
+  /// from the block's counted stash instead of the host map.
+  const auto gaddr = [&](int m, index_t col, int sp) {
+    return (static_cast<index_t>(m) * layers_n + sp) * ncols + col;
+  };
   const bool batched = batched_io_;
   // Lane-batched kernel bodies are selected per phase invocation (a
   // per-level branch — negligible against the per-node work it gates).
@@ -313,6 +372,19 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
     std::span<real_t> stash_hi;  // populations streamed to layer S == 0
     std::span<real_t> snap0;     // layer-0 ring snapshot (periodic sweep)
     int next_write = 0;          // first layer not yet written back
+    // Sparse only: column ids of the tile's cross section plus halo, loaded
+    // (counted) from the column map once per step; -1 for all-solid columns
+    // and positions beyond a non-periodic face.
+    std::vector<std::int32_t> cmap;
+  };
+
+  // Stashed column id of halo position (hx, hy); valid for
+  // hx in [x0-1, x1] and (3D) hy in [y0-1, y1].
+  auto cmap_at = [&](ColState& st, int hx, int hy) -> std::int32_t {
+    const int row = (L::D == 3) ? hy - (st.y0 - 1) : 0;
+    return st.cmap[static_cast<std::size_t>(row) *
+                       static_cast<std::size_t>(st.cax + 2) +
+                   static_cast<std::size_t>(hx - st.x0 + 1)];
   };
 
   auto make_state = [&](gpusim::BlockCtx& blk) {
@@ -334,6 +406,36 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
       st.stash_lo = blk.alloc_shared<real_t>(st.cross * L::Q);
       st.stash_hi = blk.alloc_shared<real_t>(st.cross * L::Q);
       st.snap0 = blk.alloc_shared<real_t>(st.cross * L::Q);
+    }
+    if (sparse) {
+      // Load the tile's (cross + halo) column-map entries once per step —
+      // the MR analogue of the ST/AA neighbour-slot stash, and like it part
+      // of the measured byte budget.
+      const int w = st.cax + 2;
+      const int hy_lo = (L::D == 3) ? st.y0 - 1 : 0;
+      const int hy_hi = (L::D == 3) ? st.y1 : 0;
+      st.cmap.assign(
+          static_cast<std::size_t>(w) *
+              static_cast<std::size_t>(hy_hi - hy_lo + 1),
+          -1);
+      for (int hy = hy_lo; hy <= hy_hi; ++hy) {
+        int py = hy;
+        if (L::D == 3 && (hy < 0 || hy >= ncx1)) {
+          if (!cx1_periodic) continue;
+          py = Box::wrap(hy, ncx1);
+        }
+        for (int hx = st.x0 - 1; hx <= st.x1; ++hx) {
+          int px = hx;
+          if (hx < 0 || hx >= ncx0) {
+            if (!cx0_periodic) continue;
+            px = Box::wrap(hx, ncx0);
+          }
+          st.cmap[static_cast<std::size_t>(hy - hy_lo) *
+                      static_cast<std::size_t>(w) +
+                  static_cast<std::size_t>(hx - st.x0 + 1)] =
+              colmap.load(static_cast<index_t>(py) * ncx0 + px);
+        }
+      }
     }
     return st;
   };
@@ -398,17 +500,43 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
       if (L::D == 3) check_axis(1, ld1, ncx1, cx1_periodic);
       check_axis(kSweepAxis, lds, S, sweep_periodic);
 
+      if (solids && !dropped && !bounce) {
+        // Static obstacle: a population streaming into a solid node returns
+        // to its source exactly like a zero-velocity wall face.
+        const int wx = (ld0 < 0 || ld0 >= ncx0) ? Box::wrap(ld0, ncx0) : ld0;
+        const int wy = (L::D == 3 && (ld1 < 0 || ld1 >= ncx1))
+                           ? Box::wrap(ld1, ncx1)
+                           : ld1;
+        const int ws = (lds < 0 || lds >= S) ? Box::wrap(lds, S) : lds;
+        if (is_solid(wx, wy, ws)) bounce = true;
+      }
       if (dropped) continue;
       if (bounce) {
         // Half-way bounceback: the population returns to its source
         // node; halo sources belong to the neighbouring column.
         if (hx >= st.x0 && hx < st.x1 && hy >= st.y0 && hy < st.y1) {
-          real_t& dst = st.ring[dst_base[1] +
-                                static_cast<std::size_t>(cross_src) * L::Q +
-                                static_cast<std::size_t>(L::opposite(i))];
-          dst = f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
-                        cu_wall * inv_cs2;
-          if constexpr (kSan) note_shared(blk, &dst, tid_a, true);
+          const int j = L::opposite(i);
+          const std::size_t e =
+              static_cast<std::size_t>(cross_src) * L::Q +
+              static_cast<std::size_t>(j);
+          // On a periodic sweep axis, phase B reads the edge layers'
+          // wrap-crossing populations from the stashes, not the ring
+          // (those ring words are recycled before the final flush). A
+          // bounce off a solid node across the wrap — or off a cross-axis
+          // wall corner — produces exactly such a population: its only
+          // other producer would be the node beyond the wrap, which is the
+          // very solid/absent node the bounce stands in for.
+          real_t* dst;
+          if (sweep_periodic && s == 0 && c_sweep<L>(j) > 0) {
+            dst = &st.stash_hi[e];
+          } else if (sweep_periodic && s == S - 1 && c_sweep<L>(j) < 0) {
+            dst = &st.stash_lo[e];
+          } else {
+            dst = &st.ring[dst_base[1] + e];
+          }
+          *dst = f - real_t(2) * L::w[static_cast<std::size_t>(i)] * rho *
+                         cu_wall * inv_cs2;
+          if constexpr (kSan) note_shared(blk, dst, tid_a, true);
         }
         continue;
       }
@@ -543,15 +671,22 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
           while (hx <= hx_hi) {
             int n = 0;
             int lane_hx[kLaneWidth];
-            int lane_px[kLaneWidth];
+            index_t lane_col[kLaneWidth];
             for (; hx <= hx_hi && n < kLaneWidth; ++hx) {
               int px = hx;
               if (hx < 0 || hx >= ncx0) {
                 if (!cx0_periodic) continue;
                 px = Box::wrap(hx, ncx0);
               }
+              if (sparse) {
+                const std::int32_t cm = cmap_at(st, hx, hy);
+                if (cm < 0) continue;  // unallocated all-solid column
+                if (solids && is_solid(px, py, s)) continue;
+                lane_col[n] = cm;
+              } else {
+                lane_col[n] = static_cast<index_t>(py) * ncx0 + px;
+              }
               lane_hx[n] = hx;
-              lane_px[n] = px;
               ++n;
             }
             if (n == 0) break;
@@ -562,11 +697,11 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
               real_t mom[M];
               if (batched) {
                 rbuf.template load_span_as<real_t>(
-                    midx(0, lane_px[ln], py, sp), mstride, M, mom);
+                    gaddr(0, lane_col[ln], sp), mstride, M, mom);
               } else {
                 for (int m = 0; m < M; ++m) {
                   mom[m] = rbuf.template load_as<real_t>(
-                      midx(m, lane_px[ln], py, sp));
+                      gaddr(m, lane_col[ln], sp));
                 }
               }
               rho_l[ln] = mom[0];
@@ -610,6 +745,15 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
             if (!cx0_periodic) continue;
             px = Box::wrap(hx, ncx0);
           }
+          index_t col;
+          if (sparse) {
+            const std::int32_t cm = cmap_at(st, hx, hy);
+            if (cm < 0) continue;  // unallocated all-solid column
+            if (solids && is_solid(px, py, s)) continue;
+            col = cm;
+          } else {
+            col = static_cast<index_t>(py) * ncx0 + px;
+          }
           // Conceptual GPU thread id of this phase-A source thread (unique
           // per (hx, hy, s) within the block); racecheck attribution only.
           const int tid_a =
@@ -627,11 +771,11 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
           // moment space (Eq. 10).
           real_t mom[M];
           if (batched) {
-            rbuf.template load_span_as<real_t>(midx(0, px, py, sp), mstride, M,
+            rbuf.template load_span_as<real_t>(gaddr(0, col, sp), mstride, M,
                                                mom);
           } else {
             for (int m = 0; m < M; ++m) {
-              mom[m] = rbuf.template load_as<real_t>(midx(m, px, py, sp));
+              mom[m] = rbuf.template load_as<real_t>(gaddr(m, col, sp));
             }
           }
           const real_t rho = mom[0];
@@ -680,8 +824,29 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
         const int n =
             static_cast<int>(std::min<std::size_t>(kLaneWidth, st.cross - p0));
         real_t fl[L::Q][kLaneWidth];
+        bool live[kLaneWidth];
+        index_t col_l[kLaneWidth];
         for (int ln = 0; ln < n; ++ln) {
           const std::size_t node = p0 + static_cast<std::size_t>(ln);
+          const int cx = st.x0 + static_cast<int>(
+                                     node % static_cast<std::size_t>(st.cax));
+          const int cy = st.y0 + static_cast<int>(
+                                     node / static_cast<std::size_t>(st.cax));
+          live[ln] = true;
+          if (sparse) {
+            const std::int32_t cm = cmap_at(st, cx, cy);
+            if (cm < 0 || (solids && is_solid(cx, cy, s))) {
+              // Solid node: its ring words were never written. Feed zeros
+              // through the panel (the result is discarded) instead of
+              // reading them.
+              live[ln] = false;
+              for (int i = 0; i < L::Q; ++i) fl[i][ln] = 0;
+              continue;
+            }
+            col_l[ln] = cm;
+          } else {
+            col_l[ln] = static_cast<index_t>(cy) * ncx0 + cx;
+          }
           for (int i = 0; i < L::Q; ++i) fl[i][ln] = get(node, i);
         }
         real_t rho_l[kLaneWidth];
@@ -689,21 +854,18 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
         real_t pi_l[NP][kLaneWidth];
         compute_moments_lanes<L, kLaneWidth>(fl, n, rho_l, u_l, pi_l);
         for (int ln = 0; ln < n; ++ln) {
-          const std::size_t node = p0 + static_cast<std::size_t>(ln);
-          const int cx = st.x0 + static_cast<int>(node % static_cast<std::size_t>(
-                                                            st.cax));
-          const int cy = st.y0 + static_cast<int>(node / static_cast<std::size_t>(
-                                                            st.cax));
+          if (!live[ln]) continue;
           real_t vals[M];
           vals[0] = rho_l[ln];
           for (int a = 0; a < L::D; ++a) vals[1 + a] = u_l[a][ln];
           for (int p = 0; p < NP; ++p) vals[1 + L::D + p] = pi_l[p][ln];
           if (batched) {
-            wbuf.template store_span_as<real_t>(midx(0, cx, cy, sp), mstride,
-                                                M, vals);
+            wbuf.template store_span_as<real_t>(gaddr(0, col_l[ln], sp),
+                                                mstride, M, vals);
           } else {
             for (int mm = 0; mm < M; ++mm) {
-              wbuf.template store_as<real_t>(midx(mm, cx, cy, sp), vals[mm]);
+              wbuf.template store_as<real_t>(gaddr(mm, col_l[ln], sp),
+                                             vals[mm]);
             }
           }
         }
@@ -713,6 +875,15 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
     std::size_t node = 0;
     for (int cy = st.y0; cy < st.y1; ++cy) {
       for (int cx = st.x0; cx < st.x1; ++cx, ++node) {
+        index_t col;
+        if (sparse) {
+          const std::int32_t cm = cmap_at(st, cx, cy);
+          // Solid node: never streamed into, nothing to write back.
+          if (cm < 0 || (solids && is_solid(cx, cy, s))) continue;
+          col = cm;
+        } else {
+          col = static_cast<index_t>(cy) * ncx0 + cx;
+        }
         real_t f[L::Q];
         for (int i = 0; i < L::Q; ++i) f[i] = get(node, i);
         const Moments<L> m = compute_moments<L>(f);
@@ -725,11 +896,11 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
           vals[1 + L::D + p] = m.pi[static_cast<std::size_t>(p)];
         }
         if (batched) {
-          wbuf.template store_span_as<real_t>(midx(0, cx, cy, sp), mstride, M,
+          wbuf.template store_span_as<real_t>(gaddr(0, col, sp), mstride, M,
                                               vals);
         } else {
           for (int mm = 0; mm < M; ++mm) {
-            wbuf.template store_as<real_t>(midx(mm, cx, cy, sp), vals[mm]);
+            wbuf.template store_as<real_t>(gaddr(mm, col, sp), vals[mm]);
           }
         }
       }
@@ -758,6 +929,12 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
         // before the window recycles it and write it at the end.
         for (int cy = st.y0; cy < st.y1; ++cy) {
           for (int cx = st.x0; cx < st.x1; ++cx) {
+            // Solid layer-0 node: its slot-0 words were never written and
+            // the final flush skips it; nothing to snapshot.
+            if (sparse && (cmap_at(st, cx, cy) < 0 ||
+                           (solids && is_solid(cx, cy, 0)))) {
+              continue;
+            }
             const std::size_t node = cross_of(st, cx, cy);
             for (int i = 0; i < L::Q; ++i) {
               // Upward-streaming populations of layer 0 arrive from layer

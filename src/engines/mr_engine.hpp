@@ -38,9 +38,25 @@
 // (real_t) — on a real GPU the ring lives on-chip where capacity, not
 // DRAM bandwidth, is the constraint, and keeping it wide means the only
 // rounding an FP32 run adds is at the global load/store boundary.
+//
+// Sparse geometries (Geometry::sparse()): the moment lattice is
+// column-compressed — the natural granule of the MR sweep is the
+// cross-section column (a (x[, y]) stack of sweep layers), so columns whose
+// every layer is solid allocate no moment storage and a counted int32 column
+// map supplies the compressed column id (-1 for the unallocated ones). Each
+// block loads the map entries of its tile plus cross halo once per step
+// (make_state), the same stash discipline as the ST/AA tile kernels. Phase A
+// skips solid source nodes and bounces populations streamed into solid
+// destinations back into the source's ring word (half-way bounceback,
+// exactly the wall-face path); phase B skips solid nodes, so their ring
+// words and moment slots are never touched. Mixed columns keep per-node
+// solid flags in registers (on hardware they ride in the column map's spare
+// bits). Dense geometries never touch the map and keep the flat addressing
+// bit-identically, fields and traffic counters.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/regularization.hpp"
@@ -110,6 +126,17 @@ class MrEngine final : public Engine<L> {
     mom_[0].set_sanitizer(san, "mom0", /*sliding_window=*/true);
     if (mom_[1].allocated()) {
       mom_[1].set_sanitizer(san, "mom1", /*sliding_window=*/true);
+    }
+    if (sparse_) {
+      // Read-only index data, written at construction: replay the host
+      // writes so initcheck accepts them (see TileIndexDev::set_sanitizer).
+      colmap_.set_sanitizer(san, "mr_colmap", /*sliding_window=*/false);
+      if (san != nullptr) {
+        for (std::size_t i = 0; i < colmap_.size(); ++i) {
+          const auto v = std::as_const(colmap_).raw(static_cast<index_t>(i));
+          colmap_.raw(static_cast<index_t>(i)) = v;
+        }
+      }
     }
   }
 
@@ -196,6 +223,10 @@ class MrEngine final : public Engine<L> {
   [[nodiscard]] int sweep_extent() const;
   /// Physical sweep layer of logical layer `s` at timestep `t`.
   [[nodiscard]] int phys_layer(int s, long long t) const;
+  /// Compressed column id of cross-section position (cx0, cx1): the flat
+  /// cross index when dense, the column-map entry when sparse (-1 for
+  /// unallocated all-solid columns). Host-side (uncounted).
+  [[nodiscard]] index_t col_of(int cx0, int cx1) const;
   /// Flat index of moment `m` of node (cx0, cx1, s) with physical layer `sp`.
   [[nodiscard]] index_t midx(int m, int cx0, int cx1, int sp) const;
 
@@ -222,6 +253,12 @@ class MrEngine final : public Engine<L> {
   gpusim::GlobalArray<ST> mom_[2];
   int cur_ = 0;
   bool batched_io_ = true;
+  /// Column compression (sparse only): number of allocated cross-section
+  /// columns and the counted cross -> column map. Dense: ncols_ is the full
+  /// cross-section and colmap_ stays unallocated.
+  index_t ncols_ = 0;
+  bool sparse_ = false;
+  gpusim::GlobalArray<std::int32_t> colmap_;
   FaultMutation mutation_{};
   /// Cached kernel records (scheme and lattice are fixed per engine, plus a
   /// frontier variant for split steps) — no string lookup per step.

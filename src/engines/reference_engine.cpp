@@ -41,6 +41,9 @@ void ReferenceEngine<L>::initialize(const typename Engine<L>::InitFn& init) {
 
 template <class L>
 Moments<L> ReferenceEngine<L>::moments_at(int x, int y, int z) const {
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) {
+    return solid_moments<L>();
+  }
   const index_t cell = this->geo_.box.idx(x, y, z);
   real_t f[L::Q];
   for (int i = 0; i < L::Q; ++i) {
@@ -55,6 +58,7 @@ void ReferenceEngine<L>::impose(int x, int y, int z, const Moments<L>& m) {
   // unique population whose first three Hermite moments equal `m` exactly
   // and whose higher-order non-equilibrium content vanishes. All engines use
   // this convention so imposed states produce identical trajectories.
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) return;
   const index_t cell = this->geo_.box.idx(x, y, z);
   real_t pineq[Moments<L>::NP];
   for (int p = 0; p < Moments<L>::NP; ++p) pineq[p] = m.pi_neq(p);
@@ -128,6 +132,9 @@ void ReferenceEngine<L>::step_range(int rx0, int rx1) {
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = rx0; x < rx1; ++x) {
+        // Solid nodes have no populations to collide or scatter; their links
+        // are handled from the fluid side (resolve_stream bounces).
+        if (geo.has_solids() && geo.solid(x, y, z)) continue;
         const index_t cell = b.idx(x, y, z);
         // Strided gather of the node's Q populations (soa slot i is
         // i*cells + cell): one base pointer, Q constant-stride reads.

@@ -18,8 +18,21 @@ StEngine<L, ST>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
       threads_per_block_(threads_per_block),
       mode_(mode),
       exec_(exec) {
-  const auto n = static_cast<std::size_t>(this->geo_.box.cells()) *
-                 static_cast<std::size_t>(L::Q);
+  sparse_ = this->geo_.sparse();
+  if (sparse_) {
+    if (mode_ == StreamMode::kPush) {
+      throw ConfigError(
+          "StEngine: push streaming does not support sparse geometries "
+          "(use pull, the paper's ST baseline)");
+    }
+    const TileMap& tm = this->geo_.tiles();
+    tdev_.build(tm, &prof_.counter());
+    elems_ = tm.elements();
+  } else {
+    elems_ = this->geo_.box.cells();
+  }
+  const auto n =
+      static_cast<std::size_t>(elems_) * static_cast<std::size_t>(L::Q);
   f_[0].allocate(n, &prof_.counter());
   f_[1].allocate(n, &prof_.counter());
 }
@@ -27,7 +40,7 @@ StEngine<L, ST>::StEngine(Geometry geo, real_t tau, CollisionScheme scheme,
 template <class L, class ST>
 void StEngine<L, ST>::impose_population(int x, int y, int z,
                                         const real_t (&f)[L::Q]) {
-  const index_t cell = this->geo_.box.idx(x, y, z);
+  const index_t cell = element(x, y, z);
   for (int i = 0; i < L::Q; ++i) {
     f_[cur_].raw(soa(i, cell)) = static_cast<ST>(f[i]);
   }
@@ -36,9 +49,11 @@ void StEngine<L, ST>::impose_population(int x, int y, int z,
 template <class L, class ST>
 void StEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
   const Box& b = this->geo_.box;
+  const bool solids = this->geo_.has_solids();
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; ++y) {
       for (int x = 0; x < b.nx; ++x) {
+        if (solids && this->geo_.solid(x, y, z)) continue;
         impose(x, y, z, init(x, y, z));
       }
     }
@@ -47,7 +62,10 @@ void StEngine<L, ST>::initialize(const typename Engine<L>::InitFn& init) {
 
 template <class L, class ST>
 Moments<L> StEngine<L, ST>::moments_at(int x, int y, int z) const {
-  const index_t cell = this->geo_.box.idx(x, y, z);
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) {
+    return solid_moments<L>();
+  }
+  const index_t cell = element(x, y, z);
   real_t f[L::Q];
   for (int i = 0; i < L::Q; ++i) {
     f[i] = static_cast<real_t>(f_[cur_].raw(soa(i, cell)));
@@ -75,6 +93,7 @@ Moments<L> StEngine<L, ST>::moments_at(int x, int y, int z) const {
 
 template <class L, class ST>
 void StEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
+  if (this->geo_.has_solids() && this->geo_.solid(x, y, z)) return;
   real_t pineq[Moments<L>::NP];
   real_t f[L::Q];
   if (mode_ == StreamMode::kPush) {
@@ -108,12 +127,24 @@ void StEngine<L, ST>::impose(int x, int y, int z, const Moments<L>& m) {
 
 template <class L, class ST>
 std::size_t StEngine<L, ST>::state_bytes() const {
-  return f_[0].size_bytes() + f_[1].size_bytes();
+  return f_[0].size_bytes() + f_[1].size_bytes() +
+         (sparse_ ? tdev_.bytes() : 0);
 }
 
 template <class L, class ST>
 void StEngine<L, ST>::ensure_records() {
   if (krec_ == nullptr) {
+    if (sparse_) {
+      // Per-tile-class records: the bytes-vs-fluid-fraction claim is checked
+      // from the profiler, so dense-fast-path and masked traffic must stay
+      // separable.
+      const std::string base = std::string("st_sparse_") + L::name();
+      krec_ = &prof_.record(base + "_fluid");
+      krec_frontier_ = &prof_.record(base + "_fluid_frontier");
+      krec_mixed_ = &prof_.record(base + "_mixed");
+      krec_mixed_frontier_ = &prof_.record(base + "_mixed_frontier");
+      return;
+    }
     const std::string base = mode_ == StreamMode::kPull
                                  ? std::string("st_stream_collide_") + L::name()
                                  : std::string("st_push_collide_stream_") +
@@ -126,7 +157,9 @@ void StEngine<L, ST>::ensure_records() {
 template <class L, class ST>
 void StEngine<L, ST>::do_step() {
   ensure_records();
-  if (mode_ == StreamMode::kPull) {
+  if (sparse_) {
+    step_sparse(0, 0, /*frontier_only=*/false, nullptr);
+  } else if (mode_ == StreamMode::kPull) {
     step_pull(0, this->geo_.box.nx, *krec_);
   } else {
     step_push(0, this->geo_.box.nx, *krec_);
@@ -135,11 +168,66 @@ void StEngine<L, ST>::do_step() {
 }
 
 template <class L, class ST>
+void StEngine<L, ST>::step_sparse(
+    int fl, int fr, bool frontier_only,
+    const typename Engine<L>::FrontierDoneFn& on_frontier) {
+  // The fluid and mixed launches of one step share a freshness window.
+  gpusim::LaunchGroup group(prof_);
+  if (fl <= 0 && fr <= 0) {
+    // Monolithic step (or degenerate split: everything is frontier).
+    step_pull_tiles(tdev_.fluid, nullptr, 0, tdev_.n_fluid_tiles, *krec_);
+    step_pull_tiles(tdev_.mixed, &tdev_.mask, 0, tdev_.n_mixed_tiles,
+                    *krec_mixed_);
+    if (frontier_only && on_frontier) on_frontier();
+    return;
+  }
+  const TileGridInfo& g = tdev_.grid;
+  const int nx = this->geo_.box.nx;
+  const TileRange rf = partition_tiles(tdev_.fluid, tdev_.n_fluid_tiles,
+                                       g.tdx, g.ntx, nx, fl, fr);
+  const TileRange rm = partition_tiles(tdev_.mixed, tdev_.n_mixed_tiles,
+                                       g.tdx, g.ntx, nx, fl, fr);
+  if (rf.degenerate() || rm.degenerate()) {
+    step_pull_tiles(tdev_.fluid, nullptr, 0, tdev_.n_fluid_tiles, *krec_);
+    step_pull_tiles(tdev_.mixed, &tdev_.mask, 0, tdev_.n_mixed_tiles,
+                    *krec_mixed_);
+    if (on_frontier) on_frontier();
+    return;
+  }
+  // Pull writes only the owning tile, so completing the frontier tiles
+  // finalizes every frontier plane (tiles over-cover the planes; the extra
+  // nodes are simply final early).
+  step_pull_tiles(tdev_.fluid, nullptr, 0, rf.left, *krec_frontier_);
+  step_pull_tiles(tdev_.fluid, nullptr, rf.right, rf.n - rf.right,
+                  *krec_frontier_);
+  step_pull_tiles(tdev_.mixed, &tdev_.mask, 0, rm.left,
+                  *krec_mixed_frontier_);
+  step_pull_tiles(tdev_.mixed, &tdev_.mask, rm.right, rm.n - rm.right,
+                  *krec_mixed_frontier_);
+  if (on_frontier) on_frontier();
+  step_pull_tiles(tdev_.fluid, nullptr, rf.left, rf.right - rf.left, *krec_);
+  step_pull_tiles(tdev_.mixed, &tdev_.mask, rm.left, rm.right - rm.left,
+                  *krec_mixed_);
+}
+
+template <class L, class ST>
 void StEngine<L, ST>::do_step_split(
     const FrontierSpec& fs,
     const typename Engine<L>::FrontierDoneFn& on_frontier) {
   const Box& b = this->geo_.box;
   ensure_records();
+  if (sparse_) {
+    // Destination-partitioned (pull): no plane extension.
+    const int sfl = fs.left > 0 ? fs.left : 0;
+    const int sfr = fs.right > 0 ? fs.right : 0;
+    if (fs.empty() || sfl + sfr >= b.nx) {
+      step_sparse(0, 0, /*frontier_only=*/true, on_frontier);
+    } else {
+      step_sparse(sfl, sfr, /*frontier_only=*/false, on_frontier);
+    }
+    cur_ = 1 - cur_;
+    return;
+  }
   // Pull partitions by destination plane (ext 0); push partitions by source
   // plane, so finalizing target planes [0, left) needs sources [0, left]
   // (ext 1) — and symmetrically on the right. No interior source then writes
@@ -169,6 +257,103 @@ void StEngine<L, ST>::do_step_split(
     run(fl, b.nx - fr, *krec_);
   }
   cur_ = 1 - cur_;
+}
+
+template <class L, class ST>
+void StEngine<L, ST>::step_pull_tiles(
+    const gpusim::GlobalArray<std::int32_t>& list,
+    const gpusim::GlobalArray<std::uint64_t>* masks, int begin, int count,
+    gpusim::KernelRecord& rec) {
+  if (count <= 0) return;
+  const Geometry& geo = this->geo_;
+  const TileGridInfo g = tdev_.grid;
+  const bool is3d = geo.box.nz > 1;
+  const index_t elems = elems_;
+  const real_t tau = this->tau_;
+  const real_t inv_cs2 = real_t(1) / L::cs2;
+  const CollisionScheme scheme = scheme_;
+  const gpusim::GlobalArray<ST>& src = f_[cur_];
+  gpusim::GlobalArray<ST>& dst = f_[1 - cur_];
+  const bool batched = batched_io_;
+  const int tpb = threads_per_block_;
+  const int nblocks = (count + tpb - 1) / tpb;
+
+  // One thread per tile (the stand-in for a block owning a tile on a real
+  // GPU): the neighbour-slot stash is loaded once, then the 64 locals sweep
+  // with arithmetic addressing only. Mixed tiles additionally test the
+  // occupancy mask — a register operation, no extra traffic.
+  dispatch_collision(scheme, [&](auto sc) {
+    gpusim::launch(
+        prof_, rec, gpusim::Dim3{nblocks, 1, 1}, gpusim::Dim3{tpb, 1, 1},
+        [&](gpusim::BlockCtx& blk) {
+          blk.for_each_thread([&](const gpusim::Dim3& tid) {
+            const index_t r =
+                static_cast<index_t>(blk.block_idx().x) * tpb + tid.x;
+            if (r >= static_cast<index_t>(count)) return;
+            const std::int32_t tile = list.load(static_cast<index_t>(begin) + r);
+            const std::uint64_t occ =
+                masks != nullptr ? masks->load(static_cast<index_t>(begin) + r)
+                                 : ~std::uint64_t{0};
+            const int tx = tile % g.ntx;
+            const int ty = (tile / g.ntx) % g.nty;
+            const int tz = tile / (g.ntx * g.nty);
+            std::int32_t stash[27];
+            load_tile_stash(tdev_.slots, g, tx, ty, tz, is3d, stash);
+            const index_t own_base =
+                static_cast<index_t>(stash[13]) * TileMap::kSlots;
+            for (int local = 0; local < TileMap::kSlots; ++local) {
+              if (!(occ >> local & 1ull)) continue;
+              const int x = tx * g.tdx + local % g.tdx;
+              const int y = ty * g.tdy + (local / g.tdx) % g.tdy;
+              const int z = tz * g.tdz + local / (g.tdx * g.tdy);
+              const index_t elem = own_base + local;
+              real_t f[L::Q];
+              real_t rho_self = real_t(-1);
+              for (int i = 0; i < L::Q; ++i) {
+                const StreamTarget t =
+                    resolve_stream<L>(geo, x, y, z, L::opposite(i));
+                switch (t.kind) {
+                  case StreamTarget::Kind::kInterior: {
+                    const index_t ne =
+                        stash_elem(stash, g, tx, ty, tz, t.x, t.y, t.z);
+                    f[i] = src.template load_as<real_t>(soa(i, ne));
+                    break;
+                  }
+                  case StreamTarget::Kind::kBounce: {
+                    real_t v = src.template load_as<real_t>(
+                        soa(L::opposite(i), elem));
+                    if (t.cu_wall != real_t(0)) {
+                      if (rho_self < real_t(0)) {
+                        rho_self = 0;
+                        for (int j = 0; j < L::Q; ++j) {
+                          rho_self +=
+                              src.template load_as<real_t>(soa(j, elem));
+                        }
+                      }
+                      v -= real_t(2) * L::w[static_cast<std::size_t>(i)] *
+                           rho_self * t.cu_wall * inv_cs2;
+                    }
+                    f[i] = v;
+                    break;
+                  }
+                  case StreamTarget::Kind::kDropped:
+                    f[i] = src.template load_as<real_t>(
+                        soa(L::opposite(i), elem));
+                    break;
+                }
+              }
+              collide<L, decltype(sc)::value>(f, tau);
+              if (batched) {
+                dst.template store_span_as<real_t>(elem, elems, L::Q, f);
+              } else {
+                for (int i = 0; i < L::Q; ++i) {
+                  dst.template store_as<real_t>(soa(i, elem), f[i]);
+                }
+              }
+            }
+          });
+        });
+  });
 }
 
 template <class L, class ST>

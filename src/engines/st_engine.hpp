@@ -20,10 +20,23 @@
 // at the load/store boundary (GlobalArray's `_as` accessors), so with
 // ST = real_t the engine is bit-identical to the pre-policy implementation,
 // and with ST = float it moves exactly half the counted bytes.
+//
+// Sparse geometries (Geometry::sparse()): the lattices are tile-compressed
+// (tile_kernels.hpp) — element slot*64+local instead of the box cell — and
+// each step issues two launches, one over the all-fluid tile list (dense
+// fast path) and one over the mixed tiles (occupancy-masked), so the
+// profiler attributes traffic per tile class. The sparse path is pull-only
+// (push + sparse throws ConfigError) and always runs the scalar kernel
+// body: lane batching would re-pack panels across tile boundaries for no
+// modelled gain, so ExecMode::kLanes falls back to scalar here (results are
+// bit-identical between the modes by construction, so the fallback is
+// unobservable in fields). A dense geometry takes the pre-existing path
+// bit-identically, fields and traffic counters.
 #pragma once
 
 #include "core/collision.hpp"
 #include "engines/engine.hpp"
+#include "engines/tile_kernels.hpp"
 #include "gpusim/global_array.hpp"
 #include "gpusim/profiler.hpp"
 
@@ -89,6 +102,7 @@ class StEngine final : public Engine<L> {
     prof_.set_sanitizer_hook(san);
     f_[0].set_sanitizer(san, "f0", /*sliding_window=*/true);
     f_[1].set_sanitizer(san, "f1", /*sliding_window=*/true);
+    if (sparse_) tdev_.set_sanitizer(san);
   }
 
   void set_unique_read_tracking(bool on) override {
@@ -123,8 +137,15 @@ class StEngine final : public Engine<L> {
   /// snapshot garbage and restoring it would be wasted work.
   [[nodiscard]] std::string raw_state_tag() const override {
     const Box& b = this->geo_.box;
-    return std::string(pattern_name()) + "|" + std::to_string(b.nx) + "x" +
-           std::to_string(b.ny) + "x" + std::to_string(b.nz);
+    std::string tag = std::string(pattern_name()) + "|" +
+                      std::to_string(b.nx) + "x" + std::to_string(b.ny) +
+                      "x" + std::to_string(b.nz);
+    if (sparse_) {
+      // Compressed-element order depends on the flag field; restores must
+      // come from the identical geometry.
+      tag += "|sparse:" + std::to_string(this->geo_.hash());
+    }
+    return tag;
   }
   void serialize_raw_state(std::vector<real_t>& out) const override {
     const auto& f = f_[cur_];
@@ -149,8 +170,15 @@ class StEngine final : public Engine<L> {
       override;
 
  private:
-  [[nodiscard]] index_t soa(int i, index_t cell) const {
-    return static_cast<index_t>(i) * this->geo_.box.cells() + cell;
+  [[nodiscard]] index_t soa(int i, index_t elem) const {
+    return static_cast<index_t>(i) * elems_ + elem;
+  }
+  /// Element index of node (x, y, z) in the f lattices: the box cell when
+  /// dense, the tile-compressed slot*64+local when sparse (-1 for nodes in
+  /// unallocated all-solid tiles).
+  [[nodiscard]] index_t element(int x, int y, int z) const {
+    return sparse_ ? this->geo_.tiles().element(x, y, z)
+                   : this->geo_.box.idx(x, y, z);
   }
   /// Uncounted population write into the current lattice (host-side setup).
   void impose_population(int x, int y, int z, const real_t (&f)[L::Q]);
@@ -161,6 +189,14 @@ class StEngine final : public Engine<L> {
   /// range remap r -> (x, y, z) degenerates to the flat cell index.
   void step_pull(int rx0, int rx1, gpusim::KernelRecord& rec);
   void step_push(int rx0, int rx1, gpusim::KernelRecord& rec);
+  /// Sparse launch over tile-list entries [begin, begin + count): one thread
+  /// per tile, 64 locals swept inside. `masks` is null for the all-fluid
+  /// list. Pull-only.
+  void step_pull_tiles(const gpusim::GlobalArray<std::int32_t>& list,
+                       const gpusim::GlobalArray<std::uint64_t>* masks,
+                       int begin, int count, gpusim::KernelRecord& rec);
+  void step_sparse(int fl, int fr, bool frontier_only,
+                   const typename Engine<L>::FrontierDoneFn& on_frontier);
 
   CollisionScheme scheme_;
   int threads_per_block_;
@@ -170,11 +206,20 @@ class StEngine final : public Engine<L> {
   gpusim::GlobalArray<ST> f_[2];
   int cur_ = 0;
   bool batched_io_ = true;
+  /// Elements per direction: box cells (dense) or tile slots * 64 (sparse).
+  index_t elems_ = 0;
+  bool sparse_ = false;
+  TileIndexDev tdev_;
   /// Cached kernel records (one kernel per engine: mode is fixed), so
   /// steady-state stepping does no string lookup. Frontier launches of a
   /// split step record separately so overlap traffic stays attributable.
+  /// Sparse steps record the all-fluid and mixed tile launches separately
+  /// (per-tile-class traffic attribution); krec_ then names the fluid-tile
+  /// kernel and krec_mixed_ the masked one.
   gpusim::KernelRecord* krec_ = nullptr;
   gpusim::KernelRecord* krec_frontier_ = nullptr;
+  gpusim::KernelRecord* krec_mixed_ = nullptr;
+  gpusim::KernelRecord* krec_mixed_frontier_ = nullptr;
 };
 
 extern template class StEngine<D2Q9, double>;

@@ -6,7 +6,7 @@
 // of the domain through an open face.
 #pragma once
 
-#include "core/box.hpp"
+#include "geometry/geometry.hpp"
 #include "core/lattice.hpp"
 #include "util/types.hpp"
 
@@ -54,6 +54,11 @@ StreamTarget resolve_stream(const Geometry& geo, int x, int y, int z, int i) {
   if (dropped) {
     t.kind = StreamTarget::Kind::kDropped;
   } else if (bounce) {
+    t.kind = StreamTarget::Kind::kBounce;
+  } else if (geo.has_solids() && geo.solid(d[0], d[1], d[2])) {
+    // Solid obstacle node: half-way bounceback off a static surface, same
+    // reflection as a wall face but with zero wall velocity. The has_solids
+    // guard keeps dense geometries on the exact pre-existing path.
     t.kind = StreamTarget::Kind::kBounce;
   } else {
     t.kind = StreamTarget::Kind::kInterior;

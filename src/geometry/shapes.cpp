@@ -1,0 +1,100 @@
+#include "geometry/shapes.hpp"
+
+#include <algorithm>
+
+namespace mlbm::shapes {
+
+namespace {
+
+/// splitmix64: the per-node hash behind add_random_solids.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+index_t add_cylinder(Geometry& geo, real_t cx, real_t cy, real_t r) {
+  const real_t r2 = r * r;
+  index_t n = 0;
+  for (int z = 0; z < geo.box.nz; ++z) {
+    for (int y = 0; y < geo.box.ny; ++y) {
+      for (int x = 0; x < geo.box.nx; ++x) {
+        const real_t dx = static_cast<real_t>(x) - cx;
+        const real_t dy = static_cast<real_t>(y) - cy;
+        if (dx * dx + dy * dy <= r2 && !geo.solid(x, y, z)) {
+          geo.set_solid(x, y, z);
+          ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+index_t add_sphere(Geometry& geo, real_t cx, real_t cy, real_t cz, real_t r) {
+  const real_t r2 = r * r;
+  index_t n = 0;
+  for (int z = 0; z < geo.box.nz; ++z) {
+    for (int y = 0; y < geo.box.ny; ++y) {
+      for (int x = 0; x < geo.box.nx; ++x) {
+        const real_t dx = static_cast<real_t>(x) - cx;
+        const real_t dy = static_cast<real_t>(y) - cy;
+        const real_t dz = static_cast<real_t>(z) - cz;
+        if (dx * dx + dy * dy + dz * dz <= r2 && !geo.solid(x, y, z)) {
+          geo.set_solid(x, y, z);
+          ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+index_t add_block(Geometry& geo, int x0, int x1, int y0, int y1, int z0,
+                  int z1) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  z0 = std::max(z0, 0);
+  x1 = std::min(x1, geo.box.nx);
+  y1 = std::min(y1, geo.box.ny);
+  z1 = std::min(z1, geo.box.nz);
+  index_t n = 0;
+  for (int z = z0; z < z1; ++z) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        if (!geo.solid(x, y, z)) {
+          geo.set_solid(x, y, z);
+          ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+index_t add_random_solids(Geometry& geo, double fraction, std::uint64_t seed) {
+  if (fraction <= 0) return 0;
+  // hash -> [0, 1): top 53 bits as a double.
+  index_t n = 0;
+  for (int z = 0; z < geo.box.nz; ++z) {
+    for (int y = 0; y < geo.box.ny; ++y) {
+      for (int x = 0; x < geo.box.nx; ++x) {
+        if (geo.at(x, y, z) != NodeKind::kFluid) continue;
+        const std::uint64_t h = splitmix64(
+            seed ^ splitmix64(static_cast<std::uint64_t>(geo.box.idx(x, y, z))));
+        const double u =
+            static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+        if (u < fraction) {
+          geo.set_solid(x, y, z);
+          ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace mlbm::shapes

@@ -1,0 +1,33 @@
+// Voxelizers: stamp solid shapes into a Geometry's flag field.
+//
+// Coordinates are node-centre lattice units (node (x,y,z) sits at the point
+// (x, y, z)); a node becomes solid when its centre lies inside the shape.
+// All voxelizers only ever *add* solids — they never clear flags — so they
+// compose by union.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/geometry.hpp"
+
+namespace mlbm::shapes {
+
+/// Circular cylinder along the z axis (a disc in 2D), centred at (cx, cy)
+/// with radius r, spanning the full z extent. Returns nodes marked solid.
+index_t add_cylinder(Geometry& geo, real_t cx, real_t cy, real_t r);
+
+/// Solid sphere centred at (cx, cy, cz) with radius r.
+index_t add_sphere(Geometry& geo, real_t cx, real_t cy, real_t cz, real_t r);
+
+/// Solid axis-aligned block covering [x0, x1) x [y0, y1) x [z0, z1),
+/// clipped to the box.
+index_t add_block(Geometry& geo, int x0, int x1, int y0, int y1, int z0,
+                  int z1);
+
+/// Marks each currently-fluid node solid independently with probability
+/// `fraction` (deterministic: a per-node hash of (seed, node index), so the
+/// result is independent of traversal order). Returns nodes marked solid.
+/// The porous-plug workload sweeps this to dial fluid fraction.
+index_t add_random_solids(Geometry& geo, double fraction, std::uint64_t seed);
+
+}  // namespace mlbm::shapes

@@ -1,0 +1,138 @@
+// Tile-compressed index over a node-classification grid.
+//
+// The box is partitioned into fixed-size tiles of 64 nodes (4x4x4 in 3D,
+// 8x8x1 in 2D — Tomczak & Szafran's sparse-lattice layout). Each tile is
+// classified by the flags of the nodes it covers:
+//
+//   kAllFluid — a full (not box-clipped) tile of 64 non-solid nodes. The
+//               sparse engines address these with the dense fast path: a
+//               tile's 64 nodes are contiguous in the compressed arrays, so
+//               the kernel iterates locals 0..63 with no per-node indirection.
+//   kMixed    — at least one non-solid node, but either some nodes are solid
+//               or the tile is clipped by the box edge. The fluid nodes are
+//               enumerated by a 64-bit occupancy mask (bit = local slot) and,
+//               host-side, by a CSR fluid-node list.
+//   kAllSolid — no non-solid node. The tile gets NO allocation slot: its 64
+//               state words simply do not exist, which is what lets the
+//               footprint and traffic scale with fluid fraction instead of
+//               box volume.
+//
+// "Fluid" here means "carries engine state", i.e. every NodeKind except
+// kSolid — wall/inlet/outlet nodes are boundary-flavoured fluid nodes.
+//
+// Allocation slots number the non-all-solid tiles densely (slot-major); the
+// compressed element index of node n is slot(tile(n)) * 64 + local(n). The
+// slot grid (tile id -> slot, -1 for all-solid) is the only structure sparse
+// kernels consult for neighbour addressing; engines upload it to a counted
+// device array so the index traffic is part of the measured byte budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/box.hpp"
+#include "util/types.hpp"
+
+namespace mlbm {
+
+enum class TileClass : std::uint8_t {
+  kAllFluid = 0,
+  kMixed = 1,
+  kAllSolid = 2,
+};
+
+inline const char* to_string(TileClass c) {
+  switch (c) {
+    case TileClass::kAllFluid: return "all-fluid";
+    case TileClass::kMixed: return "mixed";
+    case TileClass::kAllSolid: return "all-solid";
+  }
+  return "?";
+}
+
+/// Aggregate tile statistics consumed by the perfmodel and the benches.
+struct TileStats {
+  index_t cells = 0;        ///< box volume
+  index_t n_fluid = 0;      ///< non-solid nodes
+  int n_fluid_tiles = 0;    ///< full all-fluid tiles (dense fast path)
+  int n_mixed_tiles = 0;    ///< masked tiles (includes box-clipped edges)
+  int n_solid_tiles = 0;    ///< unallocated tiles
+  int n_slots = 0;          ///< allocated tiles (fluid + mixed)
+  [[nodiscard]] double fluid_fraction() const {
+    return cells ? static_cast<double>(n_fluid) / static_cast<double>(cells)
+                 : 1.0;
+  }
+  /// Fraction of box volume the compressed allocation actually holds.
+  [[nodiscard]] double slot_fraction() const {
+    return cells ? static_cast<double>(n_slots) * 64.0 /
+                       static_cast<double>(cells)
+                 : 1.0;
+  }
+};
+
+struct TileMap {
+  static constexpr int kSlots = 64;  ///< nodes per tile (fixed)
+
+  int tdx = 1, tdy = 1, tdz = 1;  ///< tile extents (8x8x1 2D, 4x4x4 3D)
+  int ntx = 0, nty = 0, ntz = 0;  ///< tile-grid extents (ceil of box/tile)
+  int nx = 0, ny = 0, nz = 0;     ///< box extents (for local decoding)
+
+  std::vector<TileClass> cls;       ///< per tile id
+  std::vector<std::int32_t> slot;   ///< per tile id: allocation slot, -1 none
+  std::vector<std::int32_t> slot_tile;  ///< per slot: owning tile id
+
+  std::vector<std::int32_t> fluid_tiles;  ///< tile ids, class kAllFluid
+  std::vector<std::int32_t> mixed_tiles;  ///< tile ids, class kMixed
+  /// Per mixed_tiles entry: bit b set iff local slot b is an in-box fluid node.
+  std::vector<std::uint64_t> mixed_mask;
+  /// CSR fluid-node list over mixed tiles (host-side iteration: forces,
+  /// initialization, IO). mixed_begin.size() == mixed_tiles.size() + 1.
+  std::vector<std::int32_t> mixed_begin;
+  std::vector<std::uint16_t> mixed_local;
+
+  index_t n_fluid = 0;
+  index_t cells = 0;
+
+  [[nodiscard]] int ntiles() const { return ntx * nty * ntz; }
+  [[nodiscard]] int n_slots() const {
+    return static_cast<int>(slot_tile.size());
+  }
+  /// Total compressed elements per lattice field (state words per direction).
+  [[nodiscard]] index_t elements() const {
+    return static_cast<index_t>(n_slots()) * kSlots;
+  }
+
+  [[nodiscard]] int tile_id(int tx, int ty, int tz) const {
+    return (tz * nty + ty) * ntx + tx;
+  }
+  [[nodiscard]] int tile_of(int x, int y, int z) const {
+    return tile_id(x / tdx, y / tdy, z / tdz);
+  }
+  [[nodiscard]] int local_of(int x, int y, int z) const {
+    return ((z % tdz) * tdy + (y % tdy)) * tdx + (x % tdx);
+  }
+  /// Compressed element index of node (x,y,z), or -1 if it lies in an
+  /// unallocated (all-solid) tile.
+  [[nodiscard]] index_t element(int x, int y, int z) const {
+    const std::int32_t s = slot[static_cast<std::size_t>(tile_of(x, y, z))];
+    if (s < 0) return -1;
+    return static_cast<index_t>(s) * kSlots + local_of(x, y, z);
+  }
+  /// Inverse of element(): node coordinates of (slot, local).
+  void node_of(int tile, int local, int* x, int* y, int* z) const {
+    const int tz = tile / (ntx * nty);
+    const int ty = (tile / ntx) % nty;
+    const int tx = tile % ntx;
+    *x = tx * tdx + local % tdx;
+    *y = ty * tdy + (local / tdx) % tdy;
+    *z = tz * tdz + local / (tdx * tdy);
+  }
+
+  [[nodiscard]] TileStats stats() const;
+
+  /// Builds the tile index for `kind` over `box`. Deterministic: tiles are
+  /// enumerated in tile-id (x-fastest) order and slots assigned in that order.
+  static TileMap build(const Box& box, const std::vector<NodeKind>& kind);
+};
+
+}  // namespace mlbm

@@ -16,8 +16,17 @@ namespace {
 // Format v2 ("MLBMCP02"): header {D, Q, nx, ny, nz, precision}, values in
 // the declared storage precision (0 = fp64, 1 = fp32). A v2/fp64 file is
 // byte-compatible with v1 apart from the header; v1 files remain loadable.
+// Format v3 ("MLBMCP03"): the v2 header grows a flags-present tag, followed
+// by the geometry hash (FNV-1a over extents, face BCs and the flag field)
+// and — when the geometry has solids — one NodeKind byte per node. The hash
+// and flags are VALIDATED on load: restoring onto a different geometry fails
+// loudly (Kind::kGeometry) instead of silently imposing moments through a
+// mismatched tile map. The node-value payload still covers every node (solid
+// nodes carry their rest-state moments) so payload offsets stay
+// geometry-independent.
 constexpr std::uint64_t kMagicV1 = 0x4d4c424d43503031ULL;  // "MLBMCP01"
 constexpr std::uint64_t kMagicV2 = 0x4d4c424d43503032ULL;  // "MLBMCP02"
+constexpr std::uint64_t kMagicV3 = 0x4d4c424d43503033ULL;  // "MLBMCP03"
 
 /// Values per node: rho + u + Pi.
 template <class L>
@@ -55,13 +64,27 @@ void save_checkpoint(const Engine<L>& eng, const std::string& path) {
                           "save_checkpoint: cannot open " + path);
   }
 
-  const Box& b = eng.geometry().box;
+  const Geometry& geo = eng.geometry();
+  const Box& b = geo.box;
   const StoragePrecision prec = eng.storage_precision();
-  const std::int32_t header[6] = {
-      L::D, L::Q, b.nx, b.ny, b.nz,
-      prec == StoragePrecision::kFP32 ? std::int32_t{1} : std::int32_t{0}};
-  out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
+  const std::int32_t flags_present = geo.has_solids() ? 1 : 0;
+  const std::int32_t header[7] = {
+      L::D,
+      L::Q,
+      b.nx,
+      b.ny,
+      b.nz,
+      prec == StoragePrecision::kFP32 ? std::int32_t{1} : std::int32_t{0},
+      flags_present};
+  const std::uint64_t geo_hash = geo.hash();
+  out.write(reinterpret_cast<const char*>(&kMagicV3), sizeof(kMagicV3));
   out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(&geo_hash), sizeof(geo_hash));
+  if (flags_present != 0) {
+    static_assert(sizeof(NodeKind) == 1, "flag field is one byte per node");
+    out.write(reinterpret_cast<const char*>(geo.kind.data()),
+              static_cast<std::streamsize>(geo.kind.size()));
+  }
 
   // Values are written in the engine's *storage* precision: what the device
   // held is what lands on disk, so restoring an FP32 run loses nothing
@@ -108,14 +131,15 @@ void load_checkpoint(Engine<L>& eng, const std::string& path) {
         CheckpointError::Kind::kTruncated,
         "load_checkpoint: file ends inside the magic: " + path);
   }
-  if (magic != kMagicV1 && magic != kMagicV2) {
+  if (magic != kMagicV1 && magic != kMagicV2 && magic != kMagicV3) {
     throw CheckpointError(CheckpointError::Kind::kBadMagic,
                           "load_checkpoint: not a checkpoint file: " + path);
   }
 
-  std::int32_t header[6] = {};
-  const std::streamsize header_bytes = static_cast<std::streamsize>(
-      sizeof(std::int32_t) * (magic == kMagicV1 ? 5 : 6));
+  std::int32_t header[7] = {};
+  const int header_ints = magic == kMagicV1 ? 5 : magic == kMagicV2 ? 6 : 7;
+  const std::streamsize header_bytes =
+      static_cast<std::streamsize>(sizeof(std::int32_t) * header_ints);
   in.read(reinterpret_cast<char*>(header), header_bytes);
   if (in.gcount() != header_bytes) {
     throw CheckpointError(
@@ -123,8 +147,18 @@ void load_checkpoint(Engine<L>& eng, const std::string& path) {
         "load_checkpoint: file ends inside the header: " + path);
   }
 
+  std::uint64_t file_hash = 0;
+  if (magic == kMagicV3) {
+    in.read(reinterpret_cast<char*>(&file_hash), sizeof(file_hash));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(file_hash))) {
+      throw CheckpointError(
+          CheckpointError::Kind::kTruncated,
+          "load_checkpoint: file ends inside the geometry hash: " + path);
+    }
+  }
+
   StoragePrecision file_prec = StoragePrecision::kFP64;
-  if (magic == kMagicV2) {
+  if (magic != kMagicV1) {
     if (header[5] == 1) {
       file_prec = StoragePrecision::kFP32;
     } else if (header[5] != 0) {
@@ -150,6 +184,47 @@ void load_checkpoint(Engine<L>& eng, const std::string& path) {
             std::to_string(header[4]) + ", engine is D" + std::to_string(L::D) +
             " " + std::to_string(b.nx) + "x" + std::to_string(b.ny) + "x" +
             std::to_string(b.nz) + ": " + path);
+  }
+
+  if (magic == kMagicV3) {
+    const Geometry& geo = eng.geometry();
+    if (header[6] != 0 && header[6] != 1) {
+      throw CheckpointError(
+          CheckpointError::Kind::kGeometry,
+          "load_checkpoint: flags tag " + std::to_string(header[6]) +
+              " out of range in " + path);
+    }
+    if (file_hash != geo.hash()) {
+      throw CheckpointError(
+          CheckpointError::Kind::kGeometry,
+          "load_checkpoint: geometry hash mismatch (file was saved from a "
+          "different flag field or boundary setup): " +
+              path);
+    }
+    if (header[6] == 1) {
+      std::vector<std::uint8_t> flags(geo.kind.size());
+      in.read(reinterpret_cast<char*>(flags.data()),
+              static_cast<std::streamsize>(flags.size()));
+      if (in.gcount() != static_cast<std::streamsize>(flags.size())) {
+        throw CheckpointError(
+            CheckpointError::Kind::kTruncated,
+            "load_checkpoint: file ends inside the flag field: " + path);
+      }
+      for (std::size_t i = 0; i < flags.size(); ++i) {
+        if (flags[i] != static_cast<std::uint8_t>(geo.kind[i])) {
+          throw CheckpointError(
+              CheckpointError::Kind::kGeometry,
+              "load_checkpoint: node flag mismatch at linear index " +
+                  std::to_string(i) + ": " + path);
+        }
+      }
+    } else if (geo.has_solids()) {
+      throw CheckpointError(
+          CheckpointError::Kind::kGeometry,
+          "load_checkpoint: file has no flag field but the engine geometry "
+          "has solids: " +
+              path);
+    }
   }
 
   constexpr int NV = node_values<L>();

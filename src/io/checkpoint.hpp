@@ -6,7 +6,11 @@
 // Format v2 ("MLBMCP02") records the engine's declared storage precision and
 // writes node values in that precision — an FP32 run's checkpoint is half
 // the size and loses nothing beyond what device storage already rounded.
-// v1 files ("MLBMCP01", always fp64 values) remain loadable.
+// Format v3 ("MLBMCP03") additionally records the geometry hash and — when
+// the domain has solid nodes — the per-node flag field; load validates both
+// against the target engine and raises CheckpointError::Kind::kGeometry on
+// mismatch, so a restore onto the wrong obstacle layout fails loudly.
+// v1/v2 files remain loadable (they predate solid geometries).
 #pragma once
 
 #include <string>

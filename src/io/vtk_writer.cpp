@@ -39,6 +39,22 @@ void write_vtk(const Engine<L>& eng, const std::string& path) {
       }
     }
   }
+
+  // Obstacle geometries additionally carry the flag field so ParaView can
+  // threshold the solid region away. Solid nodes hold no state: their
+  // density/velocity rows above are already blanked to zero (the engines
+  // report solid_moments() for them).
+  const Geometry& geo = eng.geometry();
+  if (geo.has_solids()) {
+    out << "SCALARS node_kind int 1\nLOOKUP_TABLE default\n";
+    for (int z = 0; z < b.nz; ++z) {
+      for (int y = 0; y < b.ny; ++y) {
+        for (int x = 0; x < b.nx; ++x) {
+          out << static_cast<int>(geo.at(x, y, z)) << "\n";
+        }
+      }
+    }
+  }
   if (!out) throw IoError("write_vtk: write failed for " + path);
 }
 

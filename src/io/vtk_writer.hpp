@@ -8,7 +8,10 @@
 namespace mlbm {
 
 /// Writes density and velocity of the engine's current state as an ASCII
-/// legacy VTK file. Throws on I/O failure.
+/// legacy VTK file. Solid nodes are blanked (zero density and velocity) and,
+/// when the geometry has any, a `node_kind` integer array is appended so the
+/// obstacle region can be thresholded away in ParaView. Throws on I/O
+/// failure.
 template <class L>
 void write_vtk(const Engine<L>& eng, const std::string& path);
 

@@ -1,0 +1,40 @@
+#include "perfmodel/sparse.hpp"
+
+#include <cmath>
+
+#include "perfmodel/roofline.hpp"
+#include "util/error.hpp"
+
+namespace mlbm::perf {
+
+double sparse_index_bytes_per_tile(int dim) {
+  const double stash = std::pow(3.0, dim);
+  return (stash + 1.0) * 4.0;
+}
+
+SparseTraffic sparse_traffic_model(Pattern p, const LatticeInfo& lat,
+                                   double elem_bytes, double phi,
+                                   int tile_nodes) {
+  if (!(phi > 0.0) || phi > 1.0) {
+    throw ConfigError("sparse_traffic_model: fluid fraction must be in (0,1]");
+  }
+  if (tile_nodes < 1) {
+    throw ConfigError("sparse_traffic_model: tile_nodes must be positive");
+  }
+  SparseTraffic t;
+  t.phi = phi;
+  t.bpf_dense = bytes_per_flup(p, lat, elem_bytes);
+  t.bpf_sparse = t.bpf_dense + sparse_index_bytes_per_tile(lat.dim) /
+                                   (phi * static_cast<double>(tile_nodes));
+  t.bpf_dense_domain = t.bpf_dense / phi;
+  return t;
+}
+
+double sparse_dense_crossover(Pattern p, const LatticeInfo& lat,
+                              double elem_bytes, int tile_nodes) {
+  const double bpf = bytes_per_flup(p, lat, elem_bytes);
+  return 1.0 - sparse_index_bytes_per_tile(lat.dim) /
+                   (static_cast<double>(tile_nodes) * bpf);
+}
+
+}  // namespace mlbm::perf

@@ -1,0 +1,53 @@
+// Fluid-fraction-parameterized traffic model for the sparse (tile-compressed)
+// geometry path, and the sparse-vs-dense crossover it predicts.
+//
+// A dense kernel over a domain with fluid fraction phi updates every node, so
+// its cost *per fluid update* inflates to bytes_per_flup / phi. The sparse
+// path updates only fluid nodes but pays a counted index overhead: each
+// active tile loads its 3^D neighbour-tile slot stash (int32 each) before any
+// value traffic. With random node-level solids essentially every tile is
+// active and carries ~phi*tile fluid nodes, so the overhead amortizes over
+// phi * tile_nodes updates:
+//
+//   bpf_sparse(phi) = bpf_dense + idx_bytes_per_tile / (phi * tile_nodes)
+//   bpf_dense_domain(phi) = bpf_dense / phi
+//
+// Equating the two gives the crossover fluid fraction
+//
+//   phi* = 1 - idx_bytes_per_tile / (tile_nodes * bpf_dense)
+//
+// above which the dense path moves fewer bytes per fluid update (the index
+// overhead outweighs the vanishing solid-node waste). bench/sparse_crossover
+// measures both curves with the traffic counters and compares the measured
+// crossover against phi*.
+#pragma once
+
+#include "perfmodel/pattern.hpp"
+
+namespace mlbm::perf {
+
+/// Predicted bytes per *fluid* lattice update at fluid fraction `phi`.
+struct SparseTraffic {
+  double phi = 1.0;
+  double bpf_dense = 0;         ///< dense kernel on an all-fluid box
+  double bpf_sparse = 0;        ///< sparse path, index overhead amortized
+  double bpf_dense_domain = 0;  ///< dense kernel forced over the mixed domain
+};
+
+/// Index bytes charged per active tile: the 3^D neighbour-slot stash plus the
+/// tile's own slot, int32 each.
+double sparse_index_bytes_per_tile(int dim);
+
+/// Evaluates the model at one fluid fraction. `tile_nodes` is the tile size
+/// in nodes (64 for the engines' 4x4x4 / 8x8 tiles). Throws ConfigError for
+/// phi outside (0, 1].
+SparseTraffic sparse_traffic_model(Pattern p, const LatticeInfo& lat,
+                                   double elem_bytes, double phi,
+                                   int tile_nodes = 64);
+
+/// The crossover fluid fraction phi*: below it the sparse path moves fewer
+/// bytes per fluid update, above it the dense path does.
+double sparse_dense_crossover(Pattern p, const LatticeInfo& lat,
+                              double elem_bytes, int tile_nodes = 64);
+
+}  // namespace mlbm::perf

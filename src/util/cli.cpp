@@ -29,26 +29,33 @@ Cli::Cli(int argc, const char* const* argv) {
   }
 }
 
-bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+bool Cli::has(const std::string& key) const {
+  queried_.insert(key);
+  return kv_.count(key) > 0;
+}
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
   return it == kv_.end() ? fallback : it->second;
 }
 
 int Cli::get_int(const std::string& key, int fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
   return std::stoi(it->second);
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
   return std::stod(it->second);
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   if (it->second.empty() || it->second == "1" || it->second == "true" ||
@@ -67,6 +74,25 @@ std::vector<std::string> Cli::keys() const {
   out.reserve(kv_.size());
   for (const auto& [k, _] : kv_) out.push_back(k);
   return out;
+}
+
+void Cli::reject_unknown(const std::vector<std::string>& extra) const {
+  std::set<std::string> valid = queried_;
+  valid.insert(extra.begin(), extra.end());
+  std::string unknown;
+  for (const auto& [k, _] : kv_) {
+    if (valid.count(k) == 0) {
+      unknown += (unknown.empty() ? "--" : ", --") + k;
+    }
+  }
+  if (unknown.empty()) return;
+  std::string options;
+  for (const auto& k : valid) {
+    options += (options.empty() ? "--" : ", --") + k;
+  }
+  throw ConfigError("Cli: unknown option(s) " + unknown +
+                    (options.empty() ? std::string()
+                                     : "; valid option(s): " + options));
 }
 
 }  // namespace mlbm

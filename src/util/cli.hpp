@@ -1,11 +1,15 @@
 // Minimal command line parser for examples and benchmark harnesses.
 //
 // Supports `--key value` and `--key=value` forms plus boolean flags
-// (`--flag`). Unknown keys are collected so callers can reject typos.
+// (`--flag`). Every key queried through has()/get*() is recorded as a valid
+// option; after the caller has declared its full option set that way,
+// reject_unknown() turns any leftover `--typo` into a typed ConfigError that
+// lists the valid options.
 #pragma once
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,9 +37,16 @@ class Cli {
   /// All `--key`s seen, for usage validation.
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  /// Throws ConfigError if any parsed `--key` was never queried through
+  /// has()/get*(): call it after the last option lookup, so the queried set
+  /// IS the valid option set and the message can list it. `extra` names
+  /// options that are valid but conditionally queried.
+  void reject_unknown(const std::vector<std::string>& extra = {}) const;
+
  private:
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace mlbm

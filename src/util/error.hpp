@@ -112,6 +112,7 @@ class CheckpointError : public IoError {
     kExtents,    ///< lattice/box extents disagree with the target engine
     kPrecision,  ///< precision tag outside the known range
     kTrailing,   ///< payload complete but trailing bytes follow
+    kGeometry,   ///< geometry hash or flag field disagrees with the engine
   };
 
   CheckpointError(Kind kind, const std::string& msg)
@@ -130,6 +131,7 @@ class CheckpointError : public IoError {
       case Kind::kExtents: return "extents";
       case Kind::kPrecision: return "precision";
       case Kind::kTrailing: return "trailing";
+      case Kind::kGeometry: return "geometry";
     }
     return "unknown";
   }

@@ -1,0 +1,50 @@
+// Porous-plug workload: pressure-driven flow through a random solid matrix.
+//
+// A channel (velocity inlet at x = 0, outlet at x = nx-1, bounceback side
+// walls) whose interior is filled with random solid nodes at a prescribed
+// solid fraction (deterministic per seed, see shapes::add_random_solids). A
+// clear margin of a few columns is kept at both ends so the inlet/outlet
+// boundary conditions act on unobstructed flow. This is the sparse path's
+// stress workload: sweeping the solid fraction dials the fluid fraction the
+// tile-compressed engines see, and the superficial velocity it settles to
+// gives a Darcy-style permeability estimate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bc/boundary.hpp"
+#include "engines/engine.hpp"
+
+namespace mlbm {
+
+template <class L>
+struct PorousPlug {
+  Geometry geo;
+  real_t tau;
+  real_t u_in;
+  double fluid_fraction = 1.0;  ///< over the porous interior
+  std::shared_ptr<InletOutletBC<L>> bc;
+
+  /// Builds the plugged channel. `solid_fraction` is the per-node solid
+  /// probability inside the porous region; `margin` columns at each end stay
+  /// clear. 2D when nz == 1.
+  static PorousPlug create(int nx, int ny, int nz, real_t tau, real_t u_in,
+                           double solid_fraction, std::uint64_t seed,
+                           int margin = 4);
+
+  /// Initializes the engine with a uniform inflow field and registers the
+  /// inlet/outlet pass.
+  void attach(Engine<L>& eng) const;
+
+  /// Superficial (volume-averaged over ALL interior nodes, solid included)
+  /// streamwise velocity — the Darcy flux the permeability estimate reads.
+  [[nodiscard]] real_t superficial_velocity(const Engine<L>& eng) const;
+};
+
+extern template struct PorousPlug<D2Q9>;
+extern template struct PorousPlug<D3Q19>;
+extern template struct PorousPlug<D3Q27>;
+extern template struct PorousPlug<D3Q15>;
+
+}  // namespace mlbm

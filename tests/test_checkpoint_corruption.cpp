@@ -92,8 +92,9 @@ class CheckpointCorruption : public ::testing::Test {
     path_ = tmp_path("mlbm_corrupt_master.bin");
     save_checkpoint(*make_engine(), path_);
     good_ = slurp_bytes(path_);
-    // v2 layout: 8-byte magic, 6 x int32 header, then the payload.
-    ASSERT_GT(good_.size(), 32u);
+    // v3 layout: 8-byte magic, 7 x int32 header, 8-byte geometry hash, then
+    // the payload (the all-fluid master file carries no flag field).
+    ASSERT_GT(good_.size(), 44u);
   }
   void TearDown() override { std::filesystem::remove(path_); }
 
@@ -167,6 +168,20 @@ TEST_F(CheckpointCorruption, OutOfRangePrecisionTagIsRejected) {
   expect_rejected(bad, CheckpointError::Kind::kPrecision, "precision_7");
 }
 
+TEST_F(CheckpointCorruption, MangledGeometryHashIsRejected) {
+  // The v3 geometry hash occupies bytes 36..44.
+  std::vector<char> bad = good_;
+  bad[36] = static_cast<char>(bad[36] ^ 0x5a);
+  expect_rejected(bad, CheckpointError::Kind::kGeometry, "mangled_geo_hash");
+}
+
+TEST_F(CheckpointCorruption, OutOfRangeFlagsTagIsRejected) {
+  std::vector<char> bad = good_;
+  const std::int32_t tag = 3;
+  std::memcpy(bad.data() + 8 + 6 * sizeof(std::int32_t), &tag, sizeof(tag));
+  expect_rejected(bad, CheckpointError::Kind::kGeometry, "flags_tag_3");
+}
+
 TEST_F(CheckpointCorruption, TrailingGarbageIsRejected) {
   std::vector<char> bad = good_;
   bad.push_back('\0');
@@ -178,13 +193,14 @@ TEST_F(CheckpointCorruption, TrailingGarbageIsRejected) {
 }
 
 TEST_F(CheckpointCorruption, V1FilesRemainLoadable) {
-  // Rewrite the good v2/fp64 file as v1: v1 magic, 5-int header, same
-  // payload bytes (v1 is always fp64).
+  // Rewrite the good v3/fp64 file as v1: v1 magic, 5-int header, same
+  // payload bytes (v1 is always fp64; the v3 payload starts after the 7-int
+  // header and the geometry hash, at byte 44).
   const std::uint64_t magic_v1 = 0x4d4c424d43503031ULL;
   std::vector<char> v1(sizeof(magic_v1));
   std::memcpy(v1.data(), &magic_v1, sizeof(magic_v1));
   v1.insert(v1.end(), good_.begin() + 8, good_.begin() + 8 + 20);
-  v1.insert(v1.end(), good_.begin() + 32, good_.end());
+  v1.insert(v1.end(), good_.begin() + 44, good_.end());
 
   const std::string path = tmp_path("mlbm_ckpt_v1.bin");
   spit_bytes(path, v1);

@@ -1,0 +1,277 @@
+// Geometry layer units: flag field bookkeeping, hash sensitivity, the
+// tile-compressed index (classification, allocation, addressing), the shape
+// voxelizers, and the fluid-fraction traffic model they feed.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "core/lattice.hpp"
+#include "geometry/geometry.hpp"
+#include "geometry/shapes.hpp"
+#include "perfmodel/pattern.hpp"
+#include "perfmodel/sparse.hpp"
+#include "util/error.hpp"
+
+namespace mlbm {
+namespace {
+
+Geometry box_geo(int nx, int ny, int nz = 1) {
+  Box b;
+  b.nx = nx;
+  b.ny = ny;
+  b.nz = nz;
+  return Geometry(b);
+}
+
+// ----------------------------------------------------------- flag field
+
+TEST(Geometry, StartsAllFluidAndDense) {
+  const Geometry geo = box_geo(16, 8);
+  EXPECT_EQ(geo.fluid_count(), 128);
+  EXPECT_EQ(geo.solid_count(), 0);
+  EXPECT_FALSE(geo.has_solids());
+  EXPECT_FALSE(geo.sparse());
+  EXPECT_EQ(geo.count(NodeKind::kFluid), 128);
+}
+
+TEST(Geometry, SolidCountTracksSetAndClear) {
+  Geometry geo = box_geo(8, 8);
+  geo.set_solid(3, 4);
+  geo.set_solid(5, 5);
+  EXPECT_EQ(geo.solid_count(), 2);
+  EXPECT_TRUE(geo.solid(3, 4));
+  EXPECT_TRUE(geo.has_solids());
+  EXPECT_TRUE(geo.sparse());
+  // Re-marking an already-solid node must not double count.
+  geo.set_solid(3, 4);
+  EXPECT_EQ(geo.solid_count(), 2);
+  geo.set(3, 4, 0, NodeKind::kFluid);
+  EXPECT_EQ(geo.solid_count(), 1);
+  EXPECT_FALSE(geo.solid(3, 4));
+}
+
+TEST(Geometry, NonSolidKindsDoNotForceSparse) {
+  Geometry geo = box_geo(8, 8);
+  geo.set(0, 3, 0, NodeKind::kInlet);
+  geo.set(7, 3, 0, NodeKind::kOutlet);
+  geo.set(3, 0, 0, NodeKind::kWall);
+  EXPECT_EQ(geo.solid_count(), 0);
+  EXPECT_FALSE(geo.sparse());
+  EXPECT_EQ(geo.count(NodeKind::kInlet), 1);
+  EXPECT_EQ(geo.count(NodeKind::kOutlet), 1);
+}
+
+TEST(Geometry, ForceSparseOptsInWithoutSolids) {
+  Geometry geo = box_geo(8, 8);
+  geo.force_sparse_storage(true);
+  EXPECT_TRUE(geo.sparse());
+  EXPECT_TRUE(geo.forced_sparse());
+  EXPECT_FALSE(geo.has_solids());
+  geo.force_sparse_storage(false);
+  EXPECT_FALSE(geo.sparse());
+}
+
+// ----------------------------------------------------------------- hash
+
+TEST(GeometryHash, EqualGeometriesHashEqual) {
+  Geometry a = box_geo(16, 12);
+  Geometry b = box_geo(16, 12);
+  shapes::add_block(a, 4, 8, 4, 8, 0, 1);
+  shapes::add_block(b, 4, 8, 4, 8, 0, 1);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(GeometryHash, SensitiveToExtentsFlagsAndBc) {
+  const Geometry base = box_geo(16, 12);
+  const std::uint64_t h0 = base.hash();
+
+  EXPECT_NE(box_geo(12, 16).hash(), h0);  // transposed extents
+
+  Geometry flag = box_geo(16, 12);
+  flag.set_solid(7, 5);
+  EXPECT_NE(flag.hash(), h0);
+  // A different node solid: still a different hash (position matters).
+  Geometry flag2 = box_geo(16, 12);
+  flag2.set_solid(5, 7);
+  EXPECT_NE(flag2.hash(), flag.hash());
+
+  Geometry bc = box_geo(16, 12);
+  bc.bc.face[1][0].type = FaceBC::kWall;
+  bc.bc.face[1][1].type = FaceBC::kWall;
+  EXPECT_NE(bc.hash(), h0);
+}
+
+// ------------------------------------------------------------- tile map
+
+TEST(TileMap, AllFluidBoxIsAllFluidTiles) {
+  const Geometry geo = box_geo(16, 16);  // 2D tiles are 8x8 -> 4 tiles
+  const TileMap& tm = geo.tiles();
+  EXPECT_EQ(tm.ntiles(), 4);
+  EXPECT_EQ(tm.fluid_tiles.size(), 4u);
+  EXPECT_TRUE(tm.mixed_tiles.empty());
+  EXPECT_EQ(tm.n_slots(), 4);
+  EXPECT_EQ(tm.n_fluid, 256);
+  EXPECT_EQ(tm.elements(), 256);
+}
+
+TEST(TileMap, AllSolidTilesAllocateNothing) {
+  Geometry geo = box_geo(24, 8);  // 3 tiles of 8x8
+  shapes::add_block(geo, 8, 16, 0, 8, 0, 1);  // middle tile fully solid
+  const TileMap& tm = geo.tiles();
+  ASSERT_EQ(tm.ntiles(), 3);
+  EXPECT_EQ(tm.cls[0], TileClass::kAllFluid);
+  EXPECT_EQ(tm.cls[1], TileClass::kAllSolid);
+  EXPECT_EQ(tm.cls[2], TileClass::kAllFluid);
+  EXPECT_EQ(tm.slot[1], -1);       // no allocation behind the solid tile
+  EXPECT_EQ(tm.n_slots(), 2);      // only the two fluid tiles hold state
+  EXPECT_EQ(tm.elements(), 128);   // 2 tiles * 64 slots
+  EXPECT_EQ(tm.element(12, 4, 0), -1);
+  EXPECT_GE(tm.element(4, 4, 0), 0);
+}
+
+TEST(TileMap, MixedTileMaskMatchesFlags) {
+  Geometry geo = box_geo(8, 8);  // single tile
+  geo.set_solid(1, 2);
+  geo.set_solid(6, 7);
+  const TileMap& tm = geo.tiles();
+  ASSERT_EQ(tm.mixed_tiles.size(), 1u);
+  EXPECT_EQ(tm.cls[0], TileClass::kMixed);
+  const std::uint64_t mask = tm.mixed_mask[0];
+  EXPECT_EQ(std::popcount(mask), 62);
+  EXPECT_FALSE(mask >> tm.local_of(1, 2, 0) & 1u);
+  EXPECT_FALSE(mask >> tm.local_of(6, 7, 0) & 1u);
+  EXPECT_TRUE(mask >> tm.local_of(0, 0, 0) & 1u);
+  // CSR fluid list covers exactly the mask's set bits.
+  ASSERT_EQ(tm.mixed_begin.size(), 2u);
+  EXPECT_EQ(tm.mixed_begin[1] - tm.mixed_begin[0], 62);
+}
+
+TEST(TileMap, ElementAndNodeOfAreInverse) {
+  Geometry geo = box_geo(20, 12, 8);  // 3D: 4x4x4 tiles, box-clipped edges
+  shapes::add_sphere(geo, 10, 6, 4, 3.5);
+  const TileMap& tm = geo.tiles();
+  EXPECT_EQ(tm.tdx * tm.tdy * tm.tdz, TileMap::kSlots);
+  for (int z = 0; z < 8; ++z) {
+    for (int y = 0; y < 12; ++y) {
+      for (int x = 0; x < 20; ++x) {
+        const index_t e = tm.element(x, y, z);
+        if (e < 0) {
+          // Only nodes of unallocated tiles may lack an element; such a
+          // node's whole tile must be solid.
+          EXPECT_EQ(tm.cls[static_cast<std::size_t>(tm.tile_of(x, y, z))],
+                    TileClass::kAllSolid);
+          continue;
+        }
+        const int tile = tm.slot_tile[static_cast<std::size_t>(
+            e / TileMap::kSlots)];
+        int rx, ry, rz;
+        tm.node_of(tile, static_cast<int>(e % TileMap::kSlots), &rx, &ry,
+                   &rz);
+        ASSERT_EQ(rx, x);
+        ASSERT_EQ(ry, y);
+        ASSERT_EQ(rz, z);
+      }
+    }
+  }
+}
+
+TEST(TileMap, StatsAreConsistent) {
+  Geometry geo = box_geo(32, 32);
+  shapes::add_random_solids(geo, 0.5, 99);
+  const TileMap& tm = geo.tiles();
+  const TileStats st = tm.stats();
+  EXPECT_EQ(st.cells, 1024);
+  EXPECT_EQ(st.n_fluid, geo.fluid_count());
+  EXPECT_EQ(st.n_fluid_tiles + st.n_mixed_tiles + st.n_solid_tiles,
+            tm.ntiles());
+  EXPECT_EQ(st.n_slots, tm.n_slots());
+  EXPECT_NEAR(st.fluid_fraction(), 0.5, 0.1);
+  EXPECT_LE(st.fluid_fraction(), st.slot_fraction());
+}
+
+// ----------------------------------------------------------- voxelizers
+
+TEST(Shapes, BlockCountIsExactAndClipped) {
+  Geometry geo = box_geo(10, 10);
+  EXPECT_EQ(shapes::add_block(geo, 2, 5, 3, 7, 0, 1), 12);
+  EXPECT_EQ(geo.solid_count(), 12);
+  // Clipped against the box; re-stamping overlapping region adds nothing.
+  EXPECT_EQ(shapes::add_block(geo, 2, 5, 3, 7, 0, 1), 0);
+  EXPECT_EQ(shapes::add_block(geo, 8, 20, 8, 20, 0, 1), 4);
+}
+
+TEST(Shapes, CylinderAreaApproachesPiRSquared) {
+  Geometry geo = box_geo(64, 64);
+  const double r = 12.5;
+  const auto n = shapes::add_cylinder(geo, 32, 32, static_cast<real_t>(r));
+  EXPECT_NEAR(static_cast<double>(n), M_PI * r * r, 0.03 * M_PI * r * r);
+  // Centre is solid, far corner is not.
+  EXPECT_TRUE(geo.solid(32, 32));
+  EXPECT_FALSE(geo.solid(0, 0));
+}
+
+TEST(Shapes, SphereVolumeApproachesAnalytic) {
+  Geometry geo = box_geo(40, 40, 40);
+  const double r = 10.5;
+  const auto n = shapes::add_sphere(geo, 20, 20, 20, static_cast<real_t>(r));
+  const double vol = 4.0 / 3.0 * M_PI * r * r * r;
+  EXPECT_NEAR(static_cast<double>(n), vol, 0.03 * vol);
+}
+
+TEST(Shapes, RandomSolidsAreDeterministicPerSeed) {
+  Geometry a = box_geo(32, 32);
+  Geometry b = box_geo(32, 32);
+  Geometry c = box_geo(32, 32);
+  shapes::add_random_solids(a, 0.3, 7);
+  shapes::add_random_solids(b, 0.3, 7);
+  shapes::add_random_solids(c, 0.3, 8);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_NEAR(static_cast<double>(a.solid_count()) / 1024.0, 0.3, 0.08);
+}
+
+// -------------------------------------------------- sparse traffic model
+
+TEST(SparsePerfModel, IndexBytesPerTile) {
+  EXPECT_EQ(perf::sparse_index_bytes_per_tile(2), (9 + 1) * 4.0);
+  EXPECT_EQ(perf::sparse_index_bytes_per_tile(3), (27 + 1) * 4.0);
+}
+
+TEST(SparsePerfModel, ModelShapeAndCrossover) {
+  const auto lat = perf::lattice_info<D3Q19>();
+  const auto at = [&](double phi) {
+    return perf::sparse_traffic_model(perf::Pattern::kST, lat, 8.0, phi);
+  };
+  const auto t1 = at(1.0);
+  const auto t3 = at(0.3);
+  // At phi = 1 the sparse path pays exactly the per-tile index overhead.
+  EXPECT_NEAR(t1.bpf_sparse - t1.bpf_dense,
+              perf::sparse_index_bytes_per_tile(3) / 64.0, 1e-12);
+  EXPECT_EQ(t1.bpf_dense_domain, t1.bpf_dense);
+  // At phi = 0.3 the dense domain kernel wastes 1/phi, sparse nearly none.
+  EXPECT_NEAR(t3.bpf_dense_domain, t3.bpf_dense / 0.3, 1e-9);
+  EXPECT_LT(t3.bpf_sparse, 1.15 * t3.bpf_dense);
+  // Crossover: the phi where the two costs meet, just below 1 for 8-byte
+  // lattices (index overhead is tiny next to value traffic).
+  const double phi_star =
+      perf::sparse_dense_crossover(perf::Pattern::kST, lat, 8.0);
+  EXPECT_GT(phi_star, 0.95);
+  EXPECT_LT(phi_star, 1.0);
+  const auto tc = at(phi_star);
+  EXPECT_NEAR(tc.bpf_sparse, tc.bpf_dense_domain, 1e-9 * tc.bpf_sparse);
+}
+
+TEST(SparsePerfModel, RejectsOutOfRangePhi) {
+  const auto lat = perf::lattice_info<D2Q9>();
+  EXPECT_THROW(
+      perf::sparse_traffic_model(perf::Pattern::kST, lat, 8.0, 0.0),
+      ConfigError);
+  EXPECT_THROW(
+      perf::sparse_traffic_model(perf::Pattern::kST, lat, 8.0, 1.5),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace mlbm

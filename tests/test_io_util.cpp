@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "engines/mr_engine.hpp"
 #include "engines/st_engine.hpp"
@@ -54,6 +55,82 @@ TEST(Vtk, FailsOnUnwritablePath) {
   EXPECT_THROW(write_vtk(e, "/nonexistent_dir_xyz/out.vtk"),
                std::runtime_error);
 }
+
+TEST(Vtk, DenseGeometryCarriesNoNodeKindArray) {
+  const auto tg = TaylorGreen<D2Q9>::create(8, 0.02);
+  StEngine<D2Q9> e(tg.geo, 0.8);
+  tg.attach(e);
+  const std::string path = tmp_path("mlbm_dense.vtk");
+  write_vtk(e, path);
+  EXPECT_EQ(slurp(path).find("node_kind"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+/// Splits `body` into lines, returns the `n` lines following the line that
+/// contains `header` (skipping the LOOKUP_TABLE line for scalars).
+std::vector<std::string> section_rows(const std::string& body,
+                                      const std::string& header, int skip,
+                                      int n) {
+  std::vector<std::string> lines;
+  std::stringstream ss(body);
+  for (std::string l; std::getline(ss, l);) lines.push_back(l);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find(header) == std::string::npos) continue;
+    std::vector<std::string> out;
+    for (int j = 0; j < n; ++j) {
+      out.push_back(lines[i + 1 + static_cast<std::size_t>(skip + j)]);
+    }
+    return out;
+  }
+  ADD_FAILURE() << "section " << header << " not found";
+  return {};
+}
+
+/// Solid nodes must be blanked (zero density, zero velocity) and flagged in
+/// the node_kind array, in either storage precision.
+template <class ST>
+void vtk_masks_solid_nodes(const std::string& tag) {
+  Box b;
+  b.nx = 6;
+  b.ny = 4;
+  b.nz = 1;
+  Geometry geo(b);
+  geo.set_solid(2, 1);
+  geo.set_solid(3, 2);
+  StEngine<D2Q9, ST> e(geo, 0.8);
+  e.initialize([](int, int, int) {
+    return equilibrium_moments<D2Q9>(1.0, {0.02, 0.01});
+  });
+  e.run(2);
+  const std::string path = tmp_path("mlbm_masked_" + tag + ".vtk");
+  write_vtk(e, path);
+  const std::string body = slurp(path);
+
+  // Rows are x-fastest: node (x, y) is row y*nx + x.
+  const auto rho = section_rows(body, "SCALARS density", 1, 24);
+  const auto vel = section_rows(body, "VECTORS velocity", 0, 24);
+  const auto kind = section_rows(body, "SCALARS node_kind", 1, 24);
+  ASSERT_EQ(rho.size(), 24u);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 6; ++x) {
+      const std::size_t row = static_cast<std::size_t>(y * 6 + x);
+      const bool solid = (x == 2 && y == 1) || (x == 3 && y == 2);
+      if (solid) {
+        EXPECT_EQ(std::stod(rho[row]), 0.0) << tag << " rho at " << x << ","
+                                            << y;
+        EXPECT_EQ(vel[row], "0 0 0") << tag << " vel at " << x << "," << y;
+        EXPECT_EQ(kind[row], "4");  // NodeKind::kSolid
+      } else {
+        EXPECT_GT(std::stod(rho[row]), 0.5);
+        EXPECT_EQ(kind[row], "0");  // NodeKind::kFluid
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Vtk, MasksSolidNodesFp64) { vtk_masks_solid_nodes<real_t>("fp64"); }
+TEST(Vtk, MasksSolidNodesFp32) { vtk_masks_solid_nodes<float>("fp32"); }
 
 // ------------------------------------------------------------- checkpoint
 
