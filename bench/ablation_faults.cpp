@@ -281,11 +281,11 @@ bool write_json(const std::string& path, const std::vector<OverheadRow>& ov,
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.reject_unknown({"n", "out", "ov-n", "ov-steps", "reps", "steps"});
-  const int n = cli.get_int("n", 32);            // fault-run grid
-  const int steps = cli.get_int("steps", 96);    // fault-run steps
-  const int ov_n = cli.get_int("ov-n", 48);      // overhead grid
-  const int ov_steps = cli.get_int("ov-steps", 384);
-  const int reps = cli.get_int("reps", 3);
+  const int n = cli.get_int("n", 32, 1);            // fault-run grid
+  const int steps = cli.get_int("steps", 96, 1);    // fault-run steps
+  const int ov_n = cli.get_int("ov-n", 48, 1);      // overhead grid
+  const int ov_steps = cli.get_int("ov-steps", 384, 1);
+  const int reps = cli.get_int("reps", 3, 1);
   const std::string out =
       cli.get("out", perf::results_dir() + "/ablation_faults.json");
 

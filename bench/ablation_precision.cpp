@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.reject_unknown({"out", "precision", "tg-steps"});
   const std::string prec_arg = cli.get("precision", "both");
-  const int tg_steps = cli.get_int("tg-steps", 30);
+  const int tg_steps = cli.get_int("tg-steps", 30, 1);
   const std::string out =
       cli.get("out", perf::results_dir() + "/ablation_precision.json");
 

@@ -95,10 +95,10 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.reject_unknown({"n", "n3d", "out", "steps", "steps3d"});
-  const int n = cli.get_int("n", 192);
-  const int steps = cli.get_int("steps", 24);
-  const int n3d = cli.get_int("n3d", 32);
-  const int steps3d = cli.get_int("steps3d", 6);
+  const int n = cli.get_int("n", 192, 1);
+  const int steps = cli.get_int("steps", 24, 1);
+  const int n3d = cli.get_int("n3d", 32, 1);
+  const int steps3d = cli.get_int("steps3d", 6, 1);
   const std::string out = cli.get("out", "results/ablation_sanitizer.json");
   const real_t tau = 0.8;
 

@@ -258,10 +258,10 @@ int main(int argc, char** argv) {
   // Weak scaling: fixed owned width per slab. Strong scaling: fixed global
   // extent. Sizes keep the interior launch wide enough to hide a PCIe3-class
   // transfer (the perfmodel's crossover sits below these widths).
-  const int weak_w = cli.get_int("weak-width", smoke ? 10 : 16);
-  const int strong_nx = cli.get_int("strong-nx", smoke ? 32 : 64);
-  const int ncross = cli.get_int("ncross", smoke ? 12 : 24);
-  const int steps = cli.get_int("steps", smoke ? 4 : 10);
+  const int weak_w = cli.get_int("weak-width", smoke ? 10 : 16, 1);
+  const int strong_nx = cli.get_int("strong-nx", smoke ? 32 : 64, 1);
+  const int ncross = cli.get_int("ncross", smoke ? 12 : 24, 1);
+  const int steps = cli.get_int("steps", smoke ? 4 : 10, 1);
   const int max_ndev = smoke ? 4 : 16;
   const real_t tau = 0.8;
   const auto link = gpusim::LinkSpec::pcie3();  // the harder link to hide

@@ -231,9 +231,9 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.reject_unknown({"n2d", "n3d", "out", "smoke", "steps"});
   const bool smoke = cli.get_bool("smoke", false);
-  const int steps = cli.get_int("steps", smoke ? 4 : 8);
-  const int n2d = cli.get_int("n2d", smoke ? 48 : 96);
-  const int n3d = cli.get_int("n3d", smoke ? 16 : 32);
+  const int steps = cli.get_int("steps", smoke ? 4 : 8, 1);
+  const int n2d = cli.get_int("n2d", smoke ? 48 : 96, 1);
+  const int n3d = cli.get_int("n3d", smoke ? 16 : 32, 1);
   const std::string out =
       cli.get("out", perf::results_dir() + "/BENCH_sparse.json");
 

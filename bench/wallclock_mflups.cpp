@@ -168,16 +168,16 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.reject_unknown({"exec", "n2d", "n3d", "out", "overlap", "precision", "slabs", "steps2d", "steps3d"});
-  const int n2d = cli.get_int("n2d", 256);
-  const int steps2d = cli.get_int("steps2d", 48);
-  const int n3d = cli.get_int("n3d", 48);
-  const int steps3d = cli.get_int("steps3d", 12);
+  const int n2d = cli.get_int("n2d", 256, 1);
+  const int steps2d = cli.get_int("steps2d", 48, 1);
+  const int n3d = cli.get_int("n3d", 48, 1);
+  const int steps3d = cli.get_int("steps3d", 12, 1);
   const std::string out = cli.get("out", "BENCH_wallclock.json");
   const std::string prec_arg = cli.get("precision", "both");
   const std::string exec_arg = cli.get("exec", "both");
   // --slabs N adds MultiDomain rows (N MR-P slabs, lockstep exchange);
   // --overlap additionally times the overlapped exchange schedule.
-  const int slabs = cli.get_int("slabs", 0);
+  const int slabs = cli.get_int("slabs", 0, 0);
   const bool overlap = cli.has("overlap");
 
   std::vector<StoragePrecision> precs;

@@ -20,12 +20,12 @@ int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
   cli.reject_unknown({"nx", "ny", "nz", "steps", "tau", "umax", "vtk"});
-  const int nx = cli.get_int("nx", 48);
-  const int ny = cli.get_int("ny", 16);
-  const int nz = cli.get_int("nz", 16);
+  const int nx = cli.get_int("nx", 48, 1);
+  const int ny = cli.get_int("ny", 16, 1);
+  const int nz = cli.get_int("nz", 16, 1);
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t umax = cli.get_double("umax", 0.04);
-  const int steps = cli.get_int("steps", 800);
+  const int steps = cli.get_int("steps", 800, 1);
 
   const auto ch = Channel<D3Q19>::create(nx, ny, nz, tau, umax);
 

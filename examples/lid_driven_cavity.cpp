@@ -22,10 +22,10 @@ int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
   cli.reject_unknown({"n", "precision", "re", "sanitize", "steps", "ulid", "vtk"});
-  const int n = cli.get_int("n", 48);
+  const int n = cli.get_int("n", 48, 1);
   const real_t re = cli.get_double("re", 100);
   const real_t ulid = cli.get_double("ulid", 0.1);
-  const int steps = cli.get_int("steps", 8000);
+  const int steps = cli.get_int("steps", 8000, 1);
   const auto prec = parse_precision(cli.get("precision", "fp64"));
   if (!prec) {
     std::fprintf(stderr, "error: --precision must be fp64 or fp32\n");

@@ -67,13 +67,13 @@ template <class L>
 int run(const Cli& cli) {
   const std::string pattern = cli.get("pattern", "mr-p");
   const std::string workload = cli.get("workload", "channel");
-  const int nx = cli.get_int("nx", L::D == 2 ? 96 : 48);
-  const int ny = cli.get_int("ny", 32);
-  const int nz = cli.get_int("nz", L::D == 2 ? 1 : 16);
+  const int nx = cli.get_int("nx", L::D == 2 ? 96 : 48, 1);
+  const int ny = cli.get_int("ny", 32, 1);
+  const int nz = cli.get_int("nz", L::D == 2 ? 1 : 16, 1);
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t umax = cli.get_double("umax", 0.05);
-  const int steps = cli.get_int("steps", 1000);
-  const int devices = cli.get_int("devices", 1);
+  const int steps = cli.get_int("steps", 1000, 1);
+  const int devices = cli.get_int("devices", 1, 1);
 
   // Build the workload geometry + attach hooks.
   Geometry geo(Box{1, 1, 1});

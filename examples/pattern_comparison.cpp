@@ -19,9 +19,9 @@ int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
   cli.reject_unknown({"nx", "ny", "steps"});
-  const int nx = cli.get_int("nx", 128);
-  const int ny = cli.get_int("ny", 64);
-  const int steps = cli.get_int("steps", 200);
+  const int nx = cli.get_int("nx", 128, 1);
+  const int ny = cli.get_int("ny", 64, 1);
+  const int steps = cli.get_int("steps", 200, 1);
   const real_t tau = 0.8, umax = 0.05;
 
   const auto ch = Channel<D2Q9>::create(nx, ny, 1, tau, umax);

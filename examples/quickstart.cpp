@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
   cli.reject_unknown({"nx", "ny", "steps", "tau", "umax", "vtk"});
-  const int nx = cli.get_int("nx", 96);
-  const int ny = cli.get_int("ny", 32);
+  const int nx = cli.get_int("nx", 96, 1);
+  const int ny = cli.get_int("ny", 32, 1);
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t umax = cli.get_double("umax", 0.05);
-  const int steps = cli.get_int("steps", 4000);
+  const int steps = cli.get_int("steps", 4000, 1);
 
   // 1. Describe the workload: a channel with FD inlet/outlet and walls.
   const auto channel = Channel<D2Q9>::create(nx, ny, 1, tau, umax);

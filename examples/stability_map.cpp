@@ -68,9 +68,9 @@ int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
   cli.reject_unknown({"n", "steps", "u0"});
-  const int n = cli.get_int("n", 48);
+  const int n = cli.get_int("n", 48, 1);
   const real_t u0 = cli.get_double("u0", 0.06);
-  const int steps = cli.get_int("steps", 1500);
+  const int steps = cli.get_int("steps", 1500, 1);
 
   std::printf("stability_map: %dx%d double shear layer, u0=%.3f, %d steps\n"
               "bisecting the smallest stable tau per collision scheme...\n\n",

@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
   cli.reject_unknown({"csv", "n", "precision", "sanitize", "steps", "tau", "u0"});
-  const int n = cli.get_int("n", 48);
+  const int n = cli.get_int("n", 48, 1);
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t u0 = cli.get_double("u0", 0.03);
-  const int steps = cli.get_int("steps", 400);
+  const int steps = cli.get_int("steps", 400, 1);
   const auto prec = parse_precision(cli.get("precision", "fp64"));
   if (!prec) {
     std::fprintf(stderr, "error: --precision must be fp64 or fp32\n");

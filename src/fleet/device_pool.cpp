@@ -1,0 +1,152 @@
+#include "fleet/device_pool.hpp"
+
+#include <array>
+#include <limits>
+
+#include "engines/mr_engine.hpp"
+#include "perfmodel/mflups_model.hpp"
+#include "perfmodel/opcount.hpp"
+#include "perfmodel/roofline.hpp"
+#include "util/error.hpp"
+
+namespace mlbm::fleet {
+
+namespace {
+
+/// Kernel characteristics of the fleet's job patterns, measured once per
+/// pattern from a tiny instrumented engine (the MR block geometry and halo
+/// fraction are properties of the kernel, not the problem size). Matches the
+/// MrConfig make_job_engine uses.
+const perf::KernelCharacteristics& pattern_characteristics(
+    perf::Pattern pattern) {
+  static const std::array<perf::KernelCharacteristics, 3> kTable = [] {
+    std::array<perf::KernelCharacteristics, 3> table{};
+
+    perf::KernelCharacteristics st;
+    st.threads_per_block = 256;
+    st.shared_bytes_per_block = 0;
+    st.flops_per_flup = perf::flops_per_flup<D2Q9>(perf::Pattern::kST);
+    table[0] = st;
+
+    for (const perf::Pattern p : {perf::Pattern::kMRP, perf::Pattern::kMRR}) {
+      MrConfig cfg;
+      cfg.tile_x = 8;
+      Geometry geo(Box{cfg.tile_x * 2, cfg.tile_s * 4 + 4, 1});
+      geo.bc.set_axis(0, FaceBC::kPeriodic);
+      geo.bc.set_axis(1, FaceBC::kPeriodic);
+      geo.bc.set_axis(2, FaceBC::kPeriodic);
+      const Regularization reg = p == perf::Pattern::kMRR
+                                     ? Regularization::kRecursive
+                                     : Regularization::kProjective;
+      MrEngine<D2Q9> eng(geo, 0.8, reg, cfg);
+      eng.initialize(
+          [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+      eng.step();  // exclude warm-up
+      const auto before = eng.profiler()->total_traffic();
+      eng.run(3);
+      const auto traffic = eng.profiler()->total_traffic() - before;
+      const double nodes = static_cast<double>(geo.box.cells()) * 3;
+      const double writes = static_cast<double>(traffic.bytes_written) / nodes;
+      const double reads = static_cast<double>(traffic.bytes_read) / nodes;
+
+      perf::KernelCharacteristics kc;
+      kc.threads_per_block = eng.threads_per_block();
+      kc.shared_bytes_per_block = eng.shared_bytes_per_block();
+      kc.flops_per_flup = perf::flops_per_flup<D2Q9>(p);
+      kc.halo_read_fraction = writes > 0 ? reads / writes - 1.0 : 0.0;
+      table[p == perf::Pattern::kMRP ? 1 : 2] = kc;
+    }
+    return table;
+  }();
+  switch (pattern) {
+    case perf::Pattern::kST: return kTable[0];
+    case perf::Pattern::kMRP: return kTable[1];
+    case perf::Pattern::kMRR: return kTable[2];
+  }
+  return kTable[0];
+}
+
+}  // namespace
+
+int DevicePool::add_device(gpusim::DeviceSpec spec) {
+  const int id = static_cast<int>(devices_.size());
+  FleetDevice dev;
+  dev.id = id;
+  dev.spec = std::move(spec);
+  devices_.push_back(std::move(dev));
+  return id;
+}
+
+int DevicePool::alive_count() const {
+  int n = 0;
+  for (const auto& d : devices_) {
+    n += d.alive ? 1 : 0;
+  }
+  return n;
+}
+
+FleetDevice& DevicePool::device(int id) {
+  if (id < 0 || id >= size()) {
+    throw OutOfRangeError("fleet device id " + std::to_string(id) +
+                          " outside pool of " + std::to_string(size()));
+  }
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+const FleetDevice& DevicePool::device(int id) const {
+  return const_cast<DevicePool*>(this)->device(id);
+}
+
+double DevicePool::predicted_mflups(int id, perf::Pattern pattern,
+                                    StoragePrecision prec) const {
+  const FleetDevice& dev = device(id);
+  perf::KernelCharacteristics kc = pattern_characteristics(pattern);
+  kc.storage_elem_bytes = perf::elem_bytes_of(prec);
+  const auto est = perf::estimate_saturated(dev.spec, pattern,
+                                            perf::lattice_info<D2Q9>(), kc);
+  return est.mflups;
+}
+
+double DevicePool::step_seconds(int id, const JobSpec& spec,
+                                long long cells) const {
+  const double mflups = predicted_mflups(id, spec.pattern, spec.precision);
+  if (mflups <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(cells) / (mflups * 1e6);
+}
+
+bool DevicePool::admits(int id, std::size_t bytes) const {
+  return bytes <= device(id).free_bytes();
+}
+
+bool DevicePool::fits_anywhere(std::size_t bytes) const {
+  for (const auto& d : devices_) {
+    if (bytes <= d.capacity_bytes()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int DevicePool::place(const JobSpec& spec, long long cells, std::size_t bytes,
+                      int remaining_steps, int exclude) const {
+  int best = -1;
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (const auto& d : devices_) {
+    if (!d.alive || d.id == exclude || bytes > d.free_bytes()) {
+      continue;
+    }
+    const double finish =
+        d.busy_s + d.reserved_s +
+        static_cast<double>(remaining_steps) * step_seconds(d.id, spec, cells) *
+            d.slowdown;
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = d.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace mlbm::fleet

@@ -1,0 +1,103 @@
+// The fleet's device inventory: per-device specs, health, and modeled load.
+//
+// Placement is perfmodel-driven: a job's per-step cost on a device comes from
+// `perf::estimate_saturated` with the pattern's measured kernel
+// characteristics, so the scheduler packs jobs by *modeled finish time*
+// rather than round-robin — the paper's bandwidth/footprint model doing
+// double duty as an admission and placement oracle. Admission is the memory
+// footprint check: a job whose engine state does not fit in a device's free
+// DRAM is never placed there.
+//
+// Health (alive / straggling / launch-failure burst) is mutated by the
+// FleetFaultPlan; the pool itself is deterministic and clock-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fleet/job.hpp"
+#include "gpusim/device.hpp"
+
+namespace mlbm::fleet {
+
+struct FleetDevice {
+  int id = -1;
+  gpusim::DeviceSpec spec;
+
+  // --- health, driven by FleetFaultPlan ---
+  bool alive = true;
+  /// Multiplier on modeled step time (> 1 while straggling).
+  double slowdown = 1.0;
+  long straggle_until_tick = -1;
+  /// Per-launch transient failure probability while a burst window is open.
+  double launch_fail_rate = 0.0;
+  long burst_until_tick = -1;
+
+  // --- modeled load ---
+  std::size_t resident_bytes = 0;  ///< engine state of jobs placed here
+  double busy_s = 0;               ///< modeled seconds of enqueued work
+  /// Projected nominal compute of resident jobs not yet enqueued. Placement
+  /// adds finish-time cost from busy_s + reserved_s so a burst of placements
+  /// in one tick spreads over the pool instead of stampeding the device that
+  /// happens to be idle first (busy_s only grows when quanta execute).
+  double reserved_s = 0;
+
+  // --- counters for the report ---
+  int jobs_completed = 0;
+  int jobs_migrated_in = 0;
+  int jobs_migrated_out = 0;
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return static_cast<std::size_t>(spec.memory_gb * 1e9);
+  }
+  [[nodiscard]] std::size_t free_bytes() const {
+    const std::size_t cap = capacity_bytes();
+    return cap > resident_bytes ? cap - resident_bytes : 0;
+  }
+};
+
+class DevicePool {
+ public:
+  /// Returns the new device's id (dense, starting at 0).
+  int add_device(gpusim::DeviceSpec spec);
+
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] int alive_count() const;
+  [[nodiscard]] FleetDevice& device(int id);
+  [[nodiscard]] const FleetDevice& device(int id) const;
+  [[nodiscard]] const std::vector<FleetDevice>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::vector<FleetDevice>& devices() { return devices_; }
+
+  /// Saturated-model throughput of a job pattern on a device (MFLUPS),
+  /// ignoring health — the nominal planning number.
+  [[nodiscard]] double predicted_mflups(int id, perf::Pattern pattern,
+                                        StoragePrecision prec) const;
+
+  /// Nominal modeled seconds per timestep of `cells` nodes on a device
+  /// (no slowdown applied; the scheduler folds health in).
+  [[nodiscard]] double step_seconds(int id, const JobSpec& spec,
+                                    long long cells) const;
+
+  [[nodiscard]] bool admits(int id, std::size_t bytes) const;
+
+  /// True if `bytes` fits on at least one device of the pool, alive or dead —
+  /// false means the job is structurally unservable (FleetError::kAdmission).
+  [[nodiscard]] bool fits_anywhere(std::size_t bytes) const;
+
+  /// Picks the alive, admitting device with the earliest modeled finish time
+  /// for the job's remaining steps (busy backlog + placement reservations +
+  /// steps x step x slowdown);
+  /// ties break toward the lower id for determinism. `exclude` skips one
+  /// device (the one a job migrates away from). Returns -1 if no device
+  /// qualifies.
+  [[nodiscard]] int place(const JobSpec& spec, long long cells,
+                          std::size_t bytes, int remaining_steps,
+                          int exclude = -1) const;
+
+ private:
+  std::vector<FleetDevice> devices_;
+};
+
+}  // namespace mlbm::fleet

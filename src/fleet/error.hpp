@@ -1,0 +1,51 @@
+// Typed fleet-layer errors. A FleetError never aborts the fleet: the
+// scheduler attaches it to the job it parks (JobOutcome::parked_kind /
+// parked_reason), so the drain guarantee — every submitted job ends
+// kCompleted or kParked with a classified reason — holds even when a job is
+// unservable. The class still derives from mlbm::Error so callers that do
+// choose to throw one (e.g. a service wrapper surfacing a parked job)
+// dispatch on it like every other typed error in the stack.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlbm::fleet {
+
+class FleetError : public std::runtime_error, public Error {
+ public:
+  enum class Kind {
+    kNone,         ///< not parked (completed jobs carry this)
+    kAdmission,    ///< job state fits on no device of the pool, dead or alive
+    kNoDevice,     ///< every device in the pool is dead
+    kRetryBudget,  ///< watchdog/migration retry budget exhausted
+    kLadder,       ///< degradation ladder exhausted (deadline kept tripping)
+    kDrain,        ///< fleet hit its tick bound before the job finished
+  };
+
+  FleetError(Kind kind, const std::string& msg)
+      : std::runtime_error(msg), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::kFleet;
+  }
+
+  static const char* to_string(Kind k) {
+    switch (k) {
+      case Kind::kNone: return "none";
+      case Kind::kAdmission: return "admission";
+      case Kind::kNoDevice: return "no-device";
+      case Kind::kRetryBudget: return "retry-budget";
+      case Kind::kLadder: return "ladder-exhausted";
+      case Kind::kDrain: return "drain-bound";
+    }
+    return "unknown";
+  }
+
+ private:
+  Kind kind_;
+};
+
+}  // namespace mlbm::fleet

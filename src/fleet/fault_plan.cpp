@@ -1,0 +1,175 @@
+#include "fleet/fault_plan.hpp"
+
+#include <sstream>
+
+namespace mlbm::fleet {
+
+namespace {
+
+// splitmix64 finalizer, same construction as resilience::FaultInjector so the
+// two layers share one well-tested determinism story.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kStreamDeviceLoss = 101;
+constexpr std::uint64_t kStreamStraggler = 102;
+constexpr std::uint64_t kStreamBurst = 103;
+constexpr std::uint64_t kStreamLink = 104;
+
+/// Counter key folding tick and device into one draw index; 4096 devices per
+/// tick is far beyond any pool this simulator models.
+std::uint64_t key(long tick, int device) {
+  return static_cast<std::uint64_t>(tick) * 4096ULL +
+         static_cast<std::uint64_t>(device + 1);
+}
+
+}  // namespace
+
+const char* to_string(FleetFaultKind k) {
+  switch (k) {
+    case FleetFaultKind::kDeviceLoss: return "device-loss";
+    case FleetFaultKind::kStragglerBegin: return "straggler-begin";
+    case FleetFaultKind::kStragglerEnd: return "straggler-end";
+    case FleetFaultKind::kLaunchBurstBegin: return "launch-burst-begin";
+    case FleetFaultKind::kLaunchBurstEnd: return "launch-burst-end";
+    case FleetFaultKind::kLinkDegradeBegin: return "link-degrade-begin";
+    case FleetFaultKind::kLinkDegradeEnd: return "link-degrade-end";
+  }
+  return "unknown";
+}
+
+FleetFaultPlan::FleetFaultPlan(FleetFaultConfig config)
+    : config_(std::move(config)) {}
+
+double FleetFaultPlan::uniform(std::uint64_t stream, std::uint64_t n) const {
+  const std::uint64_t v =
+      mix(mix(config_.seed ^ (stream * 0xd1342543de82ef95ULL)) ^ mix(n));
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+void FleetFaultPlan::record(long tick, FleetFaultKind kind, int device,
+                            double factor) {
+  events_.push_back({tick, kind, device, factor});
+}
+
+std::vector<int> FleetFaultPlan::begin_tick(long tick, DevicePool& pool) {
+  std::vector<int> lost;
+  const auto kill = [&](int id) {
+    FleetDevice& dev = pool.device(id);
+    if (!dev.alive) return;
+    dev.alive = false;
+    record(tick, FleetFaultKind::kDeviceLoss, id, 0);
+    lost.push_back(id);
+  };
+  const auto straggle = [&](int id, double factor, long ticks) {
+    FleetDevice& dev = pool.device(id);
+    if (!dev.alive) return;
+    dev.slowdown = factor;
+    dev.straggle_until_tick = tick + ticks;
+    record(tick, FleetFaultKind::kStragglerBegin, id, factor);
+  };
+  const auto burst = [&](int id, double rate, long ticks) {
+    FleetDevice& dev = pool.device(id);
+    if (!dev.alive) return;
+    dev.launch_fail_rate = rate;
+    dev.burst_until_tick = tick + ticks;
+    record(tick, FleetFaultKind::kLaunchBurstBegin, id, rate);
+  };
+  const auto degrade_link = [&](double factor, long ticks) {
+    link_factor_ = factor;
+    link_until_tick_ = tick + ticks;
+    record(tick, FleetFaultKind::kLinkDegradeBegin, -1, factor);
+  };
+
+  // Expire windows first so a back-to-back fault re-opens cleanly.
+  for (FleetDevice& dev : pool.devices()) {
+    if (dev.straggle_until_tick >= 0 && tick >= dev.straggle_until_tick) {
+      dev.slowdown = 1.0;
+      dev.straggle_until_tick = -1;
+      if (dev.alive) record(tick, FleetFaultKind::kStragglerEnd, dev.id, 1.0);
+    }
+    if (dev.burst_until_tick >= 0 && tick >= dev.burst_until_tick) {
+      dev.launch_fail_rate = 0.0;
+      dev.burst_until_tick = -1;
+      if (dev.alive) {
+        record(tick, FleetFaultKind::kLaunchBurstEnd, dev.id, 0.0);
+      }
+    }
+  }
+  if (link_until_tick_ >= 0 && tick >= link_until_tick_) {
+    link_factor_ = 1.0;
+    link_until_tick_ = -1;
+    record(tick, FleetFaultKind::kLinkDegradeEnd, -1, 1.0);
+  }
+
+  // Scripted faults fire unconditionally at their tick.
+  for (const ScriptedFleetFault& s : config_.scripted) {
+    if (s.tick != tick) continue;
+    switch (s.kind) {
+      case FleetFaultKind::kDeviceLoss:
+        kill(s.device);
+        break;
+      case FleetFaultKind::kStragglerBegin:
+        straggle(s.device, s.factor, s.duration_ticks);
+        break;
+      case FleetFaultKind::kLaunchBurstBegin:
+        burst(s.device, s.factor, s.duration_ticks);
+        break;
+      case FleetFaultKind::kLinkDegradeBegin:
+        degrade_link(s.factor, s.duration_ticks);
+        break;
+      default:
+        break;  // end events are window expiries, not scriptable
+    }
+  }
+
+  const bool in_window =
+      tick >= config_.tick_begin &&
+      (config_.tick_end < 0 || tick < config_.tick_end);
+  if (in_window) {
+    for (const FleetDevice& dev : pool.devices()) {
+      if (!dev.alive) continue;
+      const std::uint64_t n = key(tick, dev.id);
+      if (config_.device_loss_rate > 0 &&
+          rate_losses_ < config_.max_device_losses &&
+          pool.alive_count() > 1 &&
+          uniform(kStreamDeviceLoss, n) < config_.device_loss_rate) {
+        ++rate_losses_;
+        kill(dev.id);
+        continue;
+      }
+      if (config_.straggler_rate > 0 &&
+          pool.device(dev.id).straggle_until_tick < 0 &&
+          uniform(kStreamStraggler, n) < config_.straggler_rate) {
+        straggle(dev.id, config_.straggler_factor, config_.straggler_ticks);
+      }
+      if (config_.launch_burst_rate > 0 &&
+          pool.device(dev.id).burst_until_tick < 0 &&
+          uniform(kStreamBurst, n) < config_.launch_burst_rate) {
+        burst(dev.id, config_.burst_fail_rate, config_.burst_ticks);
+      }
+    }
+    if (config_.link_fault_rate > 0 && link_until_tick_ < 0 &&
+        uniform(kStreamLink, key(tick, -1)) < config_.link_fault_rate) {
+      degrade_link(config_.link_degrade_factor, config_.link_fault_ticks);
+    }
+  }
+  return lost;
+}
+
+std::string FleetFaultPlan::trace_string() const {
+  std::ostringstream os;
+  for (const FleetFaultEvent& e : events_) {
+    os << "tick=" << e.tick << " kind=" << to_string(e.kind);
+    if (e.device >= 0) os << " device=" << e.device;
+    if (e.kind != FleetFaultKind::kDeviceLoss) os << " factor=" << e.factor;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mlbm::fleet

@@ -1,0 +1,124 @@
+// Device-level fault plan: the fleet-scale extension of
+// resilience/fault_injector.
+//
+// Where FaultInjector perturbs one engine's state and launches, the
+// FleetFaultPlan perturbs the *pool*: whole-device loss, straggler slowdown
+// windows (a device's modeled step time multiplied for a few ticks),
+// transient launch-failure bursts (a window during which every launch on the
+// device draws against a high failure rate, wired into the per-job
+// FaultInjector by the scheduler), and link degradation (checkpoint
+// migrations transfer slower).
+//
+// Determinism uses the same counter-keyed construction as FaultInjector:
+// every draw is a pure function of (seed, stream, tick, device), so a replay
+// with the same seed reproduces the identical fault sequence regardless of
+// scheduler iteration order — the chaos bench's seed-reproducibility gate
+// rests on this. Scripted faults fire unconditionally at their tick; rate
+// faults are drawn per (tick, device). Rate-driven device losses spare the
+// last alive device so a rate-only plan can never make the fleet undrainable
+// (scripted losses are exempt: killing the whole pool deliberately is a
+// scenario the tests exercise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/device_pool.hpp"
+
+namespace mlbm::fleet {
+
+enum class FleetFaultKind {
+  kDeviceLoss,
+  kStragglerBegin,
+  kStragglerEnd,
+  kLaunchBurstBegin,
+  kLaunchBurstEnd,
+  kLinkDegradeBegin,
+  kLinkDegradeEnd,
+};
+
+const char* to_string(FleetFaultKind k);
+
+/// A fault pinned to an exact tick (deterministic test/bench scenarios).
+struct ScriptedFleetFault {
+  long tick = 0;
+  FleetFaultKind kind = FleetFaultKind::kDeviceLoss;
+  int device = 0;  ///< ignored for link faults
+  /// Slowdown (straggler), failure probability (burst), or transfer-time
+  /// multiplier (link); unused for device loss.
+  double factor = 0;
+  long duration_ticks = 1;  ///< window length; unused for device loss
+};
+
+struct FleetFaultConfig {
+  std::uint64_t seed = 1;
+
+  /// Per-(tick, device) probability of permanent device loss.
+  double device_loss_rate = 0;
+  /// Rate-driven losses stop once this many devices have died (scripted
+  /// losses are not counted against it).
+  int max_device_losses = 1;
+
+  double straggler_rate = 0;
+  double straggler_factor = 4.0;
+  long straggler_ticks = 4;
+
+  double launch_burst_rate = 0;
+  double burst_fail_rate = 0.5;
+  long burst_ticks = 2;
+
+  /// Per-tick probability of a link-degradation window (pool-wide).
+  double link_fault_rate = 0;
+  double link_degrade_factor = 4.0;
+  long link_fault_ticks = 4;
+
+  /// Rate faults fire only in [tick_begin, tick_end); tick_end < 0 = open.
+  long tick_begin = 0;
+  long tick_end = -1;
+
+  std::vector<ScriptedFleetFault> scripted;
+};
+
+struct FleetFaultEvent {
+  long tick = 0;
+  FleetFaultKind kind = FleetFaultKind::kDeviceLoss;
+  int device = -1;  ///< -1 for pool-wide (link) events
+  double factor = 0;
+};
+
+class FleetFaultPlan {
+ public:
+  explicit FleetFaultPlan(FleetFaultConfig config);
+
+  [[nodiscard]] const FleetFaultConfig& config() const { return config_; }
+
+  /// Advances the plan to `tick`: expires straggler/burst/link windows,
+  /// draws and applies this tick's faults onto the pool, records the trace.
+  /// Returns the ids of devices lost this tick (the scheduler migrates their
+  /// jobs). Ticks must be fed in increasing order.
+  std::vector<int> begin_tick(long tick, DevicePool& pool);
+
+  /// Current checkpoint-transfer time multiplier (1 when the link is clean).
+  [[nodiscard]] double link_factor() const { return link_factor_; }
+
+  [[nodiscard]] const std::vector<FleetFaultEvent>& events() const {
+    return events_;
+  }
+
+  /// Canonical one-line-per-event rendering; identical across same-seed
+  /// replays (the reproducibility gate compares these).
+  [[nodiscard]] std::string trace_string() const;
+
+ private:
+  [[nodiscard]] double uniform(std::uint64_t stream, std::uint64_t n) const;
+  void record(long tick, FleetFaultKind kind, int device, double factor);
+
+  FleetFaultConfig config_;
+  int rate_losses_ = 0;
+  double link_factor_ = 1.0;
+  long link_until_tick_ = -1;
+  std::vector<FleetFaultEvent> events_;
+};
+
+}  // namespace mlbm::fleet

@@ -1,0 +1,180 @@
+#include "fleet/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace mlbm::fleet {
+
+const char* to_string(LadderAction a) {
+  switch (a) {
+    case LadderAction::kRetry: return "retry";
+    case LadderAction::kMigrate: return "migrate";
+    case LadderAction::kShrinkQuantum: return "shrink-quantum";
+    case LadderAction::kPark: return "park";
+  }
+  return "unknown";
+}
+
+void FleetReport::finalize() {
+  completed = parked = 0;
+  total_retries = total_migrations = total_rollbacks = 0;
+  std::vector<double> latencies;
+  for (const JobOutcome& j : jobs) {
+    if (j.status == JobStatus::kCompleted) {
+      ++completed;
+      latencies.push_back(j.latency_s());
+    } else if (j.status == JobStatus::kParked) {
+      ++parked;
+    }
+    total_retries += j.retries;
+    total_migrations += j.migrations;
+    total_rollbacks += j.rollbacks;
+  }
+  jobs_per_hour =
+      makespan_s > 0 ? static_cast<double>(completed) / makespan_s * 3600 : 0;
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(idx, latencies.size() - 1)];
+  };
+  latency_p50_s = pct(0.50);
+  latency_p95_s = pct(0.95);
+  latency_max_s = latencies.empty() ? 0 : latencies.back();
+  for (DeviceUtilization& d : devices) {
+    d.utilization = makespan_s > 0 ? d.busy_s / makespan_s : 0;
+  }
+}
+
+std::string FleetReport::describe() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "fleet: jobs=" << jobs.size() << " completed=" << completed
+     << " parked=" << parked << " retries=" << total_retries
+     << " migrations=" << total_migrations
+     << " rollbacks=" << total_rollbacks << " makespan_s=" << makespan_s
+     << " jobs_per_hour=" << jobs_per_hour << '\n';
+  for (const JobOutcome& j : jobs) {
+    os << j.spec.name() << ": " << to_string(j.status);
+    if (j.status == JobStatus::kParked) {
+      os << " kind=" << FleetError::to_string(j.parked_kind);
+    }
+    os << " device=" << j.device << " retries=" << j.retries
+       << " migrations=" << j.migrations << " rollbacks=" << j.rollbacks
+       << " launch_failures=" << j.launch_failures
+       << " sentinel_trips=" << j.sentinel_trips
+       << " backoff_ms=" << j.backoff_ms;
+    if (j.status == JobStatus::kCompleted) {
+      os << " hash=" << j.fields.moment_hash << " finish_s=" << j.finish_s;
+    }
+    os << '\n';
+  }
+  for (const LadderEvent& e : ladder) {
+    os << "ladder: job=" << e.job << " tick=" << e.tick
+       << " action=" << to_string(e.action) << " cause=" << e.cause
+       << " from=" << e.from_device << " to=" << e.to_device
+       << " quantum=" << e.quantum << '\n';
+  }
+  if (!fault_trace.empty()) {
+    os << "fault-trace:\n" << fault_trace;
+  }
+  return os.str();
+}
+
+namespace {
+
+void json_kv(std::ostringstream& os, const char* k, double v, bool comma = true) {
+  os << '"' << k << "\":" << v;
+  if (comma) os << ',';
+}
+
+void json_kv(std::ostringstream& os, const char* k, long long v,
+             bool comma = true) {
+  os << '"' << k << "\":" << v;
+  if (comma) os << ',';
+}
+
+void json_kv(std::ostringstream& os, const char* k, const std::string& v,
+             bool comma = true) {
+  os << '"' << k << "\":\"" << v << '"';
+  if (comma) os << ',';
+}
+
+}  // namespace
+
+std::string FleetReport::json() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\n";
+  json_kv(os, "jobs_total", static_cast<long long>(jobs.size()));
+  os << "\n";
+  json_kv(os, "completed", static_cast<long long>(completed));
+  json_kv(os, "parked", static_cast<long long>(parked));
+  json_kv(os, "total_retries", static_cast<long long>(total_retries));
+  json_kv(os, "total_migrations", static_cast<long long>(total_migrations));
+  json_kv(os, "total_rollbacks", static_cast<long long>(total_rollbacks));
+  os << "\n";
+  json_kv(os, "makespan_s", makespan_s);
+  json_kv(os, "jobs_per_hour", jobs_per_hour);
+  json_kv(os, "latency_p50_s", latency_p50_s);
+  json_kv(os, "latency_p95_s", latency_p95_s);
+  json_kv(os, "latency_max_s", latency_max_s);
+  os << "\n\"jobs\": [\n";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobOutcome& j = jobs[i];
+    os << "  {";
+    json_kv(os, "id", static_cast<long long>(j.spec.id));
+    json_kv(os, "name", j.spec.name());
+    json_kv(os, "status", std::string(to_string(j.status)));
+    json_kv(os, "parked_kind",
+            std::string(FleetError::to_string(j.parked_kind)));
+    json_kv(os, "device", static_cast<long long>(j.device));
+    json_kv(os, "retries", static_cast<long long>(j.retries));
+    json_kv(os, "migrations", static_cast<long long>(j.migrations));
+    json_kv(os, "rollbacks", static_cast<long long>(j.rollbacks));
+    json_kv(os, "launch_failures", static_cast<long long>(j.launch_failures));
+    json_kv(os, "sentinel_trips", static_cast<long long>(j.sentinel_trips));
+    json_kv(os, "backoff_ms", static_cast<long long>(j.backoff_ms));
+    json_kv(os, "moment_hash", std::to_string(j.fields.moment_hash));
+    json_kv(os, "mass", j.fields.mass);
+    json_kv(os, "kinetic_energy", j.fields.kinetic_energy);
+    json_kv(os, "submit_s", j.submit_s);
+    json_kv(os, "finish_s", j.finish_s, false);
+    os << "}" << (i + 1 < jobs.size() ? "," : "") << "\n";
+  }
+  os << "],\n\"devices\": [\n";
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const DeviceUtilization& d = devices[i];
+    os << "  {";
+    json_kv(os, "id", static_cast<long long>(d.id));
+    json_kv(os, "name", d.name);
+    json_kv(os, "alive", std::string(d.alive ? "true" : "false"));
+    json_kv(os, "busy_s", d.busy_s);
+    json_kv(os, "utilization", d.utilization);
+    json_kv(os, "jobs_completed", static_cast<long long>(d.jobs_completed));
+    json_kv(os, "jobs_migrated_in",
+            static_cast<long long>(d.jobs_migrated_in));
+    json_kv(os, "jobs_migrated_out",
+            static_cast<long long>(d.jobs_migrated_out), false);
+    os << "}" << (i + 1 < devices.size() ? "," : "") << "\n";
+  }
+  os << "],\n\"ladder\": [\n";
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const LadderEvent& e = ladder[i];
+    os << "  {";
+    json_kv(os, "job", static_cast<long long>(e.job));
+    json_kv(os, "tick", static_cast<long long>(e.tick));
+    json_kv(os, "action", std::string(to_string(e.action)));
+    json_kv(os, "cause", e.cause);
+    json_kv(os, "from_device", static_cast<long long>(e.from_device));
+    json_kv(os, "to_device", static_cast<long long>(e.to_device));
+    json_kv(os, "quantum", static_cast<long long>(e.quantum), false);
+    os << "}" << (i + 1 < ladder.size() ? "," : "") << "\n";
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace mlbm::fleet

@@ -1,0 +1,104 @@
+// Structured fleet telemetry: what happened to every job and every device.
+//
+// The report is the fleet's contract surface: the chaos bench gates on it
+// (zero lost jobs, bit-identical fields, seed-reproducible recovery trace)
+// and operators read its JSON. `describe()` is the canonical text rendering —
+// two same-seed runs must produce equal strings, so it contains only modeled
+// (deterministic) quantities, never wall-clock readings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/error.hpp"
+#include "fleet/job.hpp"
+
+namespace mlbm::fleet {
+
+enum class LadderAction {
+  kRetry,          ///< backoff + rollback retry on the same device
+  kMigrate,        ///< checkpoint-restore onto another device
+  kShrinkQuantum,  ///< halve the scheduling quantum
+  kPark,           ///< give up: job parked with a FleetError kind
+};
+
+const char* to_string(LadderAction a);
+
+/// One watchdog/degradation decision, in the order taken.
+struct LadderEvent {
+  int job = -1;
+  long tick = 0;
+  LadderAction action = LadderAction::kRetry;
+  std::string cause;  ///< "deadline", "device-loss", "unrecoverable", ...
+  int from_device = -1;
+  int to_device = -1;  ///< migrate only
+  int quantum = 0;     ///< quantum in force after the action
+};
+
+/// Terminal record of one job.
+struct JobOutcome {
+  JobSpec spec;
+  JobStatus status = JobStatus::kPending;
+  FleetError::Kind parked_kind = FleetError::Kind::kNone;
+  std::string parked_reason;
+  JobFields fields;  ///< valid when status == kCompleted
+
+  int device = -1;  ///< device that ran the final quantum
+  int retries = 0;
+  int migrations = 0;
+  int rollbacks = 0;
+  int launch_failures = 0;
+  int sentinel_trips = 0;
+  long backoff_ms = 0;  ///< total modeled backoff charged to the job
+
+  double submit_s = 0;   ///< modeled time the job was first placed
+  double finish_s = -1;  ///< modeled completion time (-1 if parked)
+  [[nodiscard]] double latency_s() const {
+    return finish_s >= 0 ? finish_s - submit_s : -1;
+  }
+};
+
+struct DeviceUtilization {
+  int id = -1;
+  std::string name;
+  bool alive = true;
+  double busy_s = 0;
+  double utilization = 0;  ///< busy_s / makespan
+  int jobs_completed = 0;
+  int jobs_migrated_in = 0;
+  int jobs_migrated_out = 0;
+};
+
+struct FleetReport {
+  std::vector<JobOutcome> jobs;
+  std::vector<LadderEvent> ladder;
+  std::vector<DeviceUtilization> devices;
+  std::string fault_trace;  ///< FleetFaultPlan::trace_string()
+
+  double makespan_s = 0;  ///< gpusim::Timeline horizon
+  double jobs_per_hour = 0;
+  double latency_p50_s = 0;
+  double latency_p95_s = 0;
+  double latency_max_s = 0;
+
+  int completed = 0;
+  int parked = 0;
+  int total_retries = 0;
+  int total_migrations = 0;
+  int total_rollbacks = 0;
+
+  /// Fills the aggregate fields (counts, throughput, latency percentiles,
+  /// per-device utilization shares) from jobs/devices/makespan_s.
+  void finalize();
+
+  /// Canonical deterministic rendering: summary line, one line per job, the
+  /// ladder decisions, and the fleet fault trace. Equal across same-seed
+  /// replays — the reproducibility gate string-compares it.
+  [[nodiscard]] std::string describe() const;
+
+  /// The full report as a JSON document (hashes as strings: uint64 does not
+  /// survive a double round-trip).
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace mlbm::fleet

@@ -1,0 +1,467 @@
+#include "fleet/scheduler.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "resilience/snapshot.hpp"
+
+namespace mlbm::fleet {
+
+resilience::RunnerConfig default_job_runner_config() {
+  resilience::RunnerConfig rc;
+  // The window must fit inside a (possibly ladder-shrunk) quantum, and the
+  // sentinel must run every step: the scheduler captures its migration
+  // snapshot at each quantum boundary, so a bit flip that slipped through a
+  // sparse sentinel cadence would be frozen into the boundary state and break
+  // the bit-identity contract. Fleet jobs are small; per-step checks are
+  // affordable.
+  rc.checkpoint_interval = 8;
+  rc.ring_capacity = 2;
+  rc.sentinel.cadence = 1;
+  rc.sentinel.sample_stride = 1;  // full scan: no node escapes detection
+  rc.sleep_on_backoff = false;
+  return rc;
+}
+
+FleetScheduler::FleetScheduler(DevicePool pool, FleetConfig config)
+    : pool_(std::move(pool)), config_(std::move(config)) {
+  if (pool_.size() <= 0) {
+    throw ConfigError("FleetScheduler: pool must contain at least one device");
+  }
+  if (config_.quantum_steps < 1) {
+    throw ConfigError("FleetScheduler: quantum_steps must be >= 1");
+  }
+  if (config_.min_quantum_steps < 1 ||
+      config_.min_quantum_steps > config_.quantum_steps) {
+    throw ConfigError(
+        "FleetScheduler: min_quantum_steps must be in [1, quantum_steps]");
+  }
+  if (config_.retry_budget < 1) {
+    throw ConfigError("FleetScheduler: retry_budget must be >= 1");
+  }
+  if (config_.deadline_factor <= 1.0) {
+    throw ConfigError("FleetScheduler: deadline_factor must be > 1");
+  }
+  if (config_.max_ticks < 1) {
+    throw ConfigError("FleetScheduler: max_ticks must be >= 1");
+  }
+}
+
+int FleetScheduler::submit(JobSpec spec) {
+  if (ran_) {
+    throw ConfigError("FleetScheduler: submit after run()");
+  }
+  spec.id = static_cast<int>(jobs_.size());
+  JobRt rt;
+  rt.out.spec = spec;
+  rt.remaining_steps = spec.steps;
+  rt.quantum = config_.quantum_steps;
+  jobs_.push_back(std::move(rt));
+  return spec.id;
+}
+
+void FleetScheduler::record_ladder(const JobRt& rt, long tick,
+                                   LadderAction action,
+                                   const std::string& cause, int from,
+                                   int to) {
+  ladder_.push_back(
+      {rt.out.spec.id, tick, action, cause, from, to, rt.quantum});
+}
+
+void FleetScheduler::release_device(JobRt& rt) {
+  if (rt.out.device < 0) return;
+  FleetDevice& dev = pool_.device(rt.out.device);
+  dev.resident_bytes =
+      dev.resident_bytes >= rt.bytes ? dev.resident_bytes - rt.bytes : 0;
+  // Return the unexecuted part of the job's placement reservation.
+  dev.reserved_s = std::max(
+      0.0, dev.reserved_s -
+               static_cast<double>(rt.remaining_steps) *
+                   pool_.step_seconds(rt.out.device, rt.out.spec, rt.cells));
+}
+
+void FleetScheduler::park_job(JobRt& rt, FleetError::Kind kind,
+                              const std::string& reason) {
+  release_device(rt);
+  rt.runner.reset();
+  rt.injector.reset();
+  rt.unplaced.reset();
+  rt.out.status = JobStatus::kParked;
+  rt.out.parked_kind = kind;
+  rt.out.parked_reason = reason;
+}
+
+void FleetScheduler::sync_injector(JobRt& rt) {
+  const FleetDevice& dev = pool_.device(rt.out.device);
+  const double eff =
+      std::max(config_.job_faults.launch_fail_rate, dev.launch_fail_rate);
+  const bool any_fault = eff > 0 || config_.job_faults.bitflip_rate > 0 ||
+                         config_.job_faults.halo_corrupt_rate > 0 ||
+                         !config_.job_faults.scripted.empty();
+  if (!any_fault && !rt.injector) return;
+  if (rt.injector && rt.effective_launch_rate == eff) return;
+  resilience::FaultConfig fc = config_.job_faults;
+  fc.launch_fail_rate = eff;
+  // Independent per-job, per-epoch streams; an epoch is a deterministic
+  // rebuild point (a burst window opening or closing), so replays agree.
+  fc.seed = config_.job_faults.seed +
+            0x9e3779b97f4a7c15ULL *
+                static_cast<std::uint64_t>(rt.out.spec.id + 1) +
+            1000003ULL * static_cast<std::uint64_t>(rt.injector_epoch);
+  ++rt.injector_epoch;
+  auto fresh = std::make_unique<resilience::FaultInjector>(fc);
+  rt.runner->set_fault_injector(fresh.get());
+  rt.injector = std::move(fresh);  // old injector was uninstalled above
+  rt.effective_launch_rate = eff;
+}
+
+void FleetScheduler::place_job(JobRt& rt, long tick) {
+  const JobSpec& spec = rt.out.spec;
+  if (!pool_.fits_anywhere(rt.bytes)) {
+    park_job(rt, FleetError::Kind::kAdmission,
+             spec.name() + ": state of " + std::to_string(rt.bytes) +
+                 " bytes fits on no device of the pool");
+    return;
+  }
+  bool alive_capacity = false;
+  for (const FleetDevice& d : pool_.devices()) {
+    if (d.alive && rt.bytes <= d.capacity_bytes()) {
+      alive_capacity = true;
+      break;
+    }
+  }
+  if (!alive_capacity) {
+    park_job(rt, FleetError::Kind::kNoDevice,
+             spec.name() + ": no surviving device can hold the job");
+    return;
+  }
+  const int to =
+      pool_.place(spec, rt.cells, rt.bytes, rt.remaining_steps);
+  if (to < 0) return;  // pool full this tick; stay pending
+
+  std::unique_ptr<Engine<D2Q9>> eng;
+  const bool is_restore = !rt.boundary.empty() && rt.done_steps > 0;
+  if (rt.unplaced) {
+    eng = std::move(rt.unplaced);
+  } else {
+    eng = make_job_engine(spec);
+    if (!rt.boundary.empty()) {
+      resilience::restore_state(*eng, rt.boundary);
+    }
+  }
+  if (rt.boundary.empty()) {
+    // The migration unit exists from the instant a job is placed, so even a
+    // first-quantum failure has an exact state to move or roll back to.
+    rt.boundary = resilience::capture_state(*eng, 0, /*with_moments=*/false);
+  }
+  rt.runner = std::make_unique<resilience::ResilientRunner<D2Q9>>(
+      std::move(eng), config_.runner);
+  if (rt.injector) {
+    rt.runner->set_fault_injector(rt.injector.get());
+  }
+  FleetDevice& dev = pool_.device(to);
+  dev.resident_bytes += rt.bytes;
+  dev.reserved_s += static_cast<double>(rt.remaining_steps) *
+                    pool_.step_seconds(to, spec, rt.cells);
+  rt.out.device = to;
+  rt.out.status = JobStatus::kRunning;
+  if (is_restore) {
+    // Re-placement after a device death that had no immediate target:
+    // charge the checkpoint transfer now that a destination exists.
+    const double factor = plan_ ? plan_->link_factor() : 1.0;
+    const double dur =
+        config_.link.transfer_s(static_cast<std::uint64_t>(rt.bytes)) * factor;
+    rt.last_ev = timeline_.enqueue(
+        device_streams_[static_cast<std::size_t>(to)], dur, {rt.last_ev},
+        spec.name() + ":restore@t" + std::to_string(tick));
+    dev.busy_s += dur;
+    ++dev.jobs_migrated_in;
+  }
+}
+
+bool FleetScheduler::migrate_job(JobRt& rt, long tick,
+                                 const std::string& cause) {
+  const JobSpec& spec = rt.out.spec;
+  const int from = rt.out.device;
+  const int to = pool_.place(spec, rt.cells, rt.bytes, rt.remaining_steps,
+                             /*exclude=*/from);
+  release_device(rt);
+  if (from >= 0) {
+    ++pool_.device(from).jobs_migrated_out;
+  }
+  if (to < 0) {
+    // No destination right now: the boundary snapshot IS the job; drop the
+    // dead/overloaded engine and queue for re-placement.
+    rt.runner.reset();
+    rt.out.device = -1;
+    rt.out.status = JobStatus::kPending;
+    bool alive_capacity = false;
+    for (const FleetDevice& d : pool_.devices()) {
+      if (d.alive && rt.bytes <= d.capacity_bytes()) {
+        alive_capacity = true;
+        break;
+      }
+    }
+    if (!alive_capacity) {
+      park_job(rt, FleetError::Kind::kNoDevice,
+               spec.name() + ": " + cause +
+                   " and no surviving device can hold the job");
+    }
+    return false;
+  }
+
+  auto eng = make_job_engine(spec);
+  resilience::restore_state(*eng, rt.boundary);
+  rt.runner = std::make_unique<resilience::ResilientRunner<D2Q9>>(
+      std::move(eng), config_.runner);
+  if (rt.injector) {
+    rt.runner->set_fault_injector(rt.injector.get());
+  }
+  FleetDevice& dest = pool_.device(to);
+  dest.resident_bytes += rt.bytes;
+  dest.reserved_s += static_cast<double>(rt.remaining_steps) *
+                     pool_.step_seconds(to, spec, rt.cells);
+  ++dest.jobs_migrated_in;
+  ++rt.out.migrations;
+  rt.out.device = to;
+  rt.out.status = JobStatus::kRunning;
+
+  const double factor = plan_ ? plan_->link_factor() : 1.0;
+  const double dur =
+      config_.link.transfer_s(static_cast<std::uint64_t>(rt.bytes)) * factor;
+  rt.last_ev = timeline_.enqueue(
+      device_streams_[static_cast<std::size_t>(to)], dur, {rt.last_ev},
+      spec.name() + ":migrate@t" + std::to_string(tick));
+  dest.busy_s += dur;
+  record_ladder(rt, tick, LadderAction::kMigrate, cause, from, to);
+  return true;
+}
+
+void FleetScheduler::handle_trip(JobRt& rt, long tick,
+                                 const std::string& cause) {
+  ++rt.out.retries;
+  ++rt.consecutive_trips;
+  if (rt.out.retries > config_.retry_budget) {
+    record_ladder(rt, tick, LadderAction::kPark, cause, rt.out.device, -1);
+    park_job(rt, FleetError::Kind::kRetryBudget,
+             rt.out.spec.name() + ": retry budget (" +
+                 std::to_string(config_.retry_budget) + ") exhausted; last: " +
+                 cause);
+    return;
+  }
+  // Bounded exponential backoff, charged in modeled time ahead of the job's
+  // next quantum.
+  long bo = config_.backoff_base_ms;
+  for (int i = 1; i < rt.consecutive_trips && bo < config_.backoff_max_ms;
+       ++i) {
+    bo *= 2;
+  }
+  rt.pending_backoff_ms += std::min(bo, static_cast<long>(config_.backoff_max_ms));
+
+  if (rt.ladder_stage == 0) {
+    rt.ladder_stage = 1;
+    const int to = pool_.place(rt.out.spec, rt.cells, rt.bytes,
+                               rt.remaining_steps, /*exclude=*/rt.out.device);
+    if (to >= 0) {
+      migrate_job(rt, tick, cause);
+      return;
+    }
+    // No alternative device: fall through to quantum shrinking.
+  }
+  if (rt.ladder_stage == 1) {
+    if (rt.quantum > config_.min_quantum_steps) {
+      rt.quantum = std::max(config_.min_quantum_steps, rt.quantum / 2);
+      record_ladder(rt, tick, LadderAction::kShrinkQuantum, cause,
+                    rt.out.device, rt.out.device);
+      return;
+    }
+    rt.ladder_stage = 2;
+  }
+  record_ladder(rt, tick, LadderAction::kPark, cause, rt.out.device, -1);
+  park_job(rt, FleetError::Kind::kLadder,
+           rt.out.spec.name() + ": degradation ladder exhausted; last: " +
+               cause);
+}
+
+void FleetScheduler::advance_job(JobRt& rt, long tick) {
+  const JobSpec& spec = rt.out.spec;
+  const int dev_id = rt.out.device;
+  const int steps_this = std::min(rt.quantum, rt.remaining_steps);
+  sync_injector(rt);
+
+  resilience::RunReport rep;
+  try {
+    rep = rt.runner->run(steps_this);
+  } catch (const UnrecoverableError& e) {
+    // The quantum is lost; the boundary snapshot restores the job exactly
+    // (raw path, identical engine type) and the trip ladder decides where
+    // and how it retries.
+    resilience::restore_state(rt.runner->engine(), rt.boundary);
+    handle_trip(rt, tick, std::string("unrecoverable: ") + e.what());
+    return;
+  } catch (const std::exception& e) {
+    park_job(rt, FleetError::Kind::kLadder,
+             spec.name() + ": non-transient failure: " + e.what());
+    return;
+  }
+
+  rt.out.rollbacks += rep.rollbacks;
+  rt.out.launch_failures += rep.launch_failures;
+  rt.out.sentinel_trips += rep.sentinel_trips;
+  rt.out.backoff_ms += static_cast<long>(rep.total_backoff_ms);
+
+  long replay_steps = 0;
+  for (const resilience::RecoveryEvent& e : rep.events) {
+    replay_steps += std::max(0, e.step - e.restored_step);
+  }
+  FleetDevice& dev = pool_.device(dev_id);
+  const double step0 = pool_.step_seconds(dev_id, spec, rt.cells);
+  const double nominal_s = static_cast<double>(steps_this) * step0;
+  // This quantum's share of the placement reservation converts to busy_s.
+  dev.reserved_s = std::max(0.0, dev.reserved_s - nominal_s);
+  const double exec_s =
+      (static_cast<double>(steps_this) + static_cast<double>(replay_steps)) *
+          step0 * dev.slowdown +
+      static_cast<double>(rep.total_backoff_ms) / 1000.0;
+  const double charged_s =
+      exec_s + static_cast<double>(rt.pending_backoff_ms) / 1000.0;
+  rt.out.backoff_ms += rt.pending_backoff_ms;
+  rt.pending_backoff_ms = 0;
+  rt.last_ev = timeline_.enqueue(
+      device_streams_[static_cast<std::size_t>(dev_id)], charged_s,
+      {rt.last_ev}, spec.name() + ":q@t" + std::to_string(tick));
+  dev.busy_s += charged_s;
+
+  rt.done_steps += steps_this;
+  rt.remaining_steps -= steps_this;
+  rt.boundary = resilience::capture_state(rt.runner->engine(), rt.done_steps,
+                                          /*with_moments=*/false);
+
+  // Watchdog compare is compute-only (slowdown and replay): backoff is a
+  // bounded, separately accounted cost, and on small jobs a single modeled
+  // backoff dwarfs the nominal quantum time — folding it in would turn every
+  // recovered rollback into a spurious deadline trip.
+  const double watch_s =
+      (static_cast<double>(steps_this) + static_cast<double>(replay_steps)) *
+      step0 * dev.slowdown;
+
+  if (rt.remaining_steps == 0) {
+    rt.out.fields = job_fields(rt.runner->engine());
+    rt.out.status = JobStatus::kCompleted;
+    rt.out.finish_s = timeline_.complete_time(rt.last_ev);
+    ++dev.jobs_completed;
+    release_device(rt);
+    rt.runner.reset();
+    rt.injector.reset();
+    return;
+  }
+  if (watch_s > nominal_s * config_.deadline_factor) {
+    handle_trip(rt, tick, "deadline");
+  } else {
+    rt.consecutive_trips = 0;
+  }
+}
+
+FleetReport FleetScheduler::run() {
+  if (ran_) {
+    throw ConfigError("FleetScheduler: run() may only be called once");
+  }
+  ran_ = true;
+  device_streams_.reserve(static_cast<std::size_t>(pool_.size()));
+  for (const FleetDevice& d : pool_.devices()) {
+    device_streams_.push_back(
+        timeline_.add_stream(d.spec.name + "#" + std::to_string(d.id)));
+  }
+
+  // Build every job's engine up front: admission needs the exact footprint,
+  // and an unbuildable spec parks as unservable instead of aborting the run.
+  for (JobRt& rt : jobs_) {
+    try {
+      rt.unplaced = make_job_engine(rt.out.spec);
+      rt.cells = rt.unplaced->geometry().box.cells();
+      rt.bytes = rt.unplaced->state_bytes();
+    } catch (const std::exception& e) {
+      park_job(rt, FleetError::Kind::kAdmission,
+               rt.out.spec.name() + ": engine construction failed: " +
+                   e.what());
+    }
+  }
+
+  for (long tick = 0; tick < config_.max_ticks; ++tick) {
+    bool any_active = false;
+    for (const JobRt& rt : jobs_) {
+      if (rt.out.status == JobStatus::kPending ||
+          rt.out.status == JobStatus::kRunning) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+
+    if (plan_ != nullptr) {
+      const std::vector<int> lost = plan_->begin_tick(tick, pool_);
+      for (const int dead : lost) {
+        for (JobRt& rt : jobs_) {
+          if (rt.out.status == JobStatus::kRunning && rt.out.device == dead) {
+            migrate_job(rt, tick, "device-loss");
+          }
+        }
+      }
+    }
+
+    bool placed_any = false;
+    for (JobRt& rt : jobs_) {
+      if (rt.out.status != JobStatus::kPending) continue;
+      place_job(rt, tick);
+      placed_any = placed_any || rt.out.status == JobStatus::kRunning;
+    }
+
+    bool advanced_any = false;
+    for (JobRt& rt : jobs_) {
+      if (rt.out.status != JobStatus::kRunning) continue;
+      advance_job(rt, tick);
+      advanced_any = true;
+    }
+
+    if (!placed_any && !advanced_any) {
+      // Nothing can run and nothing could be placed: no completion will ever
+      // free capacity, so further ticks cannot change anything.
+      break;
+    }
+  }
+
+  for (JobRt& rt : jobs_) {
+    if (rt.out.status == JobStatus::kPending ||
+        rt.out.status == JobStatus::kRunning) {
+      park_job(rt, FleetError::Kind::kDrain,
+               rt.out.spec.name() + ": fleet drained (tick bound " +
+                   std::to_string(config_.max_ticks) + ") before completion");
+    }
+  }
+
+  FleetReport report;
+  report.jobs.reserve(jobs_.size());
+  for (JobRt& rt : jobs_) {
+    report.jobs.push_back(std::move(rt.out));
+  }
+  report.ladder = std::move(ladder_);
+  if (plan_ != nullptr) {
+    report.fault_trace = plan_->trace_string();
+  }
+  report.makespan_s = timeline_.horizon();
+  for (const FleetDevice& d : pool_.devices()) {
+    DeviceUtilization u;
+    u.id = d.id;
+    u.name = d.spec.name;
+    u.alive = d.alive;
+    u.busy_s = d.busy_s;
+    u.jobs_completed = d.jobs_completed;
+    u.jobs_migrated_in = d.jobs_migrated_in;
+    u.jobs_migrated_out = d.jobs_migrated_out;
+    report.devices.push_back(std::move(u));
+  }
+  report.finalize();
+  return report;
+}
+
+}  // namespace mlbm::fleet

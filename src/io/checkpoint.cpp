@@ -1,7 +1,9 @@
 #include "io/checkpoint.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -58,10 +60,17 @@ Moments<L> unpack_node(const real_t* v) {
 
 template <class L>
 void save_checkpoint(const Engine<L>& eng, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+  // Atomic write: stream into `path + ".tmp"`, flush and close, then rename
+  // over the destination. A crash (or an injected fault) mid-write can only
+  // ever leave a stale `.tmp` orphan behind — the destination is either the
+  // previous complete checkpoint or the new complete one, never a torn file.
+  // The rename is atomic on POSIX when source and destination share a
+  // filesystem, which they do by construction (same directory).
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw CheckpointError(CheckpointError::Kind::kOpen,
-                          "save_checkpoint: cannot open " + path);
+                          "save_checkpoint: cannot open " + tmp);
   }
 
   const Geometry& geo = eng.geometry();
@@ -106,9 +115,26 @@ void save_checkpoint(const Engine<L>& eng, const std::string& path) {
       }
     }
   }
+  out.flush();
   if (!out) {
+    std::remove(tmp.c_str());
     throw CheckpointError(CheckpointError::Kind::kWrite,
-                          "save_checkpoint: write failed: " + path);
+                          "save_checkpoint: write failed: " + tmp);
+  }
+  out.close();
+  if (out.fail()) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(CheckpointError::Kind::kWrite,
+                          "save_checkpoint: close failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(
+        CheckpointError::Kind::kWrite,
+        "save_checkpoint: cannot rename " + tmp + " over " + path + ": " +
+            ec.message());
   }
 }
 

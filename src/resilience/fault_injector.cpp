@@ -55,4 +55,64 @@ std::string FaultInjector::trace_string() const {
   return os.str();
 }
 
+namespace {
+
+/// Value of `key=` in `line`, cut at the next space. `rest_of_line` keeps
+/// everything to the end instead (kernel names may contain '=' or spaces; the
+/// canonical format always renders them last).
+std::string trace_field(const std::string& line, const std::string& key,
+                        bool rest_of_line = false) {
+  const std::string needle = key + "=";
+  std::size_t p =
+      line.rfind(needle, 0) == 0 ? 0 : line.find(" " + needle);
+  if (p == std::string::npos) {
+    throw ConfigError("FaultInjector::parse_trace: missing '" + needle +
+                      "' in line: " + line);
+  }
+  if (p != 0) ++p;  // skip the separating space
+  p += needle.size();
+  const std::size_t end = rest_of_line ? std::string::npos : line.find(' ', p);
+  return line.substr(p, end == std::string::npos ? std::string::npos
+                                                 : end - p);
+}
+
+}  // namespace
+
+std::vector<FaultEvent> FaultInjector::parse_trace(const std::string& trace) {
+  std::vector<FaultEvent> out;
+  std::istringstream is(trace);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    FaultEvent e;
+    try {
+      e.step = std::stoi(trace_field(line, "step"));
+    } catch (const std::logic_error&) {
+      throw ConfigError("FaultInjector::parse_trace: bad step in line: " +
+                        line);
+    }
+    const std::string kind = trace_field(line, "kind");
+    if (kind == to_string(FaultKind::kBitFlip) ||
+        kind == to_string(FaultKind::kScriptedBitFlip)) {
+      e.kind = kind == to_string(FaultKind::kBitFlip)
+                   ? FaultKind::kBitFlip
+                   : FaultKind::kScriptedBitFlip;
+      e.site = std::stoull(trace_field(line, "site"));
+      e.bit = static_cast<unsigned>(std::stoul(trace_field(line, "bit")));
+    } else if (kind == to_string(FaultKind::kLaunchFailure)) {
+      e.kind = FaultKind::kLaunchFailure;
+      e.detail = trace_field(line, "kernel", /*rest_of_line=*/true);
+    } else if (kind == to_string(FaultKind::kHaloCorruption)) {
+      e.kind = FaultKind::kHaloCorruption;
+      e.site = std::stoull(trace_field(line, "interface"));
+      e.detail = trace_field(line, "side", /*rest_of_line=*/true);
+    } else {
+      throw ConfigError("FaultInjector::parse_trace: unknown kind '" + kind +
+                        "' in line: " + line);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
 }  // namespace mlbm::resilience

@@ -87,6 +87,14 @@ struct FaultEvent {
   std::string detail;         ///< kernel name / interface side
 };
 
+inline bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.step == b.step && a.site == b.site &&
+         a.bit == b.bit && a.detail == b.detail;
+}
+inline bool operator!=(const FaultEvent& a, const FaultEvent& b) {
+  return !(a == b);
+}
+
 class FaultInjector final : public gpusim::LaunchFaultHook {
  public:
   explicit FaultInjector(FaultConfig cfg)
@@ -157,6 +165,12 @@ class FaultInjector final : public gpusim::LaunchFaultHook {
   /// Canonical one-line-per-fault rendering; two runs with the same seed and
   /// workload must produce equal strings (seed-reproducibility contract).
   [[nodiscard]] std::string trace_string() const;
+
+  /// Inverse of trace_string: parses the canonical rendering back into the
+  /// event sequence (sites, counters, bits exact), so a recorded trace can
+  /// be replayed/diffed structurally. Throws ConfigError on malformed lines.
+  [[nodiscard]] static std::vector<FaultEvent> parse_trace(
+      const std::string& trace);
 
  private:
   static constexpr std::uint64_t kStreamLaunch = 1;

@@ -36,9 +36,15 @@ SentinelReport StabilitySentinel<L>::check(const Engine<L>& eng) const {
     rep.value = v;
   };
 
+  const Geometry& geo = eng.geometry();
+  const bool any_solid = geo.has_solids();
   for (int z = 0; z < b.nz; ++z) {
     for (int y = 0; y < b.ny; y += stride) {
       for (int x = 0; x < b.nx; x += stride) {
+        // Solid nodes carry no state and report the canonical blanked
+        // moments (rho = 0, inside no density band): they are not part of
+        // the stability question.
+        if (any_solid && geo.solid(x, y, z)) continue;
         const Moments<L> m = eng.moments_at(x, y, z);
         if (!std::isfinite(m.rho)) {
           fail(SentinelReport::Reason::kNonFinite, x, y, z, m.rho);

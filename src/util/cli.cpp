@@ -44,14 +44,60 @@ int Cli::get_int(const std::string& key, int fallback) const {
   queried_.insert(key);
   auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
-  return std::stoi(it->second);
+  // Strict parse: the WHOLE value must be one integer. std::stoi would
+  // silently accept "12abc" as 12 and throw untyped std::invalid_argument on
+  // "abc"; both become a ConfigError that names the offending option.
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(it->second, &pos);
+  } catch (const std::exception&) {
+    throw ConfigError("Cli: --" + key + " expects an integer, got '" +
+                      it->second + "'");
+  }
+  if (pos != it->second.size()) {
+    throw ConfigError("Cli: --" + key + " has trailing garbage: '" +
+                      it->second + "'");
+  }
+  return v;
+}
+
+int Cli::get_int(const std::string& key, int fallback, int min) const {
+  const int v = get_int(key, fallback);
+  if (v < min) {
+    throw ConfigError("Cli: --" + key + " must be >= " + std::to_string(min) +
+                      ", got " + std::to_string(v));
+  }
+  return v;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   queried_.insert(key);
   auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
-  return std::stod(it->second);
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    throw ConfigError("Cli: --" + key + " expects a number, got '" +
+                      it->second + "'");
+  }
+  if (pos != it->second.size()) {
+    throw ConfigError("Cli: --" + key + " has trailing garbage: '" +
+                      it->second + "'");
+  }
+  return v;
+}
+
+double Cli::get_double(const std::string& key, double fallback,
+                       double above) const {
+  const double v = get_double(key, fallback);
+  if (!(v > above)) {
+    throw ConfigError("Cli: --" + key + " must be > " + std::to_string(above) +
+                      ", got " + std::to_string(v));
+  }
+  return v;
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {

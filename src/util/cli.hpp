@@ -24,9 +24,20 @@ class Cli {
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+  /// Strict full-string parse: `--steps 12abc`, `--steps abc` and
+  /// out-of-int-range values all raise a ConfigError naming the option
+  /// (nothing is silently truncated the way std::stoi would).
   [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  /// As get_int, additionally requiring value >= min (typed error instead of
+  /// a nonsense run from `--steps 0` or `--slabs -3`).
+  [[nodiscard]] int get_int(const std::string& key, int fallback,
+                            int min) const;
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
+  /// As get_double with a lower bound: value must be strictly greater than
+  /// `above` (e.g. rates and factors that must be positive).
+  [[nodiscard]] double get_double(const std::string& key, double fallback,
+                                  double above) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
   /// Positional (non `--`) arguments in order of appearance.

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kLaunchFault,    ///< (injected) transient kernel-launch failure
   kInstability,    ///< stability sentinel tripped
   kUnrecoverable,  ///< resilience retries exhausted
+  kFleet,          ///< fleet scheduler parked or rejected a job
 };
 
 inline const char* to_string(ErrorCode c) {
@@ -39,6 +40,7 @@ inline const char* to_string(ErrorCode c) {
     case ErrorCode::kLaunchFault: return "launch-fault";
     case ErrorCode::kInstability: return "instability";
     case ErrorCode::kUnrecoverable: return "unrecoverable";
+    case ErrorCode::kFleet: return "fleet";
   }
   return "unknown";
 }

@@ -222,6 +222,61 @@ TEST_F(CheckpointCorruption, V1FilesRemainLoadable) {
   std::filesystem::remove(path);
 }
 
+// ---- Atomic save: tmp + flush + rename ----
+
+TEST_F(CheckpointCorruption, SaveLeavesNoTmpFileBehind) {
+  const std::string path = tmp_path("mlbm_ckpt_atomic.bin");
+  save_checkpoint(*make_engine(), path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // The staging file was renamed over the destination, not left as debris.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST_F(CheckpointCorruption, TornTmpFromACrashIsInvisibleToLoad) {
+  // A writer that died mid-save leaves a torn `path.tmp`; the destination
+  // either does not exist (first save) or still holds the previous complete
+  // checkpoint. load_checkpoint never looks at the tmp.
+  const std::string path = tmp_path("mlbm_ckpt_torn.bin");
+  spit_bytes(path + ".tmp", truncated(good_.size() / 2));
+
+  // First save never happened: the destination is absent.
+  auto target = make_engine();
+  EXPECT_THROW(load_checkpoint(*target, path), CheckpointError);
+
+  // Previous save is intact: the torn tmp does not affect the load.
+  spit_bytes(path, good_);
+  EXPECT_NO_THROW(load_checkpoint(*target, path));
+
+  // A new save replaces the destination atomically and reclaims the tmp name.
+  save_checkpoint(*make_engine(), path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_NO_THROW(load_checkpoint(*target, path));
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+TEST_F(CheckpointCorruption, UnwritableStagingPathIsTypedAndNonDestructive) {
+  // A directory squatting on `path.tmp` makes the staging file unopenable:
+  // the save must throw a typed kOpen error and leave an existing
+  // destination checkpoint untouched.
+  const std::string path = tmp_path("mlbm_ckpt_blocked.bin");
+  spit_bytes(path, good_);
+  std::filesystem::create_directory(path + ".tmp");
+
+  try {
+    save_checkpoint(*make_engine(), path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kOpen);
+  }
+  EXPECT_EQ(slurp_bytes(path), good_);  // destination untouched
+
+  std::filesystem::remove(path + ".tmp");
+  std::filesystem::remove(path);
+}
+
 TEST_F(CheckpointCorruption, TypedErrorsStayCatchableAsRuntimeError) {
   auto target = make_engine();
   const std::string path = tmp_path("mlbm_corrupt_legacy.bin");

@@ -230,6 +230,51 @@ TEST(Cli, RejectsMalformedBoolean) {
   EXPECT_THROW(cli.get_bool("x", false), std::invalid_argument);
 }
 
+TEST(Cli, StrictIntegerParsing) {
+  const char* argv[] = {"prog", "--steps", "12abc", "--n", "abc",
+                        "--ok",   "42",    "--big", "99999999999999999999"};
+  Cli cli(9, argv);
+  EXPECT_EQ(cli.get_int("ok", 0), 42);
+  // Trailing garbage, non-numeric, and out-of-range all raise the typed
+  // ConfigError (std::stoi would have silently returned 12 for "12abc").
+  EXPECT_THROW(cli.get_int("steps", 0), ConfigError);
+  EXPECT_THROW(cli.get_int("n", 0), ConfigError);
+  EXPECT_THROW(cli.get_int("big", 0), ConfigError);
+}
+
+TEST(Cli, StrictDoubleParsing) {
+  const char* argv[] = {"prog", "--tau", "0.8x", "--u0", "fast", "--ok",
+                        "0.5"};
+  Cli cli(7, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("ok", 0), 0.5);
+  EXPECT_THROW(cli.get_double("tau", 0), ConfigError);
+  EXPECT_THROW(cli.get_double("u0", 0), ConfigError);
+}
+
+TEST(Cli, BoundedNumericLookups) {
+  const char* argv[] = {"prog", "--steps", "0", "--slabs", "-3", "--rate",
+                        "0.0"};
+  Cli cli(7, argv);
+  // `--steps 0`, `--slabs -3` and a non-positive rate become typed errors
+  // instead of a nonsense run.
+  EXPECT_THROW(cli.get_int("steps", 1, 1), ConfigError);
+  EXPECT_THROW(cli.get_int("slabs", 0, 0), ConfigError);
+  EXPECT_THROW(cli.get_double("rate", 1.0, 0.0), ConfigError);
+  EXPECT_EQ(cli.get_int("absent", 7, 1), 7);      // fallback passes the bound
+  EXPECT_EQ(cli.get_int("steps", 1, 0), 0);       // bound 0 admits the value
+}
+
+TEST(Cli, ErrorNamesTheOption) {
+  const char* argv[] = {"prog", "--retries", "-2"};
+  Cli cli(3, argv);
+  try {
+    (void)cli.get_int("retries", 3, 1);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--retries"), std::string::npos);
+  }
+}
+
 // -------------------------------------------------------------------- CSV
 
 TEST(Csv, WritesHeaderAndRows) {

@@ -31,6 +31,7 @@ namespace mlbm {
 namespace {
 
 using resilience::FaultConfig;
+using resilience::FaultEvent;
 using resilience::FaultInjector;
 using resilience::FaultKind;
 using resilience::ResilientRunner;
@@ -334,6 +335,67 @@ TEST(FaultInjector, StepWindowGatesFaults) {
   inj.begin_step(6);
   EXPECT_NO_THROW(e->step());
   inj.uninstall(*e);
+}
+
+TEST(FaultInjector, TraceStringRoundTripsThroughParseTrace) {
+  // A live trace containing all three fault classes: scripted flip, rate
+  // bitflips, launch failures (recorded, since on_launch traces before it
+  // throws).
+  auto e = tg_st();
+  FaultConfig fc;
+  fc.seed = 42;
+  fc.bitflip_rate = 0.3;
+  fc.launch_fail_rate = 0.15;
+  fc.scripted.push_back({2, 40, 62});
+  FaultInjector inj(fc);
+  inj.install(*e);
+  for (int s = 0; s < 24; ++s) {
+    inj.begin_step(s);
+    try {
+      e->step();
+    } catch (const TransientLaunchError&) {
+      continue;  // the failed launch left state untouched; skip the step
+    }
+    inj.apply_state_faults(*e);
+  }
+  inj.uninstall(*e);
+
+  bool saw_flip = false;
+  bool saw_launch = false;
+  for (const FaultEvent& ev : inj.trace()) {
+    saw_flip = saw_flip || ev.kind == FaultKind::kBitFlip ||
+               ev.kind == FaultKind::kScriptedBitFlip;
+    saw_launch = saw_launch || ev.kind == FaultKind::kLaunchFailure;
+  }
+  ASSERT_TRUE(saw_flip);
+  ASSERT_TRUE(saw_launch);
+
+  // parse_trace(trace_string()) == trace(): every step, site, bit and kernel
+  // name survives the text round trip exactly.
+  const std::vector<FaultEvent> parsed =
+      FaultInjector::parse_trace(inj.trace_string());
+  ASSERT_EQ(parsed.size(), inj.trace().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], inj.trace()[i]) << "event " << i;
+  }
+}
+
+TEST(FaultInjector, ParseTraceHandlesHaloLinesAndRejectsGarbage) {
+  const std::string halo = "step=7 kind=halo-corruption interface=1 side=right-ghost\n";
+  const std::vector<FaultEvent> ev = FaultInjector::parse_trace(halo);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].kind, FaultKind::kHaloCorruption);
+  EXPECT_EQ(ev[0].step, 7);
+  EXPECT_EQ(ev[0].site, 1u);
+  EXPECT_EQ(ev[0].detail, "right-ghost");
+
+  EXPECT_TRUE(FaultInjector::parse_trace("").empty());
+  EXPECT_THROW(FaultInjector::parse_trace("step=1 kind=flux-capacitor\n"),
+               ConfigError);
+  EXPECT_THROW(FaultInjector::parse_trace("step=x kind=bit-flip site=0 bit=1"),
+               ConfigError);
+  EXPECT_THROW(FaultInjector::parse_trace("kind=bit-flip site=0 bit=1"),
+               ConfigError);
 }
 
 // ---------------------------------------------------------------- snapshots
