@@ -33,10 +33,13 @@ void sweep(const std::vector<MrConfig>& configs, CsvWriter& csv) {
     const auto kc = bench::mr_characteristics<L>(Pattern::kMRP, cfg);
     const auto ev = perf::estimate_saturated(v100, Pattern::kMRP, lat, kc);
     const auto em = perf::estimate_saturated(mi100, Pattern::kMRP, lat, kc);
-    const std::string tile =
-        std::to_string(cfg.tile_x) +
-        (L::D == 3 ? "x" + std::to_string(cfg.tile_y) : "") + "x" +
-        std::to_string(cfg.tile_s);
+    std::string tile = std::to_string(cfg.tile_x);
+    if (L::D == 3) {
+      tile += "x";
+      tile += std::to_string(cfg.tile_y);
+    }
+    tile += "x";
+    tile += std::to_string(cfg.tile_s);
     t.row({tile, std::to_string(kc.threads_per_block),
            AsciiTable::num(kc.shared_bytes_per_block / 1024.0, 1),
            AsciiTable::num(100 * kc.halo_read_fraction, 1) + "%",

@@ -35,9 +35,13 @@ void verify_engine_allocations(AsciiTable& t) {
   cs_cfg.storage = MomentStorage::kCircularShift;
   MrEngine<L> mr_cs(geo, 0.8, Regularization::kProjective, cs_cfg);
 
+  std::string extent = std::to_string(nx) + "x" + std::to_string(ny);
+  if (L::D == 3) {
+    extent += "x";
+    extent += std::to_string(nz);
+  }
   auto row = [&](const char* name, double bytes) {
-    t.row({name, L::name(), std::to_string(nx) + "x" + std::to_string(ny) +
-                               (L::D == 3 ? "x" + std::to_string(nz) : ""),
+    t.row({name, L::name(), extent,
            AsciiTable::num(bytes / 1024.0, 1),
            AsciiTable::num(bytes / cells, 1)});
   };

@@ -6,7 +6,7 @@
 // slab decomposition from the command line, run, and get a physics summary
 // plus the traffic/footprint report of the run.
 //
-//   ./examples/mlbm_proxy --lattice d2q9 --pattern mr-p --workload channel \
+//   ./examples/mlbm_proxy --lattice d2q9 --pattern mr-p --workload channel
 //                         --nx 96 --ny 32 --steps 2000 [--devices 2]
 //                         [--tau 0.8] [--umax 0.05] [--vtk out.vtk]
 //                         [--save state.ckpt] [--load state.ckpt]

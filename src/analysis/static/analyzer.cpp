@@ -1,0 +1,307 @@
+#include "analysis/static/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mlbm::analysis {
+
+namespace {
+
+std::string off_str(const std::array<int, 3>& o) {
+  // Built by append: GCC 12 -O3 mis-diagnoses the `literal + to_string(...)`
+  // chain with a spurious -Wrestrict in the inlined string internals.
+  std::string s = "(";
+  s += std::to_string(o[0]);
+  s += ',';
+  s += std::to_string(o[1]);
+  s += ',';
+  s += std::to_string(o[2]);
+  s += ')';
+  return s;
+}
+
+bool shares_component(const AccessDesc& a, const AccessDesc& b) {
+  for (int c : a.comps) {
+    if (std::find(b.comps.begin(), b.comps.end(), c) != b.comps.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// node-race: for every (write, other) descriptor pair on the same array
+/// with a common component, equal offsets mean the same thread touches the
+/// word (ordered in program order: reads before writes); different offsets
+/// mean two threads p and p + (A.off - W.off) collide on it. The offset
+/// difference is realizable on every domain larger than the offsets
+/// themselves (and on any extent at all under periodic wrap), so a nonzero
+/// difference is a hazard for all domain sizes, not a corner case.
+void check_node_races(const EngineContract& ec, const NodeKernelContract& nk,
+                      AnalysisReport& rep) {
+  const auto& acc = nk.accesses;
+  for (std::size_t wi = 0; wi < acc.size(); ++wi) {
+    if (!acc[wi].write) continue;
+    for (std::size_t ai = 0; ai < acc.size(); ++ai) {
+      if (ai == wi) continue;
+      if (acc[ai].array != acc[wi].array) continue;
+      if (acc[ai].write && ai < wi) continue;  // pair already reported
+      if (!shares_component(acc[wi], acc[ai])) continue;
+      if (acc[wi].off == acc[ai].off) continue;  // same thread, ordered
+      rep.findings.push_back(
+          {"node-race", nk.tag,
+           "array '" + ec.arrays[static_cast<std::size_t>(acc[wi].array)]
+                           .name +
+               "': write at offset " + off_str(acc[wi].off) + " and " +
+               (acc[ai].write ? "write" : "read") + " at offset " +
+               off_str(acc[ai].off) +
+               " share a component — nodes p and p+delta touch one word"});
+    }
+  }
+}
+
+void check_span_bounds(const EngineContract& ec, const std::string& tag,
+                       const AccessDesc& a, AnalysisReport& rep) {
+  const int nc = ec.arrays[static_cast<std::size_t>(a.array)].comps;
+  for (int c : a.comps) {
+    if (c < 0 || c >= nc) {
+      rep.findings.push_back(
+          {"span-bounds", tag,
+           "component " + std::to_string(c) + " outside array '" +
+               ec.arrays[static_cast<std::size_t>(a.array)].name + "' (" +
+               std::to_string(nc) + " components): the span's " +
+               (c < 0 ? "negative-stride endpoint underflows element 0"
+                      : "top endpoint overruns the allocation") +
+               " on every domain"});
+    }
+  }
+  if (a.span && a.comps.size() > 1) {
+    const int step = a.comps[1] - a.comps[0];
+    bool affine = (step == 1 || step == -1);
+    for (std::size_t i = 1; affine && i < a.comps.size(); ++i) {
+      affine = (a.comps[i] - a.comps[i - 1]) == step;
+    }
+    if (!affine) {
+      rep.findings.push_back(
+          {"span-bounds", tag,
+           "span components are not a unit-stride progression — not "
+           "expressible as one strided transaction"});
+    }
+  }
+}
+
+// ---- ring-kernel checks ---------------------------------------------------
+
+int sweep_reach(const LatticeDesc& lat) {
+  int r = 0;
+  for (int i = 0; i < lat.q; ++i) r = std::max(r, std::abs(lat.c_sweep(i)));
+  return r;
+}
+
+int cross_reach(const LatticeDesc& lat, int axis) {
+  int r = 0;
+  for (int i = 0; i < lat.q; ++i) {
+    r = std::max(r, std::abs(lat.c[static_cast<std::size_t>(i)][axis]));
+  }
+  return r;
+}
+
+/// Symbolic schedule simulation of the circular-shift storage policy over a
+/// sweep of extents S. Physical layer of logical layer s at step t is
+/// (s - shift*t) mod (S + layers_extra); the level schedule is the engine's:
+/// level k's phase A consumes sources [k*ts, (k+1)*ts), its phase B writes
+/// destinations up to min((k+1)*ts - 2, S - 2) (final level: S - 1). A
+/// mutated discipline only moves the physical write slot (wmut); the
+/// simulator tags each slot with (step, layer) and flags a write landing on
+/// an unconsumed source (clobber) and a read finding the wrong tag (stale).
+/// Two steps are simulated: the first plants mis-slotted writes, the second's
+/// reads expose them. The sweep over S covers a full ring period past the
+/// minimum legal extent, which decides the modular condition exhaustively —
+/// residues of (wmut - shift) mod (S + layers_extra) repeat beyond it.
+void simulate_circular_shift(const RingKernelContract& rk,
+                             AnalysisReport& rep) {
+  const int ts = rk.tile_s;
+  const int wmut = rk.write_phase_offset();
+  const int shift = rk.shift_per_step;
+  const int s_min = std::max(rk.min_sweep_extent_periodic, ts + 3);
+  // One full ring period past the minimum legal extent (plus slack): the
+  // biased-slot congruence is periodic in S + layers_extra, so this finite
+  // sweep decides the for-all-S claim.
+  const int s_max = s_min + std::max(16, s_min + rk.layers_extra);
+  for (int S = s_min; S <= s_max; ++S) {
+    const int period = S + rk.layers_extra;
+    const int ntiles = (S + ts - 1) / ts;
+    // tag[p] = {step, layer} whose data physical layer p holds; layer -1
+    // marks the two never-initialized gap slots.
+    std::vector<std::array<int, 2>> tag(static_cast<std::size_t>(period),
+                                        {-1, -1});
+    const auto phys = [&](int s, int t) {
+      const int p = (s - shift * t) % period;
+      return p < 0 ? p + period : p;
+    };
+    for (int s = 0; s < S; ++s) tag[static_cast<std::size_t>(phys(s, 0))] = {0, s};
+
+    for (int t = 0; t < 2; ++t) {
+      std::vector<bool> consumed(static_cast<std::size_t>(S), false);
+      int next_write = 0;
+      for (int k = 0; k <= ntiles; ++k) {
+        // Phase A of level k: read sources [k ts, (k+1) ts).
+        const int a_end = std::min(S, (k + 1) * ts);
+        for (int s = k * ts; s < a_end; ++s) {
+          const auto& tg = tag[static_cast<std::size_t>(phys(s, t))];
+          if (tg[0] != t || tg[1] != s) {
+            rep.findings.push_back(
+                {"ring-stale", rk.tag,
+                 "S=" + std::to_string(S) + " t=" + std::to_string(t) +
+                     ": phase A of layer " + std::to_string(s) +
+                     " reads physical layer " + std::to_string(phys(s, t)) +
+                     " which holds " +
+                     (tg[1] < 0 ? std::string("no data")
+                                : "layer " + std::to_string(tg[1]) +
+                                      " of step " + std::to_string(tg[0])) +
+                     " (write-layer bias " + std::to_string(wmut) + ")"});
+            return;  // one witness per contract is enough
+          }
+          consumed[static_cast<std::size_t>(s)] = true;
+        }
+        // Phase B of level k: write destinations up to the canonical limit.
+        const int limit =
+            (k < ntiles) ? std::min((k + 1) * ts - 2, S - 2) : S - 1;
+        for (; next_write <= limit; ++next_write) {
+          const int s = next_write;
+          const int w = (((phys(s, t + 1) + wmut) % period) + period) % period;
+          const auto& tg = tag[static_cast<std::size_t>(w)];
+          if (tg[0] == t && tg[1] >= 0 &&
+              !consumed[static_cast<std::size_t>(tg[1])]) {
+            rep.findings.push_back(
+                {"ring-clobber", rk.tag,
+                 "S=" + std::to_string(S) + " t=" + std::to_string(t) +
+                     ": write-back of layer " + std::to_string(s) +
+                     " lands on physical layer " + std::to_string(w) +
+                     " still holding UNREAD source layer " +
+                     std::to_string(tg[1]) + " (write-layer bias " +
+                     std::to_string(wmut) + ")"});
+            return;
+          }
+          tag[static_cast<std::size_t>(w)] = {t + 1, s};
+        }
+      }
+    }
+  }
+}
+
+void check_ring(const EngineContract& ec, const RingKernelContract& rk,
+                AnalysisReport& rep) {
+  const LatticeDesc& lat = ec.lattice;
+  const int sreach = sweep_reach(lat);
+
+  // ring-halo: every cross axis the block does not own in full must be
+  // covered by the declared source halo, or boundary ring words have no
+  // producer (they are read by phase B regardless).
+  for (int axis = 0; axis < (lat.dim == 2 ? 1 : 2); ++axis) {
+    const int need = cross_reach(lat, axis);
+    if (rk.cross_halo < need) {
+      rep.findings.push_back(
+          {"ring-halo", rk.tag,
+           "declared cross halo " + std::to_string(rk.cross_halo) +
+               " < lattice cross reach " + std::to_string(need) +
+               " on axis " + std::to_string(axis) +
+               ": tile-edge ring words are never streamed into"});
+    }
+  }
+
+  // ring-dead-read: layer s receives its last contribution from source
+  // s + sweep_reach, so the write-back must trail the newest processed
+  // source by at least 1 + sweep_reach layers.
+  if (rk.write_behind < 1 + sreach) {
+    rep.findings.push_back(
+        {"ring-dead-read", rk.tag,
+         "write-behind " + std::to_string(rk.write_behind) + " < 1 + sweep "
+             "reach " + std::to_string(sreach) +
+             ": a layer is re-projected before the downward-streaming "
+             "contribution from the next source layer is written"});
+  }
+
+  // ring-capacity: during one level, live layers span the window
+  // [front - tile_s - sweep_reach, front + sweep_reach]; the slot map
+  // layer -> (s+1) mod ring_slots must be injective over it.
+  if (rk.ring_slots_extra < 2 * sreach) {
+    const int slots = rk.tile_s + rk.ring_slots_extra;
+    rep.findings.push_back(
+        {"ring-capacity", rk.tag,
+         std::to_string(slots) + " shared ring slots < tile_s + " +
+             std::to_string(2 * sreach) +
+             ": the top destination layer of a level recycles the slot of "
+             "a layer phase B has not yet consumed"});
+  }
+
+  // ring-barrier: phase B of level k reads layer (k+1)ts-2, whose final
+  // contribution phase A of the SAME level streams down from source
+  // (k+1)ts-1 — different threads, so without an intervening barrier the
+  // read races the write on every domain with S >= 2.
+  if (!rk.barrier_between_phases) {
+    rep.findings.push_back(
+        {"ring-barrier", rk.tag,
+         "phase B runs inside phase A's barrier epoch: its read of the "
+         "level's top completed layer races the same-epoch ring write from "
+         "the source one layer above"});
+  }
+
+  if (rk.single_buffer) simulate_circular_shift(rk, rep);
+
+  check_span_bounds(ec, rk.tag, rk.src_load, rep);
+  check_span_bounds(ec, rk.tag, rk.dst_store, rep);
+}
+
+}  // namespace
+
+int required_ghost_depth(const EngineContract& c) {
+  int need = 0;
+  for (const auto& nk : c.node_kernels) {
+    int rd = 0;
+    int wr = 0;
+    for (const auto& a : nk.accesses) {
+      (a.write ? wr : rd) = std::max(a.write ? wr : rd, std::abs(a.off[0]));
+    }
+    need = std::max(need, rd + wr);
+  }
+  for ([[maybe_unused]] const auto& rk : c.ring_kernels) {
+    // Phase A reads the cross halo of neighbouring columns; writes stay
+    // inside the owned tile.
+    need = std::max(need, cross_reach(c.lattice, 0));
+  }
+  return need;
+}
+
+AnalysisReport analyze(const EngineContract& c) {
+  AnalysisReport rep;
+  rep.checks_run = {"node-race",      "span-bounds",  "ghost-depth",
+                    "ring-halo",      "ring-dead-read", "ring-capacity",
+                    "ring-barrier",   "ring-clobber", "ring-stale"};
+  for (const auto& nk : c.node_kernels) {
+    check_node_races(c, nk, rep);
+    for (const auto& a : nk.accesses) check_span_bounds(c, nk.tag, a, rep);
+  }
+  for (const auto& rk : c.ring_kernels) check_ring(c, rk, rep);
+  if (!c.empty()) {
+    const int need = required_ghost_depth(c);
+    if (c.ghost_depth_declared < need) {
+      rep.findings.push_back(
+          {"ghost-depth", "",
+           "declared exchange depth " +
+               std::to_string(c.ghost_depth_declared) +
+               " < required " + std::to_string(need) +
+               " (max over cycle kernels of x read reach + x write reach): "
+               "a frontier split finalizes planes the neighbour still "
+               "corrupts"});
+    }
+  }
+  return rep;
+}
+
+std::string to_string(const Finding& f) {
+  std::string s = f.check;
+  if (!f.kernel.empty()) s += " [" + f.kernel + "]";
+  return s + ": " + f.detail;
+}
+
+}  // namespace mlbm::analysis

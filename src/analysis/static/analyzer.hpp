@@ -1,0 +1,92 @@
+// The static access-contract analyzer: proves race-freedom and addressing
+// discipline for ALL domain extents from the declarations in contract.hpp.
+//
+// What "static" buys over PR 4's dynamic sanitizer: racecheck observes one
+// execution of one domain; the checks here quantify over every domain shape
+// the kernels accept, because the contracts are affine in the node
+// coordinate — overlap between two per-node accesses is a small integer
+// (Diophantine) condition on their offsets and component sets, independent
+// of the extents, and the MR circular-shift discipline reduces to modular
+// arithmetic on (S + 2) that a bounded sweep over sweep extents decides
+// exhaustively (every hazard class manifests within one ring period).
+//
+// Checks, per contract:
+//
+//  node kernels (one thread per node, no intra-kernel barrier):
+//   * node-race      — a write descriptor and any other descriptor share a
+//                      component at different offsets: two distinct threads
+//                      touch one lattice word, at least one writing. This is
+//                      exactly the condition under which the AA odd kernel's
+//                      in-place safety proof (reader == writer per word)
+//                      breaks.
+//   * span-bounds    — span descriptors must walk a contiguous component
+//                      range inside the array (negative-stride spans must
+//                      not underflow component 0): the static form of
+//                      GlobalArray::span_ok, proven for all extents.
+//
+//  ring kernels (the MR column sweep):
+//   * ring-halo      — phase A's declared cross halo must cover the lattice
+//                      cross reach (the PR 6 open-face bug class: a source
+//                      position nobody streams from leaves ring words
+//                      unwritten).
+//   * ring-dead-read — the write-back must trail the sweep front by at least
+//                      1 + sweep reach layers, or phase B re-projects a
+//                      layer before its last streamed contribution arrives
+//                      (the PR 4 dead-read bug class).
+//   * ring-capacity  — the shared ring must hold tile_s + 2 * sweep-reach
+//                      slots, or a level's top destination layer recycles
+//                      the slot of a layer phase B has not consumed.
+//   * ring-barrier   — phase B must run in a barrier epoch after phase A.
+//   * ring-clobber / ring-stale — the circular-shift schedule, simulated
+//                      symbolically over a sweep of extents: a write may
+//                      never land on a physical layer still holding an
+//                      unread source (clobber), and every logical layer of
+//                      step t+1 must be found, freshly written, exactly
+//                      where phys_layer(s, t+1) says (stale).
+//
+//  whole contract:
+//   * ghost-depth    — the declared multi-domain exchange depth must cover
+//                      read reach + write reach along x of every kernel in
+//                      the cycle (ST pull 1+0, push 0+1, AA odd 1+1 = 2,
+//                      MR cross reach 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/contract.hpp"
+
+namespace mlbm::analysis {
+
+struct Finding {
+  std::string check;   ///< check id, e.g. "ring-clobber"
+  std::string kernel;  ///< contract tag of the offending kernel ("" = global)
+  std::string detail;  ///< human-readable witness
+};
+
+struct AnalysisReport {
+  std::vector<Finding> findings;
+  std::vector<std::string> checks_run;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  /// True if any finding carries the given check id.
+  [[nodiscard]] bool has(const std::string& check) const {
+    for (const auto& f : findings) {
+      if (f.check == check) return true;
+    }
+    return false;
+  }
+};
+
+/// Runs every applicable check. A clean report on the canonical contracts
+/// and >= 1 finding on every seeded mutation is mlbm-verify's gate.
+AnalysisReport analyze(const EngineContract& c);
+
+/// Ghost depth the multi-domain decomposition must exchange for this
+/// contract: max over cycle kernels of (x read reach + x write reach).
+int required_ghost_depth(const EngineContract& c);
+
+/// One-line rendering ("check kernel: detail") for CLI / test output.
+std::string to_string(const Finding& f);
+
+}  // namespace mlbm::analysis

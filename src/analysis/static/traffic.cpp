@@ -1,0 +1,120 @@
+#include "analysis/static/traffic.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace mlbm::analysis {
+
+namespace {
+
+/// Distinct (array, component) pairs read by the descriptor set: each pair
+/// touches every node once per step, so this times N is the unique-address
+/// read footprint.
+std::uint64_t distinct_read_comps(const std::vector<AccessDesc>& acc) {
+  std::set<std::pair<int, int>> seen;
+  for (const auto& a : acc) {
+    if (a.write) continue;
+    for (int c : a.comps) seen.emplace(a.array, c);
+  }
+  return seen.size();
+}
+
+void add_node_accesses(const std::vector<AccessDesc>& acc, std::uint64_t n,
+                       std::uint64_t e, StepTraffic& out) {
+  for (const auto& a : acc) {
+    const auto comps = static_cast<std::uint64_t>(a.comps.size());
+    const std::uint64_t bytes = n * comps * e;
+    const std::uint64_t txns = n * (a.span ? 1 : comps);
+    if (a.write) {
+      out.bytes_written += bytes;
+      out.writes += txns;
+    } else {
+      out.bytes_read += bytes;
+      out.reads += txns;
+    }
+  }
+}
+
+}  // namespace
+
+StepTraffic derive_step_traffic(const EngineContract& c, int nx, int ny,
+                                int nz, long long t) {
+  StepTraffic out;
+  const auto e = static_cast<std::uint64_t>(c.elem_bytes);
+  const auto n = static_cast<std::uint64_t>(nx) *
+                 static_cast<std::uint64_t>(ny) *
+                 static_cast<std::uint64_t>(nz);
+  if (!c.node_kernels.empty()) {
+    const auto phase = static_cast<std::size_t>(
+        t % static_cast<long long>(c.steps_per_cycle));
+    const NodeKernelContract& nk = c.node_kernels.at(phase);
+    add_node_accesses(nk.accesses, n, e, out);
+    out.unique_read_bytes = n * distinct_read_comps(nk.accesses) * e;
+  }
+  for (const auto& rk : c.ring_kernels) {
+    // The sweep kernel's per-step loads: every level, every owned layer,
+    // one src_load per source position of the tile cross-section PLUS its
+    // declared halo — so per x-tile of width cax the row is cax + 2h wide,
+    // and summing the clamped, possibly ragged tile decomposition gives
+    // extent + 2h * ntiles per cross axis. Writes are one dst_store per
+    // owned node. Halo loads re-read neighbour columns' elements, which is
+    // exactly why unique (ideal-L2) bytes stay at one read per element.
+    const int ncx0 = nx;
+    const int ncx1 = c.lattice.dim == 2 ? 1 : ny;
+    const int S = c.lattice.dim == 2 ? ny : nz;
+    const int tx = std::min(rk.tile_x, ncx0);
+    const int ty = c.lattice.dim == 2 ? 1 : std::min(rk.tile_y, ncx1);
+    const int nc0 = (ncx0 + tx - 1) / tx;
+    const int nc1 = (ncx1 + ty - 1) / ty;
+    const int h = rk.cross_halo;
+    const auto positions =
+        static_cast<std::uint64_t>(S) *
+        static_cast<std::uint64_t>(ncx0 + 2 * h * nc0) *
+        (c.lattice.dim == 2
+             ? std::uint64_t{1}
+             : static_cast<std::uint64_t>(ncx1 + 2 * h * nc1));
+    const auto rd_comps = static_cast<std::uint64_t>(rk.src_load.comps.size());
+    out.bytes_read += positions * rd_comps * e;
+    out.reads += positions * (rk.src_load.span ? 1 : rd_comps);
+    const auto wr_comps =
+        static_cast<std::uint64_t>(rk.dst_store.comps.size());
+    out.bytes_written += n * wr_comps * e;
+    out.writes += n * (rk.dst_store.span ? 1 : wr_comps);
+    out.unique_read_bytes += n * rd_comps * e;
+  }
+  return out;
+}
+
+double derived_bytes_per_flup(const EngineContract& c) {
+  if (c.empty()) return 0.0;
+  const auto e = static_cast<double>(c.elem_bytes);
+  double per_cycle = 0.0;
+  int phases = 0;
+  for (const auto& nk : c.node_kernels) {
+    std::uint64_t writes = 0;
+    for (const auto& a : nk.accesses) {
+      if (a.write) writes += a.comps.size();
+    }
+    per_cycle +=
+        (static_cast<double>(distinct_read_comps(nk.accesses)) +
+         static_cast<double>(writes)) *
+        e;
+    ++phases;
+  }
+  for (const auto& rk : c.ring_kernels) {
+    per_cycle += (static_cast<double>(rk.src_load.comps.size()) +
+                  static_cast<double>(rk.dst_store.comps.size())) *
+                 e;
+    ++phases;
+  }
+  if (phases != c.steps_per_cycle) {
+    throw ConfigError(
+        "derived_bytes_per_flup: kernel phases do not cover the cycle");
+  }
+  return per_cycle / static_cast<double>(c.steps_per_cycle);
+}
+
+}  // namespace mlbm::analysis

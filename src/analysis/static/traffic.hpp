@@ -1,0 +1,47 @@
+// Traffic derivation from access contracts: closed-form bytes/FLUP and
+// exact per-step byte/transaction counts, computed WITHOUT running a kernel.
+//
+// Two levels of prediction, matching the three-way agreement gate:
+//
+//  * derived_bytes_per_flup — the paper's Table 2 figure (DRAM bytes per
+//    fluid lattice update with halo re-reads served by L2): distinct
+//    components read plus components written per node, per cycle step,
+//    times the storage width. Cross-checked against perfmodel's
+//    bytes_per_flup / aa_bytes_per_flup (prediction == prediction).
+//  * derive_step_traffic — the exact counter deltas one step of a dense,
+//    fully periodic box must produce, transaction-exact including the MR
+//    halo re-reads and ragged edge tiles. Cross-checked against the
+//    measured TrafficCounter/unique-read deltas (prediction == measurement,
+//    to the byte and the transaction).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/static/contract.hpp"
+
+namespace mlbm::analysis {
+
+/// Field names mirror gpusim::TrafficSnapshot (reads/writes count
+/// transactions); unique_read_bytes mirrors the ideal-L2 unique-address
+/// model of Engine::unique_read_bytes.
+struct StepTraffic {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t unique_read_bytes = 0;
+};
+
+/// Exact traffic of step index `t` (AA parity) on a dense, fully periodic
+/// nx x ny x nz box. Valid only for such probes: walls, open faces, solids
+/// and sparse storage change the counts (by design — they are measured, not
+/// asserted, elsewhere).
+StepTraffic derive_step_traffic(const EngineContract& c, int nx, int ny,
+                                int nz, long long t);
+
+/// Closed-form DRAM bytes per fluid lattice update (Table 2 figure),
+/// averaged over one kernel cycle: 2 Q elem_bytes for the distribution
+/// representations, 2 M elem_bytes for the moment representation.
+double derived_bytes_per_flup(const EngineContract& c);
+
+}  // namespace mlbm::analysis

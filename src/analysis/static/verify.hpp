@@ -1,0 +1,88 @@
+// The mlbm-verify matrix driver: proves every live engine configuration
+// against its declared access contract BEFORE trusting a single step.
+//
+// For each probe of the engine x lattice x precision matrix (dense, fully
+// periodic boxes — the regime where the contracts predict traffic exactly),
+// the driver gates on:
+//
+//  1. static cleanliness — analyze(access_contract()) reports no findings
+//     (race-freedom, span bounds, ring discipline, ghost depth), quantified
+//     over all domain sizes;
+//  2. the three-way traffic agreement — the contract-derived per-step
+//     byte/transaction/unique counts equal the measured TrafficCounter and
+//     unique-read deltas of every probed step EXACTLY, and the contract's
+//     closed-form bytes/FLUP equals perfmodel's Table 2 figure AND the
+//     measured (unique reads + writes) / N to the last bit;
+//  3. kernel coverage — every kernel record the engine registered carries a
+//     contract tag, the tag names a declared kernel contract, and the
+//     record's name is listed under it (a new kernel cannot ship
+//     unanalyzed);
+//  4. mutation kill — every seeded contract mutation applicable to the
+//     probe (shifted ring window, shrunk ghost depth, dropped barrier
+//     phase, ...) must produce at least one analyzer finding. A surviving
+//     mutant means a hazard class the analyzer cannot see, and fails the
+//     run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlbm::analysis {
+
+struct VerifyOptions {
+  /// Steps measured per probe; >= 2 so both AA parities are covered.
+  int steps = 2;
+  /// Apply this named contract mutation to every probe it applies to and
+  /// report the damage (demonstration mode; the run is expected to fail).
+  std::string mutate;
+};
+
+/// One probe of the matrix. `failures` is empty on a pass.
+struct CaseResult {
+  std::string config;
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// One (probe, seeded mutation) cell of the kill matrix.
+struct MutationResult {
+  std::string config;
+  std::string mutation;
+  bool killed = false;
+  std::string first_finding;  ///< the check that killed it
+
+  [[nodiscard]] bool ok() const { return killed; }
+};
+
+struct VerifyReport {
+  std::vector<CaseResult> cases;
+  std::vector<MutationResult> mutations;
+
+  [[nodiscard]] int mutations_killed() const {
+    int n = 0;
+    for (const auto& m : mutations) n += m.killed ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool ok() const {
+    for (const auto& c : cases) {
+      if (!c.ok()) return false;
+    }
+    return mutations_killed() == static_cast<int>(mutations.size());
+  }
+};
+
+/// Names of the seeded mutations exercised anywhere in the matrix (CLI
+/// --list-mutations).
+std::vector<std::string> all_mutation_names();
+
+/// Runs the full matrix. Probes are small dense periodic boxes (2D 40x24,
+/// 3D 16x12x10 — deliberately NOT tile-aligned, so the MR formulas are
+/// checked against ragged edge tiles).
+VerifyReport run_verify_matrix(const VerifyOptions& opt = {});
+
+/// Multi-line human-readable report (one line per failing case / surviving
+/// mutation, plus a summary line).
+std::string to_string(const VerifyReport& rep);
+
+}  // namespace mlbm::analysis

@@ -156,6 +156,12 @@ void AaEngine<L, ST>::ensure_records() {
       krec_even_mixed_frontier_ =
           &prof_.record(base + "_even_mixed_frontier");
       krec_odd_mixed_frontier_ = &prof_.record(base + "_odd_mixed_frontier");
+      krec_even_->contract = krec_even_frontier_->contract =
+          krec_even_mixed_->contract = krec_even_mixed_frontier_->contract =
+              "aa.even";
+      krec_odd_->contract = krec_odd_frontier_->contract =
+          krec_odd_mixed_->contract = krec_odd_mixed_frontier_->contract =
+              "aa.odd";
       return;
     }
     krec_even_ = &prof_.record(std::string("aa_even_") + L::name());
@@ -164,6 +170,8 @@ void AaEngine<L, ST>::ensure_records() {
         &prof_.record(std::string("aa_even_") + L::name() + "_frontier");
     krec_odd_frontier_ =
         &prof_.record(std::string("aa_odd_") + L::name() + "_frontier");
+    krec_even_->contract = krec_even_frontier_->contract = "aa.even";
+    krec_odd_->contract = krec_odd_frontier_->contract = "aa.odd";
   }
 }
 

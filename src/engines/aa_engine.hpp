@@ -82,6 +82,14 @@ class AaEngine final : public Engine<L> {
   [[nodiscard]] int threads_per_block() const { return threads_per_block_; }
   [[nodiscard]] ExecMode exec_mode() const { return exec_; }
 
+  /// Declared kernel accesses of the two in-place flavours. The analyzer
+  /// re-proves Bailey's invariant from the declaration alone: every gather
+  /// and scatter that share a lattice word also share a thread.
+  [[nodiscard]] analysis::EngineContract access_contract() const override {
+    return analysis::aa_contract(analysis::make_lattice_desc<L>(), sizeof(ST),
+                                 batched_io_);
+  }
+
   /// Validation hook: scalar per-population I/O instead of batched spans on
   /// the even (node-local) step. Bytes identical; transactions differ by Q.
   void set_batched_io(bool on) { batched_io_ = on; }

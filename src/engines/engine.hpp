@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/static/contract.hpp"
 #include "geometry/geometry.hpp"
 #include "core/moments.hpp"
 #include "gpusim/profiler.hpp"
@@ -150,6 +151,16 @@ class Engine {
     return L::cs2 * (tau_ - real_t(0.5));
   }
   [[nodiscard]] int time() const { return t_; }
+
+  /// Symbolic access contract of this engine's kernels (analysis/static/):
+  /// what every kernel promises to read and write, as affine descriptors the
+  /// static analyzer proves race-free and traffic-exact for all domain
+  /// sizes. Reflects the engine's live configuration (storage width, batched
+  /// I/O, any seeded fault mutation). Engines without gpusim backing return
+  /// an empty contract (nothing launches, nothing to verify).
+  [[nodiscard]] virtual analysis::EngineContract access_contract() const {
+    return {};
+  }
 
   /// Non-null for gpusim-backed engines (ST, MR): per-kernel traffic stats.
   [[nodiscard]] virtual gpusim::Profiler* profiler() { return nullptr; }

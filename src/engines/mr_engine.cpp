@@ -224,6 +224,7 @@ void MrEngine<L, ST>::ensure_records() {
                                                            : "mr_r_") +
         L::name();
     krec_ = &prof_.record(base);
+    krec_->contract = "mr.sweep";
   }
 }
 
@@ -234,6 +235,7 @@ template <class L, class ST>
 void MrEngine<L, ST>::ensure_frontier_record() {
   if (krec_frontier_ == nullptr) {
     krec_frontier_ = &prof_.record(std::string(krec_->name) + "_frontier");
+    krec_frontier_->contract = "mr.sweep";
   }
 }
 
@@ -718,10 +720,10 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
                     (pim_l[p][ln] - rho_l[ln] * u_l[pa][ln] * u_l[pb][ln]);
               }
             }
-            const ReconstructorLanes<L, kReg, kLaneWidth> rec(n, rho_l, u_l,
-                                                              pineq_l);
+            const ReconstructorLanes<L, kReg, kLaneWidth> recon(n, rho_l, u_l,
+                                                                pineq_l);
             real_t panel[L::Q][kLaneWidth];
-            for (int i = 0; i < L::Q; ++i) rec.eval(i, panel[i]);
+            for (int i = 0; i < L::Q; ++i) recon.eval(i, panel[i]);
             for (int ln = 0; ln < n; ++ln) {
               const int lhx = lane_hx[ln];
               const int tid_a =
@@ -789,12 +791,12 @@ void MrEngine<L, ST>::step_tiles(int c0_begin, int c0_count,
             const real_t full = mom[1 + L::D + p];
             pineq_star[p] = relax * (full - rho * u[pa] * u[pb]);
           }
-          const Reconstructor<L, kReg> rec(rho, u, pineq_star);
+          const Reconstructor<L, kReg> recon(rho, u, pineq_star);
 
           // Map to distribution space (Eq. 11 / Eq. 14) and stream into the
           // shared ring.
           real_t fv[L::Q];
-          for (int i = 0; i < L::Q; ++i) fv[i] = rec(i);
+          for (int i = 0; i < L::Q; ++i) fv[i] = recon(i);
           scatter_source(sanc, blk, st, dst_base, s, hx, hy, cross_src,
                          tid_a, rho, fv);
         }

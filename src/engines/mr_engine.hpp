@@ -113,6 +113,21 @@ class MrEngine final : public Engine<L> {
   [[nodiscard]] const MrConfig& config() const { return config_; }
   [[nodiscard]] ExecMode exec_mode() const { return exec_; }
 
+  /// Declared sweep-kernel discipline: tile geometry, cross halo, shared
+  /// ring capacity and the circular-shift write-behind/shift parameters.
+  /// Reflects any installed FaultMutation, so a mutated engine declares the
+  /// (broken) discipline it actually executes and the static analyzer must
+  /// flag it — the same kill-rate contract the dynamic sanitizer satisfies.
+  [[nodiscard]] analysis::EngineContract access_contract() const override {
+    return analysis::mr_contract(
+        analysis::make_lattice_desc<L>(), sizeof(ST),
+        scheme_ == Regularization::kProjective,
+        config_.storage == MomentStorage::kCircularShift, config_.tile_x,
+        config_.tile_y, config_.tile_s, batched_io_, mutation_.write_behind,
+        mutation_.ring_shift_bias, !mutation_.skip_phase_sync,
+        mutation_.shrink_cross_halo ? 0 : 1);
+  }
+
   /// Binds the sanitizer to the profiler and the moment lattice(s). Both
   /// storage policies satisfy the sliding-window freshness contract — a
   /// ping-pong read side was fully written by the previous step, and with

@@ -143,6 +143,9 @@ void StEngine<L, ST>::ensure_records() {
       krec_frontier_ = &prof_.record(base + "_fluid_frontier");
       krec_mixed_ = &prof_.record(base + "_mixed");
       krec_mixed_frontier_ = &prof_.record(base + "_mixed_frontier");
+      // Sparse is pull-only; all four launches obey the pull contract.
+      krec_->contract = krec_frontier_->contract = krec_mixed_->contract =
+          krec_mixed_frontier_->contract = "st.pull";
       return;
     }
     const std::string base = mode_ == StreamMode::kPull
@@ -151,6 +154,8 @@ void StEngine<L, ST>::ensure_records() {
                                        L::name();
     krec_ = &prof_.record(base);
     krec_frontier_ = &prof_.record(base + "_frontier");
+    krec_->contract = krec_frontier_->contract =
+        mode_ == StreamMode::kPull ? "st.pull" : "st.push";
   }
 }
 

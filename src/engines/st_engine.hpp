@@ -76,6 +76,13 @@ class StEngine final : public Engine<L> {
     return &prof_;
   }
 
+  /// Declared kernel accesses: Q upwind gathers + one span store (pull), or
+  /// one span load + Q downwind scatters (push), between the two lattices.
+  [[nodiscard]] analysis::EngineContract access_contract() const override {
+    return analysis::st_contract(analysis::make_lattice_desc<L>(), sizeof(ST),
+                                 mode_ == StreamMode::kPush, batched_io_);
+  }
+
   /// Both orderings split cleanly by x-plane: pull partitions by destination
   /// node (a plane's populations are written only by that plane's threads),
   /// push by source node with a one-plane interior extension (plane x is

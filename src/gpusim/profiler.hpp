@@ -25,6 +25,12 @@ struct KernelRecord {
   std::uint64_t launches = 0;
   std::uint64_t syncs = 0;  ///< total barriers across all blocks and launches
   TrafficSnapshot traffic;
+  /// Access-contract tag this kernel is registered under (see
+  /// analysis/static/): every engine kernel names the NodeKernelContract /
+  /// RingKernelContract it promises to obey, and mlbm-verify fails any
+  /// registered record whose tag is missing from the engine's declared
+  /// contract — so a new kernel cannot ship unanalyzed.
+  std::string contract;
 };
 
 /// Consulted by `launch` at the entry of every kernel launch, before any

@@ -7,6 +7,10 @@ double bytes_per_flup(Pattern p, const LatticeInfo& lat, double elem_bytes) {
   return 2.0 * dof * elem_bytes;
 }
 
+double aa_bytes_per_flup(const LatticeInfo& lat, double elem_bytes) {
+  return 2.0 * lat.q * elem_bytes;
+}
+
 double roofline_mflups(const gpusim::DeviceSpec& dev, double bpf) {
   return dev.bandwidth_gbs * 1e9 / (1e6 * bpf);
 }

@@ -24,6 +24,12 @@ namespace mlbm::perf {
 double bytes_per_flup(Pattern p, const LatticeInfo& lat,
                       double elem_bytes = 8.0);
 
+/// Bytes per fluid lattice update of the AA (in-place) pattern: identical to
+/// ST's 2 Q elements — AA halves the *footprint*, not the traffic — so it is
+/// kept out of the Pattern enum and modeled by this helper (used by the
+/// static-analysis three-way traffic gate).
+double aa_bytes_per_flup(const LatticeInfo& lat, double elem_bytes = 8.0);
+
 /// Eq. 15: ideal MFLUPS at full peak bandwidth.
 double roofline_mflups(const gpusim::DeviceSpec& dev, double bytes_per_flup);
 

@@ -175,6 +175,40 @@ TEST_F(CheckpointCorruption, MangledGeometryHashIsRejected) {
   expect_rejected(bad, CheckpointError::Kind::kGeometry, "mangled_geo_hash");
 }
 
+TEST_F(CheckpointCorruption, DifferentTileMapGeometryIsRejected) {
+  // Semantic (not byte-mangled) v3 hash mismatch: a file saved from a
+  // sparse geometry must not restore into an engine whose flag field — and
+  // therefore tile-compressed element order — differs, even with identical
+  // extents. The load must fail typed BEFORE the first impose().
+  const std::string path = tmp_path("mlbm_corrupt_tilemap.bin");
+  Geometry src(Box{16, 8, 1});
+  src.set_solid(3, 2);
+  src.set_solid(4, 2);
+  {
+    StEngine<D2Q9> donor(src, 0.8);
+    donor.initialize(
+        [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+    donor.run(2);
+    save_checkpoint<D2Q9>(donor, path);
+  }
+  Geometry dst(Box{16, 8, 1});
+  dst.set_solid(9, 5);  // same extents, same solid count shape class — but a
+  dst.set_solid(10, 5);  // different flag field, so a different TileMap
+  StEngine<D2Q9> target(dst, 0.8);
+  target.initialize(
+      [](int, int, int) { return equilibrium_moments<D2Q9>(1.0, {}); });
+  const std::vector<double> before = dump_moments(target);
+  try {
+    load_checkpoint<D2Q9>(target, path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kGeometry) << e.what();
+    EXPECT_FALSE(e.transient());
+  }
+  EXPECT_EQ(before, dump_moments(target));
+  std::filesystem::remove(path);
+}
+
 TEST_F(CheckpointCorruption, OutOfRangeFlagsTagIsRejected) {
   std::vector<char> bad = good_;
   const std::int32_t tag = 3;

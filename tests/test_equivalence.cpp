@@ -96,8 +96,8 @@ INSTANTIATE_TEST_SUITE_P(
         Channel2DParam{Regularization::kRecursive,
                        MomentStorage::kCircularShift,
                        {8, 1, 1}, "R/circshift/8x1"}),
-    [](const auto& info) {
-      std::string s = info.param.label;
+    [](const auto& pinfo) {
+      std::string s = pinfo.param.label;
       for (auto& c : s) {
         if (c == '/' || c == 'x') c = '_';
       }

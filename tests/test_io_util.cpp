@@ -227,7 +227,7 @@ TEST(Cli, BooleanParsing) {
 TEST(Cli, RejectsMalformedBoolean) {
   const char* argv[] = {"prog", "--x", "maybe"};
   Cli cli(3, argv);
-  EXPECT_THROW(cli.get_bool("x", false), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_bool("x", false), std::invalid_argument);
 }
 
 TEST(Cli, StrictIntegerParsing) {
@@ -237,9 +237,9 @@ TEST(Cli, StrictIntegerParsing) {
   EXPECT_EQ(cli.get_int("ok", 0), 42);
   // Trailing garbage, non-numeric, and out-of-range all raise the typed
   // ConfigError (std::stoi would have silently returned 12 for "12abc").
-  EXPECT_THROW(cli.get_int("steps", 0), ConfigError);
-  EXPECT_THROW(cli.get_int("n", 0), ConfigError);
-  EXPECT_THROW(cli.get_int("big", 0), ConfigError);
+  EXPECT_THROW((void)cli.get_int("steps", 0), ConfigError);
+  EXPECT_THROW((void)cli.get_int("n", 0), ConfigError);
+  EXPECT_THROW((void)cli.get_int("big", 0), ConfigError);
 }
 
 TEST(Cli, StrictDoubleParsing) {
@@ -247,8 +247,8 @@ TEST(Cli, StrictDoubleParsing) {
                         "0.5"};
   Cli cli(7, argv);
   EXPECT_DOUBLE_EQ(cli.get_double("ok", 0), 0.5);
-  EXPECT_THROW(cli.get_double("tau", 0), ConfigError);
-  EXPECT_THROW(cli.get_double("u0", 0), ConfigError);
+  EXPECT_THROW((void)cli.get_double("tau", 0), ConfigError);
+  EXPECT_THROW((void)cli.get_double("u0", 0), ConfigError);
 }
 
 TEST(Cli, BoundedNumericLookups) {
@@ -257,9 +257,9 @@ TEST(Cli, BoundedNumericLookups) {
   Cli cli(7, argv);
   // `--steps 0`, `--slabs -3` and a non-positive rate become typed errors
   // instead of a nonsense run.
-  EXPECT_THROW(cli.get_int("steps", 1, 1), ConfigError);
-  EXPECT_THROW(cli.get_int("slabs", 0, 0), ConfigError);
-  EXPECT_THROW(cli.get_double("rate", 1.0, 0.0), ConfigError);
+  EXPECT_THROW((void)cli.get_int("steps", 1, 1), ConfigError);
+  EXPECT_THROW((void)cli.get_int("slabs", 0, 0), ConfigError);
+  EXPECT_THROW((void)cli.get_double("rate", 1.0, 0.0), ConfigError);
   EXPECT_EQ(cli.get_int("absent", 7, 1), 7);      // fallback passes the bound
   EXPECT_EQ(cli.get_int("steps", 1, 0), 0);       // bound 0 admits the value
 }
@@ -320,7 +320,7 @@ TEST(AsciiTableTest, RendersAlignedGrid) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.elapsed_s(), 0.0);
   EXPECT_NEAR(t.elapsed_ms(), t.elapsed_s() * 1e3, t.elapsed_ms() * 0.5 + 1);
   const double before = t.elapsed_s();

@@ -23,7 +23,9 @@ TEST(Slabs, PartitionCoversDomainWithoutOverlap) {
   for (std::size_t d = 0; d < slabs.size(); ++d) {
     EXPECT_GT(slabs[d].x_end, slabs[d].x_begin);
     widths += slabs[d].x_end - slabs[d].x_begin;
-    if (d > 0) EXPECT_EQ(slabs[d].x_begin, slabs[d - 1].x_end);
+    if (d > 0) {
+      EXPECT_EQ(slabs[d].x_begin, slabs[d - 1].x_end);
+    }
   }
   EXPECT_EQ(widths, 17);
   EXPECT_FALSE(slabs.front().has_left);

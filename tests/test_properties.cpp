@@ -141,8 +141,8 @@ TEST_P(ConservationProperty, MassAndMomentumOnPeriodicDomain3D) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, ConservationProperty,
                          ::testing::ValuesIn(kAllKinds),
-                         [](const auto& info) {
-                           return std::string(kind_name(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(kind_name(pinfo.param));
                          });
 
 // -------------------------------------------------------------- checkpoints
@@ -179,8 +179,8 @@ TEST_P(CheckpointProperty, SaveLoadRoundTripsThroughEveryEngine) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, CheckpointProperty,
                          ::testing::ValuesIn(kAllKinds),
-                         [](const auto& info) {
-                           return std::string(kind_name(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(kind_name(pinfo.param));
                          });
 
 // -------------------------------------------------- viscosity across tau
@@ -252,11 +252,11 @@ INSTANTIATE_TEST_SUITE_P(
                       TileCase{2, 3, 1, MomentStorage::kCircularShift},
                       TileCase{4, 2, 4, MomentStorage::kCircularShift},
                       TileCase{16, 16, 2, MomentStorage::kPingPong}),
-    [](const auto& info) {
-      const auto& t = info.param;
-      return std::to_string(t.tx) + "x" + std::to_string(t.ty) + "x" +
-             std::to_string(t.ts) +
-             (t.storage == MomentStorage::kCircularShift ? "_circ" : "_pp");
+    [](const auto& pinfo) {
+      const auto& tc = pinfo.param;
+      return std::to_string(tc.tx) + "x" + std::to_string(tc.ty) + "x" +
+             std::to_string(tc.ts) +
+             (tc.storage == MomentStorage::kCircularShift ? "_circ" : "_pp");
     });
 
 // -------------------------------------------------------- galilean shift

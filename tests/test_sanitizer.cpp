@@ -154,7 +154,9 @@ TEST(SanitizerEpochs, LevelBoundariesOpenEpochsWithoutCountingSyncs) {
   EXPECT_EQ(epochs, (std::vector<std::uint64_t>{1, 2, 3}));
   // ...but the profiler's sync count stays a faithful instruction count.
   for (const auto& rec : prof.all_records()) {
-    if (rec.name == "epochs_lvl") EXPECT_EQ(rec.syncs, 0u);
+    if (rec.name == "epochs_lvl") {
+      EXPECT_EQ(rec.syncs, 0u);
+    }
   }
 }
 
@@ -412,7 +414,9 @@ TEST(SanitizerMutation, RingShiftOffByOneCaught) {
     EXPECT_GT(r.count(HazardKind::kStaleRead), 0u)
         << "bias " << bias << ": " << r.to_string();
     const Hazard* h = r.first(HazardKind::kStaleRead);
-    if (h != nullptr) EXPECT_EQ(h->array, "mom0");
+    if (h != nullptr) {
+      EXPECT_EQ(h->array, "mom0");
+    }
   }
 }
 

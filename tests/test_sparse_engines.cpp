@@ -589,5 +589,104 @@ TEST(SparseSanitizer, MrPorousCleanCircularD3Q19) {
   sparse_run_is_sanitizer_clean(e);
 }
 
+// ----------------------------------------------- degenerate tile domains
+
+/// Runs each of the four engines (ST, AA, MR-P ping-pong, MR-R circular)
+/// on `geo` against the reference engine for a few steps.
+template <class L>
+void degenerate_matches_reference(const Geometry& geo, int steps = 4) {
+  // Each engine is pinned against a reference running the SAME collision
+  // scheme (MR's regularized collisions are not BGK).
+  const auto check = [&](Engine<L>& eng, CollisionScheme scheme,
+                         const char* what) {
+    ReferenceEngine<L> ref(geo, kTau, scheme);
+    ref.initialize(smooth_init<L>());
+    for (int s = 0; s < steps; ++s) ref.step();
+    eng.initialize(smooth_init<L>());
+    for (int s = 0; s < steps; ++s) eng.step();
+    EXPECT_LT(max_moment_diff(eng, ref), 1e-12) << what;
+  };
+  StEngine<L> st(geo, kTau);
+  check(st, CollisionScheme::kBGK, "ST");
+  AaEngine<L> aa(geo, kTau);
+  check(aa, CollisionScheme::kBGK, "AA");
+  MrEngine<L> mrp(geo, kTau, Regularization::kProjective);
+  check(mrp, CollisionScheme::kProjective, "MR-P");
+  MrConfig circ;
+  circ.storage = MomentStorage::kCircularShift;
+  MrEngine<L> mrr(geo, kTau, Regularization::kRecursive, circ);
+  check(mrr, CollisionScheme::kRecursive, "MR-R/circ");
+}
+
+TEST(SparseDegenerate, SingleTileDomain) {
+  // An 8x8 box is exactly ONE tile; a single solid makes it a mixed tile,
+  // so the whole domain runs through the masked launch with no all-fluid
+  // list at all.
+  Geometry geo(Box{8, 8, 1});
+  geo.set_solid(3, 4);
+  ASSERT_TRUE(geo.sparse());
+  ASSERT_EQ(geo.tiles().n_slots(), 1);
+  degenerate_matches_reference<D2Q9>(geo);
+}
+
+TEST(SparseDegenerate, ExtentNotMultipleOfTile2D) {
+  // 13x9: both extents ragged against the 8x8 tile grid, every tile
+  // box-clipped, all of them mixed.
+  Geometry geo(Box{13, 9, 1});
+  geo.set_solid(5, 5);
+  ASSERT_TRUE(geo.sparse());
+  degenerate_matches_reference<D2Q9>(geo);
+}
+
+TEST(SparseDegenerate, ExtentNotMultipleOfTile3D) {
+  // 7x6x5 against 4x4x4 tiles: ragged on every axis, and the MR circular
+  // sweep extent (nz = 5) sits right at its legal minimum of tile_s + 3.
+  Geometry geo(Box{7, 6, 5});
+  geo.set_solid(2, 3, 1);
+  ASSERT_TRUE(geo.sparse());
+  degenerate_matches_reference<D3Q19>(geo);
+}
+
+TEST(SparseDegenerate, AllSolidDomain) {
+  // Every node solid: no tile gets an allocation slot, every launch covers
+  // zero tiles. Engines must construct, step and report: zero state traffic,
+  // solid (all-zero) moments everywhere, and zero-byte steps.
+  Geometry geo(Box{16, 8, 1});
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 16; ++x) geo.set_solid(x, y);
+  }
+  ASSERT_EQ(geo.fluid_count(), 0);
+  ASSERT_EQ(geo.tiles().n_slots(), 0);
+
+  // No moment data may move: zero bytes written everywhere, and the only
+  // reads allowed are the sparse MR column-map probes (one int32 per cross
+  // position incl. the periodic halo) — the lookup that discovers a column
+  // holds no fluid.
+  const std::uint64_t colmap_probe =
+      static_cast<std::uint64_t>(geo.box.nx + 2) * sizeof(std::int32_t);
+  const auto check = [&](Engine<D2Q9>& eng, std::uint64_t read_budget,
+                         const char* what) {
+    eng.initialize(smooth_init<D2Q9>());
+    eng.step();
+    const auto before = eng.profiler()->total_traffic();
+    eng.step();
+    const auto t = eng.profiler()->total_traffic() - before;
+    EXPECT_EQ(t.bytes_written, 0u) << what;
+    EXPECT_LE(t.bytes_read, read_budget) << what;
+    const auto m = eng.moments_at(7, 3, 0);
+    EXPECT_EQ(m.rho, 0.0) << what;
+  };
+  StEngine<D2Q9> st(geo, kTau);
+  check(st, 0, "ST");
+  AaEngine<D2Q9> aa(geo, kTau);
+  check(aa, 0, "AA");
+  MrEngine<D2Q9> mrp(geo, kTau, Regularization::kProjective);
+  check(mrp, colmap_probe, "MR-P");
+  MrConfig circ;
+  circ.storage = MomentStorage::kCircularShift;
+  MrEngine<D2Q9> mrr(geo, kTau, Regularization::kRecursive, circ);
+  check(mrr, colmap_probe, "MR-R/circ");
+}
+
 }  // namespace
 }  // namespace mlbm
