@@ -19,7 +19,7 @@ int main() {
   const auto mi100 = gpusim::DeviceSpec::mi100();
 
   struct Cell {
-    double st, mrp, mrr;
+    double st, ep, mrp, mrr;
   };
   auto compute = [&](const gpusim::DeviceSpec& dev, auto lattice_tag) -> Cell {
     using L = decltype(lattice_tag);
@@ -28,6 +28,13 @@ int main() {
     c.st = perf::estimate_saturated(dev, Pattern::kST, lat,
                                     bench::characteristics<L>(Pattern::kST))
                .mflups;
+    // EP keeps ST's kernel shape and flop count and moves ST's 2Q elements
+    // (ep_bytes_per_flup == bytes_per_flup(kST), pinned in the verify
+    // matrix), so the saturated model evaluates it through the ST pattern.
+    // It appears as its own column because EP is the strongest streaming
+    // baseline: same speed as ST at HALF the footprint, so MR-P/EP is the
+    // honest remaining speedup claim.
+    c.ep = c.st;
     c.mrp = perf::estimate_saturated(dev, Pattern::kMRP, lat,
                                      bench::characteristics<L>(Pattern::kMRP))
                 .mflups;
@@ -42,11 +49,11 @@ int main() {
   const Cell m2 = compute(mi100, D2Q9{});
   const Cell m3 = compute(mi100, D3Q19{});
 
-  AsciiTable t({"Device", "Lattice", "ST", "MR-P", "MR-R", "MR-P/ST",
-                "paper speedup"});
+  AsciiTable t({"Device", "Lattice", "ST", "EP", "MR-P", "MR-R", "MR-P/ST",
+                "MR-P/EP", "paper speedup"});
   CsvWriter csv(perf::results_dir() + "/speedup_summary.csv",
-                {"device", "lattice", "st_mflups", "mrp_mflups", "mrr_mflups",
-                 "speedup", "paper_speedup"});
+                {"device", "lattice", "st_mflups", "ep_mflups", "mrp_mflups",
+                 "mrr_mflups", "speedup", "speedup_vs_ep", "paper_speedup"});
 
   struct Row {
     const char* dev;
@@ -60,11 +67,15 @@ int main() {
                       {"MI100", "D3Q19", m3, 1.14}};
   for (const Row& r : rows) {
     const double sp = r.c.mrp / r.c.st;
+    const double sp_ep = r.c.mrp / r.c.ep;
     t.row({r.dev, r.lat, AsciiTable::num(r.c.st, 0),
-           AsciiTable::num(r.c.mrp, 0), AsciiTable::num(r.c.mrr, 0),
-           AsciiTable::num(sp, 2) + "x", AsciiTable::num(r.paper, 2) + "x"});
-    csv.row({r.dev, r.lat, CsvWriter::num(r.c.st), CsvWriter::num(r.c.mrp),
-             CsvWriter::num(r.c.mrr), CsvWriter::num(sp),
+           AsciiTable::num(r.c.ep, 0), AsciiTable::num(r.c.mrp, 0),
+           AsciiTable::num(r.c.mrr, 0), AsciiTable::num(sp, 2) + "x",
+           AsciiTable::num(sp_ep, 2) + "x",
+           AsciiTable::num(r.paper, 2) + "x"});
+    csv.row({r.dev, r.lat, CsvWriter::num(r.c.st), CsvWriter::num(r.c.ep),
+             CsvWriter::num(r.c.mrp), CsvWriter::num(r.c.mrr),
+             CsvWriter::num(sp), CsvWriter::num(sp_ep),
              CsvWriter::num(r.paper)});
   }
   t.print();

@@ -45,6 +45,28 @@ Row measure_st() {
 }
 
 template <class L>
+Row measure_ep() {
+  // EP streams in place over one lattice but still moves ST's 2Q elements
+  // per update: the table's point is that the footprint halving is free in
+  // traffic, which keeps MR's 2M the only B/F reduction.
+  Geometry geo = bench::periodic_geo(L::D == 2 ? 32 : 12, L::D == 2 ? 24 : 10,
+                                     L::D == 2 ? 1 : 8);
+  EpEngine<L> eng(geo, 0.8);
+  const auto t = bench::measure_traffic<L>(eng);
+  EpEngine<L> eng2(geo, 0.8);
+  const double uniq = bench::measure_unique_read_bytes_per_node<L>(eng2);
+  const auto lat = perf::lattice_info<L>();
+  return {"EP",
+          L::name(),
+          perf::ep_bytes_per_flup(lat),
+          perf::ep_bytes_per_flup(lat),
+          t.read_bytes_per_node,
+          t.write_bytes_per_node,
+          t.halo_read_fraction,
+          uniq};
+}
+
+template <class L>
 Row measure_mr(Pattern p) {
   const Regularization reg = p == Pattern::kMRR ? Regularization::kRecursive
                                                 : Regularization::kProjective;
@@ -73,6 +95,7 @@ int main() {
 
   const Row rows[] = {
       measure_st<D2Q9>(),        measure_st<D3Q19>(),
+      measure_ep<D2Q9>(),        measure_ep<D3Q19>(),
       measure_mr<D2Q9>(Pattern::kMRP),  measure_mr<D3Q19>(Pattern::kMRP),
       measure_mr<D2Q9>(Pattern::kMRR),  measure_mr<D3Q19>(Pattern::kMRR),
   };

@@ -72,18 +72,29 @@ double time_steps(Engine<L>& eng, int steps, bool counters) {
   return t.elapsed_s();
 }
 
+/// Repeat count of every timed configuration; rows report the best (minimum
+/// seconds) of the repeats. Host timings on a shared machine are noisy
+/// enough that single-shot runs invert neighboring configurations; the
+/// minimum is the standard noise-floor estimator for a deterministic
+/// workload.
+int g_repeats = 3;
+
 template <class L, class MakeEngine>
 void measure(std::vector<Result>& out, const char* pattern,
              const char* precision, const char* exec, Geometry geo, int steps,
              const MakeEngine& make) {
   const Box& b = geo.box;
   for (const bool counters : {true, false}) {
-    auto eng = make();
-    const double s = time_steps<L>(*eng, steps, counters);
+    double best = 0;
+    for (int rep = 0; rep < g_repeats; ++rep) {
+      auto eng = make();
+      const double s = time_steps<L>(*eng, steps, counters);
+      if (rep == 0 || s < best) best = s;
+    }
     const double nodes =
         static_cast<double>(b.cells()) * static_cast<double>(steps);
     out.push_back({pattern, precision, L::name(), exec, b.nx, b.ny, b.nz,
-                   steps, counters, s, nodes / 1e6 / s});
+                   steps, counters, best, nodes / 1e6 / best});
   }
 }
 
@@ -103,6 +114,15 @@ void measure_lattice(std::vector<Result>& out, int n0, int n1, int n2,
                                                           cfg, exec);
                    });
       }
+      // Fourth pattern: Esoteric-Pull lives outside the perfmodel Pattern
+      // enum (same 2Q traffic as ST, half the footprint), so it gets its
+      // own row here — the four-way host comparison the EP engine exists
+      // to enable.
+      measure<L>(out, "EP", to_string(prec), to_string(exec), geo, steps,
+                 [&] {
+                   return make_ep_engine<L>(prec, geo, 0.8,
+                                            CollisionScheme::kBGK, 256, exec);
+                 });
     }
   }
 }
@@ -167,7 +187,8 @@ bool write_json(const std::string& path, const std::vector<Result>& rows) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  cli.reject_unknown({"exec", "n2d", "n3d", "out", "overlap", "precision", "slabs", "steps2d", "steps3d"});
+  cli.reject_unknown({"exec", "n2d", "n3d", "out", "overlap", "precision", "repeats", "slabs", "steps2d", "steps3d"});
+  g_repeats = cli.get_int("repeats", 3, 1);
   const int n2d = cli.get_int("n2d", 256, 1);
   const int steps2d = cli.get_int("steps2d", 48, 1);
   const int n3d = cli.get_int("n3d", 48, 1);

@@ -4,7 +4,8 @@
 // VTK output for visualization.
 //
 //   ./examples/lid_driven_cavity [--n 48] [--re 100] [--ulid 0.1]
-//                                [--steps 8000] [--precision fp64|fp32]
+//                                [--steps 8000] [--pattern mr-r|mr-p|st|ep]
+//                                [--precision fp64|fp32]
 //                                [--vtk cavity.vtk] [--sanitize]
 //
 // --sanitize runs the engine under the mlbm-sanitizer (docs/sanitizer.md)
@@ -21,7 +22,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
-  cli.reject_unknown({"n", "precision", "re", "sanitize", "steps", "ulid", "vtk"});
+  cli.reject_unknown({"n", "pattern", "precision", "re", "sanitize", "steps", "ulid", "vtk"});
   const int n = cli.get_int("n", 48, 1);
   const real_t re = cli.get_double("re", 100);
   const real_t ulid = cli.get_double("ulid", 0.1);
@@ -41,9 +42,22 @@ int main(int argc, char** argv) {
       n, n, re, ulid, tau, to_string(*prec));
 
   const auto cav = LidDrivenCavity<D2Q9>::create(n, ulid);
-  const auto eng_ptr = make_mr_engine<D2Q9>(*prec, cav.geo, tau,
-                                            Regularization::kRecursive,
-                                            MrConfig{16, 1, 4});
+  const std::string pattern = cli.get("pattern", "mr-r");
+  std::unique_ptr<Engine<D2Q9>> eng_ptr;
+  if (pattern == "mr-r" || pattern == "mr-p") {
+    eng_ptr = make_mr_engine<D2Q9>(*prec, cav.geo, tau,
+                                   pattern == "mr-r"
+                                       ? Regularization::kRecursive
+                                       : Regularization::kProjective,
+                                   MrConfig{16, 1, 4});
+  } else if (pattern == "st") {
+    eng_ptr = make_st_engine<D2Q9>(*prec, cav.geo, tau);
+  } else if (pattern == "ep") {
+    eng_ptr = make_ep_engine<D2Q9>(*prec, cav.geo, tau);
+  } else {
+    std::fprintf(stderr, "error: --pattern must be mr-r, mr-p, st or ep\n");
+    return 1;
+  }
   Engine<D2Q9>& eng = *eng_ptr;
   analysis::Sanitizer san;
   if (cli.has("sanitize")) eng.set_sanitizer(&san);

@@ -11,7 +11,7 @@
 //                         [--tau 0.8] [--umax 0.05] [--vtk out.vtk]
 //                         [--save state.ckpt] [--load state.ckpt]
 //
-// Patterns: st | st-push | aa | mr-p | mr-r | ref
+// Patterns: st | st-push | aa | ep | mr-p | mr-r | ref
 // Workloads: channel | cavity | taylor-green | shear-layer
 // Lattices: d2q9 | d3q19 | d3q15 | d3q27
 #include <cstdio>
@@ -20,6 +20,7 @@
 #include <string>
 
 #include "engines/aa_engine.hpp"
+#include "engines/ep_engine.hpp"
 #include "engines/mr_engine.hpp"
 #include "engines/reference_engine.hpp"
 #include "engines/st_engine.hpp"
@@ -48,6 +49,7 @@ std::unique_ptr<Engine<L>> make_engine(const std::string& pattern,
                                          StreamMode::kPush);
   }
   if (pattern == "aa") return std::make_unique<AaEngine<L>>(std::move(geo), tau);
+  if (pattern == "ep") return std::make_unique<EpEngine<L>>(std::move(geo), tau);
   if (pattern == "mr-p") {
     return std::make_unique<MrEngine<L>>(std::move(geo), tau,
                                          Regularization::kProjective, mr_cfg);
@@ -109,10 +111,15 @@ int run(const Cli& cli) {
   // Engine (optionally decomposed into slabs).
   std::unique_ptr<Engine<L>> eng;
   if (devices > 1) {
+    // In-place engines scatter one plane past the node they execute on, so
+    // their slabs need depth-2 ghosts (see SlabInfo::ghost_depth).
+    const int ghost_depth = (pattern == "aa" || pattern == "ep") ? 2 : 1;
     eng = std::make_unique<MultiDomainEngine<L>>(
-        geo, tau, devices, [&](Geometry g, int) {
+        geo, tau, devices,
+        [&](Geometry g, int) {
           return make_engine<L>(pattern, std::move(g), tau);
-        });
+        },
+        ghost_depth);
   } else {
     eng = make_engine<L>(pattern, geo, tau);
   }

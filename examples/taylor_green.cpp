@@ -3,6 +3,7 @@
 // series to CSV for plotting.
 //
 //   ./examples/taylor_green [--n 48] [--tau 0.8] [--u0 0.03] [--steps 400]
+//                           [--pattern all|st|ep|mr-p|mr-r]
 //                           [--precision fp64|fp32] [--csv decay.csv]
 //                           [--sanitize]
 //
@@ -24,7 +25,7 @@
 int main(int argc, char** argv) {
   using namespace mlbm;
   const Cli cli(argc, argv);
-  cli.reject_unknown({"csv", "n", "precision", "sanitize", "steps", "tau", "u0"});
+  cli.reject_unknown({"csv", "n", "pattern", "precision", "sanitize", "steps", "tau", "u0"});
   const int n = cli.get_int("n", 48, 1);
   const real_t tau = cli.get_double("tau", 0.8);
   const real_t u0 = cli.get_double("u0", 0.03);
@@ -40,12 +41,29 @@ int main(int argc, char** argv) {
   const auto tg = TaylorGreen<D2Q9>::create(n, u0);
 
   const MrConfig cfg{16, 1, 4};
-  const auto st = make_st_engine<D2Q9>(*prec, tg.geo, tau);
-  const auto mrp =
-      make_mr_engine<D2Q9>(*prec, tg.geo, tau, Regularization::kProjective, cfg);
-  const auto mrr =
-      make_mr_engine<D2Q9>(*prec, tg.geo, tau, Regularization::kRecursive, cfg);
-  std::vector<Engine<D2Q9>*> engines = {st.get(), mrp.get(), mrr.get()};
+  const std::string pattern = cli.get("pattern", "all");
+  std::vector<std::unique_ptr<Engine<D2Q9>>> owned;
+  if (pattern == "all" || pattern == "st") {
+    owned.push_back(make_st_engine<D2Q9>(*prec, tg.geo, tau));
+  }
+  if (pattern == "all" || pattern == "ep") {
+    owned.push_back(make_ep_engine<D2Q9>(*prec, tg.geo, tau));
+  }
+  if (pattern == "all" || pattern == "mr-p") {
+    owned.push_back(make_mr_engine<D2Q9>(*prec, tg.geo, tau,
+                                         Regularization::kProjective, cfg));
+  }
+  if (pattern == "all" || pattern == "mr-r") {
+    owned.push_back(make_mr_engine<D2Q9>(*prec, tg.geo, tau,
+                                         Regularization::kRecursive, cfg));
+  }
+  if (owned.empty()) {
+    std::fprintf(stderr,
+                 "error: --pattern must be all, st, ep, mr-p or mr-r\n");
+    return 1;
+  }
+  std::vector<Engine<D2Q9>*> engines;
+  for (const auto& e : owned) engines.push_back(e.get());
 
   const real_t nu = D2Q9::cs2 * (tau - real_t(0.5));
   std::printf("taylor_green: %dx%d, tau=%.3f (nu=%.4f), u0=%.3f, storage %s\n\n",

@@ -141,6 +141,58 @@ EngineContract aa_contract(LatticeDesc lat, int elem_bytes, bool batched_io) {
   return ec;
 }
 
+EngineContract ep_contract(LatticeDesc lat, int elem_bytes) {
+  EngineContract ec;
+  ec.pattern = "EP";
+  ec.elem_bytes = elem_bytes;
+  ec.steps_per_cycle = 2;
+  ec.arrays = {{"f", lat.q}};
+  ec.ghost_depth_declared = 2;
+
+  // With the plus half-set H = { i : i < opposite(i) }, the even step reads
+  // slot opposite(i) — of the node itself for i in H and the rest, of the
+  // upwind neighbour for i not in H — and writes slot i of the downwind
+  // neighbour (i in H) or the node itself (otherwise); the odd step swaps
+  // the slot roles. In both parities the read and write descriptors that
+  // share a slot also share an offset, so every lattice word has
+  // reader == writer — the esoteric invariant the analyzer re-proves.
+  const auto phase = [&](bool even) {
+    NodeKernelContract k;
+    const std::string par = even ? "even" : "odd";
+    k.tag = "ep." + par;
+    k.kernels = {"ep_" + par + "_" + lat.name,
+                 "ep_" + par + "_" + lat.name + "_frontier",
+                 "ep_sparse_" + lat.name + "_" + par + "_fluid",
+                 "ep_sparse_" + lat.name + "_" + par + "_mixed",
+                 "ep_sparse_" + lat.name + "_" + par + "_fluid_frontier",
+                 "ep_sparse_" + lat.name + "_" + par + "_mixed_frontier"};
+    for (int i = 0; i < lat.q; ++i) {
+      const int j = lat.opposite[static_cast<std::size_t>(i)];
+      AccessDesc rd;
+      rd.array = 0;
+      rd.comps = {even ? j : i};
+      rd.off = i <= j ? std::array<int, 3>{0, 0, 0}
+                      : neg(lat.c[static_cast<std::size_t>(i)]);
+      k.accesses.push_back(rd);
+    }
+    for (int i = 0; i < lat.q; ++i) {
+      const int j = lat.opposite[static_cast<std::size_t>(i)];
+      AccessDesc wr;
+      wr.array = 0;
+      wr.write = true;
+      wr.comps = {even ? i : j};
+      wr.off = i < j ? lat.c[static_cast<std::size_t>(i)]
+                     : std::array<int, 3>{0, 0, 0};
+      k.accesses.push_back(wr);
+    }
+    return k;
+  };
+  ec.node_kernels.push_back(phase(true));
+  ec.node_kernels.push_back(phase(false));
+  ec.lattice = std::move(lat);
+  return ec;
+}
+
 EngineContract mr_contract(LatticeDesc lat, int elem_bytes, bool projective,
                            bool single_buffer, int tile_x, int tile_y,
                            int tile_s, bool batched_io, int write_behind,
@@ -190,7 +242,13 @@ std::vector<std::string> applicable_mutations(const EngineContract& c) {
   std::vector<std::string> out;
   if (c.empty()) return out;
   out.emplace_back("shrunk-ghost-depth");
-  out.emplace_back("span-overrun");
+  // Span widening only applies to contracts that batch I/O somewhere; the
+  // EP pattern (and scalar-I/O validation contracts) are span-free.
+  bool has_span = !c.ring_kernels.empty();
+  for (const auto& nk : c.node_kernels) {
+    for (const auto& a : nk.accesses) has_span = has_span || a.span;
+  }
+  if (has_span) out.emplace_back("span-overrun");
   if (!c.ring_kernels.empty()) {
     const bool circ = c.ring_kernels.front().single_buffer;
     if (circ) {
@@ -202,7 +260,11 @@ std::vector<std::string> applicable_mutations(const EngineContract& c) {
     out.emplace_back("shrunk-cross-halo");
     out.emplace_back("shrunk-shared-ring");
   }
-  if (c.pattern == "ST-AA") out.emplace_back("skewed-inplace-gather");
+  // Both in-place patterns expose an odd-parity gather whose offset sign is
+  // load-bearing for the reader == writer invariant.
+  if (c.pattern == "ST-AA" || c.pattern == "EP") {
+    out.emplace_back("skewed-inplace-gather");
+  }
   return out;
 }
 

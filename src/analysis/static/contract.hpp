@@ -158,6 +158,11 @@ EngineContract st_contract(LatticeDesc lat, int elem_bytes, bool push,
 EngineContract aa_contract(LatticeDesc lat, int elem_bytes,
                            bool batched_io = true);
 
+/// Esoteric Pull in-place (single lattice, paired-direction even/odd slot
+/// maps, 2-step cycle; scalar-only accesses — the gather and scatter each
+/// touch Q different cells, so there is no span to batch).
+EngineContract ep_contract(LatticeDesc lat, int elem_bytes);
+
 /// MR column sweep. `projective` picks the MR-P/MR-R pattern label;
 /// `single_buffer` the circular-shift storage policy; `write_behind`,
 /// `ring_shift_bias`, `barrier_between_phases` and `cross_halo` default to

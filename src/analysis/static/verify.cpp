@@ -187,6 +187,11 @@ void run_lattice(const VerifyOptions& opt, VerifyReport& rep) {
                 rep);
     }
     {
+      auto eng = make_ep_engine<L>(prec, probe_geometry(L::D), kTau);
+      run_probe(*eng, "EP" + suffix, perf::ep_bytes_per_flup(lat, e), opt,
+                rep);
+    }
+    {
       auto eng = make_mr_engine<L>(prec, probe_geometry(L::D), kTau,
                                    Regularization::kProjective);
       run_probe(*eng, "MR-P" + suffix,
@@ -217,7 +222,7 @@ std::vector<std::string> all_mutation_names() {
   std::set<std::string> names;
   const auto lat = make_lattice_desc<D2Q9>();
   for (const auto& c :
-       {st_contract(lat, 8, false), aa_contract(lat, 8),
+       {st_contract(lat, 8, false), aa_contract(lat, 8), ep_contract(lat, 8),
         mr_contract(lat, 8, true, /*single_buffer=*/true, 32, 8, 1)}) {
     for (const auto& n : applicable_mutations(c)) names.insert(n);
   }

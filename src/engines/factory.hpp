@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "engines/aa_engine.hpp"
+#include "engines/ep_engine.hpp"
 #include "engines/mr_engine.hpp"
 #include "engines/st_engine.hpp"
 #include "util/precision.hpp"
@@ -45,6 +46,19 @@ std::unique_ptr<Engine<L>> make_aa_engine(
   }
   return std::make_unique<AaEngine<L, double>>(
       std::move(geo), tau, scheme, threads_per_block, exec, allow_open_faces);
+}
+
+template <class L>
+std::unique_ptr<Engine<L>> make_ep_engine(
+    StoragePrecision prec, Geometry geo, real_t tau,
+    CollisionScheme scheme = CollisionScheme::kBGK, int threads_per_block = 256,
+    ExecMode exec = default_exec_mode()) {
+  if (prec == StoragePrecision::kFP32) {
+    return std::make_unique<EpEngine<L, float>>(std::move(geo), tau, scheme,
+                                                threads_per_block, exec);
+  }
+  return std::make_unique<EpEngine<L, double>>(std::move(geo), tau, scheme,
+                                               threads_per_block, exec);
 }
 
 template <class L>

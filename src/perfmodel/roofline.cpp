@@ -11,6 +11,10 @@ double aa_bytes_per_flup(const LatticeInfo& lat, double elem_bytes) {
   return 2.0 * lat.q * elem_bytes;
 }
 
+double ep_bytes_per_flup(const LatticeInfo& lat, double elem_bytes) {
+  return 2.0 * lat.q * elem_bytes;
+}
+
 double roofline_mflups(const gpusim::DeviceSpec& dev, double bpf) {
   return dev.bandwidth_gbs * 1e9 / (1e6 * bpf);
 }

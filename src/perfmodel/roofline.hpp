@@ -30,6 +30,14 @@ double bytes_per_flup(Pattern p, const LatticeInfo& lat,
 /// static-analysis three-way traffic gate).
 double aa_bytes_per_flup(const LatticeInfo& lat, double elem_bytes = 8.0);
 
+/// Bytes per fluid lattice update of the Esoteric-Pull (in-place) pattern:
+/// Q scalar gathers plus Q scalar scatters per step — the same 2 Q elements
+/// as ST and AA (EP halves the *footprint*, not the traffic) — so EP too is
+/// kept out of the Pattern enum and modeled by this helper (used by the
+/// static-analysis three-way traffic gate, and pinned against the contract
+/// derivation in test_perfmodel).
+double ep_bytes_per_flup(const LatticeInfo& lat, double elem_bytes = 8.0);
+
 /// Eq. 15: ideal MFLUPS at full peak bandwidth.
 double roofline_mflups(const gpusim::DeviceSpec& dev, double bytes_per_flup);
 
